@@ -1,0 +1,59 @@
+/// \file
+/// Ablation: interpretations of the paper's under-specified closure
+/// P* = P^N — max-product (probability of the most likely request chain,
+/// our default), capped sum-product (paths add up), and no closure at all
+/// (raw P). Also isolates the contribution of chains: how much of the
+/// speculation value comes from multi-hop inference.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiments.h"
+#include "spec/simulator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sds;
+  bench::PrintHeader("abl_closure", "ablation: closure semantics for P*");
+  const core::Workload workload = bench::MakePaperWorkload();
+  bench::PrintWorkloadSummary(workload);
+
+  spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
+
+  Table table({"Tp", "semantics", "extra_traffic", "load_reduction",
+               "spec hit rate"});
+  for (const double tp : {0.5, 0.25, 0.1}) {
+    struct Case {
+      const char* label;
+      bool use_closure;
+      spec::ClosureSemantics semantics;
+    };
+    const Case cases[] = {
+        {"raw P (no closure)", false, spec::ClosureSemantics::kMaxProduct},
+        {"max-product P*", true, spec::ClosureSemantics::kMaxProduct},
+        {"sum-product P* (capped)", true,
+         spec::ClosureSemantics::kSumProductCapped},
+    };
+    for (const auto& c : cases) {
+      spec::SpeculationConfig config = core::BaselineSpecConfig();
+      config.policy.threshold = tp;
+      config.use_closure = c.use_closure;
+      config.closure.semantics = c.semantics;
+      const auto m = sim.Evaluate(config);
+      const auto& w = m.with_speculation;
+      table.AddRow(
+          {FormatDouble(tp, 2), c.label, FormatPercent(m.extra_traffic, 1),
+           FormatPercent(1.0 - m.server_load_ratio, 1),
+           FormatPercent(w.speculative_docs_sent == 0
+                             ? 0.0
+                             : static_cast<double>(w.speculative_hits) /
+                                   static_cast<double>(w.speculative_docs_sent),
+                         1)});
+    }
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("the closure adds multi-hop candidates: more coverage than\n"
+              "raw P at the same threshold; sum-product promotes targets\n"
+              "reachable along many chains (embedding-heavy pages).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file
+/// Ablation: server-initiated dissemination (push) versus demand-driven
+/// proxy caching (pull-through LRU) at equal storage — the comparison
+/// behind the paper's core claim that servers, "who unquestionably have a
+/// better view of data access patterns than clients", should drive
+/// replication.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "dissem/pull_cache.h"
+#include "dissem/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sds;
+  bench::PrintHeader("abl_push_vs_pull",
+                     "ablation: dissemination vs pull-through caching");
+  const core::Workload workload = bench::MakePaperWorkload();
+  bench::PrintWorkloadSummary(workload);
+
+  Table table({"storage/proxy", "proxies", "push saved", "push hits",
+               "pull saved", "pull hits", "pull evictions"});
+  Rng rng(11);
+  for (const double fraction : {0.02, 0.04, 0.10, 0.20}) {
+    for (const uint32_t k : {2u, 4u, 8u}) {
+      dissem::DisseminationConfig push;
+      push.dissemination_fraction = fraction;
+      push.num_proxies = k;
+      const auto push_result = SimulateDissemination(
+          workload.corpus(), workload.clean(), workload.topology(), 0, push,
+          &rng, &workload.generated().updates);
+
+      dissem::PullCacheConfig pull;
+      pull.storage_fraction = fraction;
+      pull.num_proxies = k;
+      const auto pull_result = SimulatePullThroughCache(
+          workload.corpus(), workload.clean(), workload.topology(), 0, pull,
+          &rng, &workload.generated().updates);
+
+      table.AddRow(
+          {FormatBytes(fraction *
+                       static_cast<double>(workload.corpus().ServerBytes(0))),
+           std::to_string(k), FormatPercent(push_result.saved_fraction, 1),
+           FormatPercent(push_result.proxy_hit_fraction, 1),
+           FormatPercent(pull_result.saved_fraction, 1),
+           FormatPercent(pull_result.proxy_hit_fraction, 1),
+           std::to_string(pull_result.evictions)});
+    }
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("push knows the popularity profile up front; pull pays a\n"
+              "compulsory miss (full-path fetch) for every first access at\n"
+              "each proxy and churns under tight budgets.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// \file
+/// Ablation: the consistency cost of disseminating mutable documents —
+/// §2's rationale for classifying documents into mutable and immutable
+/// before pushing. Measures the fraction of proxy-served requests that hit
+/// a stale copy, with and without mutable-document exclusion and periodic
+/// re-dissemination.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "dissem/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sds;
+  bench::PrintHeader("abl_staleness",
+                     "ablation: mutable documents and staleness");
+  const core::Workload workload = bench::MakePaperWorkload();
+  bench::PrintWorkloadSummary(workload);
+
+  Rng rng(17);
+  Table table({"exclude mutable", "re-push every", "saved", "stale serves",
+               "stale fraction"});
+  for (const bool exclude : {false, true}) {
+    for (const uint32_t repush : {0u, 30u, 7u, 1u}) {
+      dissem::DisseminationConfig config;
+      config.num_proxies = 4;
+      config.exclude_mutable = exclude;
+      config.redisseminate_every_days = repush;
+      const auto result = SimulateDissemination(
+          workload.corpus(), workload.clean(), workload.topology(), 0,
+          config, &rng, &workload.generated().updates);
+      table.AddRow({exclude ? "yes" : "no",
+                    repush == 0 ? "never" : std::to_string(repush) + "d",
+                    FormatPercent(result.saved_fraction, 1),
+                    std::to_string(result.stale_proxy_requests),
+                    FormatPercent(result.stale_fraction, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("excluding the small mutable subset removes most staleness\n"
+              "at almost no bandwidth cost; frequent re-pushing is the\n"
+              "expensive alternative.\n");
+  return 0;
+}

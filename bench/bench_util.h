@@ -1,0 +1,34 @@
+#ifndef SDS_BENCH_BENCH_UTIL_H_
+#define SDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/workload.h"
+
+namespace sds::bench {
+
+/// Prints a section header in a consistent style across bench binaries.
+inline void PrintHeader(const char* experiment, const char* paper_artifact) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("=====================================================\n");
+}
+
+/// The shared paper-scale workload. Benches are separate processes, so each
+/// builds it once; generation takes well under a second.
+inline core::Workload MakePaperWorkload() {
+  return core::MakeWorkload(core::PaperScaleConfig());
+}
+
+inline void PrintWorkloadSummary(const core::Workload& workload) {
+  std::printf("workload: %zu docs, %zu clean accesses, %u clients, %u days\n\n",
+              workload.corpus().size(), workload.clean().size(),
+              workload.clean().num_clients,
+              static_cast<unsigned>(workload.clean().Span() / kDay) + 1);
+}
+
+}  // namespace sds::bench
+
+#endif  // SDS_BENCH_BENCH_UTIL_H_

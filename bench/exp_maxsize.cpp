@@ -1,0 +1,25 @@
+/// \file
+/// Section 3.4 "Effect of Document Size": sweep of MaxSize, the largest
+/// document the server is willing to push speculatively.
+///
+/// Paper anchors: an optimal MaxSize exists per traffic budget (15 KB when
+/// ~3% extra bandwidth is tolerable, 29 KB for ~10%); speculation pays off
+/// most for small documents.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace sds;
+  bench::PrintHeader("exp_maxsize", "Section 3.4 effect of MaxSize");
+  const core::Workload workload = bench::MakePaperWorkload();
+  bench::PrintWorkloadSummary(workload);
+
+  const core::ExpMaxSizeResult result = core::RunExpMaxSize(workload);
+  std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("paper: optimum MaxSize ~15 KB at ~3%% extra traffic, "
+              "~29 KB at ~10%%.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+/// \file
+/// google-benchmark microbenchmarks of the library's hot kernels: workload
+/// generation, dependency estimation, closure rows, storage allocation and
+/// the speculation replay loop. Not a paper artefact — these guard against
+/// performance regressions of the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+#include "dissem/allocation.h"
+#include "dissem/popularity.h"
+#include "spec/closure.h"
+#include "spec/dependency.h"
+#include "spec/simulator.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sds;
+
+const core::Workload& SharedWorkload() {
+  static const core::Workload& workload =
+      *new core::Workload(core::MakeWorkload(core::SmallConfig()));
+  return workload;
+}
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(100000, 1.1);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::Workload w = core::MakeWorkload(core::SmallConfig());
+    benchmark::DoNotOptimize(w.clean().size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_DependencyEstimation(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  spec::DependencyConfig config;
+  for (auto _ : state) {
+    const auto p = spec::EstimateDependencies(w.clean(), w.corpus().size(),
+                                              config);
+    benchmark::DoNotOptimize(p.NumEntries());
+  }
+}
+BENCHMARK(BM_DependencyEstimation)->Unit(benchmark::kMillisecond);
+
+void BM_ClosureRows(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  spec::DependencyConfig config;
+  const auto p =
+      spec::EstimateDependencies(w.clean(), w.corpus().size(), config);
+  spec::ClosureConfig closure_config;
+  trace::DocumentId doc = 0;
+  for (auto _ : state) {
+    doc = (doc + 1) % static_cast<trace::DocumentId>(p.num_docs());
+    benchmark::DoNotOptimize(
+        spec::ComputeClosureRow(p, doc, closure_config).size());
+  }
+}
+BENCHMARK(BM_ClosureRows);
+
+void BM_ExponentialAllocation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<dissem::ServerDemand> servers;
+  Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    servers.push_back({1e6 * (1.0 + rng.NextDouble()),
+                       1e-6 * (0.5 + rng.NextDouble())});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dissem::AllocateExponential(servers, 50e6).size());
+  }
+}
+BENCHMARK(BM_ExponentialAllocation)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SpeculationReplay(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  spec::SpeculationSimulator sim(&w.corpus(), &w.clean());
+  spec::SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  sim.Run(config);  // warm the per-day delta cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(config).server_requests);
+  }
+}
+BENCHMARK(BM_SpeculationReplay)->Unit(benchmark::kMillisecond);
+
+void BM_PopularityAnalysis(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dissem::AnalyzeServer(w.corpus(), w.clean(), 0)
+            .total_remote_requests);
+  }
+}
+BENCHMARK(BM_PopularityAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

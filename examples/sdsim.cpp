@@ -1,0 +1,208 @@
+/// \file
+/// sdsim — command-line driver for the library: synthesize (or load) a
+/// workload, run either protocol with the parameters given on the command
+/// line, and print the metrics. The one-stop tool for exploring the
+/// parameter space without writing code.
+///
+/// Usage:
+///   sdsim [--scale=small|paper] [--seed=N] [--protocol=speculation|
+///          dissemination|both]
+///         [--tp=0.25] [--maxsize=BYTES] [--session-timeout=SECONDS]
+///         [--cooperative] [--mode=push|hints|client|hybrid]
+///         [--proxies=4] [--fraction=0.10] [--clf=access_log]
+///
+/// Examples:
+///   sdsim --protocol=speculation --tp=0.1 --maxsize=29696
+///   sdsim --protocol=dissemination --proxies=8 --fraction=0.04
+///   sdsim --scale=paper --protocol=both --cooperative
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+#include "dissem/simulator.h"
+#include "spec/simulator.h"
+#include "trace/clf.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sds;
+
+/// Minimal --key=value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+        ok_ = false;
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second).value_or(fallback);
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second).value_or(fallback);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int RunSpeculation(const core::Workload& workload, const trace::Trace& trace,
+                   const Args& args) {
+  spec::SpeculationSimulator sim(&workload.corpus(), &trace);
+  spec::SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = args.GetDouble("tp", 0.25);
+  config.policy.max_size =
+      static_cast<uint64_t>(args.GetInt("maxsize", 0));
+  if (args.Has("session-timeout")) {
+    config.cache.session_timeout = args.GetDouble("session-timeout", 0.0);
+  }
+  config.cooperative_clients = args.Has("cooperative");
+  const std::string mode = args.Get("mode", "push");
+  if (mode == "hints") {
+    config.mode = spec::ServiceMode::kServerHints;
+  } else if (mode == "client") {
+    config.mode = spec::ServiceMode::kClientPrefetch;
+  } else if (mode == "hybrid") {
+    config.mode = spec::ServiceMode::kHybrid;
+  }
+
+  const auto m = sim.Evaluate(config);
+  std::printf("speculative service (%s, Tp=%.2f%s%s)\n",
+              spec::ServiceModeToString(config.mode),
+              config.policy.threshold,
+              config.policy.max_size > 0 ? ", MaxSize set" : "",
+              config.cooperative_clients ? ", cooperative" : "");
+  Table table({"metric", "value"});
+  table.AddRow({"extra traffic", FormatPercent(m.extra_traffic, 1)});
+  table.AddRow({"server load reduction",
+                FormatPercent(1.0 - m.server_load_ratio, 1)});
+  table.AddRow({"service time reduction",
+                FormatPercent(1.0 - m.service_time_ratio, 1)});
+  table.AddRow({"miss rate reduction",
+                FormatPercent(1.0 - m.miss_rate_ratio, 1)});
+  table.AddRow({"speculative pushes",
+                std::to_string(m.with_speculation.speculative_docs_sent)});
+  table.AddRow(
+      {"wasted bytes",
+       FormatBytes(m.with_speculation.wasted_speculative_bytes)});
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  return 0;
+}
+
+int RunDissemination(const core::Workload& workload,
+                     const trace::Trace& trace, const Args& args) {
+  dissem::DisseminationConfig config;
+  config.num_proxies = static_cast<uint32_t>(args.GetInt("proxies", 4));
+  config.dissemination_fraction = args.GetDouble("fraction", 0.10);
+  config.exclude_mutable = args.Has("exclude-mutable");
+  config.tailored_per_proxy = args.Has("tailored");
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)) + 1);
+  const auto result = SimulateDissemination(
+      workload.corpus(), trace, workload.topology(), 0, config, &rng,
+      &workload.generated().updates);
+
+  std::printf("dissemination (%u proxies, top %s of bytes%s)\n",
+              config.num_proxies,
+              FormatPercent(config.dissemination_fraction, 0).c_str(),
+              config.exclude_mutable ? ", immutable only" : "");
+  Table table({"metric", "value"});
+  table.AddRow({"bytes x hops saved",
+                FormatPercent(result.saved_fraction, 1)});
+  table.AddRow({"requests intercepted",
+                FormatPercent(result.proxy_hit_fraction, 1)});
+  table.AddRow({"storage per proxy",
+                FormatBytes(static_cast<double>(
+                    result.storage_per_proxy_bytes))});
+  table.AddRow({"stale proxy serves",
+                FormatPercent(result.stale_fraction, 2)});
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (!args.ok() || args.Has("help")) {
+    std::fprintf(stderr,
+                 "usage: sdsim [--scale=small|paper] [--seed=N]\n"
+                 "  [--protocol=speculation|dissemination|both]\n"
+                 "  [--tp=P] [--maxsize=BYTES] [--session-timeout=SECS]\n"
+                 "  [--cooperative] [--mode=push|hints|client|hybrid]\n"
+                 "  [--proxies=K] [--fraction=F] [--exclude-mutable]\n"
+                 "  [--tailored] [--clf=FILE]\n");
+    return args.Has("help") ? 0 : 2;
+  }
+
+  core::WorkloadConfig config = args.Get("scale", "small") == "paper"
+                                    ? core::PaperScaleConfig()
+                                    : core::SmallConfig();
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const core::Workload workload = core::MakeWorkload(config);
+
+  // Optionally replace the synthetic trace with a parsed CLF log.
+  trace::Trace replay = workload.clean();
+  if (args.Has("clf")) {
+    const auto parsed =
+        trace::ReadClfFile(args.Get("clf", ""), workload.corpus());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cannot read CLF log: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    replay = FilterTrace(parsed.value());
+  }
+
+  std::printf("workload: %zu docs, %zu accesses, seed %llu\n\n",
+              workload.corpus().size(), replay.size(),
+              static_cast<unsigned long long>(config.seed));
+
+  const std::string protocol = args.Get("protocol", "both");
+  int rc = 0;
+  if (protocol == "speculation" || protocol == "both") {
+    rc |= RunSpeculation(workload, replay, args);
+  }
+  if (protocol == "dissemination" || protocol == "both") {
+    rc |= RunDissemination(workload, replay, args);
+  }
+  if (protocol != "speculation" && protocol != "dissemination" &&
+      protocol != "both") {
+    std::fprintf(stderr, "unknown --protocol=%s\n", protocol.c_str());
+    return 2;
+  }
+  return rc;
+}

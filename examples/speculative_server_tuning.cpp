@@ -1,0 +1,80 @@
+/// \file
+/// Tuning a speculative server (Section 3): given a traffic budget, find
+/// the speculation threshold T_p and MaxSize that maximise the server-load
+/// reduction, then show what cooperative clients add. This is the workflow
+/// an operator deploying the protocol would run against their own logs.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+#include "spec/simulator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sds;
+
+  const core::Workload workload =
+      core::MakeWorkload(core::PaperScaleConfig());
+  spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
+
+  const double traffic_budget = 0.10;  // willing to spend 10% extra bytes
+  std::printf("tuning for a %.0f%% extra-traffic budget over %zu accesses\n\n",
+              traffic_budget * 100.0, workload.clean().size());
+
+  // Sweep (Tp, MaxSize) and keep configurations within budget.
+  spec::SpeculationConfig base = core::BaselineSpecConfig();
+  Table sweep({"Tp", "MaxSize", "extra_traffic", "load_reduction",
+               "time_reduction", "within_budget"});
+  double best_reduction = 0.0;
+  spec::SpeculationConfig best = base;
+  for (const double tp : {0.6, 0.4, 0.3, 0.2, 0.1}) {
+    for (const uint64_t max_size :
+         {uint64_t{8} * 1024, uint64_t{29} * 1024, uint64_t{0}}) {
+      spec::SpeculationConfig config = base;
+      config.policy.threshold = tp;
+      config.policy.max_size = max_size;
+      const auto m = sim.Evaluate(config);
+      const bool ok = m.extra_traffic <= traffic_budget;
+      if (ok && 1.0 - m.server_load_ratio > best_reduction) {
+        best_reduction = 1.0 - m.server_load_ratio;
+        best = config;
+      }
+      sweep.AddRow({FormatDouble(tp, 2),
+                    max_size == 0
+                        ? "unlimited"
+                        : FormatBytes(static_cast<double>(max_size)),
+                    FormatPercent(m.extra_traffic, 1),
+                    FormatPercent(1.0 - m.server_load_ratio, 1),
+                    FormatPercent(1.0 - m.service_time_ratio, 1),
+                    ok ? "yes" : "no"});
+    }
+  }
+  std::printf("%s\n", sweep.ToAlignedString().c_str());
+  std::printf("best within budget: Tp = %.2f, MaxSize = %s -> %s load cut\n\n",
+              best.policy.threshold,
+              best.policy.max_size == 0
+                  ? "unlimited"
+                  : FormatBytes(static_cast<double>(best.policy.max_size))
+                        .c_str(),
+              FormatPercent(best_reduction, 1).c_str());
+
+  // What do cooperative clients add on top of the tuned configuration?
+  const auto blind = sim.Evaluate(best);
+  best.cooperative_clients = true;
+  const auto coop = sim.Evaluate(best);
+  std::printf("== cooperative clients on the tuned config ==\n");
+  std::printf("extra traffic:  %s -> %s\n",
+              FormatPercent(blind.extra_traffic, 1).c_str(),
+              FormatPercent(coop.extra_traffic, 1).c_str());
+  std::printf("wasted pushes:  %s -> %s\n",
+              FormatBytes(blind.with_speculation.wasted_speculative_bytes)
+                  .c_str(),
+              FormatBytes(coop.with_speculation.wasted_speculative_bytes)
+                  .c_str());
+  std::printf("load reduction: %s -> %s\n",
+              FormatPercent(1.0 - blind.server_load_ratio, 1).c_str(),
+              FormatPercent(1.0 - coop.server_load_ratio, 1).c_str());
+  return 0;
+}

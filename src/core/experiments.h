@@ -1,0 +1,226 @@
+#ifndef SDS_CORE_EXPERIMENTS_H_
+#define SDS_CORE_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.h"
+#include "dissem/classify.h"
+#include "spec/simulator.h"
+#include "util/table.h"
+
+namespace sds::core {
+
+/// \brief The paper's baseline simulation parameters (§3.2 table):
+/// CommCost 1, ServCost 10,000, StrideTimeout 5 s, SessionTimeout ∞,
+/// MaxSize ∞, policy p*[i,j] >= T_p, HistoryLength 60 d, UpdateCycle 1 d.
+spec::SpeculationConfig BaselineSpecConfig();
+
+// ---------------------------------------------------------------------------
+// Figure 1 — popularity of data blocks and bandwidth coverage
+// ---------------------------------------------------------------------------
+
+struct Fig1Result {
+  uint64_t block_size = 0;
+  std::vector<double> block_request_fraction;  ///< Descending, per block.
+  std::vector<double> cumulative_requests;
+  std::vector<double> cumulative_bytes;
+  uint32_t total_docs = 0;
+  uint32_t accessed_docs = 0;
+  uint64_t total_bytes = 0;
+  uint64_t accessed_bytes = 0;
+  /// Request share of the most popular 0.5% / 10% of the server's bytes
+  /// (the paper: 69% and 91%).
+  double top_half_percent_coverage = 0.0;
+  double top_ten_percent_coverage = 0.0;
+
+  Table ToTable(size_t max_rows = 32) const;
+};
+
+Fig1Result RunFig1(const Workload& workload,
+                   uint64_t block_size = 256 * 1024);
+
+// ---------------------------------------------------------------------------
+// §2 document classes (remotely/locally/globally popular; mutability)
+// ---------------------------------------------------------------------------
+
+struct Tab1Result {
+  dissem::DocumentClassification classification;
+  uint32_t accessed_docs = 0;
+  double remote_mean_update_rate = 0.0;
+  double local_mean_update_rate = 0.0;
+  double global_mean_update_rate = 0.0;
+
+  Table ToTable() const;
+};
+
+Tab1Result RunTab1(const Workload& workload);
+
+// ---------------------------------------------------------------------------
+// Figure 2 — storage allocation for equally popular servers (eq. 7)
+// ---------------------------------------------------------------------------
+
+struct Fig2Result {
+  /// λ_j / λ_i of the deviant server (x axis, log spaced).
+  std::vector<double> lambda_ratio;
+  /// Allocation B_j (in units of 1/λ_i) under tight (B_0 = 1/λ_i) and lax
+  /// (B_0 = 10/λ_i) total storage, clamped at 0 for display.
+  std::vector<double> tight_allocation;
+  std::vector<double> lax_allocation;
+
+  Table ToTable() const;
+};
+
+Fig2Result RunFig2(uint32_t n = 10);
+
+// ---------------------------------------------------------------------------
+// §2.3 symmetric-cluster worked numbers (eq. 10, corrected)
+// ---------------------------------------------------------------------------
+
+struct Tab2Result {
+  double storage_10_servers_90pct = 0.0;   ///< Paper: ~36 MB.
+  double shield_100_servers_500mb = 0.0;   ///< Paper: ~96%.
+  Table table = Table({"case", "paper", "computed"});
+};
+
+Tab2Result RunTab2();
+
+// ---------------------------------------------------------------------------
+// Figure 3 — bandwidth (bytes x hops) saved by dissemination
+// ---------------------------------------------------------------------------
+
+struct Fig3Result {
+  std::vector<uint32_t> num_proxies;
+  /// Saved fraction for the two dissemination levels of the figure.
+  std::vector<double> saved_top10;
+  std::vector<double> saved_top4;
+  /// Total storage across proxies at each point.
+  std::vector<double> storage_top10;
+  std::vector<double> storage_top4;
+  /// Tailored (per-proxy) dissemination at the 10% level (footnote 5).
+  std::vector<double> saved_top10_tailored;
+
+  Table ToTable() const;
+};
+
+Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies = 16);
+
+// ---------------------------------------------------------------------------
+// Figure 4 — histogram of p[i, j] pair probabilities
+// ---------------------------------------------------------------------------
+
+struct Fig4Result {
+  std::vector<double> bin_lo;
+  std::vector<double> bin_count;
+  /// Bin centres of detected local maxima (paper: peaks near 1/k).
+  std::vector<double> peak_centers;
+  size_t total_pairs = 0;
+
+  Table ToTable() const;
+};
+
+Fig4Result RunFig4(const Workload& workload, double window = 5.0,
+                   size_t bins = 40, uint32_t history_days = 30);
+
+// ---------------------------------------------------------------------------
+// Figures 5 & 6 — baseline speculative service sweep over T_p
+// ---------------------------------------------------------------------------
+
+struct SpecSweepPoint {
+  double tp = 1.0;
+  spec::SpeculationMetrics metrics;
+};
+
+struct Fig5Result {
+  std::vector<SpecSweepPoint> points;
+
+  Table ToTable() const;      ///< Figure 5: ratios vs T_p.
+  Table ToFig6Table() const;  ///< Figure 6: reductions vs extra traffic.
+};
+
+Fig5Result RunFig5(const Workload& workload,
+                   const std::vector<double>& tps = {});
+
+// ---------------------------------------------------------------------------
+// §3.4 fine-tuning experiments
+// ---------------------------------------------------------------------------
+
+/// E1: stability of P/P* — update cycle D in {1, 7, 60} (and history D' in
+/// {30, 60}) at a fixed moderate T_p.
+struct ExpUpdateCycleResult {
+  struct Row {
+    uint32_t update_cycle_days = 1;
+    uint32_t history_days = 60;
+    spec::SpeculationMetrics metrics;
+  };
+  std::vector<Row> rows;
+  /// Mean absolute degradation of the three reduction metrics vs the
+  /// (D = 1, D' = 60) row.
+  double MeanDegradation(size_t row) const;
+
+  Table ToTable() const;
+};
+
+ExpUpdateCycleResult RunExpUpdateCycle(const Workload& workload,
+                                       double tp = 0.25);
+
+/// E2: effect of MaxSize at a fixed T_p.
+struct ExpMaxSizeResult {
+  struct Row {
+    uint64_t max_size = 0;  ///< 0 = unlimited.
+    spec::SpeculationMetrics metrics;
+  };
+  std::vector<Row> rows;
+
+  Table ToTable() const;
+};
+
+ExpMaxSizeResult RunExpMaxSize(const Workload& workload, double tp = 0.15);
+
+/// E3: effect of client caching (SessionTimeout 0 / 1 h / ∞, plus a finite
+/// LRU cache) at a fixed T_p.
+struct ExpClientCachingResult {
+  struct Row {
+    const char* label = "";
+    double session_timeout = 0.0;
+    uint64_t capacity = 0;
+    spec::SpeculationMetrics metrics;
+  };
+  std::vector<Row> rows;
+
+  Table ToTable() const;
+};
+
+ExpClientCachingResult RunExpClientCaching(const Workload& workload,
+                                           double tp = 0.25);
+
+/// E4: cooperative clients (cache digests) vs blind speculation.
+struct ExpCooperativeResult {
+  struct Row {
+    bool cooperative = false;
+    double tp = 0.25;
+    spec::SpeculationMetrics metrics;
+  };
+  std::vector<Row> rows;
+
+  Table ToTable() const;
+};
+
+ExpCooperativeResult RunExpCooperative(const Workload& workload);
+
+/// E5: server push vs client-initiated prefetching vs the hybrid protocol.
+struct ExpPrefetchResult {
+  struct Row {
+    spec::ServiceMode mode = spec::ServiceMode::kSpeculativePush;
+    spec::SpeculationMetrics metrics;
+  };
+  std::vector<Row> rows;
+
+  Table ToTable() const;
+};
+
+ExpPrefetchResult RunExpPrefetch(const Workload& workload, double tp = 0.25);
+
+}  // namespace sds::core
+
+#endif  // SDS_CORE_EXPERIMENTS_H_

@@ -1,0 +1,57 @@
+#ifndef SDS_CORE_FIDELITY_H_
+#define SDS_CORE_FIDELITY_H_
+
+#include <cstdint>
+
+#include "core/workload.h"
+#include "util/table.h"
+
+namespace sds::core {
+
+/// \brief Measured statistical properties of a synthetic workload, one per
+/// property the paper's results depend on (the substitution argument of
+/// DESIGN.md §2 made checkable). The ToTable() rendering pairs each number
+/// with the value the paper reports for the 1995 cs-www.bu.edu traces.
+struct FidelityReport {
+  // Trace volume (paper: 205,925 accesses, 8,474 clients, 20,000+
+  // sessions over ~90 days).
+  size_t accesses = 0;
+  uint32_t clients_seen = 0;
+  double days = 0.0;
+  uint64_t sessions = 0;  ///< 30-minute session timeout.
+  double requests_per_session = 0.0;
+
+  // Popularity concentration on the home server (paper: top 0.5% of bytes
+  /// -> 69% of remote requests; 10% of blocks -> 91%; 656 of 2000+ files
+  /// remotely accessed covering 73% of bytes).
+  double top_half_percent_coverage = 0.0;
+  double top_ten_percent_coverage = 0.0;
+  uint32_t docs_total = 0;
+  uint32_t docs_remotely_accessed = 0;
+  double accessed_bytes_fraction = 0.0;
+
+  // Classification shares over accessed documents (paper: ~10% / 52% /
+  // 37%) and update behaviour (~2%/day local, <0.5%/day others).
+  double remote_class_share = 0.0;
+  double local_class_share = 0.0;
+  double global_class_share = 0.0;
+  double local_update_rate = 0.0;
+  double other_update_rate = 0.0;
+
+  // Dependency structure (paper Figure 4: peaks at 1/k with an embedding
+  // peak at p = 1).
+  size_t dependency_pairs = 0;
+  uint32_t peaks_detected = 0;
+  double rightmost_peak = 0.0;  ///< Should be near 1 (embedding).
+
+  /// Renders measured-vs-paper rows.
+  Table ToTable() const;
+};
+
+/// \brief Measures the report on a workload (uses server 0, the paper's
+/// single home server, for the popularity statistics).
+FidelityReport ComputeFidelityReport(const Workload& workload);
+
+}  // namespace sds::core
+
+#endif  // SDS_CORE_FIDELITY_H_

@@ -1,0 +1,77 @@
+#include "core/workload.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace sds::core {
+
+Workload MakeWorkload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Rng corpus_rng = rng.Fork();
+  Rng graph_rng = rng.Fork();
+  Rng trace_rng = rng.Fork();
+  Rng topo_rng = rng.Fork();
+
+  Workload w;
+  w.corpus_ = std::make_unique<trace::Corpus>(
+      GenerateCorpus(config.corpus, &corpus_rng));
+  w.graph_ = std::make_unique<trace::LinkGraph>(w.corpus_.get(),
+                                                config.links, &graph_rng);
+  w.generated_ = std::make_unique<trace::GeneratedTrace>(
+      GenerateTrace(config.tracegen, w.graph_.get(), &trace_rng));
+  w.clean_ = std::make_unique<trace::Trace>(
+      FilterTrace(w.generated_->trace, &w.filter_stats_));
+  w.topology_ = std::make_unique<net::Topology>(net::Topology::Generate(
+      config.topology, config.tracegen.num_clients,
+      w.generated_->client_is_remote, config.corpus.num_servers, &topo_rng));
+  return w;
+}
+
+WorkloadConfig PaperScaleConfig() {
+  WorkloadConfig config;
+  // Corpus defaults already model cs-www.bu.edu (~2000 docs, ~50 MB).
+  config.tracegen.num_clients = 2000;
+  config.tracegen.days = 90;
+  config.tracegen.sessions_per_client_per_day = 0.111;
+  config.seed = 20260705;
+  return config;
+}
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.corpus.pages_per_server = 120;
+  config.corpus.images_per_server = 200;
+  config.corpus.archives_per_server = 12;
+  config.tracegen.num_clients = 300;
+  config.tracegen.days = 14;
+  config.tracegen.sessions_per_client_per_day = 0.5;
+  config.topology.regions = 5;
+  config.topology.orgs_per_region = 4;
+  config.topology.subnets_per_org = 3;
+  config.seed = 1234;
+  return config;
+}
+
+WorkloadConfig ClusterConfig(uint32_t num_servers) {
+  WorkloadConfig config;
+  config.corpus.num_servers = num_servers;
+  config.corpus.pages_per_server = 150;
+  config.corpus.images_per_server = 250;
+  config.corpus.archives_per_server = 15;
+  config.tracegen.num_clients = 800;
+  config.tracegen.days = 30;
+  config.tracegen.sessions_per_client_per_day = 0.4;
+  // Zipf-skewed per-server request volume: R_i spans about an order of
+  // magnitude across the cluster.
+  config.tracegen.server_weights.resize(num_servers);
+  for (uint32_t s = 0; s < num_servers; ++s) {
+    config.tracegen.server_weights[s] =
+        1.0 / std::pow(static_cast<double>(s + 1), 0.8);
+  }
+  config.seed = 777;
+  return config;
+}
+
+}  // namespace sds::core

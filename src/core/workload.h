@@ -1,0 +1,68 @@
+#ifndef SDS_CORE_WORKLOAD_H_
+#define SDS_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/topology.h"
+#include "trace/corpus.h"
+#include "trace/filter.h"
+#include "trace/generator.h"
+#include "trace/link_graph.h"
+
+namespace sds::core {
+
+/// \brief Everything needed to synthesize one end-to-end workload:
+/// documents, link structure, access trace and network topology.
+struct WorkloadConfig {
+  trace::CorpusConfig corpus;
+  trace::LinkGraphConfig links;
+  trace::TraceGeneratorConfig tracegen;
+  net::TopologyConfig topology;
+  uint64_t seed = 42;
+};
+
+/// \brief A fully materialised workload. Components live on the heap so
+/// that internal cross-references (the link graph points at the corpus)
+/// survive moves of the Workload itself. The link graph is in its
+/// end-of-trace state (it drifts daily during generation).
+class Workload {
+ public:
+  const trace::Corpus& corpus() const { return *corpus_; }
+  const trace::LinkGraph& graph() const { return *graph_; }
+  const trace::GeneratedTrace& generated() const { return *generated_; }
+  /// Preprocessed trace (FilterTrace applied): what analyses consume.
+  const trace::Trace& clean() const { return *clean_; }
+  const net::Topology& topology() const { return *topology_; }
+  const trace::FilterStats& filter_stats() const { return filter_stats_; }
+
+ private:
+  friend Workload MakeWorkload(const WorkloadConfig& config);
+
+  std::unique_ptr<trace::Corpus> corpus_;
+  std::unique_ptr<trace::LinkGraph> graph_;
+  std::unique_ptr<trace::GeneratedTrace> generated_;
+  std::unique_ptr<trace::Trace> clean_;
+  std::unique_ptr<net::Topology> topology_;
+  trace::FilterStats filter_stats_;
+};
+
+/// \brief Generates a workload; bit-for-bit deterministic given the config.
+Workload MakeWorkload(const WorkloadConfig& config);
+
+/// \brief Scaled to the paper's trace: ~90 days, ~2000 documents / ~50 MB
+/// on one server, ~2000 clients, on the order of 200k accesses and 20k
+/// sessions. Benches use this.
+WorkloadConfig PaperScaleConfig();
+
+/// \brief Small and fast (14 days, few hundred clients); unit and
+/// integration tests use this.
+WorkloadConfig SmallConfig();
+
+/// \brief A cluster of `num_servers` home servers with Zipf-skewed request
+/// volumes, for the storage-allocation experiments.
+WorkloadConfig ClusterConfig(uint32_t num_servers);
+
+}  // namespace sds::core
+
+#endif  // SDS_CORE_WORKLOAD_H_

@@ -1,0 +1,193 @@
+#include "dissem/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sds::dissem {
+
+std::vector<double> AllocateExponential(
+    const std::vector<ServerDemand>& servers, double total_storage) {
+  SDS_CHECK(total_storage >= 0.0);
+  const size_t n = servers.size();
+  std::vector<double> allocation(n, 0.0);
+  if (n == 0 || total_storage <= 0.0) return allocation;
+
+  double total_rate = 0.0;
+  for (const auto& s : servers) total_rate += s.rate;
+  if (total_rate <= 0.0) return allocation;
+
+  // Water-filling on the KKT conditions of max Σ R_i H_i(B_i)
+  // s.t. Σ B_i = B_0, B_i >= 0. For the exponential model the stationarity
+  // condition h_j(B_j) = k Σ R_i / R_j (eq. 2) gives
+  // B_j = (1/λ_j) [ln(λ_j R_j / Σ R_i) - ln k] (eq. 4); ln k follows from
+  // the budget over the active set. Servers whose closed form goes
+  // non-positive leave the active set.
+  std::vector<bool> active(n);
+  for (size_t j = 0; j < n; ++j) {
+    active[j] = servers[j].rate > 0.0 && servers[j].lambda > 0.0;
+  }
+
+  while (true) {
+    double inv_lambda_sum = 0.0;
+    double weighted_log_sum = 0.0;
+    size_t active_count = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (!active[j]) continue;
+      ++active_count;
+      inv_lambda_sum += 1.0 / servers[j].lambda;
+      weighted_log_sum +=
+          std::log(servers[j].lambda * servers[j].rate / total_rate) /
+          servers[j].lambda;
+    }
+    if (active_count == 0) break;
+    const double log_k =
+        (weighted_log_sum - total_storage) / inv_lambda_sum;
+
+    bool clamped = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (!active[j]) {
+        allocation[j] = 0.0;
+        continue;
+      }
+      allocation[j] =
+          (std::log(servers[j].lambda * servers[j].rate / total_rate) -
+           log_k) /
+          servers[j].lambda;
+      if (allocation[j] <= 0.0) {
+        active[j] = false;
+        allocation[j] = 0.0;
+        clamped = true;
+      }
+    }
+    if (!clamped) break;
+  }
+  return allocation;
+}
+
+double HitFraction(const std::vector<ServerDemand>& servers,
+                   const std::vector<double>& allocation) {
+  SDS_CHECK(servers.size() == allocation.size());
+  double total_rate = 0.0;
+  double hit_rate = 0.0;
+  for (size_t j = 0; j < servers.size(); ++j) {
+    total_rate += servers[j].rate;
+    hit_rate += servers[j].rate *
+                (1.0 - std::exp(-servers[j].lambda * allocation[j]));
+  }
+  return total_rate <= 0.0 ? 0.0 : hit_rate / total_rate;
+}
+
+std::vector<double> AllocateEqualLambda(const std::vector<double>& rates,
+                                        double lambda, double total_storage) {
+  SDS_CHECK(lambda > 0.0);
+  const size_t n = rates.size();
+  std::vector<double> allocation(n, 0.0);
+  if (n == 0) return allocation;
+  // Geometric mean of the rates (eq. 6 references R_j relative to it).
+  double log_sum = 0.0;
+  for (const double r : rates) {
+    SDS_CHECK(r > 0.0) << "eq. 6 requires positive rates";
+    log_sum += std::log(r);
+  }
+  const double log_geo_mean = log_sum / static_cast<double>(n);
+  for (size_t j = 0; j < n; ++j) {
+    allocation[j] = total_storage / static_cast<double>(n) +
+                    (std::log(rates[j]) - log_geo_mean) / lambda;
+  }
+  return allocation;
+}
+
+std::vector<double> AllocateEqualRate(const std::vector<double>& lambdas,
+                                      double total_storage) {
+  const size_t n = lambdas.size();
+  std::vector<double> allocation(n, 0.0);
+  if (n == 0) return allocation;
+  for (size_t j = 0; j < n; ++j) {
+    SDS_CHECK(lambdas[j] > 0.0);
+    double denom = 0.0;
+    double corr = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      denom += lambdas[j] / lambdas[i];
+      corr += std::log(lambdas[j] / lambdas[i]) / lambdas[i];
+    }
+    // Eq. 7 verbatim; may go negative under tight storage (the paper's
+    // Figure 2 "tight" curve), callers clamp for display.
+    allocation[j] = (total_storage + corr) / denom;
+  }
+  return allocation;
+}
+
+double SymmetricAllocation(uint32_t n, double total_storage) {
+  SDS_CHECK(n >= 1);
+  return total_storage / static_cast<double>(n);
+}
+
+double SymmetricHitFraction(uint32_t n, double lambda, double total_storage) {
+  SDS_CHECK(n >= 1);
+  return 1.0 - std::exp(-lambda * total_storage / static_cast<double>(n));
+}
+
+double SymmetricStorageForHitFraction(uint32_t n, double lambda,
+                                      double alpha) {
+  SDS_CHECK(n >= 1);
+  SDS_CHECK(lambda > 0.0);
+  SDS_CHECK(alpha >= 0.0 && alpha < 1.0);
+  return static_cast<double>(n) / lambda * std::log(1.0 / (1.0 - alpha));
+}
+
+GreedyAllocation AllocateGreedyEmpirical(
+    const std::vector<ServerPopularity>& pops, const trace::Corpus& corpus,
+    double total_storage, bool exclude_mutable,
+    const std::vector<bool>* is_mutable) {
+  GreedyAllocation out;
+  out.per_server_bytes.assign(corpus.num_servers(), 0.0);
+
+  struct Candidate {
+    trace::DocumentId doc;
+    double density;  // remote requests per byte
+    uint64_t requests;
+  };
+  std::vector<Candidate> candidates;
+  uint64_t total_requests = 0;
+  for (const auto& pop : pops) {
+    total_requests += pop.total_remote_requests;
+    for (const trace::DocumentId id : corpus.server_docs(pop.server)) {
+      const uint64_t reqs = pop.stats[id].remote_requests;
+      if (reqs == 0) continue;
+      if (exclude_mutable && is_mutable != nullptr && (*is_mutable)[id]) {
+        continue;
+      }
+      candidates.push_back(
+          {id,
+           static_cast<double>(reqs) /
+               static_cast<double>(corpus.doc(id).size_bytes),
+           reqs});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.density != b.density) return a.density > b.density;
+              return a.doc < b.doc;
+            });
+
+  double used = 0.0;
+  uint64_t covered_requests = 0;
+  for (const auto& c : candidates) {
+    const double size = static_cast<double>(corpus.doc(c.doc).size_bytes);
+    if (used + size > total_storage) continue;  // try smaller documents
+    used += size;
+    covered_requests += c.requests;
+    out.docs.push_back(c.doc);
+    out.per_server_bytes[corpus.doc(c.doc).server] += size;
+  }
+  out.used_bytes = used;
+  out.hit_fraction = total_requests == 0
+                         ? 0.0
+                         : static_cast<double>(covered_requests) /
+                               static_cast<double>(total_requests);
+  return out;
+}
+
+}  // namespace sds::dissem

@@ -1,0 +1,81 @@
+#ifndef SDS_DISSEM_ALLOCATION_H_
+#define SDS_DISSEM_ALLOCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dissem/popularity.h"
+#include "trace/corpus.h"
+
+namespace sds::dissem {
+
+/// \brief Inputs for one server of a cluster: R_i (remote bytes per day)
+/// and the fitted λ_i of its exponential popularity model.
+struct ServerDemand {
+  double rate = 0.0;    ///< R_i, bytes served to outside the cluster per day.
+  double lambda = 0.0;  ///< λ_i of H_i(b) = 1 - exp(-λ_i b).
+};
+
+/// \brief Optimal division of proxy storage B_0 among n servers under the
+/// exponential popularity model (eqs. 4–5 of the paper), extended with KKT
+/// clamping: the paper's closed form can yield negative B_j for unpopular
+/// servers; those are clamped to zero and the freed capacity redistributed
+/// (water-filling), which the Lagrange condition requires but the paper
+/// leaves implicit.
+///
+/// Returns per-server byte allocations summing to B_0 (up to rounding).
+std::vector<double> AllocateExponential(const std::vector<ServerDemand>& servers,
+                                        double total_storage);
+
+/// \brief α_C of eq. 1: expected fraction of remote requests serviceable at
+/// the proxy for a given allocation.
+double HitFraction(const std::vector<ServerDemand>& servers,
+                   const std::vector<double>& allocation);
+
+/// \brief Special case "equally effective duplication" (eq. 6): all λ_i
+/// equal. B_j = B_0/n + (1/λ) ln(R_j / geometric_mean(R)). Clamping applies
+/// as above.
+std::vector<double> AllocateEqualLambda(const std::vector<double>& rates,
+                                        double lambda, double total_storage);
+
+/// \brief Special case "equally popular servers" (eq. 7): all R_i equal.
+std::vector<double> AllocateEqualRate(const std::vector<double>& lambdas,
+                                      double total_storage);
+
+/// \brief Symmetric cluster (eq. 8): every server gets B_0/n.
+double SymmetricAllocation(uint32_t n, double total_storage);
+
+/// \brief Symmetric-cluster hit fraction (eq. 9): 1 - exp(-λ B_0 / n).
+double SymmetricHitFraction(uint32_t n, double lambda, double total_storage);
+
+/// \brief Proxy storage needed so a symmetric cluster of n servers is
+/// shielded from a fraction `alpha` of its remote traffic. This is eq. 10
+/// with the paper's typo corrected: B_0 = (n/λ) ln(1/(1-α)) (the printed
+/// form ln(1/α) contradicts the paper's own worked numbers).
+double SymmetricStorageForHitFraction(uint32_t n, double lambda, double alpha);
+
+/// \brief Document-granular greedy allocation over *empirical* popularity
+/// profiles: globally ranks all servers' documents by remote-request
+/// density (requests per byte x R weighting is already inherent in counts)
+/// and fills the proxy until `total_storage` is exhausted. This is the
+/// fractional-knapsack optimum for the empirical curves and serves as the
+/// non-parametric baseline for the closed-form allocator.
+struct GreedyAllocation {
+  /// Chosen documents, in pick order.
+  std::vector<trace::DocumentId> docs;
+  /// Bytes allocated to each server.
+  std::vector<double> per_server_bytes;
+  /// Expected fraction of remote requests serviceable at the proxy.
+  double hit_fraction = 0.0;
+  /// Bytes actually used (<= total_storage).
+  double used_bytes = 0.0;
+};
+
+GreedyAllocation AllocateGreedyEmpirical(
+    const std::vector<ServerPopularity>& pops, const trace::Corpus& corpus,
+    double total_storage, bool exclude_mutable = false,
+    const std::vector<bool>* is_mutable = nullptr);
+
+}  // namespace sds::dissem
+
+#endif  // SDS_DISSEM_ALLOCATION_H_

@@ -1,0 +1,67 @@
+#ifndef SDS_DISSEM_CLUSTER_SIMULATOR_H_
+#define SDS_DISSEM_CLUSTER_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/corpus.h"
+#include "trace/request.h"
+
+namespace sds::dissem {
+
+/// \brief How a cluster proxy's storage B_0 is divided among the home
+/// servers it represents (§2.1-2.2).
+enum class AllocationPolicy : uint8_t {
+  /// The paper's optimum: closed-form exponential allocation (eqs. 4-5,
+  /// KKT-clamped), driven by λ_i fits and R_i estimates from the logs.
+  kOptimalExponential = 0,
+  /// B_i = B_0 / n regardless of demand (eq. 8's symmetric split).
+  kEqualSplit = 1,
+  /// B_i proportional to R_i (demand-proportional heuristic).
+  kProportionalToRate = 2,
+  /// Non-parametric: globally rank all servers' documents by empirical
+  /// request density and fill the proxy (fractional-knapsack optimum on
+  /// the training data).
+  kGreedyEmpirical = 3,
+};
+
+const char* AllocationPolicyToString(AllocationPolicy policy);
+
+struct ClusterSimConfig {
+  /// Proxy storage as a fraction of the cluster's total bytes.
+  double proxy_storage_fraction = 0.10;
+  /// λ/R estimated on the first train_fraction of the trace; the hit
+  /// fraction is measured on the remainder.
+  double train_fraction = 0.5;
+  AllocationPolicy policy = AllocationPolicy::kOptimalExponential;
+};
+
+struct ClusterSimResult {
+  /// Fraction of evaluated remote requests the proxy could serve
+  /// (the measured α_C of eq. 1).
+  double hit_fraction = 0.0;
+  /// Byte-weighted variant (bandwidth shielded from the servers).
+  double byte_hit_fraction = 0.0;
+  /// Model-predicted α_C from the fitted exponential models (eq. 1 with
+  /// H_i(B_i) = 1 - exp(-λ_i B_i)); comparable to hit_fraction.
+  double predicted_hit_fraction = 0.0;
+  /// Per-server byte allocation actually used.
+  std::vector<double> allocation;
+  /// Fitted demand parameters (for reporting).
+  std::vector<double> rates;
+  std::vector<double> lambdas;
+  double total_storage = 0.0;
+};
+
+/// \brief Trace-driven evaluation of proxy storage allocation for a
+/// cluster: fit per-server demand on the training window, divide the
+/// proxy's storage per `policy`, disseminate each server's most popular
+/// documents into its share, then measure the fraction of evaluation-
+/// window remote requests the proxy can serve.
+ClusterSimResult SimulateClusterAllocation(const trace::Corpus& corpus,
+                                           const trace::Trace& trace,
+                                           const ClusterSimConfig& config);
+
+}  // namespace sds::dissem
+
+#endif  // SDS_DISSEM_CLUSTER_SIMULATOR_H_

@@ -1,0 +1,76 @@
+#include "dissem/expfit.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sds::dissem {
+
+double ExponentialModel::H(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda * bytes);
+}
+
+double ExponentialModel::Density(double bytes) const {
+  if (bytes < 0.0) return 0.0;
+  return lambda * std::exp(-lambda * bytes);
+}
+
+double ExponentialModel::BytesForHitFraction(double alpha) const {
+  if (alpha <= 0.0) return 0.0;
+  return std::log(1.0 / (1.0 - alpha)) / lambda;
+}
+
+ExponentialFit FitExponentialPopularity(const ServerPopularity& pop,
+                                        const trace::Corpus& corpus,
+                                        double cutoff) {
+  ExponentialFit fit;
+  if (pop.total_remote_requests == 0) return fit;
+
+  // Sample the empirical H at each document boundary along the popularity
+  // ordering; weight each point by the requests of the document ending
+  // there so the head of the curve (where the model matters) dominates.
+  std::vector<double> xs, ys, ws;
+  double covered_bytes = 0.0;
+  double covered_requests = 0.0;
+  const double total =
+      static_cast<double>(pop.total_remote_requests);
+  for (const trace::DocumentId id : pop.by_popularity) {
+    const auto& s = pop.stats[id];
+    if (s.remote_requests == 0) break;  // tail of never-requested docs
+    covered_bytes += static_cast<double>(corpus.doc(id).size_bytes);
+    covered_requests += static_cast<double>(s.remote_requests);
+    const double h = covered_requests / total;
+    if (h >= cutoff) break;
+    xs.push_back(covered_bytes);
+    ys.push_back(-std::log(1.0 - h));
+    ws.push_back(static_cast<double>(s.remote_requests));
+  }
+  if (xs.size() < 2) return fit;
+
+  // Least squares through the origin: λ = Σ w x y / Σ w x².
+  double sxy = 0.0, sxx = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += ws[i] * xs[i] * ys[i];
+    sxx += ws[i] * xs[i] * xs[i];
+  }
+  fit.lambda = sxx > 0.0 ? sxy / sxx : 0.0;
+  fit.points = static_cast<uint32_t>(xs.size());
+
+  // R² of the through-origin fit.
+  double ss_res = 0.0, ss_tot = 0.0, mean_y = 0.0, wsum = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    mean_y += ws[i] * ys[i];
+    wsum += ws[i];
+  }
+  mean_y /= wsum;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.lambda * xs[i];
+    ss_res += ws[i] * (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += ws[i] * (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace sds::dissem

@@ -1,0 +1,40 @@
+#ifndef SDS_DISSEM_EXPFIT_H_
+#define SDS_DISSEM_EXPFIT_H_
+
+#include "dissem/popularity.h"
+#include "trace/corpus.h"
+
+namespace sds::dissem {
+
+/// \brief Fitted exponential popularity model H(b) = 1 - exp(-λ b) (§2.2).
+struct ExponentialFit {
+  double lambda = 0.0;
+  /// Goodness of the linearised fit -ln(1 - H(b)) = λ b.
+  double r_squared = 0.0;
+  /// Number of curve points used.
+  uint32_t points = 0;
+};
+
+/// \brief Fits λ from a server's empirical H curve by request-weighted
+/// least squares on the linearisation -ln(1 - H(b)) = λ b (through the
+/// origin), sampling the curve at document boundaries and ignoring the
+/// extreme tail (H > cutoff) where the log diverges.
+ExponentialFit FitExponentialPopularity(const ServerPopularity& pop,
+                                        const trace::Corpus& corpus,
+                                        double cutoff = 0.98);
+
+/// \brief The exponential model itself.
+struct ExponentialModel {
+  double lambda = 0.0;
+
+  /// H(b) = 1 - exp(-λ b).
+  double H(double bytes) const;
+  /// h(b) = λ exp(-λ b) (the PDF of eq. 3).
+  double Density(double bytes) const;
+  /// Inverse: bytes needed for a target hit fraction α, b = ln(1/(1-α))/λ.
+  double BytesForHitFraction(double alpha) const;
+};
+
+}  // namespace sds::dissem
+
+#endif  // SDS_DISSEM_EXPFIT_H_

@@ -1,0 +1,50 @@
+#ifndef SDS_DISSEM_PROXY_H_
+#define SDS_DISSEM_PROXY_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/document.h"
+
+namespace sds::dissem {
+
+/// \brief The replicated-document store of one service proxy: a byte-
+/// budgeted set of document ids disseminated to it by home servers.
+class ProxyStore {
+ public:
+  explicit ProxyStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Adds a document if it fits; returns false (and stores nothing) when
+  /// the remaining capacity is insufficient.
+  bool Insert(trace::DocumentId doc, uint64_t size_bytes) {
+    if (used_ + size_bytes > capacity_) return false;
+    if (!docs_.insert(doc).second) return true;  // already present
+    used_ += size_bytes;
+    return true;
+  }
+
+  bool Contains(trace::DocumentId doc) const { return docs_.count(doc) > 0; }
+
+  /// Removes a document (e.g. invalidated by an update at the home server).
+  void Erase(trace::DocumentId doc, uint64_t size_bytes) {
+    if (docs_.erase(doc) > 0) used_ -= size_bytes;
+  }
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+  size_t num_docs() const { return docs_.size(); }
+
+  void Clear() {
+    docs_.clear();
+    used_ = 0;
+  }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::unordered_set<trace::DocumentId> docs_;
+};
+
+}  // namespace sds::dissem
+
+#endif  // SDS_DISSEM_PROXY_H_

@@ -1,0 +1,213 @@
+#include "dissem/pull_cache.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "dissem/popularity.h"
+#include "net/clientele_tree.h"
+#include "net/placement.h"
+#include "util/logging.h"
+#include "util/sim_time.h"
+
+namespace sds::dissem {
+namespace {
+
+/// Byte-budgeted LRU document cache (one per proxy).
+class LruDocCache {
+ public:
+  explicit LruDocCache(uint64_t capacity) : capacity_(capacity) {}
+
+  bool Contains(trace::DocumentId doc) const {
+    return entries_.count(doc) > 0;
+  }
+
+  void Touch(trace::DocumentId doc) {
+    auto it = entries_.find(doc);
+    if (it == entries_.end()) return;
+    lru_.erase(it->second.pos);
+    lru_.push_front(doc);
+    it->second.pos = lru_.begin();
+  }
+
+  /// Inserts a document; returns the number of evictions performed.
+  uint64_t Insert(trace::DocumentId doc, uint64_t size) {
+    if (size > capacity_ || Contains(doc)) return 0;
+    lru_.push_front(doc);
+    entries_.emplace(doc, Entry{size, lru_.begin()});
+    used_ += size;
+    uint64_t evictions = 0;
+    while (used_ > capacity_ && !lru_.empty()) {
+      const trace::DocumentId victim = lru_.back();
+      lru_.pop_back();
+      auto it = entries_.find(victim);
+      used_ -= it->second.size;
+      entries_.erase(it);
+      ++evictions;
+    }
+    return evictions;
+  }
+
+  bool Erase(trace::DocumentId doc) {
+    auto it = entries_.find(doc);
+    if (it == entries_.end()) return false;
+    used_ -= it->second.size;
+    lru_.erase(it->second.pos);
+    entries_.erase(it);
+    return true;
+  }
+
+  uint64_t used_bytes() const { return used_; }
+
+ private:
+  struct Entry {
+    uint64_t size;
+    std::list<trace::DocumentId>::iterator pos;
+  };
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::unordered_map<trace::DocumentId, Entry> entries_;
+  std::list<trace::DocumentId> lru_;
+};
+
+}  // namespace
+
+PullCacheResult SimulatePullThroughCache(
+    const trace::Corpus& corpus, const trace::Trace& trace,
+    const net::Topology& topology, trace::ServerId server,
+    const PullCacheConfig& config, Rng* rng,
+    const std::vector<trace::UpdateEvent>* updates) {
+  SDS_CHECK(config.train_fraction > 0.0 && config.train_fraction < 1.0);
+  PullCacheResult result;
+  const double span = trace.Span();
+  const double split = span * config.train_fraction;
+
+  // Placement on the training window, identical to the dissemination
+  // simulator so both strategies front the same clients.
+  trace::Trace train;
+  train.num_clients = trace.num_clients;
+  train.num_servers = trace.num_servers;
+  for (const auto& r : trace.requests) {
+    if (r.time < split) train.requests.push_back(r);
+  }
+  const net::ClienteleTree tree =
+      net::BuildClienteleTree(topology, train, server);
+  if (tree.leaves.empty()) return result;
+
+  net::PlacementResult placement;
+  switch (config.placement) {
+    case PlacementStrategy::kGreedy:
+      placement = net::GreedyPlacement(tree, config.num_proxies, 1.0);
+      break;
+    case PlacementStrategy::kRegional:
+      placement =
+          net::RegionalPlacement(topology, tree, config.num_proxies, 1.0);
+      break;
+    case PlacementStrategy::kRandom:
+      placement = net::RandomPlacement(tree, config.num_proxies, 1.0, rng);
+      break;
+  }
+  result.proxy_nodes = placement.proxies;
+  const size_t num_proxies = placement.proxies.size();
+
+  const uint64_t budget = static_cast<uint64_t>(
+      config.storage_fraction *
+      static_cast<double>(corpus.ServerBytes(server)));
+  std::vector<LruDocCache> caches(num_proxies, LruDocCache(budget));
+
+  // Per client attachment node: nearest proxy and hop splits.
+  struct RoutePlan {
+    int proxy_index = -1;
+    uint32_t hops_to_proxy = 0;
+    uint32_t hops_to_server = 0;
+  };
+  const net::NodeId server_node = topology.server_node(server);
+  std::unordered_map<net::NodeId, RoutePlan> plans;
+  auto plan_for = [&](net::NodeId client_node) -> const RoutePlan& {
+    auto it = plans.find(client_node);
+    if (it != plans.end()) return it->second;
+    RoutePlan plan;
+    const auto route = topology.Route(server_node, client_node);
+    plan.hops_to_server = static_cast<uint32_t>(route.size() - 1);
+    for (uint32_t d = 1; d < route.size(); ++d) {
+      for (size_t p = 0; p < num_proxies; ++p) {
+        if (placement.proxies[p] == route[d]) {
+          plan.proxy_index = static_cast<int>(p);
+          plan.hops_to_proxy = plan.hops_to_server - d;
+        }
+      }
+    }
+    return plans.emplace(client_node, plan).first->second;
+  };
+
+  // Updates indexed by day for invalidation.
+  std::vector<std::vector<trace::DocumentId>> updates_by_day;
+  if (config.invalidate_on_update && updates != nullptr) {
+    for (const auto& u : *updates) {
+      if (u.day >= updates_by_day.size()) updates_by_day.resize(u.day + 1);
+      updates_by_day[u.day].push_back(u.doc);
+    }
+  }
+
+  uint64_t proxy_hits = 0;
+  uint64_t eval_requests = 0;
+  long applied_day = static_cast<long>(split / kDay);
+  for (const auto& r : trace.requests) {
+    if (r.time < split) continue;
+    if (r.server != server || !r.remote_client) continue;
+    if (r.kind == trace::RequestKind::kNotFound ||
+        r.kind == trace::RequestKind::kScript) {
+      continue;
+    }
+    // Apply invalidations for any days that have completed.
+    while (applied_day < DayOfTime(r.time)) {
+      if (static_cast<size_t>(applied_day) < updates_by_day.size()) {
+        for (const trace::DocumentId doc :
+             updates_by_day[applied_day]) {
+          for (auto& cache : caches) {
+            if (cache.Erase(doc)) ++result.invalidations;
+          }
+        }
+      }
+      ++applied_day;
+    }
+
+    const RoutePlan& plan = plan_for(topology.client_node(r.client));
+    const double bytes = static_cast<double>(r.bytes);
+    result.baseline_bytes_hops += bytes * plan.hops_to_server;
+    ++eval_requests;
+
+    if (plan.proxy_index < 0) {
+      result.with_proxies_bytes_hops += bytes * plan.hops_to_server;
+      continue;
+    }
+    LruDocCache& cache = caches[plan.proxy_index];
+    if (cache.Contains(r.doc)) {
+      ++proxy_hits;
+      cache.Touch(r.doc);
+      result.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
+    } else {
+      // Miss: fetched through the proxy from the origin (full path) and
+      // cached on the way back.
+      result.with_proxies_bytes_hops += bytes * plan.hops_to_server;
+      result.evictions += cache.Insert(r.doc, r.bytes);
+    }
+  }
+
+  for (const auto& cache : caches) {
+    result.storage_per_proxy_bytes =
+        std::max(result.storage_per_proxy_bytes, cache.used_bytes());
+  }
+  result.proxy_hit_fraction =
+      eval_requests == 0
+          ? 0.0
+          : static_cast<double>(proxy_hits) /
+                static_cast<double>(eval_requests);
+  result.saved_fraction =
+      result.baseline_bytes_hops <= 0.0
+          ? 0.0
+          : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
+  return result;
+}
+
+}  // namespace sds::dissem

@@ -1,0 +1,279 @@
+#include "dissem/simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dissem/allocation.h"
+#include "dissem/popularity.h"
+#include "dissem/proxy.h"
+#include "net/clientele_tree.h"
+#include "net/placement.h"
+#include "util/logging.h"
+#include "util/sim_time.h"
+
+namespace sds::dissem {
+namespace {
+
+/// Per client-attachment-node routing info relative to the proxy set:
+/// the proxy nearest to the client on its route and the hop splits.
+struct RoutePlan {
+  int proxy_index = -1;         ///< -1: no proxy on the route.
+  uint32_t hops_to_proxy = 0;   ///< client -> proxy.
+  uint32_t hops_to_server = 0;  ///< client -> server (full route).
+};
+
+std::vector<bool> MarkMutable(const trace::Corpus& corpus,
+                              const std::vector<trace::UpdateEvent>* updates,
+                              double observation_days, double threshold) {
+  std::vector<bool> is_mutable(corpus.size(), false);
+  if (updates == nullptr || observation_days <= 0.0) return is_mutable;
+  std::vector<double> rate(corpus.size(), 0.0);
+  for (const auto& u : *updates) rate[u.doc] += 1.0;
+  for (size_t i = 0; i < rate.size(); ++i) {
+    is_mutable[i] = rate[i] / observation_days > threshold;
+  }
+  return is_mutable;
+}
+
+/// Fills a proxy with the most popular documents of `order` until the byte
+/// budget runs out (skipping documents that do not fit, and mutable ones
+/// when excluded).
+void FillProxy(const trace::Corpus& corpus,
+               const std::vector<trace::DocumentId>& order, double budget,
+               bool exclude_mutable, const std::vector<bool>& is_mutable,
+               ProxyStore* store) {
+  for (const trace::DocumentId id : order) {
+    if (exclude_mutable && is_mutable[id]) continue;
+    const uint64_t size = corpus.doc(id).size_bytes;
+    if (static_cast<double>(store->used_bytes() + size) > budget) continue;
+    store->Insert(id, size);
+  }
+}
+
+}  // namespace
+
+DisseminationResult SimulateDissemination(
+    const trace::Corpus& corpus, const trace::Trace& trace,
+    const net::Topology& topology, trace::ServerId server,
+    const DisseminationConfig& config, Rng* rng,
+    const std::vector<trace::UpdateEvent>* updates) {
+  SDS_CHECK(config.train_fraction > 0.0 && config.train_fraction < 1.0);
+  DisseminationResult result;
+  const double span = trace.Span();
+  const double split = span * config.train_fraction;
+
+  // --- Training: popularity, clientele tree, placement, dissemination. ---
+  const ServerPopularity pop =
+      AnalyzeServer(corpus, trace, server, 0.0, split);
+  if (pop.total_remote_requests == 0) return result;
+
+  trace::Trace train;
+  train.num_clients = trace.num_clients;
+  train.num_servers = trace.num_servers;
+  for (const auto& r : trace.requests) {
+    if (r.time < split) train.requests.push_back(r);
+  }
+  const net::ClienteleTree tree =
+      net::BuildClienteleTree(topology, train, server);
+
+  net::PlacementResult placement;
+  switch (config.placement) {
+    case PlacementStrategy::kGreedy:
+      placement =
+          config.placement_depths.empty()
+              ? net::GreedyPlacement(tree, config.num_proxies, 1.0)
+              : net::GreedyPlacementAtDepths(topology, tree,
+                                             config.num_proxies, 1.0,
+                                             config.placement_depths);
+      break;
+    case PlacementStrategy::kRegional:
+      placement =
+          net::RegionalPlacement(topology, tree, config.num_proxies, 1.0);
+      break;
+    case PlacementStrategy::kRandom:
+      placement = net::RandomPlacement(tree, config.num_proxies, 1.0, rng);
+      break;
+  }
+  result.proxy_nodes = placement.proxies;
+  const size_t num_proxies = placement.proxies.size();
+
+  const std::vector<bool> is_mutable =
+      MarkMutable(corpus, updates, span / kDay,
+                  config.mutable_threshold_per_day);
+
+  const double budget =
+      config.dissemination_fraction *
+      static_cast<double>(corpus.ServerBytes(server));
+  std::vector<ProxyStore> stores;
+  stores.reserve(num_proxies);
+  for (size_t p = 0; p < num_proxies; ++p) {
+    stores.emplace_back(static_cast<uint64_t>(budget) + 1);
+  }
+
+  // --- Route plans for every client attachment node. ---
+  const net::NodeId server_node = topology.server_node(server);
+  std::unordered_map<net::NodeId, RoutePlan> plans;
+  auto plan_for = [&](net::NodeId client_node) -> const RoutePlan& {
+    auto it = plans.find(client_node);
+    if (it != plans.end()) return it->second;
+    RoutePlan plan;
+    const auto route = topology.Route(server_node, client_node);
+    plan.hops_to_server = static_cast<uint32_t>(route.size() - 1);
+    for (uint32_t d = 1; d < route.size(); ++d) {
+      for (size_t p = 0; p < num_proxies; ++p) {
+        if (placement.proxies[p] == route[d]) {
+          // Keep the proxy *nearest the client* (largest d).
+          plan.proxy_index = static_cast<int>(p);
+          plan.hops_to_proxy = plan.hops_to_server - d;
+        }
+      }
+    }
+    return plans.emplace(client_node, plan).first->second;
+  };
+
+  // --- Dissemination contents. ---
+  if (!config.tailored_per_proxy || num_proxies == 0) {
+    for (auto& store : stores) {
+      FillProxy(corpus, pop.by_popularity, budget, config.exclude_mutable,
+                is_mutable, &store);
+    }
+  } else {
+    // Geographic tailoring (footnote 5): rank documents per proxy by the
+    // training-window requests of the clients that proxy would intercept.
+    std::vector<std::unordered_map<trace::DocumentId, uint64_t>> counts(
+        num_proxies);
+    for (const auto& r : train.requests) {
+      if (r.server != server || !r.remote_client ||
+          r.doc == trace::kInvalidDocument) {
+        continue;
+      }
+      const RoutePlan& plan = plan_for(topology.client_node(r.client));
+      if (plan.proxy_index >= 0) {
+        counts[plan.proxy_index][r.doc] += 1;
+      }
+    }
+    for (size_t p = 0; p < num_proxies; ++p) {
+      std::vector<trace::DocumentId> order;
+      order.reserve(counts[p].size());
+      for (const auto& [doc, n] : counts[p]) order.push_back(doc);
+      std::sort(order.begin(), order.end(),
+                [&](trace::DocumentId a, trace::DocumentId b) {
+                  const double da =
+                      static_cast<double>(counts[p][a]) /
+                      static_cast<double>(corpus.doc(a).size_bytes);
+                  const double db =
+                      static_cast<double>(counts[p][b]) /
+                      static_cast<double>(corpus.doc(b).size_bytes);
+                  if (da != db) return da > db;
+                  return a < b;
+                });
+      FillProxy(corpus, order, budget, config.exclude_mutable, is_mutable,
+                &stores[p]);
+    }
+  }
+  for (const auto& store : stores) {
+    result.storage_per_proxy_bytes =
+        std::max(result.storage_per_proxy_bytes, store.used_bytes());
+    result.total_storage_bytes += store.used_bytes();
+  }
+
+  // --- Evaluation replay. ---
+  result.proxy_requests.assign(num_proxies, 0);
+  std::vector<uint64_t> today_count(num_proxies, 0);
+  long today = -1;
+
+  // Staleness tracking: per-document day of the latest update applied so
+  // far, against the day the proxy copies were last pushed.
+  std::vector<std::vector<trace::DocumentId>> updates_by_day;
+  if (updates != nullptr) {
+    for (const auto& u : *updates) {
+      if (u.day >= updates_by_day.size()) updates_by_day.resize(u.day + 1);
+      updates_by_day[u.day].push_back(u.doc);
+    }
+  }
+  std::vector<long> last_update_day(corpus.size(), -1);
+  long dissemination_day = static_cast<long>(split / kDay);
+  long applied_day = 0;
+  // Updates up to the dissemination day are already in the pushed copies.
+  while (applied_day <= dissemination_day) {
+    if (static_cast<size_t>(applied_day) < updates_by_day.size()) {
+      for (const trace::DocumentId doc : updates_by_day[applied_day]) {
+        last_update_day[doc] = applied_day;
+      }
+    }
+    ++applied_day;
+  }
+  uint64_t proxy_served = 0;
+
+  for (const auto& r : trace.requests) {
+    if (r.time < split) continue;
+    if (r.server != server || !r.remote_client) continue;
+    if (r.kind == trace::RequestKind::kNotFound ||
+        r.kind == trace::RequestKind::kScript) {
+      continue;
+    }
+    while (applied_day <= DayOfTime(r.time)) {
+      if (static_cast<size_t>(applied_day) < updates_by_day.size()) {
+        for (const trace::DocumentId doc : updates_by_day[applied_day]) {
+          last_update_day[doc] = applied_day;
+        }
+      }
+      if (config.redisseminate_every_days > 0 &&
+          (applied_day - dissemination_day) >=
+              static_cast<long>(config.redisseminate_every_days)) {
+        dissemination_day = applied_day;  // copies refreshed
+      }
+      ++applied_day;
+    }
+    if (config.proxy_daily_request_capacity > 0 && DayOfTime(r.time) != today) {
+      today = DayOfTime(r.time);
+      std::fill(today_count.begin(), today_count.end(), 0);
+    }
+    const RoutePlan& plan = plan_for(topology.client_node(r.client));
+    const double bytes = static_cast<double>(r.bytes);
+    result.baseline_bytes_hops += bytes * plan.hops_to_server;
+
+    bool served_by_proxy = false;
+    if (plan.proxy_index >= 0 && stores[plan.proxy_index].Contains(r.doc)) {
+      if (config.proxy_daily_request_capacity == 0 ||
+          today_count[plan.proxy_index] <
+              config.proxy_daily_request_capacity) {
+        served_by_proxy = true;
+        ++today_count[plan.proxy_index];
+      } else {
+        ++result.shielding_overflow_requests;
+      }
+    }
+    if (served_by_proxy) {
+      result.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
+      ++result.proxy_requests[plan.proxy_index];
+      ++proxy_served;
+      if (last_update_day[r.doc] > dissemination_day) {
+        ++result.stale_proxy_requests;
+      }
+    } else {
+      result.with_proxies_bytes_hops += bytes * plan.hops_to_server;
+      ++result.server_requests;
+    }
+  }
+
+  uint64_t eval_requests = result.server_requests;
+  for (const uint64_t n : result.proxy_requests) eval_requests += n;
+  result.proxy_hit_fraction =
+      eval_requests == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(result.server_requests) /
+                      static_cast<double>(eval_requests);
+  result.stale_fraction =
+      proxy_served == 0
+          ? 0.0
+          : static_cast<double>(result.stale_proxy_requests) /
+                static_cast<double>(proxy_served);
+  result.saved_fraction =
+      result.baseline_bytes_hops <= 0.0
+          ? 0.0
+          : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
+  return result;
+}
+
+}  // namespace sds::dissem

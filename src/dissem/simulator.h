@@ -1,0 +1,95 @@
+#ifndef SDS_DISSEM_SIMULATOR_H_
+#define SDS_DISSEM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "trace/corpus.h"
+#include "trace/request.h"
+#include "util/rng.h"
+
+namespace sds::dissem {
+
+/// \brief How proxy sites are chosen on the clientele tree.
+enum class PlacementStrategy : uint8_t {
+  kGreedy = 0,    ///< Marginal-gain greedy on the clientele tree (ours).
+  kRegional = 1,  ///< Highest-traffic regional (depth-1) nodes.
+  kRandom = 2,    ///< Random interior nodes (control).
+};
+
+/// \brief Configuration of a trace-driven dissemination experiment
+/// (Figure 3 of the paper and its variants).
+struct DisseminationConfig {
+  /// Fraction of the server's total bytes to disseminate (the paper's
+  /// Figure 3 uses 10% and 4%).
+  double dissemination_fraction = 0.10;
+  uint32_t num_proxies = 4;
+  PlacementStrategy placement = PlacementStrategy::kGreedy;
+  /// If non-empty, greedy placement only considers topology nodes at these
+  /// depths (1 = regional, 2 = organisation, 3 = subnet); used for the
+  /// multi-level hierarchy ablation.
+  std::vector<uint32_t> placement_depths;
+  /// If true, each proxy receives the documents most popular among *its
+  /// own* downstream clients (the geographic tailoring of footnote 5)
+  /// instead of the same globally popular set.
+  bool tailored_per_proxy = false;
+  /// If true, mutable documents (frequent updates) are not disseminated.
+  bool exclude_mutable = false;
+  double mutable_threshold_per_day = 0.05;
+  /// Popularity (and placement) are estimated on the first
+  /// `train_fraction` of the trace; the reported savings are measured on
+  /// the remainder, so the protocol never sees the future.
+  double train_fraction = 0.5;
+  /// Dynamic shielding (§2.3): per-proxy request capacity per day; once a
+  /// proxy exceeds it, further requests that day fall through to the home
+  /// server. 0 disables the limit.
+  uint64_t proxy_daily_request_capacity = 0;
+  /// Refresh the disseminated copies every this many days (home servers
+  /// re-push updated versions); 0 = disseminate once and never refresh.
+  /// Only affects the staleness accounting below.
+  uint32_t redisseminate_every_days = 0;
+};
+
+/// \brief Outcome of one dissemination simulation.
+struct DisseminationResult {
+  /// bytes x hops on the evaluation window without / with proxies.
+  double baseline_bytes_hops = 0.0;
+  double with_proxies_bytes_hops = 0.0;
+  /// 1 - with/baseline.
+  double saved_fraction = 0.0;
+  /// Fraction of evaluated remote requests served by a proxy.
+  double proxy_hit_fraction = 0.0;
+  /// Storage footprint.
+  uint64_t storage_per_proxy_bytes = 0;
+  uint64_t total_storage_bytes = 0;
+  /// Load split (requests served) over the evaluation window.
+  std::vector<uint64_t> proxy_requests;
+  uint64_t server_requests = 0;
+  /// Requests turned away by dynamic shielding (capacity exceeded).
+  uint64_t shielding_overflow_requests = 0;
+  /// Proxy-served requests whose document had been updated at the origin
+  /// after the last (re-)dissemination: the consistency cost of pushing
+  /// mutable documents (§2's rationale for excluding them).
+  uint64_t stale_proxy_requests = 0;
+  /// stale_proxy_requests / total proxy-served requests.
+  double stale_fraction = 0.0;
+  /// Chosen proxy sites.
+  std::vector<net::NodeId> proxy_nodes;
+};
+
+/// \brief Trace-driven simulation of the dissemination protocol for one
+/// home server: estimates popularity and places proxies on the training
+/// part of the trace, disseminates the most popular
+/// `dissemination_fraction` of the server's bytes, then replays the
+/// evaluation part counting bytes x hops with and without the proxies.
+/// `updates` (optional) marks mutable documents for exclude_mutable.
+DisseminationResult SimulateDissemination(
+    const trace::Corpus& corpus, const trace::Trace& trace,
+    const net::Topology& topology, trace::ServerId server,
+    const DisseminationConfig& config, Rng* rng,
+    const std::vector<trace::UpdateEvent>* updates = nullptr);
+
+}  // namespace sds::dissem
+
+#endif  // SDS_DISSEM_SIMULATOR_H_

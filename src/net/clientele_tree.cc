@@ -1,0 +1,51 @@
+#include "net/clientele_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sds::net {
+
+ClienteleTree BuildClienteleTree(const Topology& topology,
+                                 const trace::Trace& trace,
+                                 trace::ServerId server) {
+  ClienteleTree tree;
+  tree.server = server;
+  const NodeId server_node = topology.server_node(server);
+
+  // Aggregate remote traffic by client attachment node.
+  std::unordered_map<NodeId, size_t> leaf_index;
+  for (const auto& r : trace.requests) {
+    if (r.server != server || !r.remote_client) continue;
+    if (r.kind == trace::RequestKind::kNotFound ||
+        r.kind == trace::RequestKind::kScript) {
+      continue;
+    }
+    const NodeId node = topology.client_node(r.client);
+    auto [it, inserted] = leaf_index.emplace(node, tree.leaves.size());
+    if (inserted) {
+      ClienteleTree::Leaf leaf;
+      leaf.node = node;
+      leaf.path_from_server = topology.Route(server_node, node);
+      tree.leaves.push_back(std::move(leaf));
+    }
+    auto& leaf = tree.leaves[it->second];
+    leaf.bytes += r.bytes;
+    leaf.requests += 1;
+  }
+
+  std::unordered_set<NodeId> interior;
+  for (const auto& leaf : tree.leaves) {
+    tree.total_bytes += leaf.bytes;
+    tree.total_bytes_hops +=
+        leaf.bytes * (leaf.path_from_server.size() - 1);
+    for (const NodeId node : leaf.path_from_server) {
+      if (node != server_node) interior.insert(node);
+    }
+  }
+  tree.interior_nodes.assign(interior.begin(), interior.end());
+  std::sort(tree.interior_nodes.begin(), tree.interior_nodes.end());
+  return tree;
+}
+
+}  // namespace sds::net

@@ -1,0 +1,52 @@
+#ifndef SDS_NET_CLIENTELE_TREE_H_
+#define SDS_NET_CLIENTELE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "trace/request.h"
+
+namespace sds::net {
+
+/// \brief The clientele tree of one home server: the union of the routes
+/// from every requesting client to the server, rooted at the server, with
+/// per-node traffic weights.
+///
+/// The paper builds this from record-route measurements (a 34,000-node tree
+/// for cs-www.bu.edu); here routes come from the synthetic topology. The
+/// tree drives proxy placement: a proxy at node v can intercept all traffic
+/// whose route passes through v.
+struct ClienteleTree {
+  trace::ServerId server = 0;
+
+  /// One entry per client attachment node that produced remote traffic.
+  struct Leaf {
+    NodeId node = kInvalidNode;
+    uint64_t bytes = 0;
+    uint64_t requests = 0;
+    /// Route from the server's node to the attachment node (inclusive);
+    /// path_from_server[d] is at distance d from the server.
+    std::vector<NodeId> path_from_server;
+  };
+  std::vector<Leaf> leaves;
+
+  /// Total remote bytes and bytes x hops without any proxies.
+  uint64_t total_bytes = 0;
+  uint64_t total_bytes_hops = 0;
+
+  /// Distinct topology nodes appearing on any route (candidate proxy
+  /// sites), excluding the server's own node.
+  std::vector<NodeId> interior_nodes;
+};
+
+/// \brief Builds the clientele tree of `server` from the remote accesses in
+/// `trace` (local accesses never leave the organisation and are excluded,
+/// as in the paper's remote-bandwidth analysis).
+ClienteleTree BuildClienteleTree(const Topology& topology,
+                                 const trace::Trace& trace,
+                                 trace::ServerId server);
+
+}  // namespace sds::net
+
+#endif  // SDS_NET_CLIENTELE_TREE_H_

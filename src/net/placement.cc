@@ -1,0 +1,185 @@
+#include "net/placement.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace sds::net {
+namespace {
+
+/// For each interior node, the leaves whose route contains it and the
+/// node's distance from the server on that route.
+struct Incidence {
+  struct Entry {
+    uint32_t leaf = 0;
+    uint32_t dist = 0;
+  };
+  std::unordered_map<NodeId, std::vector<Entry>> by_node;
+};
+
+Incidence BuildIncidence(const ClienteleTree& tree) {
+  Incidence inc;
+  for (uint32_t li = 0; li < tree.leaves.size(); ++li) {
+    const auto& path = tree.leaves[li].path_from_server;
+    for (uint32_t d = 1; d < path.size(); ++d) {
+      inc.by_node[path[d]].push_back({li, d});
+    }
+  }
+  return inc;
+}
+
+PlacementResult Finish(const ClienteleTree& tree, std::vector<NodeId> proxies,
+                       double hit_ratio) {
+  PlacementResult result;
+  result.saved_bytes_hops = EvaluatePlacement(tree, proxies, hit_ratio);
+  result.proxies = std::move(proxies);
+  result.saved_fraction =
+      tree.total_bytes_hops == 0
+          ? 0.0
+          : result.saved_bytes_hops /
+                static_cast<double>(tree.total_bytes_hops);
+  return result;
+}
+
+}  // namespace
+
+double EvaluatePlacement(const ClienteleTree& tree,
+                         const std::vector<NodeId>& proxies,
+                         double hit_ratio) {
+  double saved = 0.0;
+  for (const auto& leaf : tree.leaves) {
+    uint32_t best = 0;
+    for (uint32_t d = 1; d < leaf.path_from_server.size(); ++d) {
+      const NodeId node = leaf.path_from_server[d];
+      if (std::find(proxies.begin(), proxies.end(), node) != proxies.end()) {
+        best = std::max(best, d);
+      }
+    }
+    saved += static_cast<double>(leaf.bytes) * hit_ratio * best;
+  }
+  return saved;
+}
+
+namespace {
+
+/// Shared greedy core; `allowed` filters candidate nodes (nullptr = all).
+PlacementResult GreedyCore(const ClienteleTree& tree, uint32_t k,
+                           double hit_ratio,
+                           const std::function<bool(NodeId)>* allowed) {
+  const Incidence inc = BuildIncidence(tree);
+  std::vector<uint32_t> best_dist(tree.leaves.size(), 0);
+  std::vector<NodeId> chosen;
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best_node = kInvalidNode;
+    double best_gain = 0.0;
+    for (const auto& [node, entries] : inc.by_node) {
+      if (allowed != nullptr && !(*allowed)(node)) continue;
+      if (std::find(chosen.begin(), chosen.end(), node) != chosen.end()) {
+        continue;
+      }
+      double gain = 0.0;
+      for (const auto& e : entries) {
+        if (e.dist > best_dist[e.leaf]) {
+          gain += static_cast<double>(tree.leaves[e.leaf].bytes) *
+                  (e.dist - best_dist[e.leaf]);
+        }
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && best_node != kInvalidNode &&
+           node < best_node)) {
+        best_gain = gain;
+        best_node = node;
+      }
+    }
+    if (best_node == kInvalidNode || best_gain <= 0.0) break;
+    chosen.push_back(best_node);
+    for (const auto& e : inc.by_node.at(best_node)) {
+      best_dist[e.leaf] = std::max(best_dist[e.leaf], e.dist);
+    }
+  }
+  return Finish(tree, std::move(chosen), hit_ratio);
+}
+
+}  // namespace
+
+PlacementResult GreedyPlacement(const ClienteleTree& tree, uint32_t k,
+                                double hit_ratio) {
+  return GreedyCore(tree, k, hit_ratio, nullptr);
+}
+
+PlacementResult GreedyPlacementAtDepths(const Topology& topology,
+                                        const ClienteleTree& tree, uint32_t k,
+                                        double hit_ratio,
+                                        const std::vector<uint32_t>& depths) {
+  const std::function<bool(NodeId)> allowed = [&](NodeId node) {
+    return std::find(depths.begin(), depths.end(), topology.depth(node)) !=
+           depths.end();
+  };
+  return GreedyCore(tree, k, hit_ratio, &allowed);
+}
+
+PlacementResult ExhaustivePlacement(const ClienteleTree& tree, uint32_t k,
+                                    double hit_ratio) {
+  const auto& candidates = tree.interior_nodes;
+  SDS_CHECK(candidates.size() <= 24)
+      << "exhaustive placement is exponential; instance too large";
+  k = std::min<uint32_t>(k, candidates.size());
+
+  std::vector<NodeId> best_set;
+  double best_value = -1.0;
+  std::vector<NodeId> current;
+  // Depth-first enumeration of all subsets of size <= k.
+  auto recurse = [&](auto&& self, size_t start) -> void {
+    const double value = EvaluatePlacement(tree, current, hit_ratio);
+    if (value > best_value) {
+      best_value = value;
+      best_set = current;
+    }
+    if (current.size() == k) return;
+    for (size_t i = start; i < candidates.size(); ++i) {
+      current.push_back(candidates[i]);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return Finish(tree, std::move(best_set), hit_ratio);
+}
+
+PlacementResult RegionalPlacement(const Topology& topology,
+                                  const ClienteleTree& tree, uint32_t k,
+                                  double hit_ratio) {
+  // Traffic through each depth-1 node.
+  std::unordered_map<NodeId, uint64_t> traffic;
+  for (const auto& leaf : tree.leaves) {
+    for (const NodeId node : leaf.path_from_server) {
+      if (topology.depth(node) == 1) traffic[node] += leaf.bytes;
+    }
+  }
+  std::vector<std::pair<uint64_t, NodeId>> ranked;
+  ranked.reserve(traffic.size());
+  for (const auto& [node, bytes] : traffic) ranked.push_back({bytes, node});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<NodeId> chosen;
+  for (uint32_t i = 0; i < k && i < ranked.size(); ++i) {
+    chosen.push_back(ranked[i].second);
+  }
+  return Finish(tree, std::move(chosen), hit_ratio);
+}
+
+PlacementResult RandomPlacement(const ClienteleTree& tree, uint32_t k,
+                                double hit_ratio, Rng* rng) {
+  std::vector<NodeId> pool = tree.interior_nodes;
+  std::vector<NodeId> chosen;
+  for (uint32_t i = 0; i < k && !pool.empty(); ++i) {
+    const size_t j = rng->NextBounded(pool.size());
+    chosen.push_back(pool[j]);
+    pool[j] = pool.back();
+    pool.pop_back();
+  }
+  return Finish(tree, std::move(chosen), hit_ratio);
+}
+
+}  // namespace sds::net

@@ -1,0 +1,66 @@
+#ifndef SDS_NET_PLACEMENT_H_
+#define SDS_NET_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/clientele_tree.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace sds::net {
+
+/// \brief A chosen set of proxy sites and the bytes x hops they save.
+struct PlacementResult {
+  std::vector<NodeId> proxies;
+  /// Expected saved bytes x hops, assuming a fraction `hit_ratio` of the
+  /// bytes requested through each proxy can be served by it.
+  double saved_bytes_hops = 0.0;
+  /// saved_bytes_hops / total bytes x hops of the clientele tree.
+  double saved_fraction = 0.0;
+};
+
+/// \brief Expected saved bytes x hops for a given proxy set: each leaf's
+/// traffic is intercepted by the proxy on its route nearest to the client,
+/// saving (distance from server to that proxy) hops on a fraction
+/// `hit_ratio` of its bytes.
+double EvaluatePlacement(const ClienteleTree& tree,
+                         const std::vector<NodeId>& proxies,
+                         double hit_ratio);
+
+/// \brief Greedy proxy placement: repeatedly adds the interior node with
+/// the largest marginal saving. The objective is monotone submodular, so
+/// greedy is within (1 - 1/e) of optimal; on tree instances it is usually
+/// optimal (tests compare against ExhaustivePlacement).
+PlacementResult GreedyPlacement(const ClienteleTree& tree, uint32_t k,
+                                double hit_ratio);
+
+/// \brief Greedy placement restricted to candidate nodes at the given
+/// tree depths (1 = regional, 2 = organisation, 3 = subnet). Used to study
+/// multi-level dissemination hierarchies: a single level is a flat
+/// deployment, mixing levels is the paper's "dissemination continues for
+/// another level" answer to the proxy-bottleneck question.
+PlacementResult GreedyPlacementAtDepths(const Topology& topology,
+                                        const ClienteleTree& tree, uint32_t k,
+                                        double hit_ratio,
+                                        const std::vector<uint32_t>& depths);
+
+/// \brief Exact optimum by exhaustive subset enumeration. Only feasible for
+/// small instances; used to validate the greedy heuristic.
+PlacementResult ExhaustivePlacement(const ClienteleTree& tree, uint32_t k,
+                                    double hit_ratio);
+
+/// \brief Baseline: proxies at the k highest-traffic depth-1 (regional)
+/// nodes, emulating the "geographical push-caching" strategy of Gwertzman &
+/// Seltzer that the paper cites as an alternative.
+PlacementResult RegionalPlacement(const Topology& topology,
+                                  const ClienteleTree& tree, uint32_t k,
+                                  double hit_ratio);
+
+/// \brief Baseline: k random interior nodes.
+PlacementResult RandomPlacement(const ClienteleTree& tree, uint32_t k,
+                                double hit_ratio, Rng* rng);
+
+}  // namespace sds::net
+
+#endif  // SDS_NET_PLACEMENT_H_

@@ -1,0 +1,133 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/logging.h"
+
+namespace sds::net {
+
+Topology Topology::Generate(const TopologyConfig& config, uint32_t num_clients,
+                            const std::vector<bool>& client_is_remote,
+                            uint32_t num_servers, Rng* rng) {
+  SDS_CHECK(config.regions >= 1);
+  SDS_CHECK(config.orgs_per_region >= 1);
+  SDS_CHECK(config.subnets_per_org >= 1);
+  SDS_CHECK(client_is_remote.size() == num_clients);
+
+  Topology topo;
+  auto add_node = [&topo](NodeId parent) {
+    const NodeId id = static_cast<NodeId>(topo.parent_.size());
+    topo.parent_.push_back(parent);
+    topo.depth_.push_back(parent == kInvalidNode ? 0
+                                                 : topo.depth_[parent] + 1);
+    return id;
+  };
+
+  const NodeId root = add_node(kInvalidNode);
+  (void)root;
+  std::vector<NodeId> subnets;          // all subnets, by construction order
+  std::vector<NodeId> org_of_subnet;    // owning organisation of each subnet
+  for (uint32_t r = 0; r < config.regions; ++r) {
+    const NodeId region = add_node(0);
+    for (uint32_t o = 0; o < config.orgs_per_region; ++o) {
+      const NodeId org = add_node(region);
+      for (uint32_t s = 0; s < config.subnets_per_org; ++s) {
+        const NodeId subnet = add_node(org);
+        subnets.push_back(subnet);
+        org_of_subnet.push_back(org);
+      }
+    }
+  }
+
+  // Servers live in distinct subnets (spread round-robin over orgs so a
+  // cluster's servers are in different organisations).
+  topo.server_node_.resize(num_servers);
+  for (uint32_t s = 0; s < num_servers; ++s) {
+    // Stride of subnets_per_org puts consecutive servers in distinct orgs
+    // until the org supply wraps.
+    topo.server_node_[s] =
+        subnets[(static_cast<size_t>(s) * config.subnets_per_org) %
+                subnets.size()];
+  }
+
+  // Remote clients attach to Zipf-skewed subnets anywhere outside the
+  // first server's organisation; local clients inside it.
+  const NodeId home_org =
+      num_servers > 0 ? topo.parent_[topo.server_node_[0]] : kInvalidNode;
+  std::vector<NodeId> remote_subnets;
+  std::vector<NodeId> local_subnets;
+  for (size_t i = 0; i < subnets.size(); ++i) {
+    if (org_of_subnet[i] == home_org) {
+      local_subnets.push_back(subnets[i]);
+    } else {
+      remote_subnets.push_back(subnets[i]);
+    }
+  }
+  SDS_CHECK(!remote_subnets.empty());
+  if (local_subnets.empty()) local_subnets = remote_subnets;
+
+  // Random permutation so skew is independent of construction order.
+  for (size_t i = remote_subnets.size(); i > 1; --i) {
+    std::swap(remote_subnets[i - 1], remote_subnets[rng->NextBounded(i)]);
+  }
+  const ZipfDistribution subnet_rank(
+      remote_subnets.size(),
+      std::max(0.01, config.client_skew_s));
+
+  topo.client_node_.resize(num_clients);
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    if (client_is_remote[c]) {
+      topo.client_node_[c] = remote_subnets[subnet_rank.Sample(rng)];
+    } else {
+      topo.client_node_[c] =
+          local_subnets[rng->NextBounded(local_subnets.size())];
+    }
+  }
+  return topo;
+}
+
+NodeId Topology::LowestCommonAncestor(NodeId a, NodeId b) const {
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      a = parent_[a];
+    } else {
+      b = parent_[b];
+    }
+  }
+  return a;
+}
+
+uint32_t Topology::HopCount(NodeId a, NodeId b) const {
+  const NodeId lca = LowestCommonAncestor(a, b);
+  return depth_[a] + depth_[b] - 2 * depth_[lca];
+}
+
+std::vector<NodeId> Topology::Route(NodeId from, NodeId to) const {
+  const NodeId lca = LowestCommonAncestor(from, to);
+  std::vector<NodeId> up;
+  for (NodeId n = from; n != lca; n = parent_[n]) up.push_back(n);
+  up.push_back(lca);
+  std::vector<NodeId> down;
+  for (NodeId n = to; n != lca; n = parent_[n]) down.push_back(n);
+  up.insert(up.end(), down.rbegin(), down.rend());
+  return up;
+}
+
+bool Topology::OnRoute(NodeId node, NodeId from, NodeId to) const {
+  const NodeId lca = LowestCommonAncestor(from, to);
+  if (depth_[node] < depth_[lca]) return false;
+  // node must be an ancestor of `from` or of `to`, at depth >= depth(lca).
+  for (NodeId n = from; depth_[n] >= depth_[node]; n = parent_[n]) {
+    if (n == node) return true;
+    if (n == lca) break;
+  }
+  for (NodeId n = to; depth_[n] >= depth_[node]; n = parent_[n]) {
+    if (n == node) return true;
+    if (n == lca) break;
+  }
+  return false;
+}
+
+}  // namespace sds::net

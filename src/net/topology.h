@@ -1,0 +1,88 @@
+#ifndef SDS_NET_TOPOLOGY_H_
+#define SDS_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/document.h"
+#include "util/rng.h"
+
+namespace sds::net {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// \brief Parameters of the synthetic Internet hierarchy.
+///
+/// The paper models the WWW as a hierarchy of clusters and views a server's
+/// clientele as a tree rooted at the server (built in reality from the
+/// record-route option of TCP/IP). We generate a four-level hierarchy —
+/// backbone, regional networks, organisations, subnets — route along tree
+/// paths, and attach clients to subnets with Zipf skew so that some regions
+/// produce much more traffic than others (geographic locality of reference).
+struct TopologyConfig {
+  uint32_t regions = 8;                ///< Children of the backbone root.
+  uint32_t orgs_per_region = 6;        ///< Organisations per region.
+  uint32_t subnets_per_org = 4;        ///< Subnets per organisation.
+  /// Zipf exponent of client attachment across subnets (0 = uniform).
+  double client_skew_s = 0.9;
+};
+
+/// \brief A rooted tree of network nodes with clients and servers attached.
+///
+/// Routing is tree routing: the route between two nodes goes through their
+/// lowest common ancestor; HopCount counts edges on that path. Local
+/// clients (same organisation as the server) are attached inside the
+/// server's organisation; remote clients elsewhere.
+class Topology {
+ public:
+  /// Builds the node tree and attaches clients/servers; deterministic.
+  /// Servers are attached to distinct subnets of distinct organisations.
+  static Topology Generate(const TopologyConfig& config, uint32_t num_clients,
+                           const std::vector<bool>& client_is_remote,
+                           uint32_t num_servers, Rng* rng);
+
+  size_t num_nodes() const { return parent_.size(); }
+  NodeId root() const { return 0; }
+  NodeId parent(NodeId node) const { return parent_[node]; }
+  uint32_t depth(NodeId node) const { return depth_[node]; }
+
+  /// Attachment node (a subnet) of a client / home server.
+  NodeId client_node(trace::ClientId client) const {
+    return client_node_[client];
+  }
+  NodeId server_node(trace::ServerId server) const {
+    return server_node_[server];
+  }
+
+  /// Number of edges on the tree route between two nodes.
+  uint32_t HopCount(NodeId a, NodeId b) const;
+
+  /// Lowest common ancestor of two nodes.
+  NodeId LowestCommonAncestor(NodeId a, NodeId b) const;
+
+  /// The route from `from` to `to`, inclusive of both endpoints.
+  std::vector<NodeId> Route(NodeId from, NodeId to) const;
+
+  /// True if `node` lies on the route between `from` and `to`.
+  bool OnRoute(NodeId node, NodeId from, NodeId to) const;
+
+  uint32_t num_clients() const {
+    return static_cast<uint32_t>(client_node_.size());
+  }
+  uint32_t num_servers() const {
+    return static_cast<uint32_t>(server_node_.size());
+  }
+
+ private:
+  Topology() = default;
+
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> depth_;
+  std::vector<NodeId> client_node_;
+  std::vector<NodeId> server_node_;
+};
+
+}  // namespace sds::net
+
+#endif  // SDS_NET_TOPOLOGY_H_

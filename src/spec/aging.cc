@@ -1,0 +1,65 @@
+#include "spec/aging.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sds::spec {
+namespace {
+
+/// Aged counters below this are dropped; with daily decay d an entry of
+/// weight 1 survives log(floor)/log(d) days after its last observation.
+constexpr double kPruneFloor = 0.05;
+
+template <typename Map>
+void AgeAndPrune(Map* map, double decay) {
+  for (auto it = map->begin(); it != map->end();) {
+    it->second *= decay;
+    if (it->second < kPruneFloor) {
+      it = map->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+DecayedCounts::DecayedCounts(size_t num_docs, double decay_per_day)
+    : num_docs_(num_docs), decay_(decay_per_day) {
+  SDS_CHECK(decay_per_day > 0.0 && decay_per_day <= 1.0);
+}
+
+void DecayedCounts::AdvanceDay(const DayCounts& day) {
+  if (decay_ < 1.0) {
+    AgeAndPrune(&pair_counts_, decay_);
+    AgeAndPrune(&occurrences_, decay_);
+  }
+  for (const auto& [key, n] : day.pair_counts) {
+    pair_counts_[key] += static_cast<double>(n);
+  }
+  for (const auto& [doc, n] : day.occurrences) {
+    occurrences_[doc] += static_cast<double>(n);
+  }
+}
+
+SparseProbMatrix DecayedCounts::BuildMatrix(
+    const DependencyConfig& config) const {
+  SparseProbMatrix matrix(num_docs_);
+  for (const auto& [key, n] : pair_counts_) {
+    if (n < static_cast<double>(config.min_support)) continue;
+    const trace::DocumentId i = static_cast<trace::DocumentId>(key >> 32);
+    const trace::DocumentId j =
+        static_cast<trace::DocumentId>(key & 0xffffffffu);
+    const auto occ = occurrences_.find(i);
+    if (occ == occurrences_.end() || occ->second <= 0.0) continue;
+    const double p = std::min(1.0, n / occ->second);
+    if (p < config.min_probability) continue;
+    matrix.Add(i, j, p);
+  }
+  matrix.SortRows();
+  return matrix;
+}
+
+}  // namespace sds::spec

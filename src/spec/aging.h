@@ -1,0 +1,49 @@
+#ifndef SDS_SPEC_AGING_H_
+#define SDS_SPEC_AGING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "spec/dependency.h"
+
+namespace sds::spec {
+
+/// \brief Exponentially aged pair/occurrence counters — the "aging
+/// mechanism to phase-out dependencies exhibited in older traces, in favor
+/// of dependencies exhibited in more recent traces" that §3.4 of the paper
+/// envisions as the successor of the fixed HistoryLength window.
+///
+/// Every counter is multiplied by `decay_per_day` at each day boundary, so
+/// a pair observed d days ago contributes decay^d of an observation. The
+/// effective history length is roughly 1 / (1 - decay) days; counters
+/// below a floor are pruned to keep the maps sparse.
+class DecayedCounts {
+ public:
+  /// \param num_docs corpus size (bounds matrix dimensions)
+  /// \param decay_per_day multiplier applied at each day boundary, in
+  ///        (0, 1]; 1.0 degenerates to an ever-growing window.
+  DecayedCounts(size_t num_docs, double decay_per_day);
+
+  /// Folds one finished day of counts into the aged state: first ages the
+  /// existing counters by one day, then adds the new day at full weight.
+  void AdvanceDay(const DayCounts& day);
+
+  /// Materialises P from the current aged counters, applying the same
+  /// pruning thresholds as the windowed estimator (min_support compares
+  /// against the *aged* count).
+  SparseProbMatrix BuildMatrix(const DependencyConfig& config) const;
+
+  double decay_per_day() const { return decay_; }
+  size_t NumPairs() const { return pair_counts_.size(); }
+
+ private:
+  size_t num_docs_;
+  double decay_;
+  /// Aged (fractional) counters.
+  std::unordered_map<uint64_t, double> pair_counts_;
+  std::unordered_map<trace::DocumentId, double> occurrences_;
+};
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_AGING_H_

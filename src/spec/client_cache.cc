@@ -1,0 +1,83 @@
+#include "spec/client_cache.h"
+
+namespace sds::spec {
+
+void ClientCache::Touch(SimTime now) {
+  if (has_last_access_ &&
+      !(now - last_access_ < config_.session_timeout)) {
+    PurgeAll();
+  }
+  has_last_access_ = true;
+  last_access_ = now;
+}
+
+bool ClientCache::IsUnusedSpeculative(trace::DocumentId doc) const {
+  const auto it = entries_.find(doc);
+  return it != entries_.end() && it->second.speculative_unused;
+}
+
+void ClientCache::MarkUsed(trace::DocumentId doc) {
+  auto it = entries_.find(doc);
+  if (it == entries_.end()) return;
+  it->second.speculative_unused = false;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(doc);
+  it->second.lru_pos = lru_.begin();
+}
+
+void ClientCache::Insert(trace::DocumentId doc, uint64_t size_bytes,
+                         bool speculative, SimTime now) {
+  (void)now;
+  if (config_.session_timeout <= 0.0) return;  // no cache
+  if (config_.capacity_bytes > 0 && size_bytes > config_.capacity_bytes) {
+    if (speculative) wasted_spec_bytes_ += size_bytes;
+    return;
+  }
+  auto it = entries_.find(doc);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(doc);
+    it->second.lru_pos = lru_.begin();
+    return;
+  }
+  lru_.push_front(doc);
+  Entry entry;
+  entry.size = size_bytes;
+  entry.speculative_unused = speculative;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(doc, entry);
+  used_ += size_bytes;
+  EvictIfNeeded();
+}
+
+std::vector<trace::DocumentId> ClientCache::Contents() const {
+  std::vector<trace::DocumentId> out;
+  out.reserve(entries_.size());
+  for (const auto& [doc, entry] : entries_) out.push_back(doc);
+  return out;
+}
+
+void ClientCache::PurgeAll() {
+  for (const auto& [doc, entry] : entries_) {
+    if (entry.speculative_unused) wasted_spec_bytes_ += entry.size;
+  }
+  entries_.clear();
+  lru_.clear();
+  used_ = 0;
+}
+
+void ClientCache::EvictIfNeeded() {
+  if (config_.capacity_bytes == 0) return;
+  while (used_ > config_.capacity_bytes && !lru_.empty()) {
+    const trace::DocumentId victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    used_ -= it->second.size;
+    if (it->second.speculative_unused) {
+      wasted_spec_bytes_ += it->second.size;
+    }
+    entries_.erase(it);
+  }
+}
+
+}  // namespace sds::spec

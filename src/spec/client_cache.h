@@ -1,0 +1,84 @@
+#ifndef SDS_SPEC_CLIENT_CACHE_H_
+#define SDS_SPEC_CLIENT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/document.h"
+#include "util/sim_time.h"
+
+namespace sds::spec {
+
+/// \brief Client cache behaviour (§3.2 of the paper).
+///
+/// The paper emulates caching policies with SessionTimeout: documents stay
+/// cached until the session ends (the gap to the next request reaches
+/// SessionTimeout). SessionTimeout = 0 models no cache; 60 minutes models an
+/// infinite single-session cache; infinity models an infinite multi-session
+/// cache. We additionally support a finite capacity with LRU eviction.
+struct ClientCacheConfig {
+  SimTime session_timeout = kInfiniteTime;
+  /// 0 = unbounded.
+  uint64_t capacity_bytes = 0;
+};
+
+/// \brief Per-client cache with session purging and optional LRU capacity.
+class ClientCache {
+ public:
+  explicit ClientCache(const ClientCacheConfig& config) : config_(config) {}
+
+  /// Must be called at every request of this client *before* Contains /
+  /// Insert: purges the cache if the inter-request gap ended the session.
+  void Touch(SimTime now);
+
+  bool Contains(trace::DocumentId doc) const {
+    return entries_.count(doc) > 0;
+  }
+
+  /// True if the entry exists and was delivered speculatively and has not
+  /// been requested yet (used to count first-use speculative hits).
+  bool IsUnusedSpeculative(trace::DocumentId doc) const;
+
+  /// Marks a speculative entry as used by a real request.
+  void MarkUsed(trace::DocumentId doc);
+
+  /// Inserts a document (no-op if present; a present speculative entry
+  /// requested for real should use MarkUsed). Evicts LRU entries when over
+  /// capacity. Documents larger than the capacity are not cached.
+  void Insert(trace::DocumentId doc, uint64_t size_bytes, bool speculative,
+              SimTime now);
+
+  /// Cache contents (for cooperative-client digests).
+  std::vector<trace::DocumentId> Contents() const;
+
+  uint64_t used_bytes() const { return used_; }
+  size_t num_docs() const { return entries_.size(); }
+
+  /// Total bytes of speculative entries purged or evicted without ever
+  /// being requested (wasted speculation).
+  uint64_t wasted_speculative_bytes() const { return wasted_spec_bytes_; }
+
+ private:
+  struct Entry {
+    uint64_t size = 0;
+    bool speculative_unused = false;
+    std::list<trace::DocumentId>::iterator lru_pos;
+  };
+
+  void PurgeAll();
+  void EvictIfNeeded();
+
+  ClientCacheConfig config_;
+  std::unordered_map<trace::DocumentId, Entry> entries_;
+  std::list<trace::DocumentId> lru_;  // front = most recent
+  uint64_t used_ = 0;
+  uint64_t wasted_spec_bytes_ = 0;
+  SimTime last_access_ = -kInfiniteTime;
+  bool has_last_access_ = false;
+};
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_CLIENT_CACHE_H_

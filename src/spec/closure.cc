@@ -1,0 +1,145 @@
+#include "spec/closure.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sds::spec {
+namespace {
+
+std::vector<SparseProbMatrix::Entry> MaxProductRow(
+    const SparseProbMatrix& p, trace::DocumentId source,
+    const ClosureConfig& config) {
+  // Best-first search: edge weights are probabilities in (0, 1], so the
+  // first time a node is popped its chain probability is maximal
+  // (Dijkstra in -log space without the logs).
+  struct Item {
+    double prob;
+    uint32_t depth;
+    trace::DocumentId doc;
+    bool operator<(const Item& other) const { return prob < other.prob; }
+  };
+  std::priority_queue<Item> queue;
+  std::unordered_map<trace::DocumentId, double> best;
+  queue.push({1.0, 0, source});
+  best[source] = 1.0;
+  uint32_t expansions = 0;
+
+  std::vector<SparseProbMatrix::Entry> out;
+  while (!queue.empty() && expansions < config.max_expansions) {
+    const Item item = queue.top();
+    queue.pop();
+    if (item.prob < best[item.doc]) continue;  // stale entry
+    ++expansions;
+    if (item.doc != source) {
+      out.push_back({item.doc, static_cast<float>(item.prob)});
+    }
+    if (item.depth >= config.max_depth) continue;
+    if (item.doc >= p.num_docs()) continue;
+    for (const auto& e : p.Row(item.doc)) {
+      const double cand = item.prob * e.probability;
+      if (cand < config.min_probability) break;  // rows sorted descending
+      auto [it, inserted] = best.emplace(e.doc, cand);
+      if (!inserted) {
+        if (cand <= it->second) continue;
+        it->second = cand;
+      }
+      queue.push({cand, item.depth + 1, e.doc});
+    }
+  }
+  // Out is produced in pop order == descending probability already, but a
+  // node can be emitted before a longer, better chain... no: pops are in
+  // descending prob order and each node is emitted at most once at its
+  // maximal prob. Sort anyway for deterministic tie order.
+  std::sort(out.begin(), out.end(),
+            [](const SparseProbMatrix::Entry& a,
+               const SparseProbMatrix::Entry& b) {
+              if (a.probability != b.probability)
+                return a.probability > b.probability;
+              return a.doc < b.doc;
+            });
+  return out;
+}
+
+std::vector<SparseProbMatrix::Entry> SumProductRow(
+    const SparseProbMatrix& p, trace::DocumentId source,
+    const ClosureConfig& config) {
+  std::unordered_map<trace::DocumentId, double> total;
+  std::unordered_map<trace::DocumentId, double> frontier;
+  frontier[source] = 1.0;
+  for (uint32_t depth = 0; depth < config.max_depth && !frontier.empty();
+       ++depth) {
+    std::unordered_map<trace::DocumentId, double> next;
+    for (const auto& [doc, mass] : frontier) {
+      if (doc >= p.num_docs()) continue;
+      for (const auto& e : p.Row(doc)) {
+        const double add = mass * e.probability;
+        if (add < config.min_probability * 0.1) break;  // sorted rows
+        next[e.doc] += add;
+      }
+    }
+    for (const auto& [doc, mass] : next) {
+      if (doc != source) total[doc] += mass;
+    }
+    frontier = std::move(next);
+    if (total.size() > config.max_expansions) break;
+  }
+  std::vector<SparseProbMatrix::Entry> out;
+  out.reserve(total.size());
+  for (const auto& [doc, mass] : total) {
+    const double prob = std::min(1.0, mass);
+    if (prob >= config.min_probability) {
+      out.push_back({doc, static_cast<float>(prob)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SparseProbMatrix::Entry& a,
+               const SparseProbMatrix::Entry& b) {
+              if (a.probability != b.probability)
+                return a.probability > b.probability;
+              return a.doc < b.doc;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<SparseProbMatrix::Entry> ComputeClosureRow(
+    const SparseProbMatrix& p, trace::DocumentId source,
+    const ClosureConfig& config) {
+  switch (config.semantics) {
+    case ClosureSemantics::kMaxProduct:
+      return MaxProductRow(p, source, config);
+    case ClosureSemantics::kSumProductCapped:
+      return SumProductRow(p, source, config);
+  }
+  return {};
+}
+
+SparseProbMatrix ComputeClosure(const SparseProbMatrix& p,
+                                const ClosureConfig& config) {
+  SparseProbMatrix closure(p.num_docs());
+  for (trace::DocumentId i = 0; i < p.num_docs(); ++i) {
+    if (p.Row(i).empty()) continue;
+    for (const auto& e : ComputeClosureRow(p, i, config)) {
+      closure.Add(i, e.doc, e.probability);
+    }
+  }
+  closure.SortRows();
+  return closure;
+}
+
+const std::vector<SparseProbMatrix::Entry>& ClosureCache::Row(
+    trace::DocumentId doc) {
+  auto it = cache_.find(doc);
+  if (it == cache_.end()) {
+    it = cache_.emplace(doc, ComputeClosureRow(*p_, doc, config_)).first;
+  }
+  return it->second;
+}
+
+void ClosureCache::Reset(const SparseProbMatrix* p) {
+  p_ = p;
+  cache_.clear();
+}
+
+}  // namespace sds::spec

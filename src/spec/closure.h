@@ -1,0 +1,77 @@
+#ifndef SDS_SPEC_CLOSURE_H_
+#define SDS_SPEC_CLOSURE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/dependency.h"
+
+namespace sds::spec {
+
+/// \brief Interpretation of the paper's closure P* = P^N.
+///
+/// The paper's formula is under-specified (a literal stochastic power is
+/// neither a per-pair probability nor bounded by 1), so we provide the two
+/// standard readings of "probability of a request chain from D_i to D_j":
+enum class ClosureSemantics : uint8_t {
+  /// p*[i,j] = max over chains of the product of edge probabilities (the
+  /// probability of the single most likely chain). Default.
+  kMaxProduct = 0,
+  /// Depth-limited sum-product with a cap at 1: probabilities of distinct
+  /// chains add up (a literal reading of P^N, capped to stay a
+  /// probability).
+  kSumProductCapped = 1,
+};
+
+struct ClosureConfig {
+  ClosureSemantics semantics = ClosureSemantics::kMaxProduct;
+  /// Chains with probability below this are pruned; also the floor of
+  /// emitted entries. Must be > 0 for termination.
+  double min_probability = 0.02;
+  /// Maximum chain length in edges (the paper's N is the document count;
+  /// pruning makes long chains vanish far earlier in practice).
+  uint32_t max_depth = 8;
+  /// Safety cap on expanded nodes per source row.
+  uint32_t max_expansions = 4096;
+};
+
+/// \brief Computes the full closure P* of P (every row). For large
+/// matrices prefer ClosureCache, which computes rows lazily.
+SparseProbMatrix ComputeClosure(const SparseProbMatrix& p,
+                                const ClosureConfig& config);
+
+/// \brief Lazy per-row closure: rows are computed on first use and cached
+/// until Reset(). The speculation simulator re-estimates P every
+/// UpdateCycle days and only ever needs rows for documents actually
+/// requested, so lazy evaluation is far cheaper than the full closure.
+class ClosureCache {
+ public:
+  ClosureCache(const SparseProbMatrix* p, const ClosureConfig& config)
+      : p_(p), config_(config) {}
+
+  /// The closure row of `doc`, sorted by descending probability. The
+  /// reference is valid until Reset().
+  const std::vector<SparseProbMatrix::Entry>& Row(trace::DocumentId doc);
+
+  /// Points the cache at a freshly estimated P and drops all cached rows.
+  void Reset(const SparseProbMatrix* p);
+
+  size_t CachedRows() const { return cache_.size(); }
+
+ private:
+  const SparseProbMatrix* p_;
+  ClosureConfig config_;
+  std::unordered_map<trace::DocumentId,
+                     std::vector<SparseProbMatrix::Entry>>
+      cache_;
+};
+
+/// \brief Computes one closure row (exposed for tests).
+std::vector<SparseProbMatrix::Entry> ComputeClosureRow(
+    const SparseProbMatrix& p, trace::DocumentId source,
+    const ClosureConfig& config);
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_CLOSURE_H_

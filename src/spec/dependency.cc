@@ -1,0 +1,159 @@
+#include "spec/dependency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/sessionizer.h"
+#include "util/logging.h"
+
+namespace sds::spec {
+namespace {
+
+/// Walks every (occurrence, following-document) dependency pair of the
+/// trace within [t_begin, t_end). `on_occurrence(day, doc)` fires once per
+/// qualifying request; `on_pair(day, i, j)` fires once per occurrence of i
+/// for each distinct j that follows i within T_w inside the same stride.
+template <typename OccurrenceFn, typename PairFn>
+void ScanDependencies(const trace::Trace& trace,
+                      const DependencyConfig& config, SimTime t_begin,
+                      SimTime t_end, OccurrenceFn&& on_occurrence,
+                      PairFn&& on_pair) {
+  const auto by_client = trace::GroupByClient(trace);
+  std::vector<SimTime> times;
+  std::vector<trace::DocumentId> docs;
+  std::vector<trace::DocumentId> seen;
+  for (const auto& stream : by_client) {
+    times.clear();
+    docs.clear();
+    for (const uint32_t idx : stream) {
+      const auto& r = trace.requests[idx];
+      if (r.time < t_begin || r.time >= t_end) continue;
+      if (r.kind != trace::RequestKind::kDocument &&
+          r.kind != trace::RequestKind::kAlias) {
+        continue;
+      }
+      times.push_back(r.time);
+      docs.push_back(r.doc);
+    }
+    for (size_t a = 0; a < docs.size(); ++a) {
+      const uint32_t day = static_cast<uint32_t>(DayOfTime(times[a]));
+      on_occurrence(day, docs[a]);
+      seen.clear();
+      for (size_t b = a + 1; b < docs.size(); ++b) {
+        if (times[b] - times[b - 1] >= config.stride_timeout) break;
+        if (times[b] - times[a] > config.window) break;
+        if (docs[b] == docs[a]) continue;
+        if (std::find(seen.begin(), seen.end(), docs[b]) != seen.end()) {
+          continue;
+        }
+        seen.push_back(docs[b]);
+        on_pair(day, docs[a], docs[b]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double SparseProbMatrix::Get(trace::DocumentId i, trace::DocumentId j) const {
+  if (i >= rows_.size()) return 0.0;
+  for (const auto& e : rows_[i]) {
+    if (e.doc == j) return e.probability;
+  }
+  return 0.0;
+}
+
+void SparseProbMatrix::SortRows() {
+  for (auto& row : rows_) {
+    std::sort(row.begin(), row.end(), [](const Entry& a, const Entry& b) {
+      if (a.probability != b.probability) return a.probability > b.probability;
+      return a.doc < b.doc;
+    });
+  }
+}
+
+size_t SparseProbMatrix::NumEntries() const {
+  size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
+                                              const DependencyConfig& config) {
+  const uint32_t days =
+      trace.empty() ? 1
+                    : static_cast<uint32_t>(DayOfTime(trace.Span())) + 1;
+  std::vector<DayCounts> out(days);
+  ScanDependencies(
+      trace, config, 0.0, kInfiniteTime,
+      [&](uint32_t day, trace::DocumentId doc) {
+        ++out[day].occurrences[doc];
+      },
+      [&](uint32_t day, trace::DocumentId i, trace::DocumentId j) {
+        ++out[day].pair_counts[PairKey(i, j)];
+      });
+  return out;
+}
+
+void WindowedCounts::Add(const DayCounts& day) {
+  for (const auto& [key, n] : day.pair_counts) {
+    pair_counts_[key] += n;
+    total_pairs_ += n;
+  }
+  for (const auto& [doc, n] : day.occurrences) occurrences_[doc] += n;
+}
+
+void WindowedCounts::Remove(const DayCounts& day) {
+  for (const auto& [key, n] : day.pair_counts) {
+    auto it = pair_counts_.find(key);
+    SDS_CHECK(it != pair_counts_.end() && it->second >= n)
+        << "window underflow";
+    it->second -= n;
+    total_pairs_ -= n;
+    if (it->second == 0) pair_counts_.erase(it);
+  }
+  for (const auto& [doc, n] : day.occurrences) {
+    auto it = occurrences_.find(doc);
+    SDS_CHECK(it != occurrences_.end() && it->second >= n)
+        << "window underflow";
+    it->second -= n;
+    if (it->second == 0) occurrences_.erase(it);
+  }
+}
+
+SparseProbMatrix WindowedCounts::BuildMatrix(
+    const DependencyConfig& config) const {
+  SparseProbMatrix matrix(num_docs_);
+  for (const auto& [key, n] : pair_counts_) {
+    if (n < config.min_support) continue;
+    const trace::DocumentId i = static_cast<trace::DocumentId>(key >> 32);
+    const trace::DocumentId j =
+        static_cast<trace::DocumentId>(key & 0xffffffffu);
+    const auto occ = occurrences_.find(i);
+    if (occ == occurrences_.end() || occ->second == 0) continue;
+    const double p = std::min(
+        1.0, static_cast<double>(n) / static_cast<double>(occ->second));
+    if (p < config.min_probability) continue;
+    matrix.Add(i, j, p);
+  }
+  matrix.SortRows();
+  return matrix;
+}
+
+SparseProbMatrix EstimateDependencies(const trace::Trace& trace,
+                                      size_t num_docs,
+                                      const DependencyConfig& config,
+                                      SimTime t_begin, SimTime t_end) {
+  WindowedCounts window(num_docs);
+  DayCounts all;
+  ScanDependencies(
+      trace, config, t_begin, t_end,
+      [&](uint32_t, trace::DocumentId doc) { ++all.occurrences[doc]; },
+      [&](uint32_t, trace::DocumentId i, trace::DocumentId j) {
+        ++all.pair_counts[PairKey(i, j)];
+      });
+  window.Add(all);
+  return window.BuildMatrix(config);
+}
+
+}  // namespace sds::spec

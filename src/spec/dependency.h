@@ -1,0 +1,120 @@
+#ifndef SDS_SPEC_DEPENDENCY_H_
+#define SDS_SPEC_DEPENDENCY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/sim_time.h"
+
+namespace sds::spec {
+
+/// \brief Packs an ordered document pair into a 64-bit key.
+inline uint64_t PairKey(trace::DocumentId i, trace::DocumentId j) {
+  return (static_cast<uint64_t>(i) << 32) | j;
+}
+
+/// \brief Sparse row-major matrix of conditional probabilities p[i, j]
+/// (the paper's P relation): probability that D_j is requested within the
+/// window T_w given that D_i was requested.
+class SparseProbMatrix {
+ public:
+  struct Entry {
+    trace::DocumentId doc = trace::kInvalidDocument;
+    float probability = 0.0f;
+  };
+
+  SparseProbMatrix() = default;
+  explicit SparseProbMatrix(size_t num_docs) : rows_(num_docs) {}
+
+  size_t num_docs() const { return rows_.size(); }
+
+  /// Entries of row i, sorted by descending probability.
+  const std::vector<Entry>& Row(trace::DocumentId i) const {
+    return rows_[i];
+  }
+
+  /// Probability p[i, j]; 0 if absent.
+  double Get(trace::DocumentId i, trace::DocumentId j) const;
+
+  /// Adds an entry (caller guarantees j unique within row i); call
+  /// SortRows() once after all insertions.
+  void Add(trace::DocumentId i, trace::DocumentId j, double p) {
+    rows_[i].push_back({j, static_cast<float>(p)});
+  }
+
+  /// Sorts every row by descending probability (ties by doc id).
+  void SortRows();
+
+  /// Total number of stored (i, j) entries.
+  size_t NumEntries() const;
+
+ private:
+  std::vector<std::vector<Entry>> rows_;
+};
+
+/// \brief Pair/occurrence counters for one day of trace; the building block
+/// of the sliding HistoryLength window.
+struct DayCounts {
+  /// (i, j) -> number of occurrences of i followed by j within T_w.
+  std::unordered_map<uint64_t, uint32_t> pair_counts;
+  /// doc -> number of occurrences (the denominator of p[i, j]).
+  std::unordered_map<trace::DocumentId, uint32_t> occurrences;
+};
+
+/// \brief Counting parameters (paper §3.1/§3.2).
+struct DependencyConfig {
+  /// T_w: D_j must follow D_i within this many seconds.
+  SimTime window = 5.0;
+  /// StrideTimeout: pairs only count within a traversal stride (successive
+  /// requests less than this many seconds apart). Small values restrict
+  /// the relation to embedding dependencies; larger values admit traversal
+  /// dependencies too.
+  SimTime stride_timeout = 5.0;
+  /// Entries below this probability are dropped from P.
+  double min_probability = 0.02;
+  /// Entries supported by fewer pair observations are dropped.
+  uint32_t min_support = 3;
+};
+
+/// \brief Splits the trace into per-day pair/occurrence counts. Day d
+/// covers [d * kDay, (d+1) * kDay). Only kDocument/kAlias accesses count.
+std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
+                                              const DependencyConfig& config);
+
+/// \brief Aggregates day counts over a sliding window and materialises P.
+///
+/// The simulator adds each finished day and drops days older than
+/// HistoryLength; BuildMatrix converts the current window into a pruned
+/// SparseProbMatrix.
+class WindowedCounts {
+ public:
+  explicit WindowedCounts(size_t num_docs) : num_docs_(num_docs) {}
+
+  void Add(const DayCounts& day);
+  void Remove(const DayCounts& day);
+
+  /// Builds P from the current window, applying the pruning thresholds.
+  SparseProbMatrix BuildMatrix(const DependencyConfig& config) const;
+
+  uint64_t total_pairs() const { return total_pairs_; }
+
+ private:
+  size_t num_docs_;
+  std::unordered_map<uint64_t, int64_t> pair_counts_;
+  std::unordered_map<trace::DocumentId, int64_t> occurrences_;
+  uint64_t total_pairs_ = 0;
+};
+
+/// \brief One-shot estimation of P over a whole trace interval
+/// [t_begin, t_end); convenience wrapper used by analyses and tests.
+SparseProbMatrix EstimateDependencies(const trace::Trace& trace,
+                                      size_t num_docs,
+                                      const DependencyConfig& config,
+                                      SimTime t_begin = 0.0,
+                                      SimTime t_end = kInfiniteTime);
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_DEPENDENCY_H_

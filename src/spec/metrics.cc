@@ -1,0 +1,26 @@
+#include "spec/metrics.h"
+
+namespace sds::spec {
+namespace {
+
+double Ratio(double num, double denom) { return denom <= 0.0 ? 1.0 : num / denom; }
+
+}  // namespace
+
+SpeculationMetrics ComputeMetrics(const RunTotals& with_spec,
+                                  const RunTotals& without_spec) {
+  SpeculationMetrics m;
+  m.with_speculation = with_spec;
+  m.without_speculation = without_spec;
+  m.bandwidth_ratio = Ratio(with_spec.bytes_sent, without_spec.bytes_sent);
+  m.server_load_ratio =
+      Ratio(static_cast<double>(with_spec.server_requests),
+            static_cast<double>(without_spec.server_requests));
+  m.service_time_ratio =
+      Ratio(with_spec.MeanLatency(), without_spec.MeanLatency());
+  m.miss_rate_ratio = Ratio(with_spec.MissRate(), without_spec.MissRate());
+  m.extra_traffic = m.bandwidth_ratio - 1.0;
+  return m;
+}
+
+}  // namespace sds::spec

@@ -1,0 +1,63 @@
+#ifndef SDS_SPEC_METRICS_H_
+#define SDS_SPEC_METRICS_H_
+
+#include <cstdint>
+
+namespace sds::spec {
+
+/// \brief Raw totals accumulated over one simulation run.
+struct RunTotals {
+  /// Bytes sent by the server (requested + speculative).
+  double bytes_sent = 0.0;
+  /// Requests that reached the server (client cache misses).
+  uint64_t server_requests = 0;
+  /// Client-side requests replayed (hits + misses).
+  uint64_t client_requests = 0;
+  /// Sum of per-request retrieval latencies (cost units).
+  double total_latency = 0.0;
+  /// Bytes of requested documents not found in the client cache.
+  double miss_bytes = 0.0;
+  /// Bytes of all requested documents.
+  double requested_bytes = 0.0;
+  /// Speculative documents / bytes pushed.
+  uint64_t speculative_docs_sent = 0;
+  double speculative_bytes = 0.0;
+  /// Speculative pushes that were later actually requested.
+  uint64_t speculative_hits = 0;
+  /// Speculative bytes purged/evicted without ever being requested.
+  double wasted_speculative_bytes = 0.0;
+  /// Requests the client issued proactively (client-initiated prefetching;
+  /// included in server_requests).
+  uint64_t prefetch_requests = 0;
+
+  double MeanLatency() const {
+    return client_requests == 0
+               ? 0.0
+               : total_latency / static_cast<double>(client_requests);
+  }
+  double MissRate() const {
+    return requested_bytes <= 0.0 ? 0.0 : miss_bytes / requested_bytes;
+  }
+};
+
+/// \brief The paper's four evaluation ratios (speculative vs. plain run;
+/// 1.0 = no change, < 1 = reduction).
+struct SpeculationMetrics {
+  double bandwidth_ratio = 1.0;
+  double server_load_ratio = 1.0;
+  double service_time_ratio = 1.0;
+  double miss_rate_ratio = 1.0;
+  /// bandwidth_ratio - 1 (the "extra traffic" axis of Figure 6).
+  double extra_traffic = 0.0;
+
+  RunTotals with_speculation;
+  RunTotals without_speculation;
+};
+
+/// \brief Computes the four ratios from two runs over the same trace.
+SpeculationMetrics ComputeMetrics(const RunTotals& with_spec,
+                                  const RunTotals& without_spec);
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_METRICS_H_

@@ -1,0 +1,30 @@
+#include "spec/policy.h"
+
+namespace sds::spec {
+
+std::vector<CandidateDoc> SelectCandidates(
+    const std::vector<SparseProbMatrix::Entry>& closure_row,
+    const trace::Corpus& corpus, const PolicyConfig& config) {
+  std::vector<CandidateDoc> out;
+  uint64_t budget_used = 0;
+  for (const auto& e : closure_row) {
+    if (e.probability < config.threshold) break;  // sorted descending
+    const uint64_t size = corpus.doc(e.doc).size_bytes;
+    if (config.max_size > 0 && size > config.max_size) continue;
+    switch (config.kind) {
+      case PolicyKind::kThreshold:
+        break;
+      case PolicyKind::kTopK:
+        if (out.size() >= config.top_k) return out;
+        break;
+      case PolicyKind::kByteBudget:
+        if (budget_used + size > config.byte_budget) continue;
+        budget_used += size;
+        break;
+    }
+    out.push_back({e.doc, e.probability});
+  }
+  return out;
+}
+
+}  // namespace sds::spec

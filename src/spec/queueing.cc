@@ -1,0 +1,58 @@
+#include "spec/queueing.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace sds::spec {
+
+QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
+                             const QueueConfig& config) {
+  SDS_CHECK(config.service_rate_bytes_per_s > 0.0);
+  QueueStats stats;
+  if (events.empty()) return stats;
+
+  double server_free = 0.0;
+  double busy = 0.0;
+  RunningStats waits;
+  std::vector<double> responses;
+  responses.reserve(events.size());
+
+  // Track queue depth via the completion times of queued requests.
+  std::deque<double> in_system;  // completion times, ascending
+  size_t max_depth = 0;
+
+  double last_time = 0.0;
+  for (const auto& e : events) {
+    SDS_CHECK(e.time >= last_time) << "events must be time-ordered";
+    last_time = e.time;
+    while (!in_system.empty() && in_system.front() <= e.time) {
+      in_system.pop_front();
+    }
+    const double start = std::max(e.time, server_free);
+    const double service =
+        config.service_overhead_s +
+        e.response_bytes / config.service_rate_bytes_per_s;
+    const double done = start + service;
+    waits.Add(start - e.time);
+    responses.push_back(done - e.time);
+    busy += service;
+    server_free = done;
+    in_system.push_back(done);
+    max_depth = std::max(max_depth, in_system.size());
+  }
+
+  const double span = std::max(events.back().time, server_free);
+  stats.requests = events.size();
+  stats.utilization = span > 0.0 ? std::min(1.0, busy / span) : 0.0;
+  stats.mean_wait_s = waits.mean();
+  stats.mean_response_s =
+      waits.mean() + busy / static_cast<double>(events.size());
+  stats.p95_response_s = Quantile(responses, 0.95);
+  stats.max_queue_depth = static_cast<double>(max_depth);
+  return stats;
+}
+
+}  // namespace sds::spec

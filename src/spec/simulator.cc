@@ -1,0 +1,309 @@
+#include "spec/simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace sds::spec {
+namespace {
+
+/// Per-client access profile for client-initiated prefetching: the same
+/// pair statistics as the server's P, but restricted to this user's own
+/// history and learned online (only the past is ever consulted).
+struct UserProfile {
+  std::unordered_map<uint64_t, uint32_t> pair_counts;
+  std::unordered_map<trace::DocumentId, uint32_t> occurrences;
+  /// Recent requests within the dependency window.
+  std::deque<std::pair<SimTime, trace::DocumentId>> recent;
+
+  void Observe(trace::DocumentId doc, SimTime now,
+               const DependencyConfig& config) {
+    while (!recent.empty() && now - recent.front().first > config.window) {
+      recent.pop_front();
+    }
+    // Stride break: if the gap to the most recent request exceeds the
+    // stride timeout, the chain is broken and history is irrelevant.
+    if (!recent.empty() &&
+        now - recent.back().first >= config.stride_timeout) {
+      recent.clear();
+    }
+    for (const auto& [t, prev] : recent) {
+      if (prev == doc) continue;
+      ++pair_counts[PairKey(prev, doc)];
+    }
+    ++occurrences[doc];
+    recent.emplace_back(now, doc);
+  }
+
+  double Probability(trace::DocumentId i, trace::DocumentId j,
+                     uint32_t min_support) const {
+    const auto pit = pair_counts.find(PairKey(i, j));
+    if (pit == pair_counts.end() || pit->second < min_support) return 0.0;
+    const auto oit = occurrences.find(i);
+    if (oit == occurrences.end() || oit->second == 0) return 0.0;
+    return std::min(1.0, static_cast<double>(pit->second) /
+                             static_cast<double>(oit->second));
+  }
+
+  /// Documents this user historically requests after `doc`, with
+  /// probability above the threshold.
+  std::vector<CandidateDoc> Successors(trace::DocumentId doc,
+                                       double threshold,
+                                       uint32_t min_support) const {
+    std::vector<CandidateDoc> out;
+    // Scan this user's pairs with leading doc. User maps are small, so a
+    // linear pass is fine.
+    for (const auto& [key, n] : pair_counts) {
+      if (static_cast<trace::DocumentId>(key >> 32) != doc) continue;
+      if (n < min_support) continue;
+      const auto oit = occurrences.find(doc);
+      if (oit == occurrences.end() || oit->second == 0) continue;
+      const double p =
+          static_cast<double>(n) / static_cast<double>(oit->second);
+      if (p >= threshold) {
+        out.push_back({static_cast<trace::DocumentId>(key & 0xffffffffu),
+                       std::min(1.0, p)});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CandidateDoc& a, const CandidateDoc& b) {
+                if (a.probability != b.probability)
+                  return a.probability > b.probability;
+                return a.doc < b.doc;
+              });
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* ServiceModeToString(ServiceMode mode) {
+  switch (mode) {
+    case ServiceMode::kNone:
+      return "none";
+    case ServiceMode::kSpeculativePush:
+      return "speculative-push";
+    case ServiceMode::kClientPrefetch:
+      return "client-prefetch";
+    case ServiceMode::kHybrid:
+      return "hybrid";
+    case ServiceMode::kServerHints:
+      return "server-hints";
+  }
+  return "?";
+}
+
+SpeculationSimulator::SpeculationSimulator(const trace::Corpus* corpus,
+                                           const trace::Trace* trace)
+    : corpus_(corpus), trace_(trace) {
+  SDS_CHECK(corpus != nullptr);
+  SDS_CHECK(trace != nullptr);
+}
+
+const std::vector<DayCounts>& SpeculationSimulator::DailyDeltas(
+    const DependencyConfig& config) {
+  const auto key = std::make_pair(config.window, config.stride_timeout);
+  auto it = delta_cache_.find(key);
+  if (it == delta_cache_.end()) {
+    it = delta_cache_.emplace(key, CountDailyDependencies(*trace_, config))
+             .first;
+  }
+  return it->second;
+}
+
+RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
+                                    std::vector<ServerEvent>* server_events) {
+  if (server_events != nullptr) server_events->clear();
+  SDS_CHECK(config.update_cycle_days >= 1);
+  SDS_CHECK(config.history_days >= 1);
+
+  const bool server_speculates =
+      config.mode == ServiceMode::kSpeculativePush ||
+      config.mode == ServiceMode::kHybrid;
+  const bool server_hints = config.mode == ServiceMode::kServerHints;
+  const bool client_prefetches =
+      config.mode == ServiceMode::kClientPrefetch ||
+      config.mode == ServiceMode::kHybrid;
+  const bool needs_model = server_speculates || server_hints;
+
+  const std::vector<DayCounts>* deltas =
+      needs_model ? &DailyDeltas(config.dependency) : nullptr;
+  WindowedCounts counts(corpus_->size());
+  DecayedCounts decayed(corpus_->size(), config.decay_per_day);
+  const bool use_decay =
+      config.estimator == SpeculationConfig::EstimatorKind::kExponentialDecay;
+  SparseProbMatrix matrix(corpus_->size());
+  ClosureCache closure(&matrix, config.closure);
+
+  std::vector<ClientCache> caches;
+  caches.reserve(trace_->num_clients);
+  for (uint32_t c = 0; c < trace_->num_clients; ++c) {
+    caches.emplace_back(config.cache);
+  }
+  std::vector<UserProfile> profiles;
+  if (client_prefetches) profiles.resize(trace_->num_clients);
+
+  PolicyConfig push_policy = config.policy;
+  if (config.mode == ServiceMode::kHybrid) {
+    push_policy.threshold =
+        std::max(push_policy.threshold, config.hybrid_push_threshold);
+  }
+
+  RunTotals totals;
+  long current_day = 0;
+  bool model_ready = false;
+
+  for (const auto& r : trace_->requests) {
+    if (r.kind != trace::RequestKind::kDocument &&
+        r.kind != trace::RequestKind::kAlias) {
+      continue;
+    }
+    // Day roll: fold finished days into the sliding window and re-estimate
+    // the relations at UpdateCycle boundaries.
+    while (DayOfTime(r.time) > current_day) {
+      const long finished = current_day;
+      ++current_day;
+      if (needs_model) {
+        if (use_decay) {
+          if (static_cast<size_t>(finished) < deltas->size()) {
+            decayed.AdvanceDay((*deltas)[finished]);
+          }
+        } else {
+          if (static_cast<size_t>(finished) < deltas->size()) {
+            counts.Add((*deltas)[finished]);
+          }
+          const long expired =
+              finished - static_cast<long>(config.history_days);
+          if (expired >= 0 && static_cast<size_t>(expired) < deltas->size()) {
+            counts.Remove((*deltas)[expired]);
+          }
+        }
+        if (current_day % config.update_cycle_days == 0 ||
+            !model_ready) {
+          matrix = use_decay ? decayed.BuildMatrix(config.dependency)
+                             : counts.BuildMatrix(config.dependency);
+          closure.Reset(&matrix);
+          model_ready = true;
+        }
+      }
+    }
+
+    ClientCache& cache = caches[r.client];
+    cache.Touch(r.time);
+    const uint64_t size = corpus_->doc(r.doc).size_bytes;
+    ++totals.client_requests;
+    totals.requested_bytes += static_cast<double>(size);
+
+    if (cache.Contains(r.doc)) {
+      if (cache.IsUnusedSpeculative(r.doc)) ++totals.speculative_hits;
+      cache.MarkUsed(r.doc);
+      continue;  // zero-latency cache hit, no server involvement
+    }
+
+    // Cache miss: the request reaches the server.
+    ++totals.server_requests;
+    totals.miss_bytes += static_cast<double>(size);
+    double response_bytes = static_cast<double>(size);
+
+    if (server_speculates && model_ready) {
+      const auto& row =
+          config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
+      for (const auto& cand :
+           SelectCandidates(row, *corpus_, push_policy)) {
+        const uint64_t cand_size = corpus_->doc(cand.doc).size_bytes;
+        const bool cached = cache.Contains(cand.doc);
+        if (cached && config.cooperative_clients) {
+          continue;  // digest tells the server not to send it
+        }
+        response_bytes += static_cast<double>(cand_size);
+        totals.speculative_bytes += static_cast<double>(cand_size);
+        ++totals.speculative_docs_sent;
+        if (cached) {
+          // Blind duplicate push: pure waste.
+          totals.wasted_speculative_bytes +=
+              static_cast<double>(cand_size);
+        } else {
+          cache.Insert(cand.doc, cand_size, /*speculative=*/true, r.time);
+        }
+      }
+    }
+
+    if (server_hints && model_ready) {
+      // The hint list itself is negligible; the client fetches hinted
+      // documents it lacks as background prefetches.
+      const auto& row =
+          config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
+      for (const auto& cand :
+           SelectCandidates(row, *corpus_, config.policy)) {
+        if (cache.Contains(cand.doc)) continue;
+        const uint64_t cand_size = corpus_->doc(cand.doc).size_bytes;
+        ++totals.server_requests;
+        ++totals.prefetch_requests;
+        totals.bytes_sent += static_cast<double>(cand_size);
+        totals.speculative_bytes += static_cast<double>(cand_size);
+        ++totals.speculative_docs_sent;
+        cache.Insert(cand.doc, cand_size, /*speculative=*/true, r.time);
+        if (server_events != nullptr) {
+          server_events->push_back({r.time, static_cast<double>(cand_size)});
+        }
+      }
+    }
+
+    if (server_events != nullptr) {
+      server_events->push_back({r.time, response_bytes});
+    }
+    totals.bytes_sent += response_bytes;
+    totals.total_latency +=
+        config.serv_cost +
+        config.comm_cost * (config.charge_speculative_latency
+                                ? response_bytes
+                                : static_cast<double>(size));
+    cache.Insert(r.doc, size, /*speculative=*/false, r.time);
+
+    if (client_prefetches) {
+      // The client consults its own profile and fetches likely successors
+      // in the background (each is a normal request to the server).
+      const auto successors = profiles[r.client].Successors(
+          r.doc, config.client_prefetch_threshold,
+          config.client_prefetch_min_support);
+      for (const auto& cand : successors) {
+        if (cache.Contains(cand.doc)) continue;
+        const uint64_t cand_size = corpus_->doc(cand.doc).size_bytes;
+        if (config.policy.max_size > 0 &&
+            cand_size > config.policy.max_size) {
+          continue;
+        }
+        ++totals.server_requests;
+        ++totals.prefetch_requests;
+        totals.bytes_sent += static_cast<double>(cand_size);
+        totals.speculative_bytes += static_cast<double>(cand_size);
+        ++totals.speculative_docs_sent;
+        cache.Insert(cand.doc, cand_size, /*speculative=*/true, r.time);
+        if (server_events != nullptr) {
+          server_events->push_back({r.time, static_cast<double>(cand_size)});
+        }
+      }
+    }
+    if (client_prefetches) {
+      profiles[r.client].Observe(r.doc, r.time, config.dependency);
+    }
+  }
+
+  for (const auto& cache : caches) {
+    totals.wasted_speculative_bytes +=
+        static_cast<double>(cache.wasted_speculative_bytes());
+  }
+  return totals;
+}
+
+SpeculationMetrics SpeculationSimulator::Evaluate(
+    const SpeculationConfig& config) {
+  SpeculationConfig baseline = config;
+  baseline.mode = ServiceMode::kNone;
+  const RunTotals without_spec = Run(baseline);
+  const RunTotals with_spec = Run(config);
+  return ComputeMetrics(with_spec, without_spec);
+}
+
+}  // namespace sds::spec

@@ -1,0 +1,137 @@
+#ifndef SDS_SPEC_SIMULATOR_H_
+#define SDS_SPEC_SIMULATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "spec/aging.h"
+#include "spec/client_cache.h"
+#include "spec/closure.h"
+#include "spec/dependency.h"
+#include "spec/metrics.h"
+#include "spec/policy.h"
+#include "spec/queueing.h"
+#include "trace/corpus.h"
+#include "trace/request.h"
+
+namespace sds::spec {
+
+/// \brief Service protocol variant (§3.2 and §3.4 of the paper).
+enum class ServiceMode : uint8_t {
+  /// Plain request/response (the baseline both runs are compared to).
+  kNone = 0,
+  /// Server-initiated speculative service: the server pushes documents
+  /// with p*[i,j] >= T_p along with every response.
+  kSpeculativePush = 1,
+  /// Client-initiated prefetching from per-user profiles (server attaches
+  /// hints; the client decides using its own access history).
+  kClientPrefetch = 2,
+  /// Hybrid: the server pushes only near-certain documents (embedding
+  /// grade, p* >= hybrid_push_threshold); the client prefetches the rest
+  /// from its profile.
+  kHybrid = 3,
+  /// Server-assisted prefetching (§3.4): the server attaches the list of
+  /// candidate URLs to each response instead of pushing bodies; the client
+  /// fetches the hinted documents it does not hold. No duplicate bytes are
+  /// ever sent, but every accepted hint is a separate server request.
+  kServerHints = 4,
+};
+
+const char* ServiceModeToString(ServiceMode mode);
+
+/// \brief Full parameter set of the trace-driven speculation simulation;
+/// defaults are the paper's baseline model (table in §3.2).
+struct SpeculationConfig {
+  // Cost model: cost of communicating one byte and of servicing one
+  // request, used for the service-time metric.
+  double comm_cost = 1.0;
+  double serv_cost = 10000.0;
+  /// If true, speculative bytes in a response delay the requested document
+  /// (strictly serial transfer). Default false: the requested document is
+  /// delivered first and speculative documents trail it, so a miss costs
+  /// ServCost + CommCost x size(requested) regardless of speculation —
+  /// matching the paper's monotone service-time curves.
+  bool charge_speculative_latency = false;
+
+  /// Dependency estimation (T_w, StrideTimeout, pruning).
+  DependencyConfig dependency;
+  /// Closure computation.
+  ClosureConfig closure;
+  /// If false, the policy consults the raw P instead of the closure P*.
+  bool use_closure = true;
+  /// How past observations are weighted when estimating P.
+  enum class EstimatorKind : uint8_t {
+    /// The paper's baseline: a sliding window of the last D' days.
+    kSlidingWindow = 0,
+    /// The aging mechanism of §3.4: counters decay exponentially per day
+    /// (effective history ~ 1 / (1 - decay) days).
+    kExponentialDecay = 1,
+  };
+  EstimatorKind estimator = EstimatorKind::kSlidingWindow;
+  double decay_per_day = 0.95;
+  /// D': days of history used to estimate P and P* (sliding window only).
+  uint32_t history_days = 60;
+  /// D: the relations are re-estimated every this many days.
+  uint32_t update_cycle_days = 1;
+
+  /// Speculation policy (T_p, MaxSize, ...).
+  PolicyConfig policy;
+  /// Client caching model (SessionTimeout, capacity).
+  ClientCacheConfig cache;
+
+  ServiceMode mode = ServiceMode::kSpeculativePush;
+  /// Cooperative clients (§3.4): requests piggy-back a digest of the
+  /// client's cache, letting the server skip documents already cached.
+  bool cooperative_clients = false;
+
+  /// kHybrid: push threshold for the server-initiated part.
+  double hybrid_push_threshold = 0.95;
+  /// kClientPrefetch / kHybrid: client-side profile threshold and support.
+  double client_prefetch_threshold = 0.4;
+  /// Client heuristics fire on a single past co-occurrence (a user's own
+  /// history is tiny compared with the server's logs).
+  uint32_t client_prefetch_min_support = 1;
+};
+
+/// \brief Trace-driven simulator of speculative service.
+///
+/// Construct once per (corpus, trace); Run replays the trace under a
+/// configuration and returns raw totals; Evaluate additionally replays the
+/// plain protocol with identical caching and returns the paper's four
+/// ratios. Per-day dependency counts are cached across runs that share
+/// (T_w, StrideTimeout), which makes parameter sweeps (T_p, MaxSize, ...)
+/// cheap.
+class SpeculationSimulator {
+ public:
+  /// `corpus` and `trace` must outlive the simulator. The trace should be
+  /// preprocessed (FilterTrace); kNotFound/kScript records are ignored.
+  SpeculationSimulator(const trace::Corpus* corpus,
+                       const trace::Trace* trace);
+
+  SpeculationSimulator(const SpeculationSimulator&) = delete;
+  SpeculationSimulator& operator=(const SpeculationSimulator&) = delete;
+
+  /// Replays the trace under `config`. If `server_events` is non-null it
+  /// receives one time-ordered entry per request that reached the server
+  /// (misses, prefetches, hint fetches) with its response size, ready for
+  /// ComputeQueueStats.
+  RunTotals Run(const SpeculationConfig& config,
+                std::vector<ServerEvent>* server_events = nullptr);
+
+  /// Runs `config` and its mode-kNone twin and computes the four ratios.
+  SpeculationMetrics Evaluate(const SpeculationConfig& config);
+
+ private:
+  const std::vector<DayCounts>& DailyDeltas(const DependencyConfig& config);
+
+  const trace::Corpus* corpus_;
+  const trace::Trace* trace_;
+  /// Cache of per-day dependency counts keyed by (window, stride timeout).
+  std::map<std::pair<double, double>, std::vector<DayCounts>> delta_cache_;
+};
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_SIMULATOR_H_

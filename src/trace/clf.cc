@@ -1,0 +1,262 @@
+#include "trace/clf.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace sds::trace {
+namespace {
+
+const char* const kMonthNames[12] = {"Jan", "Feb", "Mar", "Apr",
+                                     "May", "Jun", "Jul", "Aug",
+                                     "Sep", "Oct", "Nov", "Dec"};
+
+// Howard Hinnant's civil-date algorithms (public domain).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yr = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yr + (*m <= 2);
+}
+
+const int64_t kEpochDays = DaysFromCivil(kTraceEpochYear, 1, 1);
+
+Result<int> MonthFromName(const std::string& name) {
+  for (int i = 0; i < 12; ++i) {
+    if (name == kMonthNames[i]) return i + 1;
+  }
+  return Status::ParseError("bad month name: " + name);
+}
+
+std::string HostName(ClientId client, bool remote) {
+  char buf[64];
+  if (remote) {
+    std::snprintf(buf, sizeof(buf), "h%u.org%u.example.com", client,
+                  client % 97);
+  } else {
+    std::snprintf(buf, sizeof(buf), "h%u.cs.bu.edu", client);
+  }
+  return buf;
+}
+
+Result<ClientId> ClientFromHost(const std::string& host, bool* remote) {
+  if (host.size() < 2 || host[0] != 'h') {
+    return Status::ParseError("unrecognized host: " + host);
+  }
+  size_t pos = 1;
+  uint64_t id = 0;
+  while (pos < host.size() && host[pos] >= '0' && host[pos] <= '9') {
+    id = id * 10 + static_cast<uint64_t>(host[pos] - '0');
+    ++pos;
+  }
+  if (pos == 1) return Status::ParseError("unrecognized host: " + host);
+  *remote = !EndsWith(host, ".cs.bu.edu");
+  return static_cast<ClientId>(id);
+}
+
+}  // namespace
+
+std::string FormatClfTime(SimTime t) {
+  const int64_t total_seconds = static_cast<int64_t>(t);
+  const int64_t days = total_seconds / 86400;
+  const int64_t secs = total_seconds - days * 86400;
+  int64_t year;
+  unsigned month, day;
+  CivilFromDays(kEpochDays + days, &year, &month, &day);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%02u/%s/%04lld:%02lld:%02lld:%02lld +0000]",
+                day, kMonthNames[month - 1], static_cast<long long>(year),
+                static_cast<long long>(secs / 3600),
+                static_cast<long long>((secs / 60) % 60),
+                static_cast<long long>(secs % 60));
+  return buf;
+}
+
+Result<SimTime> ParseClfTime(const std::string& field) {
+  // [dd/Mon/yyyy:hh:mm:ss +zzzz]
+  if (field.size() < 22 || field.front() != '[' || field.back() != ']') {
+    return Status::ParseError("bad CLF time: " + field);
+  }
+  const std::string body = field.substr(1, field.size() - 2);
+  const auto space = body.find(' ');
+  const std::string datetime =
+      space == std::string::npos ? body : body.substr(0, space);
+  const auto parts = SplitString(datetime, ':');
+  if (parts.size() != 4) return Status::ParseError("bad CLF time: " + field);
+  const auto date = SplitString(parts[0], '/');
+  if (date.size() != 3) return Status::ParseError("bad CLF date: " + field);
+  SDS_ASSIGN_OR_RETURN(const int64_t day, ParseInt64(date[0]));
+  SDS_ASSIGN_OR_RETURN(const int month, MonthFromName(date[1]));
+  SDS_ASSIGN_OR_RETURN(const int64_t year, ParseInt64(date[2]));
+  SDS_ASSIGN_OR_RETURN(const int64_t hh, ParseInt64(parts[1]));
+  SDS_ASSIGN_OR_RETURN(const int64_t mm, ParseInt64(parts[2]));
+  SDS_ASSIGN_OR_RETURN(const int64_t ss, ParseInt64(parts[3]));
+  const int64_t days =
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day)) -
+      kEpochDays;
+  return static_cast<SimTime>(days * 86400 + hh * 3600 + mm * 60 + ss);
+}
+
+std::string FormatClfLine(const ClfRecord& record) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%s - - %s \"%s %s HTTP/1.0\" %d %llu",
+                record.host.c_str(), FormatClfTime(record.time).c_str(),
+                record.method.c_str(), record.path.c_str(), record.status,
+                static_cast<unsigned long long>(record.bytes));
+  return buf;
+}
+
+Result<ClfRecord> ParseClfLine(const std::string& line) {
+  ClfRecord record;
+  // host ident user [date] "request" status bytes
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return Status::ParseError("short CLF line");
+  record.host = line.substr(0, sp1);
+
+  const auto lb = line.find('[', sp1);
+  const auto rb = line.find(']', lb);
+  if (lb == std::string::npos || rb == std::string::npos) {
+    return Status::ParseError("no timestamp in CLF line: " + line);
+  }
+  SDS_ASSIGN_OR_RETURN(record.time,
+                       ParseClfTime(line.substr(lb, rb - lb + 1)));
+
+  const auto q1 = line.find('"', rb);
+  const auto q2 = line.find('"', q1 + 1);
+  if (q1 == std::string::npos || q2 == std::string::npos) {
+    return Status::ParseError("no request field in CLF line: " + line);
+  }
+  const std::string request = line.substr(q1 + 1, q2 - q1 - 1);
+  const auto req_parts = SplitString(request, ' ');
+  if (req_parts.size() < 2) {
+    return Status::ParseError("bad request field: " + request);
+  }
+  record.method = req_parts[0];
+  record.path = req_parts[1];
+
+  const auto rest = SplitString(
+      std::string(StripWhitespace(line.substr(q2 + 1))), ' ');
+  if (rest.size() < 2) return Status::ParseError("no status/bytes: " + line);
+  SDS_ASSIGN_OR_RETURN(const int64_t status, ParseInt64(rest[0]));
+  record.status = static_cast<int>(status);
+  if (rest[1] == "-") {
+    record.bytes = 0;
+  } else {
+    SDS_ASSIGN_OR_RETURN(const int64_t bytes, ParseInt64(rest[1]));
+    record.bytes = static_cast<uint64_t>(bytes);
+  }
+  return record;
+}
+
+std::vector<std::string> TraceToClf(const Trace& trace, const Corpus& corpus) {
+  std::vector<std::string> lines;
+  lines.reserve(trace.requests.size());
+  for (const auto& r : trace.requests) {
+    ClfRecord rec;
+    rec.host = HostName(r.client, r.remote_client);
+    rec.time = r.time;
+    rec.method = "GET";
+    rec.bytes = r.bytes;
+    switch (r.kind) {
+      case RequestKind::kDocument:
+        rec.path = corpus.doc(r.doc).path;
+        rec.status = 200;
+        break;
+      case RequestKind::kAlias:
+        rec.path = "/alias" + corpus.doc(r.doc).path;
+        rec.status = 200;
+        break;
+      case RequestKind::kNotFound:
+        rec.path = "/missing/" + std::to_string(r.client % 1000) + ".html";
+        rec.status = 404;
+        rec.bytes = 0;
+        break;
+      case RequestKind::kScript:
+        rec.path = "/cgi-bin/query?q=" + std::to_string(r.client % 100);
+        rec.status = 200;
+        break;
+    }
+    lines.push_back(FormatClfLine(rec));
+  }
+  return lines;
+}
+
+Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
+                         const Corpus& corpus) {
+  Trace trace;
+  trace.requests.reserve(lines.size());
+  uint32_t max_client = 0;
+  for (const auto& line : lines) {
+    if (StripWhitespace(line).empty()) continue;
+    SDS_ASSIGN_OR_RETURN(const ClfRecord rec, ParseClfLine(line));
+    Request r;
+    bool remote = false;
+    SDS_ASSIGN_OR_RETURN(r.client, ClientFromHost(rec.host, &remote));
+    r.remote_client = remote;
+    r.time = rec.time;
+    r.bytes = static_cast<uint32_t>(rec.bytes);
+    max_client = std::max(max_client, r.client + 1);
+    if (rec.status == 404) {
+      r.kind = RequestKind::kNotFound;
+    } else if (StartsWith(rec.path, "/cgi-bin/")) {
+      r.kind = RequestKind::kScript;
+    } else {
+      std::string path = rec.path;
+      r.kind = RequestKind::kDocument;
+      if (StartsWith(path, "/alias/")) {
+        path = path.substr(6);  // strip "/alias"
+        r.kind = RequestKind::kAlias;
+      }
+      const auto doc = corpus.FindByPath(/*server=*/0, path);
+      if (doc.ok()) {
+        r.doc = doc.value();
+        r.server = corpus.doc(r.doc).server;
+      } else {
+        r.kind = RequestKind::kNotFound;
+      }
+    }
+    trace.requests.push_back(r);
+  }
+  trace.num_clients = max_client;
+  trace.num_servers = corpus.num_servers();
+  trace.SortByTime();
+  return trace;
+}
+
+Status WriteClfFile(const std::string& path, const Trace& trace,
+                    const Corpus& corpus) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  for (const auto& line : TraceToClf(trace, corpus)) out << line << '\n';
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return ClfToTrace(lines, corpus);
+}
+
+}  // namespace sds::trace

@@ -1,0 +1,68 @@
+#ifndef SDS_TRACE_CLF_H_
+#define SDS_TRACE_CLF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/corpus.h"
+#include "trace/request.h"
+#include "util/status.h"
+
+namespace sds::trace {
+
+/// \brief A parsed NCSA Common Log Format record:
+/// `host ident user [date] "METHOD path HTTP/x.y" status bytes`.
+///
+/// The 1995 BU traces the paper analyzed were plain httpd CLF logs; this
+/// reader lets real logs be substituted for the synthetic workload.
+struct ClfRecord {
+  std::string host;
+  SimTime time = 0.0;  ///< Seconds since the trace epoch.
+  std::string method;
+  std::string path;
+  int status = 0;
+  uint64_t bytes = 0;
+};
+
+/// \brief Seconds between the Unix epoch representation used in log lines
+/// and SimTime 0. The synthetic workload's epoch is 1995-01-01 00:00:00 UTC,
+/// the start of the trace period the paper analyzed.
+inline constexpr int64_t kTraceEpochYear = 1995;
+
+/// \brief Formats SimTime as a CLF timestamp, e.g.
+/// "[01/Jan/1995:00:00:00 +0000]" for t = 0.
+std::string FormatClfTime(SimTime t);
+
+/// \brief Parses a CLF timestamp (the bracketed form above) into SimTime.
+Result<SimTime> ParseClfTime(const std::string& field);
+
+/// \brief Formats one record as a CLF line (without trailing newline).
+std::string FormatClfLine(const ClfRecord& record);
+
+/// \brief Parses one CLF line.
+Result<ClfRecord> ParseClfLine(const std::string& line);
+
+/// \brief Renders a trace as CLF lines. Hostnames encode the client id and
+/// locality: remote clients are `hN.orgM.example.com`, local clients
+/// `hN.cs.bu.edu`. Paths come from the corpus; 404s get a `/missing/...`
+/// path and scripts `/cgi-bin/...`.
+std::vector<std::string> TraceToClf(const Trace& trace, const Corpus& corpus);
+
+/// \brief Reconstructs a Trace from CLF lines using the corpus to resolve
+/// paths (server 0 is assumed; multi-server traces are serialized per
+/// server). Unresolvable document paths become kNotFound records, matching
+/// how the paper's preprocessing treated them.
+Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
+                         const Corpus& corpus);
+
+/// \brief Writes CLF lines to a file.
+Status WriteClfFile(const std::string& path, const Trace& trace,
+                    const Corpus& corpus);
+
+/// \brief Reads a CLF file into a trace.
+Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus);
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_CLF_H_

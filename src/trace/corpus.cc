@@ -1,0 +1,187 @@
+#include "trace/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/distributions.h"
+#include "util/logging.h"
+
+namespace sds::trace {
+
+const char* DocumentKindToString(DocumentKind kind) {
+  switch (kind) {
+    case DocumentKind::kPage:
+      return "page";
+    case DocumentKind::kImage:
+      return "image";
+    case DocumentKind::kArchive:
+      return "archive";
+  }
+  return "?";
+}
+
+const char* AudienceClassToString(AudienceClass audience) {
+  switch (audience) {
+    case AudienceClass::kRemote:
+      return "remote";
+    case AudienceClass::kLocal:
+      return "local";
+    case AudienceClass::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+Corpus::Corpus(std::vector<DocumentInfo> docs) : docs_(std::move(docs)) {
+  BuildIndexes();
+}
+
+void Corpus::BuildIndexes() {
+  num_servers_ = 0;
+  for (const auto& d : docs_) {
+    num_servers_ = std::max(num_servers_, d.server + 1);
+  }
+  server_docs_.assign(num_servers_, {});
+  by_path_.clear();
+  by_path_.reserve(docs_.size());
+  for (const auto& d : docs_) {
+    SDS_CHECK(d.id < docs_.size()) << "non-dense document id " << d.id;
+    SDS_CHECK(docs_[d.id].id == d.id) << "document id mismatch";
+    server_docs_[d.server].push_back(d.id);
+    const bool inserted =
+        by_path_.emplace(std::to_string(d.server) + d.path, d.id).second;
+    SDS_CHECK(inserted) << "duplicate path " << d.path << " on server "
+                        << d.server;
+  }
+}
+
+Result<DocumentId> Corpus::FindByPath(ServerId server,
+                                      const std::string& path) const {
+  const auto it = by_path_.find(std::to_string(server) + path);
+  if (it == by_path_.end()) {
+    return Status::NotFound("no document " + path + " on server " +
+                            std::to_string(server));
+  }
+  return it->second;
+}
+
+uint64_t Corpus::ServerBytes(ServerId server) const {
+  uint64_t total = 0;
+  for (DocumentId id : server_docs_[server]) total += docs_[id].size_bytes;
+  return total;
+}
+
+uint64_t Corpus::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& d : docs_) total += d.size_bytes;
+  return total;
+}
+
+namespace {
+
+AudienceClass SampleAudience(const CorpusConfig& config, Rng* rng) {
+  const double u = rng->NextDouble();
+  if (u < config.remote_fraction) return AudienceClass::kRemote;
+  if (u < config.remote_fraction + config.local_fraction) {
+    return AudienceClass::kLocal;
+  }
+  return AudienceClass::kGlobal;
+}
+
+double SampleUpdateProbability(const CorpusConfig& config,
+                               AudienceClass audience, Rng* rng) {
+  // A small mutable subset carries nearly all updates (paper Section 2).
+  // Mutable documents concentrate in the locally oriented class (course
+  // pages, internal announcements), so the class-conditional *average*
+  // rates match the observed ~2%/day for locally popular documents and
+  // <0.5%/day otherwise.
+  const double mutable_fraction =
+      audience == AudienceClass::kLocal ? 2.0 * config.mutable_fraction
+                                        : 0.25 * config.mutable_fraction;
+  if (rng->NextBernoulli(mutable_fraction)) {
+    return config.mutable_update_probability;
+  }
+  if (audience == AudienceClass::kLocal) {
+    return config.local_update_probability;
+  }
+  return config.other_update_probability;
+}
+
+std::string MakePath(const char* dir, const char* ext, uint32_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%s/%04u.%s", dir, index, ext);
+  return buf;
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const CorpusConfig& config, Rng* rng) {
+  SDS_CHECK(config.num_servers >= 1);
+  SDS_CHECK(config.remote_fraction + config.local_fraction <= 1.0);
+
+  const LognormalDistribution page_size(config.page_size_log_mean,
+                                        config.page_size_log_sigma);
+  const LognormalDistribution image_size(config.image_size_log_mean,
+                                         config.image_size_log_sigma);
+  const BoundedParetoDistribution archive_size(
+      config.archive_size_alpha, config.archive_size_min,
+      config.archive_size_max);
+
+  std::vector<DocumentInfo> docs;
+  docs.reserve(static_cast<size_t>(config.num_servers) *
+               (config.pages_per_server + config.images_per_server +
+                config.archives_per_server));
+
+  for (ServerId server = 0; server < config.num_servers; ++server) {
+    for (uint32_t i = 0; i < config.pages_per_server; ++i) {
+      DocumentInfo d;
+      d.id = static_cast<DocumentId>(docs.size());
+      d.server = server;
+      d.kind = DocumentKind::kPage;
+      d.audience = SampleAudience(config, rng);
+      d.size_bytes =
+          std::max<uint64_t>(256, static_cast<uint64_t>(page_size.Sample(rng)));
+      d.update_probability_per_day =
+          SampleUpdateProbability(config, d.audience, rng);
+      d.path = MakePath("docs", "html", i);
+      docs.push_back(std::move(d));
+    }
+    for (uint32_t i = 0; i < config.images_per_server; ++i) {
+      DocumentInfo d;
+      d.id = static_cast<DocumentId>(docs.size());
+      d.server = server;
+      d.kind = DocumentKind::kImage;
+      d.audience = SampleAudience(config, rng);
+      if (i < 4) {
+        // Site icons (logos, bullets): tiny, fetched constantly — the link
+        // graph wires the first few images onto most pages.
+        d.size_bytes = 400 + rng->NextBounded(2200);
+        d.audience = AudienceClass::kGlobal;
+      } else {
+        d.size_bytes = std::max<uint64_t>(
+            128, static_cast<uint64_t>(image_size.Sample(rng)));
+      }
+      // Inline objects change when their page changes; rarely on their own.
+      d.update_probability_per_day = config.other_update_probability;
+      d.path = MakePath("img", "gif", i);
+      docs.push_back(std::move(d));
+    }
+    for (uint32_t i = 0; i < config.archives_per_server; ++i) {
+      DocumentInfo d;
+      d.id = static_cast<DocumentId>(docs.size());
+      d.server = server;
+      d.kind = DocumentKind::kArchive;
+      // Large objects are what the wide-area audience downloads.
+      d.audience = rng->NextBernoulli(0.7) ? AudienceClass::kRemote
+                                           : AudienceClass::kGlobal;
+      d.size_bytes = static_cast<uint64_t>(archive_size.Sample(rng));
+      d.update_probability_per_day = config.other_update_probability;
+      d.path = MakePath("pub", "tar", i);
+      docs.push_back(std::move(d));
+    }
+  }
+  return Corpus(std::move(docs));
+}
+
+}  // namespace sds::trace

@@ -1,0 +1,98 @@
+#ifndef SDS_TRACE_CORPUS_H_
+#define SDS_TRACE_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/document.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sds::trace {
+
+/// \brief Parameters of the synthetic document population.
+///
+/// Defaults are calibrated to the paper's description of cs-www.bu.edu:
+/// roughly 2000 files totalling 50+ MB, a mix of small HTML pages, inline
+/// images and a few large multimedia objects, with audience classes in
+/// roughly the 10% remote / 52% local / 37% global proportions of Section 2
+/// and updates concentrated on a small "mutable" subset.
+struct CorpusConfig {
+  uint32_t num_servers = 1;
+  uint32_t pages_per_server = 700;
+  uint32_t images_per_server = 1200;
+  uint32_t archives_per_server = 60;
+
+  /// Lognormal page sizes (median ~4 KB).
+  double page_size_log_mean = 8.3;
+  double page_size_log_sigma = 0.9;
+  /// Lognormal inline-image sizes (median ~8 KB).
+  double image_size_log_mean = 9.0;
+  double image_size_log_sigma = 1.1;
+  /// Bounded-Pareto archive sizes in [64 KB, 4 MB].
+  double archive_size_alpha = 1.1;
+  double archive_size_min = 65536.0;
+  double archive_size_max = 8.0 * 1024 * 1024;
+
+  /// Audience class mix over pages (images inherit the class of a page on
+  /// their server; archives are mostly remote-oriented).
+  double remote_fraction = 0.10;
+  double local_fraction = 0.52;
+
+  /// Fraction of documents that are "mutable" (frequently updated). The
+  /// paper observed that frequent updates are confined to a very small
+  /// subset, with locally popular documents updated ~2%/day and
+  /// remotely/globally popular ones <0.5%/day.
+  double mutable_fraction = 0.08;
+  double mutable_update_probability = 0.15;
+  double local_update_probability = 0.02;
+  double other_update_probability = 0.004;
+};
+
+/// \brief The set of documents served by a cluster of home servers.
+///
+/// Documents have dense ids [0, size()). Paths are unique per server.
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::vector<DocumentInfo> docs);
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+  const DocumentInfo& doc(DocumentId id) const { return docs_[id]; }
+  const std::vector<DocumentInfo>& docs() const { return docs_; }
+
+  uint32_t num_servers() const { return num_servers_; }
+
+  /// Ids of the documents owned by one server.
+  const std::vector<DocumentId>& server_docs(ServerId server) const {
+    return server_docs_[server];
+  }
+
+  /// Looks a document up by (server, path); NotFound if absent.
+  Result<DocumentId> FindByPath(ServerId server, const std::string& path) const;
+
+  /// Total bytes across all documents of one server.
+  uint64_t ServerBytes(ServerId server) const;
+
+  /// Total bytes across the whole corpus.
+  uint64_t TotalBytes() const;
+
+ private:
+  void BuildIndexes();
+
+  std::vector<DocumentInfo> docs_;
+  uint32_t num_servers_ = 0;
+  std::vector<std::vector<DocumentId>> server_docs_;
+  std::unordered_map<std::string, DocumentId> by_path_;  // "srv/path"
+};
+
+/// \brief Generates a corpus from the configuration; deterministic given
+/// the generator state.
+Corpus GenerateCorpus(const CorpusConfig& config, Rng* rng);
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_CORPUS_H_

@@ -1,0 +1,59 @@
+#ifndef SDS_TRACE_DOCUMENT_H_
+#define SDS_TRACE_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sds::trace {
+
+/// Dense 0-based identifier of a document across the whole workload (all
+/// home servers of a cluster share one id space; DocumentInfo::server says
+/// which server owns the document).
+using DocumentId = uint32_t;
+inline constexpr DocumentId kInvalidDocument = UINT32_MAX;
+
+/// Dense 0-based identifier of a client (browser / user host).
+using ClientId = uint32_t;
+
+/// Dense 0-based identifier of a home server within a cluster.
+using ServerId = uint32_t;
+
+/// \brief Coarse media type of a document. The paper uses "document" for any
+/// multimedia object; sizes and linking behaviour differ per kind.
+enum class DocumentKind : uint8_t {
+  kPage = 0,     ///< HTML page: can embed objects and link to other pages.
+  kImage = 1,    ///< Inline object fetched together with its embedding page.
+  kArchive = 2,  ///< Large stand-alone object (software, audio, video).
+};
+
+const char* DocumentKindToString(DocumentKind kind);
+
+/// \brief Ground-truth audience orientation assigned by the workload
+/// generator. The *analyzer* must recover the corresponding observable
+/// classes (remotely / locally / globally popular, Section 2 of the paper)
+/// from the trace alone; tests compare the inference against this intent.
+enum class AudienceClass : uint8_t {
+  kRemote = 0,  ///< Mostly requested by clients outside the organisation.
+  kLocal = 1,   ///< Mostly requested by clients inside the organisation.
+  kGlobal = 2,  ///< Requested from everywhere.
+};
+
+const char* AudienceClassToString(AudienceClass audience);
+
+/// \brief Static description of one document.
+struct DocumentInfo {
+  DocumentId id = kInvalidDocument;
+  ServerId server = 0;
+  DocumentKind kind = DocumentKind::kPage;
+  AudienceClass audience = AudienceClass::kGlobal;
+  uint64_t size_bytes = 0;
+  /// Probability that the document is updated on any given day (multiple
+  /// same-day updates count once, as in the paper's measurement).
+  double update_probability_per_day = 0.0;
+  /// URL path on its server, e.g. "/docs/0042.html".
+  std::string path;
+};
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_DOCUMENT_H_

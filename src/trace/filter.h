@@ -1,0 +1,27 @@
+#ifndef SDS_TRACE_FILTER_H_
+#define SDS_TRACE_FILTER_H_
+
+#include <cstdint>
+
+#include "trace/request.h"
+
+namespace sds::trace {
+
+/// \brief Counters from trace preprocessing.
+struct FilterStats {
+  uint64_t kept = 0;
+  uint64_t dropped_not_found = 0;
+  uint64_t dropped_script = 0;
+  uint64_t canonicalized_alias = 0;
+};
+
+/// \brief The preprocessing the paper applied before analysis (footnote 6):
+/// removes accesses to nonexistent documents and to scripts ("live"
+/// documents), and renames accesses to aliases of a document to the
+/// canonical document. Returns the cleaned trace; `stats` (optional)
+/// receives the counters.
+Trace FilterTrace(const Trace& raw, FilterStats* stats = nullptr);
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_FILTER_H_

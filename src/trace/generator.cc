@@ -1,0 +1,274 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+#include <unordered_map>
+
+#include "util/distributions.h"
+#include "util/logging.h"
+
+namespace sds::trace {
+namespace {
+
+/// Hourly arrival weights (rough office-hours diurnal shape).
+constexpr double kHourWeights[24] = {
+    0.3, 0.2, 0.15, 0.1, 0.1, 0.15, 0.3, 0.6, 1.0, 1.5, 1.8, 1.9,
+    1.7, 1.8, 1.9,  1.8, 1.7, 1.5,  1.3, 1.2, 1.1, 0.9, 0.7, 0.5};
+
+/// Samples a Poisson count via inversion (small means) or normal
+/// approximation (large means). Deterministic across platforms.
+uint64_t SamplePoisson(double mean, Rng* rng) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    double product = rng->NextDouble();
+    uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= rng->NextDouble();
+    }
+    return count;
+  }
+  const double x = mean + std::sqrt(mean) * SampleStandardNormal(rng);
+  return x <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(x));
+}
+
+/// Per-client LRU browser cache (document ids with byte accounting). Only
+/// membership matters to the generator, so this is a lean map + list.
+class BrowserCache {
+ public:
+  void SetCapacity(uint64_t bytes) { capacity_ = bytes; }
+
+  bool Contains(DocumentId doc) const { return entries_.count(doc) > 0; }
+
+  void Insert(DocumentId doc, uint64_t size) {
+    if (capacity_ == 0 || size > capacity_) return;
+    auto it = entries_.find(doc);
+    if (it != entries_.end()) {
+      lru_.erase(it->second.pos);
+      lru_.push_front(doc);
+      it->second.pos = lru_.begin();
+      return;
+    }
+    lru_.push_front(doc);
+    entries_.emplace(doc, Entry{size, lru_.begin()});
+    used_ += size;
+    while (used_ > capacity_ && !lru_.empty()) {
+      const DocumentId victim = lru_.back();
+      lru_.pop_back();
+      auto vit = entries_.find(victim);
+      used_ -= vit->second.size;
+      entries_.erase(vit);
+    }
+  }
+
+  void Clear() {
+    entries_.clear();
+    lru_.clear();
+    used_ = 0;
+  }
+
+ private:
+  struct Entry {
+    uint64_t size;
+    std::list<DocumentId>::iterator pos;
+  };
+  uint64_t capacity_ = 0;
+  uint64_t used_ = 0;
+  std::unordered_map<DocumentId, Entry> entries_;
+  std::list<DocumentId> lru_;
+};
+
+}  // namespace
+
+GeneratedTrace GenerateTrace(const TraceGeneratorConfig& config,
+                             LinkGraph* graph, Rng* rng) {
+  SDS_CHECK(graph != nullptr);
+  SDS_CHECK(config.num_clients >= 1);
+  SDS_CHECK(config.days >= 1);
+  const Corpus& corpus = graph->corpus();
+  const uint32_t num_servers = corpus.num_servers();
+
+  GeneratedTrace out;
+  out.trace.num_clients = config.num_clients;
+  out.trace.num_servers = num_servers;
+
+  // Client locality and activity skew.
+  out.client_is_remote.resize(config.num_clients);
+  for (uint32_t c = 0; c < config.num_clients; ++c) {
+    out.client_is_remote[c] = rng->NextBernoulli(config.remote_client_fraction);
+  }
+  // Per-client activity: Zipf-skewed, with local clients browsing more.
+  const ZipfDistribution activity_rank(config.num_clients,
+                                       config.client_activity_zipf_s);
+  std::vector<double> activity_weights(config.num_clients);
+  for (uint32_t c = 0; c < config.num_clients; ++c) {
+    activity_weights[c] =
+        activity_rank.Pmf(c) *
+        (out.client_is_remote[c] ? 1.0 : config.local_activity_multiplier);
+  }
+  const DiscreteSampler client_sampler(activity_weights);
+
+  // Server choice distribution.
+  std::vector<double> server_weights = config.server_weights;
+  if (server_weights.empty()) server_weights.assign(num_servers, 1.0);
+  SDS_CHECK(server_weights.size() == num_servers)
+      << "server_weights size must match corpus servers";
+  const DiscreteSampler server_sampler(server_weights);
+
+  // Diurnal hour sampler.
+  std::vector<double> hour_weights(24, 1.0);
+  if (config.diurnal) {
+    hour_weights.assign(std::begin(kHourWeights), std::end(kHourWeights));
+  }
+  const DiscreteSampler hour_sampler(hour_weights);
+
+  const LognormalDistribution think_time(
+      std::log(config.think_time_log_median), config.think_time_log_sigma);
+  const double remote_continue_prob =
+      1.0 - 1.0 / std::max(1.0, config.mean_pages_per_session);
+  const double local_continue_prob =
+      1.0 - 1.0 / std::max(1.0, config.local_mean_pages_per_session);
+
+  // Per-client, per-server last entry page (for revisit behaviour).
+  std::vector<DocumentId> last_entry(
+      static_cast<size_t>(config.num_clients) * num_servers,
+      kInvalidDocument);
+
+  // Browser caches: accesses they absorb never appear in the trace.
+  std::vector<BrowserCache> browsers(config.num_clients);
+  for (auto& b : browsers) b.SetCapacity(config.browser_cache_bytes);
+
+  // Emits a request unless the client's browser cache absorbs it.
+  auto emit = [&](ClientId client, bool remote, ServerId server,
+                  DocumentId doc, SimTime t, RequestKind kind) {
+    BrowserCache& browser = browsers[client];
+    const uint64_t size = corpus.doc(doc).size_bytes;
+    const bool reload = rng->NextBernoulli(config.forced_reload_rate);
+    if (config.browser_cache_bytes > 0 && !reload && browser.Contains(doc)) {
+      browser.Insert(doc, size);  // refresh LRU position
+      return;
+    }
+    Request r;
+    r.time = t;
+    r.client = client;
+    r.doc = doc;
+    r.server = server;
+    r.bytes = static_cast<uint32_t>(size);
+    r.kind = kind;
+    r.remote_client = remote;
+    out.trace.requests.push_back(r);
+    browser.Insert(doc, size);
+  };
+
+  const double sessions_per_day =
+      config.sessions_per_client_per_day * config.num_clients;
+
+  for (uint32_t day = 0; day < config.days; ++day) {
+    if (day > 0) graph->AdvanceDay(rng);
+
+    // Document updates for the mutability study.
+    for (const auto& d : corpus.docs()) {
+      if (rng->NextBernoulli(d.update_probability_per_day)) {
+        out.updates.push_back({day, d.id});
+      }
+    }
+
+    const uint64_t num_sessions = SamplePoisson(sessions_per_day, rng);
+    for (uint64_t s = 0; s < num_sessions; ++s) {
+      ++out.num_sessions;
+      // Active clients are Zipf-skewed: rank -> client id via a fixed
+      // mapping (identity is fine; client ids carry no other meaning).
+      const ClientId client =
+          static_cast<ClientId>(client_sampler.Sample(rng));
+      const bool remote = out.client_is_remote[client];
+      const double continue_prob =
+          remote ? remote_continue_prob : local_continue_prob;
+      const ServerId server =
+          static_cast<ServerId>(server_sampler.Sample(rng));
+
+      SimTime t = static_cast<double>(day) * kDay +
+                  static_cast<double>(hour_sampler.Sample(rng)) * kHour +
+                  rng->NextDouble() * kHour;
+
+      // Entry page: revisit or fresh sample.
+      DocumentId page = kInvalidDocument;
+      const size_t entry_slot =
+          static_cast<size_t>(client) * num_servers + server;
+      if (last_entry[entry_slot] != kInvalidDocument &&
+          rng->NextBernoulli(config.revisit_bias)) {
+        page = last_entry[entry_slot];
+      } else {
+        page = graph->SampleEntryPage(server, remote, rng);
+      }
+      last_entry[entry_slot] = page;
+
+      // Browser restarts clear the local cache before the session.
+      if (rng->NextBernoulli(config.browser_restart_probability)) {
+        browsers[client].Clear();
+      }
+
+      // Random walk over the link graph.
+      while (page != kInvalidDocument) {
+        const RequestKind page_kind = rng->NextBernoulli(config.alias_rate)
+                                          ? RequestKind::kAlias
+                                          : RequestKind::kDocument;
+        emit(client, remote, server, page, t, page_kind);
+
+        // Inline objects follow the page almost immediately (those the
+        // browser cache does not absorb), unless the view is aborted.
+        if (!rng->NextBernoulli(config.abort_rate)) {
+          for (DocumentId img : graph->Embedded(page)) {
+            emit(client, remote, server, img,
+                 t + 0.05 + rng->NextDouble() * config.embedded_spread_seconds,
+                 RequestKind::kDocument);
+          }
+        }
+
+        // Log noise (not subject to the browser cache).
+        if (rng->NextBernoulli(config.not_found_rate)) {
+          Request n;
+          n.time = t + rng->NextDouble() * 2.0;
+          n.client = client;
+          n.doc = kInvalidDocument;
+          n.server = server;
+          n.bytes = 0;
+          n.kind = RequestKind::kNotFound;
+          n.remote_client = remote;
+          out.trace.requests.push_back(n);
+        }
+        if (rng->NextBernoulli(config.script_rate)) {
+          Request n;
+          n.time = t + rng->NextDouble() * 2.0;
+          n.client = client;
+          n.doc = kInvalidDocument;
+          n.server = server;
+          n.bytes = 512;
+          n.kind = RequestKind::kScript;
+          n.remote_client = remote;
+          out.trace.requests.push_back(n);
+        }
+
+        // Follow links until we land on another page (archive targets are
+        // leaf fetches: request them and keep browsing from this page).
+        DocumentId next = kInvalidDocument;
+        while (true) {
+          if (!rng->NextBernoulli(continue_prob)) break;
+          next = graph->SampleOutLink(page, rng);
+          if (next == kInvalidDocument) break;
+          t += std::max(0.5, think_time.Sample(rng));
+          if (corpus.doc(next).kind == DocumentKind::kPage) break;
+          emit(client, remote, server, next, t, RequestKind::kDocument);
+          next = kInvalidDocument;
+        }
+        page = next;
+      }
+    }
+  }
+
+  out.trace.SortByTime();
+  return out;
+}
+
+}  // namespace sds::trace

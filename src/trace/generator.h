@@ -1,0 +1,99 @@
+#ifndef SDS_TRACE_GENERATOR_H_
+#define SDS_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/corpus.h"
+#include "trace/link_graph.h"
+#include "trace/request.h"
+#include "util/rng.h"
+
+namespace sds::trace {
+
+/// \brief Parameters of the synthetic access trace.
+///
+/// Defaults are calibrated against the trace the paper used (205,925
+/// accesses from 8,474 clients, 20,000+ sessions over three months of
+/// cs-www.bu.edu logs, scaled by client count): browsing sessions are random
+/// walks on the hyperlink graph, inline objects follow their page within a
+/// couple of seconds (embedding dependencies), link follows happen after a
+/// short think time (traversal dependencies), and a small amount of log
+/// noise (404s, CGI scripts, alias paths) is injected for the preprocessing
+/// stage to remove.
+struct TraceGeneratorConfig {
+  uint32_t num_clients = 2000;
+  /// Fraction of clients outside the serving organisation.
+  double remote_client_fraction = 0.60;
+  uint32_t days = 90;
+  /// Expected sessions per client per day (client activity itself is
+  /// Zipf-skewed, this is the population mean).
+  double sessions_per_client_per_day = 0.111;
+  /// Zipf exponent of per-client activity (some clients browse a lot).
+  double client_activity_zipf_s = 0.8;
+  /// Local (on-campus) clients browse this many times more sessions per
+  /// capita than remote visitors; this is what makes the long tail of
+  /// internal documents "locally popular" in the Section 2 classification.
+  double local_activity_multiplier = 3.0;
+  /// Mean pages viewed per session (geometric), separately for remote
+  /// visitors (shallow) and local users (deep).
+  double mean_pages_per_session = 2.8;
+  double local_mean_pages_per_session = 4.5;
+  /// Lognormal think time between page views, seconds. The median must be
+  /// comparable to the paper's StrideTimeout (5 s) for traversal
+  /// dependencies to be observable within strides.
+  double think_time_log_median = 3.2;
+  double think_time_log_sigma = 1.1;
+  /// Inline objects arrive uniformly within this many seconds of the page.
+  double embedded_spread_seconds = 1.5;
+  /// Probability that a session starts at the client's previous entry page
+  /// on this server (per-user revisit behaviour; powers the client-profile
+  /// prefetching study of §3.4).
+  double revisit_bias = 0.25;
+  /// Browser cache model. The paper's traces are *server-side* logs:
+  /// accesses served out of the client's own browser cache never reach the
+  /// server, which is why embedding dependencies measured from logs are not
+  /// all p = 1 and why repeat visits re-fetch little. Each client carries an
+  /// LRU byte cache that is cleared with some probability at session start
+  /// (browser restarts / multi-user hosts).
+  uint64_t browser_cache_bytes = 2 * 1024 * 1024;  ///< 0 disables the model.
+  double browser_restart_probability = 0.35;
+  /// Probability a view bypasses the browser cache (forced reload).
+  double forced_reload_rate = 0.02;
+  /// Probability a page view is aborted before its inline objects load
+  /// (stop button, slow 1995 links). Keeps measured embedding dependencies
+  /// slightly below p = 1, as in real logs.
+  double abort_rate = 0.07;
+
+  /// Noise rates (per page view).
+  double not_found_rate = 0.02;
+  double script_rate = 0.03;
+  double alias_rate = 0.02;
+  /// Model a diurnal arrival intensity (requests concentrate 9am-11pm).
+  bool diurnal = true;
+  /// Per-server request volume weights; empty = uniform across servers.
+  std::vector<double> server_weights;
+};
+
+/// \brief Output of the generator: the trace plus side information used by
+/// individual experiments.
+struct GeneratedTrace {
+  Trace trace;
+  /// Document update events, one per (day, doc) with at most one per day.
+  std::vector<UpdateEvent> updates;
+  /// Per-client locality flag (index = ClientId).
+  std::vector<bool> client_is_remote;
+  /// Number of sessions generated.
+  uint64_t num_sessions = 0;
+};
+
+/// \brief Generates `config.days` days of accesses against the corpus/link
+/// graph. The link graph drifts day by day (LinkGraph::AdvanceDay), so
+/// dependencies estimated from old history decay — the effect studied in
+/// §3.4. Deterministic given the rng state.
+GeneratedTrace GenerateTrace(const TraceGeneratorConfig& config,
+                             LinkGraph* graph, Rng* rng);
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_GENERATOR_H_

@@ -1,0 +1,19 @@
+#include "trace/request.h"
+
+#include <algorithm>
+
+namespace sds::trace {
+
+void Trace::SortByTime() {
+  std::stable_sort(
+      requests.begin(), requests.end(),
+      [](const Request& a, const Request& b) { return a.time < b.time; });
+}
+
+uint64_t Trace::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : requests) total += r.bytes;
+  return total;
+}
+
+}  // namespace sds::trace

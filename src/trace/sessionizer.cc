@@ -1,0 +1,42 @@
+#include "trace/sessionizer.h"
+
+namespace sds::trace {
+
+std::vector<std::vector<uint32_t>> GroupByClient(const Trace& trace) {
+  std::vector<std::vector<uint32_t>> by_client(trace.num_clients);
+  for (uint32_t i = 0; i < trace.requests.size(); ++i) {
+    const ClientId c = trace.requests[i].client;
+    if (c >= by_client.size()) by_client.resize(c + 1);
+    by_client[c].push_back(i);
+  }
+  return by_client;
+}
+
+std::vector<Segment> SplitByGap(const Trace& trace,
+                                const std::vector<uint32_t>& client_requests,
+                                SimTime timeout) {
+  std::vector<Segment> segments;
+  if (client_requests.empty()) return segments;
+  uint32_t begin = 0;
+  for (uint32_t i = 1; i < client_requests.size(); ++i) {
+    const SimTime gap = trace.requests[client_requests[i]].time -
+                        trace.requests[client_requests[i - 1]].time;
+    if (!(gap < timeout)) {
+      segments.push_back({begin, i});
+      begin = i;
+    }
+  }
+  segments.push_back({begin, static_cast<uint32_t>(client_requests.size())});
+  return segments;
+}
+
+uint64_t CountSegments(const Trace& trace, SimTime timeout) {
+  uint64_t total = 0;
+  for (const auto& reqs : GroupByClient(trace)) {
+    if (reqs.empty()) continue;
+    total += SplitByGap(trace, reqs, timeout).size();
+  }
+  return total;
+}
+
+}  // namespace sds::trace

@@ -1,0 +1,41 @@
+#ifndef SDS_TRACE_SESSIONIZER_H_
+#define SDS_TRACE_SESSIONIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/sim_time.h"
+
+namespace sds::trace {
+
+/// \brief Per-client request streams: for each client, the indices of its
+/// requests in `trace.requests`, in time order.
+std::vector<std::vector<uint32_t>> GroupByClient(const Trace& trace);
+
+/// \brief A contiguous run [begin, end) within one client's request-index
+/// list in which consecutive requests are separated by less than a timeout.
+/// With StrideTimeout this is the paper's *traversal stride*; with
+/// SessionTimeout it is a *session stride*.
+struct Segment {
+  uint32_t begin = 0;  ///< Index into the per-client index list (inclusive).
+  uint32_t end = 0;    ///< Index into the per-client index list (exclusive).
+
+  uint32_t size() const { return end - begin; }
+};
+
+/// \brief Splits one client's ordered request indices into maximal segments
+/// where successive requests are less than `timeout` seconds apart.
+/// `timeout` = kInfiniteTime yields a single segment; `timeout` = 0 yields
+/// one segment per request.
+std::vector<Segment> SplitByGap(const Trace& trace,
+                                const std::vector<uint32_t>& client_requests,
+                                SimTime timeout);
+
+/// \brief Counts segments across all clients for a given timeout (e.g. the
+/// "20,000 sessions" statistic the paper reports for its trace).
+uint64_t CountSegments(const Trace& trace, SimTime timeout);
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_SESSIONIZER_H_

@@ -1,0 +1,100 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sds {
+
+AsciiChart::AsciiChart(size_t width, size_t height)
+    : width_(width), height_(height) {
+  assert(width >= 10);
+  assert(height >= 4);
+}
+
+void AsciiChart::AddSeries(const std::string& name, std::vector<double> xs,
+                           std::vector<double> ys) {
+  assert(xs.size() == ys.size());
+  series_.push_back({name, std::move(xs), std::move(ys)});
+}
+
+void AsciiChart::SetYRange(double lo, double hi) {
+  assert(hi > lo);
+  has_y_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::Render() const {
+  static const char kGlyphs[] = {'*', '+', 'o', 'x', '@', '#'};
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -std::numeric_limits<double>::infinity();
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      x_lo = std::min(x_lo, s.xs[i]);
+      x_hi = std::max(x_hi, s.xs[i]);
+      y_lo = std::min(y_lo, s.ys[i]);
+      y_hi = std::max(y_hi, s.ys[i]);
+    }
+  }
+  if (!std::isfinite(x_lo)) {  // no data at all
+    return "(empty chart)\n";
+  }
+  if (has_y_range_) {
+    y_lo = y_lo_;
+    y_hi = y_hi_;
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - x_lo) / (x_hi - x_lo);
+      const double fy = (s.ys[i] - y_lo) / (y_hi - y_lo);
+      if (fy < 0.0 || fy > 1.0) continue;
+      size_t col = static_cast<size_t>(fx * static_cast<double>(width_ - 1));
+      size_t row = height_ - 1 -
+                   static_cast<size_t>(fy * static_cast<double>(height_ - 1));
+      col = std::min(col, width_ - 1);
+      row = std::min(row, height_ - 1);
+      grid[row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  char label[32];
+  for (size_t r = 0; r < height_; ++r) {
+    const double y = y_hi - (y_hi - y_lo) * static_cast<double>(r) /
+                                static_cast<double>(height_ - 1);
+    std::snprintf(label, sizeof(label), "%10.3f |", y);
+    out += label;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(width_, '-') + '\n';
+  std::snprintf(label, sizeof(label), "%.3f", x_lo);
+  std::string x_axis = std::string(12, ' ') + label;
+  std::snprintf(label, sizeof(label), "%.3f", x_hi);
+  const std::string hi_label = label;
+  if (x_axis.size() + hi_label.size() + 1 < 12 + width_) {
+    x_axis += std::string(12 + width_ - x_axis.size() - hi_label.size(),
+                          ' ');
+    x_axis += hi_label;
+  }
+  out += x_axis + '\n';
+  for (size_t si = 0; si < series_.size(); ++si) {
+    out += "  ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " = " + series_[si].name + '\n';
+  }
+  return out;
+}
+
+}  // namespace sds

@@ -1,0 +1,47 @@
+#ifndef SDS_UTIL_ASCII_CHART_H_
+#define SDS_UTIL_ASCII_CHART_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sds {
+
+/// \brief Renders one or more (x, y) series as a terminal scatter/line
+/// chart. Bench binaries use this to print figure-shaped output alongside
+/// the numeric tables, so the reproduced curves can be eyeballed directly.
+class AsciiChart {
+ public:
+  /// \param width chart width in characters (plot area)
+  /// \param height chart height in rows (plot area)
+  AsciiChart(size_t width = 72, size_t height = 20);
+
+  /// Adds a named series. Each series gets a distinct glyph (in order:
+  /// '*', '+', 'o', 'x', '@', '#').
+  void AddSeries(const std::string& name, std::vector<double> xs,
+                 std::vector<double> ys);
+
+  /// Fixes the y-axis range; by default the range is computed from data.
+  void SetYRange(double lo, double hi);
+
+  /// Renders the chart with axes, y tick labels and a legend.
+  std::string Render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  size_t width_;
+  size_t height_;
+  bool has_y_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+  std::vector<Series> series_;
+};
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_ASCII_CHART_H_

@@ -1,0 +1,80 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace sds {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi) {
+  assert(hi > lo);
+  assert(num_bins >= 1);
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+  counts_.assign(num_bins, 0.0);
+}
+
+void Histogram::Add(double value, double weight) {
+  total_ += weight;
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  size_t bin = static_cast<size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+  counts_[bin] += weight;
+}
+
+double Histogram::bin_lo(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+size_t Histogram::ArgMaxBin() const {
+  size_t best = 0;
+  for (size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<size_t> Histogram::PeakBins(double min_count) const {
+  std::vector<size_t> peaks;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] < min_count) continue;
+    const double left = i == 0 ? -1.0 : counts_[i - 1];
+    const double right = i + 1 == counts_.size() ? -1.0 : counts_[i + 1];
+    if (counts_[i] >= left && counts_[i] >= right &&
+        (counts_[i] > left || counts_[i] > right)) {
+      peaks.push_back(i);
+    }
+  }
+  return peaks;
+}
+
+std::string Histogram::Render(size_t bar_width) const {
+  double max_count = 1.0;
+  for (double c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = static_cast<size_t>(
+        std::lround(counts_[i] / max_count * static_cast<double>(bar_width)));
+    std::snprintf(line, sizeof(line), "[%8.4f, %8.4f) %10.0f |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sds

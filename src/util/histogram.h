@@ -1,0 +1,56 @@
+#ifndef SDS_UTIL_HISTOGRAM_H_
+#define SDS_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sds {
+
+/// \brief Fixed-width binned histogram over [lo, hi).
+///
+/// Values below lo land in an underflow bucket, values >= hi in an overflow
+/// bucket. Used for the paper's Figure 4 (histogram of pair probabilities).
+class Histogram {
+ public:
+  /// \param lo inclusive lower bound of the first bin
+  /// \param hi exclusive upper bound of the last bin (must be > lo)
+  /// \param num_bins number of equal-width bins (>= 1)
+  Histogram(double lo, double hi, size_t num_bins);
+
+  void Add(double value, double weight = 1.0);
+
+  size_t num_bins() const { return counts_.size(); }
+  double bin_lo(size_t bin) const;
+  double bin_hi(size_t bin) const;
+  double count(size_t bin) const { return counts_[bin]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const { return total_; }
+
+  /// Index of the bin with the largest count.
+  size_t ArgMaxBin() const;
+
+  /// Returns local maxima bins whose count is at least `min_count` and
+  /// strictly greater than both neighbours. Used to verify the 1/k peak
+  /// structure of Figure 4.
+  std::vector<size_t> PeakBins(double min_count) const;
+
+  /// Multi-line ASCII rendering (one row per bin, bar proportional to
+  /// count), suitable for terminal output of figure-style results.
+  std::string Render(size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_HISTOGRAM_H_

@@ -1,0 +1,66 @@
+#ifndef SDS_UTIL_LOGGING_H_
+#define SDS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sds {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Sets the global minimum level; messages below it are dropped.
+/// Default is kWarning so library consumers see problems but not chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; writes to stderr on destruction. SDS_LOG(FATAL)
+/// aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the level.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace sds
+
+#define SDS_LOG(level)                                                   \
+  (::sds::LogLevel::k##level < ::sds::GetLogLevel())                     \
+      ? (void)0                                                          \
+      : ::sds::internal::LogMessageVoidify() &                           \
+            ::sds::internal::LogMessage(::sds::LogLevel::k##level,       \
+                                        __FILE__, __LINE__)              \
+                .stream()
+
+/// CHECK-style invariant enforcement: always on, aborts with a message.
+#define SDS_CHECK(condition)                                          \
+  (condition) ? (void)0                                               \
+              : ::sds::internal::LogMessageVoidify() &                \
+                    ::sds::internal::LogMessage(                      \
+                        ::sds::LogLevel::kFatal, __FILE__, __LINE__)  \
+                        .stream()                                     \
+                        << "Check failed: " #condition " "
+
+#endif  // SDS_UTIL_LOGGING_H_

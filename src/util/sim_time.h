@@ -1,0 +1,35 @@
+#ifndef SDS_UTIL_SIM_TIME_H_
+#define SDS_UTIL_SIM_TIME_H_
+
+#include <limits>
+
+namespace sds {
+
+/// Simulated time is a double count of seconds since the start of the
+/// workload (t = 0). Traces span weeks, so double precision (sub-microsecond
+/// at 10^7 seconds) is ample.
+using SimTime = double;
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 86400.0;
+inline constexpr SimTime kWeek = 7.0 * kDay;
+
+/// Sentinel for "no timeout" parameters (e.g. SessionTimeout = infinity,
+/// which the paper uses to model an infinite multi-session client cache).
+inline constexpr SimTime kInfiniteTime =
+    std::numeric_limits<double>::infinity();
+
+/// Day index (0-based) containing the given time.
+inline long DayOfTime(SimTime t) { return static_cast<long>(t / kDay); }
+
+/// Seconds into the day, in [0, 86400).
+inline SimTime TimeOfDay(SimTime t) {
+  const long day = DayOfTime(t);
+  return t - static_cast<double>(day) * kDay;
+}
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_SIM_TIME_H_

@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sds {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  std::vector<double> w(x.size(), 1.0);
+  return FitLinearWeighted(x, y, w);
+}
+
+LinearFit FitLinearWeighted(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const std::vector<double>& w) {
+  assert(x.size() == y.size());
+  assert(x.size() == w.size());
+  assert(x.size() >= 2);
+  double sw = 0.0, sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sw += w[i];
+    sx += w[i] * x[i];
+    sy += w[i] * y[i];
+  }
+  assert(sw > 0.0);
+  const double mx = sx / sw;
+  const double my = sy / sw;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += w[i] * dx * dx;
+    sxy += w[i] * dx * dy;
+    syy += w[i] * dy * dy;
+  }
+  LinearFit fit;
+  fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (sxx > 0.0 && syy > 0.0)
+                      ? (sxy * sxy) / (sxx * syy)
+                      : (syy == 0.0 ? 1.0 : 0.0);
+  return fit;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const LinearFit fit = FitLinear(x, y);
+  const double r = std::sqrt(fit.r_squared);
+  return fit.slope >= 0.0 ? r : -r;
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  double cumulative = 0.0;
+  double weighted = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    assert(values[i] >= 0.0);
+    cumulative += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (cumulative <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cumulative) - (n + 1.0) / n;
+}
+
+}  // namespace sds

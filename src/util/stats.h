@@ -1,0 +1,65 @@
+#ifndef SDS_UTIL_STATS_H_
+#define SDS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sds {
+
+/// \brief Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one (parallel-combine safe).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Quantile of a sample by linear interpolation (type-7, the
+/// default of R/numpy). `q` in [0, 1]. Sorts a copy: O(n log n).
+double Quantile(std::vector<double> values, double q);
+
+/// \brief Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 = perfect fit).
+  double r_squared = 0.0;
+};
+
+/// \brief Ordinary least-squares fit; x and y must have equal size >= 2.
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// \brief Weighted least-squares fit with per-point weights (>= 0).
+LinearFit FitLinearWeighted(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const std::vector<double>& w);
+
+/// \brief Pearson correlation coefficient of two equal-length samples.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// \brief Gini coefficient of a non-negative sample; 0 = perfectly uniform,
+/// -> 1 = maximally concentrated. Used to characterise popularity skew.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_STATS_H_

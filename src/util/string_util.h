@@ -1,0 +1,39 @@
+#ifndef SDS_UTIL_STRING_UTIL_H_
+#define SDS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sds {
+
+/// \brief Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// \brief True if `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// \brief True if `input` ends with `suffix`.
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// \brief Lower-cases ASCII characters.
+std::string ToLowerAscii(std::string_view input);
+
+/// \brief Parses a signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// \brief Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view input);
+
+/// \brief Joins strings with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_STRING_UTIL_H_

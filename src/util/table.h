@@ -1,0 +1,56 @@
+#ifndef SDS_UTIL_TABLE_H_
+#define SDS_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sds {
+
+/// \brief A simple rectangular table of strings used to render experiment
+/// results, both as aligned terminal output (paper-style rows) and as CSV.
+class Table {
+ public:
+  /// \param columns header names; fixes the table width.
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; the number of cells must match the number of columns.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+  const std::string& cell(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// Renders with padded, right-aligned columns and a header rule.
+  std::string ToAlignedString() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes/newlines
+  /// are quoted, quotes doubled).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to a file.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double value, int digits = 4);
+
+/// \brief Formats a fraction as a percentage string, e.g. 0.235 -> "23.5%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+/// \brief Formats a byte count with binary units, e.g. "36.5 MB".
+std::string FormatBytes(double bytes);
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_TABLE_H_

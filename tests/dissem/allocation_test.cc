@@ -1,0 +1,178 @@
+#include "dissem/allocation.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sds::dissem {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(AllocateExponentialTest, SymmetricClusterGetsEqualShares) {
+  // Eq. 8: identical servers -> B_j = B_0 / n.
+  const std::vector<ServerDemand> servers(8, {1e6, 1e-6});
+  const auto alloc = AllocateExponential(servers, 8e6);
+  for (const double b : alloc) {
+    EXPECT_NEAR(b, 1e6, 1.0);
+  }
+}
+
+TEST(AllocateExponentialTest, BudgetFullyUsed) {
+  Rng rng(1);
+  std::vector<ServerDemand> servers;
+  for (int i = 0; i < 12; ++i) {
+    servers.push_back(
+        {1e5 * (1.0 + 9.0 * rng.NextDouble()),
+         1e-6 * (0.2 + 2.0 * rng.NextDouble())});
+  }
+  for (const double budget : {1e5, 1e6, 5e7}) {
+    const auto alloc = AllocateExponential(servers, budget);
+    double used = Sum(alloc);
+    EXPECT_NEAR(used, budget, budget * 1e-9);
+    for (const double b : alloc) EXPECT_GE(b, 0.0);
+  }
+}
+
+TEST(AllocateExponentialTest, PopularServersGetMore) {
+  const std::vector<ServerDemand> servers = {{10e6, 1e-6}, {1e6, 1e-6}};
+  const auto alloc = AllocateExponential(servers, 4e6);
+  EXPECT_GT(alloc[0], alloc[1]);
+}
+
+TEST(AllocateExponentialTest, ZeroRateServerExcluded) {
+  const std::vector<ServerDemand> servers = {{1e6, 1e-6}, {0.0, 1e-6}};
+  const auto alloc = AllocateExponential(servers, 2e6);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.0);
+  EXPECT_NEAR(alloc[0], 2e6, 1.0);
+}
+
+TEST(AllocateExponentialTest, TinyBudgetClampsUnpopular) {
+  // With a tiny budget the closed form goes negative for the unpopular
+  // server; KKT clamping must zero it and give everything to the popular
+  // one.
+  const std::vector<ServerDemand> servers = {{100e6, 1e-6}, {1e3, 1e-6}};
+  const auto alloc = AllocateExponential(servers, 1e5);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.0);
+  EXPECT_NEAR(alloc[0], 1e5, 1.0);
+}
+
+TEST(AllocateExponentialTest, ZeroBudget) {
+  const std::vector<ServerDemand> servers = {{1e6, 1e-6}};
+  const auto alloc = AllocateExponential(servers, 0.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+}
+
+/// The closed form must actually be the *optimum*: random perturbations
+/// that respect the budget can only lower the objective.
+class AllocationOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocationOptimalityTest, PerturbationsDoNotImprove) {
+  Rng rng(GetParam());
+  std::vector<ServerDemand> servers;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    servers.push_back(
+        {1e5 * (1.0 + 9.0 * rng.NextDouble()),
+         1e-6 * (0.3 + 3.0 * rng.NextDouble())});
+  }
+  const double budget = 3e6;
+  const auto alloc = AllocateExponential(servers, budget);
+  const double best = HitFraction(servers, alloc);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto perturbed = alloc;
+    const size_t a = rng.NextBounded(n);
+    const size_t b = rng.NextBounded(n);
+    if (a == b) continue;
+    const double delta =
+        std::min(perturbed[a], budget * 0.02 * rng.NextDouble());
+    perturbed[a] -= delta;
+    perturbed[b] += delta;
+    EXPECT_LE(HitFraction(servers, perturbed), best + 1e-9)
+        << "perturbation improved the objective";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationOptimalityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HitFractionTest, MatchesManualComputation) {
+  const std::vector<ServerDemand> servers = {{2e6, 1e-6}, {1e6, 2e-6}};
+  const std::vector<double> alloc = {1e6, 5e5};
+  const double expected =
+      (2e6 * (1.0 - std::exp(-1.0)) + 1e6 * (1.0 - std::exp(-1.0))) / 3e6;
+  EXPECT_NEAR(HitFraction(servers, alloc), expected, 1e-12);
+}
+
+TEST(AllocateEqualLambdaTest, MatchesGeneralAllocator) {
+  // Eq. 6 must agree with the general solver when all lambdas are equal
+  // (in the regime with all allocations positive).
+  const double lambda = 1e-6;
+  const std::vector<double> rates = {4e6, 2e6, 1e6};
+  const double budget = 30e6;
+  const auto special = AllocateEqualLambda(rates, lambda, budget);
+  std::vector<ServerDemand> servers;
+  for (const double r : rates) servers.push_back({r, lambda});
+  const auto general = AllocateExponential(servers, budget);
+  ASSERT_EQ(special.size(), general.size());
+  for (size_t i = 0; i < special.size(); ++i) {
+    EXPECT_NEAR(special[i], general[i], 1.0);
+  }
+  EXPECT_NEAR(Sum(special), budget, 1e-3);
+}
+
+TEST(AllocateEqualRateTest, MatchesGeneralAllocator) {
+  // Eq. 7 must agree with the general solver when all rates are equal.
+  const std::vector<double> lambdas = {0.5e-6, 1e-6, 2e-6};
+  const double budget = 30e6;
+  const auto special = AllocateEqualRate(lambdas, budget);
+  std::vector<ServerDemand> servers;
+  for (const double l : lambdas) servers.push_back({1e6, l});
+  const auto general = AllocateExponential(servers, budget);
+  for (size_t i = 0; i < special.size(); ++i) {
+    EXPECT_NEAR(special[i], general[i], 1.0);
+  }
+  EXPECT_NEAR(Sum(special), budget, 1e-3);
+}
+
+TEST(AllocateEqualRateTest, LaxStorageFavorsSmallLambda) {
+  // Eq. 7 with generous storage: more uniformly accessed servers (smaller
+  // lambda) get more space.
+  const std::vector<double> lambdas = {0.5e-6, 1e-6, 2e-6};
+  const auto alloc = AllocateEqualRate(lambdas, 100e6);
+  EXPECT_GT(alloc[0], alloc[1]);
+  EXPECT_GT(alloc[1], alloc[2]);
+}
+
+TEST(SymmetricTest, AllocationAndHitFraction) {
+  EXPECT_DOUBLE_EQ(SymmetricAllocation(10, 100.0), 10.0);
+  EXPECT_NEAR(SymmetricHitFraction(10, 1e-6, 10e6),
+              1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(SymmetricTest, PaperWorkedNumbers) {
+  // The corrected eq. 10 must reproduce the paper's worked numbers:
+  // lambda = 6.247e-7, 10 servers, 90% shield -> ~36 MB total.
+  const double lambda = 6.247e-7;
+  const double storage = SymmetricStorageForHitFraction(10, lambda, 0.90);
+  EXPECT_NEAR(storage / (1024.0 * 1024.0), 36.0, 1.5);
+  // 500 MB across 100 servers -> ~96% shield.
+  const double shield =
+      SymmetricHitFraction(100, lambda, 500.0 * 1024 * 1024);
+  EXPECT_NEAR(shield, 0.96, 0.01);
+}
+
+TEST(SymmetricTest, StorageInverseOfHitFraction) {
+  for (const double alpha : {0.1, 0.5, 0.9, 0.99}) {
+    const double storage = SymmetricStorageForHitFraction(7, 3e-7, alpha);
+    EXPECT_NEAR(SymmetricHitFraction(7, 3e-7, storage), alpha, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sds::dissem

@@ -1,0 +1,113 @@
+#include "dissem/cluster_simulator.h"
+
+#include "dissem/popularity.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace sds::dissem {
+namespace {
+
+class ClusterSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new core::Workload(core::MakeWorkload(core::ClusterConfig(5)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  static ClusterSimResult Run(AllocationPolicy policy,
+                              double fraction = 0.10) {
+    ClusterSimConfig config;
+    config.policy = policy;
+    config.proxy_storage_fraction = fraction;
+    return SimulateClusterAllocation(workload_->corpus(), workload_->clean(),
+                                     config);
+  }
+
+  static core::Workload* workload_;
+};
+
+core::Workload* ClusterSimTest::workload_ = nullptr;
+
+TEST_F(ClusterSimTest, AllPoliciesShieldSomething) {
+  for (const auto policy :
+       {AllocationPolicy::kOptimalExponential, AllocationPolicy::kEqualSplit,
+        AllocationPolicy::kProportionalToRate,
+        AllocationPolicy::kGreedyEmpirical}) {
+    const auto result = Run(policy);
+    EXPECT_GT(result.hit_fraction, 0.2)
+        << AllocationPolicyToString(policy);
+    EXPECT_LE(result.hit_fraction, 1.0);
+  }
+}
+
+TEST_F(ClusterSimTest, AllocationWithinBudget) {
+  for (const auto policy : {AllocationPolicy::kOptimalExponential,
+                            AllocationPolicy::kGreedyEmpirical}) {
+    const auto result = Run(policy);
+    const double used = std::accumulate(result.allocation.begin(),
+                                        result.allocation.end(), 0.0);
+    EXPECT_LE(used, result.total_storage * 1.001);
+  }
+}
+
+TEST_F(ClusterSimTest, OptimalBeatsEqualSplit) {
+  // The whole point of eqs. 4-5: demand-aware division of B_0 shields
+  // more than a blind equal split (given skewed per-server demand).
+  const double optimal =
+      Run(AllocationPolicy::kOptimalExponential).hit_fraction;
+  const double equal = Run(AllocationPolicy::kEqualSplit).hit_fraction;
+  EXPECT_GE(optimal, equal - 0.02);
+}
+
+TEST_F(ClusterSimTest, GreedyEmpiricalIsTheCeiling) {
+  // The non-parametric greedy optimises the training objective directly,
+  // so no model-based policy should beat it by much on the eval window.
+  const double greedy = Run(AllocationPolicy::kGreedyEmpirical).hit_fraction;
+  for (const auto policy : {AllocationPolicy::kOptimalExponential,
+                            AllocationPolicy::kEqualSplit,
+                            AllocationPolicy::kProportionalToRate}) {
+    EXPECT_LE(Run(policy).hit_fraction, greedy + 0.05)
+        << AllocationPolicyToString(policy);
+  }
+}
+
+TEST_F(ClusterSimTest, PredictionTracksMeasurement) {
+  const auto result = Run(AllocationPolicy::kOptimalExponential);
+  EXPECT_GT(result.predicted_hit_fraction, 0.0);
+  EXPECT_NEAR(result.predicted_hit_fraction, result.hit_fraction, 0.3);
+}
+
+TEST_F(ClusterSimTest, MoreStorageShieldsMore) {
+  const double small =
+      Run(AllocationPolicy::kOptimalExponential, 0.02).hit_fraction;
+  const double large =
+      Run(AllocationPolicy::kOptimalExponential, 0.25).hit_fraction;
+  EXPECT_GT(large, small);
+}
+
+TEST_F(ClusterSimTest, RequestVolumeReflectsServerSkew) {
+  // ClusterConfig gives server 0 the largest request weight. (Byte rates
+  // R_i can be swamped by a server's archive sizes, so check requests.)
+  const auto pops =
+      AnalyzeAllServers(workload_->corpus(), workload_->clean());
+  ASSERT_EQ(pops.size(), 5u);
+  EXPECT_GT(pops[0].total_remote_requests, pops[4].total_remote_requests);
+}
+
+TEST_F(ClusterSimTest, PolicyNames) {
+  EXPECT_STREQ(
+      AllocationPolicyToString(AllocationPolicy::kOptimalExponential),
+      "optimal-exponential");
+  EXPECT_STREQ(AllocationPolicyToString(AllocationPolicy::kGreedyEmpirical),
+               "greedy-empirical");
+}
+
+}  // namespace
+}  // namespace sds::dissem

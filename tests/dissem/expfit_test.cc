@@ -1,0 +1,98 @@
+#include "dissem/expfit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "dissem/popularity.h"
+#include "trace/corpus.h"
+#include "util/rng.h"
+
+namespace sds::dissem {
+namespace {
+
+TEST(ExponentialModelTest, BasicProperties) {
+  const ExponentialModel model{1e-6};
+  EXPECT_DOUBLE_EQ(model.H(0.0), 0.0);
+  EXPECT_NEAR(model.H(1e6), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(model.Density(0.0), 1e-6, 1e-18);
+  // H is the integral of the density: H(b+db)-H(b) ~ h(b) db.
+  const double b = 5e5, db = 1.0;
+  EXPECT_NEAR(model.H(b + db) - model.H(b), model.Density(b) * db, 1e-12);
+}
+
+TEST(ExponentialModelTest, BytesForHitFractionInverts) {
+  const ExponentialModel model{6.247e-7};
+  for (const double alpha : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(model.H(model.BytesForHitFraction(alpha)), alpha, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(model.BytesForHitFraction(0.0), 0.0);
+}
+
+TEST(ExpFitTest, RecoversLambdaFromSyntheticExponentialCurve) {
+  // Build a fake popularity profile whose empirical H is exactly
+  // exponential, then check the fit recovers lambda.
+  const double lambda = 2e-6;
+  std::vector<trace::DocumentInfo> docs;
+  ServerPopularity pop;
+  pop.server = 0;
+  const uint64_t doc_size = 10000;
+  const int n = 400;
+  double prev_h = 0.0;
+  std::vector<uint64_t> requests(n);
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    trace::DocumentInfo d;
+    d.id = i;
+    d.server = 0;
+    d.size_bytes = doc_size;
+    d.path = "/d/" + std::to_string(i) + ".html";
+    docs.push_back(d);
+    const double h =
+        1.0 - std::exp(-lambda * static_cast<double>((i + 1) * doc_size));
+    requests[i] = static_cast<uint64_t>(std::llround((h - prev_h) * 1e7));
+    total += requests[i];
+    prev_h = h;
+  }
+  const trace::Corpus corpus(std::move(docs));
+  pop.stats.assign(n, DocumentAccessStats{});
+  for (int i = 0; i < n; ++i) {
+    pop.stats[i].remote_requests = requests[i];
+    pop.by_popularity.push_back(i);
+  }
+  pop.total_remote_requests = total;
+
+  const ExponentialFit fit = FitExponentialPopularity(pop, corpus);
+  EXPECT_NEAR(fit.lambda, lambda, lambda * 0.05);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_GT(fit.points, 10u);
+}
+
+TEST(ExpFitTest, EmptyProfileYieldsZero) {
+  ServerPopularity pop;
+  pop.stats.assign(10, DocumentAccessStats{});
+  const trace::Corpus corpus;
+  const ExponentialFit fit = FitExponentialPopularity(pop, corpus);
+  EXPECT_DOUBLE_EQ(fit.lambda, 0.0);
+  EXPECT_EQ(fit.points, 0u);
+}
+
+TEST(ExpFitTest, FitsWorkloadReasonably) {
+  const core::Workload workload = core::MakeWorkload(core::SmallConfig());
+  const ServerPopularity pop =
+      AnalyzeServer(workload.corpus(), workload.clean(), 0);
+  const ExponentialFit fit =
+      FitExponentialPopularity(pop, workload.corpus());
+  EXPECT_GT(fit.lambda, 0.0);
+  EXPECT_GT(fit.r_squared, 0.6);
+  // Sanity: the model should roughly predict the empirical coverage of the
+  // top 20% of bytes.
+  const double bytes = 0.2 * workload.corpus().ServerBytes(0);
+  const ExponentialModel model{fit.lambda};
+  EXPECT_NEAR(model.H(bytes),
+              pop.EmpiricalH(bytes, workload.corpus()), 0.25);
+}
+
+}  // namespace
+}  // namespace sds::dissem

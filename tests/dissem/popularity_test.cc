@@ -1,0 +1,150 @@
+#include "dissem/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace sds::dissem {
+namespace {
+
+class PopularityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new core::Workload(core::MakeWorkload(core::SmallConfig()));
+    pop_ = new ServerPopularity(
+        AnalyzeServer(workload_->corpus(), workload_->clean(), 0));
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete workload_;
+    pop_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static core::Workload* workload_;
+  static ServerPopularity* pop_;
+};
+
+core::Workload* PopularityTest::workload_ = nullptr;
+ServerPopularity* PopularityTest::pop_ = nullptr;
+
+TEST_F(PopularityTest, TotalsMatchTrace) {
+  uint64_t remote_requests = 0, remote_bytes = 0;
+  for (const auto& r : workload_->clean().requests) {
+    if (r.remote_client && r.server == 0) {
+      ++remote_requests;
+      remote_bytes += r.bytes;
+    }
+  }
+  EXPECT_EQ(pop_->total_remote_requests, remote_requests);
+  EXPECT_EQ(pop_->total_remote_bytes, remote_bytes);
+}
+
+TEST_F(PopularityTest, PerDocStatsSumToTotals) {
+  uint64_t sum = 0;
+  for (const auto& s : pop_->stats) sum += s.remote_requests;
+  EXPECT_EQ(sum, pop_->total_remote_requests);
+}
+
+TEST_F(PopularityTest, OrderingIsByDensity) {
+  const auto& corpus = workload_->corpus();
+  for (size_t i = 1; i < pop_->by_popularity.size(); ++i) {
+    const auto a = pop_->by_popularity[i - 1];
+    const auto b = pop_->by_popularity[i];
+    const double da = static_cast<double>(pop_->stats[a].remote_requests) /
+                      corpus.doc(a).size_bytes;
+    const double db = static_cast<double>(pop_->stats[b].remote_requests) /
+                      corpus.doc(b).size_bytes;
+    EXPECT_GE(da, db);
+  }
+}
+
+TEST_F(PopularityTest, EmpiricalHMonotoneAndBounded) {
+  const auto& corpus = workload_->corpus();
+  double prev = 0.0;
+  for (double bytes = 0.0; bytes < 3e6; bytes += 1e5) {
+    const double h = pop_->EmpiricalH(bytes, corpus);
+    EXPECT_GE(h, prev - 1e-12);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0 + 1e-12);
+    prev = h;
+  }
+  EXPECT_DOUBLE_EQ(pop_->EmpiricalH(0.0, corpus), 0.0);
+  EXPECT_NEAR(pop_->EmpiricalH(1e12, corpus), 1.0, 1e-9);
+}
+
+TEST_F(PopularityTest, ByteCoverageMonotone) {
+  const auto& corpus = workload_->corpus();
+  double prev = 0.0;
+  for (double bytes = 0.0; bytes < 3e6; bytes += 2e5) {
+    const double h = pop_->EmpiricalByteCoverage(bytes, corpus);
+    EXPECT_GE(h, prev - 1e-12);
+    prev = h;
+  }
+}
+
+TEST_F(PopularityTest, PopularitySkewIsStrong) {
+  // The generator is calibrated so a small byte prefix covers most
+  // requests (Figure 1 shape).
+  const auto& corpus = workload_->corpus();
+  const double total = static_cast<double>(corpus.ServerBytes(0));
+  EXPECT_GT(pop_->EmpiricalH(0.10 * total, corpus), 0.5);
+}
+
+TEST_F(PopularityTest, TimeWindowRestrictsCounts) {
+  const double span = workload_->clean().Span();
+  const ServerPopularity half =
+      AnalyzeServer(workload_->corpus(), workload_->clean(), 0, 0.0,
+                    span / 2.0);
+  EXPECT_LT(half.total_remote_requests, pop_->total_remote_requests);
+  EXPECT_GT(half.total_remote_requests, 0u);
+}
+
+TEST_F(PopularityTest, RemoteRatioWithinBounds) {
+  for (const auto& s : pop_->stats) {
+    const double ratio = s.RemoteRatio();
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+}
+
+TEST_F(PopularityTest, BlockPopularityFractionsSumToOne) {
+  const auto blocks =
+      ComputeBlockPopularity(*pop_, workload_->corpus(), 64 * 1024);
+  double sum = 0.0;
+  for (const double f : blocks.request_fraction) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  ASSERT_FALSE(blocks.cumulative_requests.empty());
+  EXPECT_NEAR(blocks.cumulative_requests.back(), 1.0, 1e-9);
+  EXPECT_NEAR(blocks.cumulative_bytes.back(), 1.0, 1e-9);
+}
+
+TEST_F(PopularityTest, BlockFractionsNonIncreasing) {
+  const auto blocks =
+      ComputeBlockPopularity(*pop_, workload_->corpus(), 64 * 1024);
+  for (size_t i = 1; i < blocks.request_fraction.size(); ++i) {
+    EXPECT_GE(blocks.request_fraction[i - 1],
+              blocks.request_fraction[i] - 1e-9);
+  }
+}
+
+TEST_F(PopularityTest, BlockCountMatchesBytes) {
+  const uint64_t block = 256 * 1024;
+  const auto blocks = ComputeBlockPopularity(*pop_, workload_->corpus(), block);
+  const uint64_t total = workload_->corpus().ServerBytes(0);
+  EXPECT_EQ(blocks.request_fraction.size(), (total + block - 1) / block);
+}
+
+TEST(PopularityEdgeTest, EmptyTrace) {
+  const core::Workload workload = core::MakeWorkload(core::SmallConfig());
+  trace::Trace empty;
+  empty.num_clients = 1;
+  const ServerPopularity pop = AnalyzeServer(workload.corpus(), empty, 0);
+  EXPECT_EQ(pop.total_remote_requests, 0u);
+  EXPECT_DOUBLE_EQ(pop.EmpiricalH(1e6, workload.corpus()), 0.0);
+  const auto blocks = ComputeBlockPopularity(pop, workload.corpus(), 1024);
+  EXPECT_TRUE(blocks.request_fraction.empty());
+}
+
+}  // namespace
+}  // namespace sds::dissem

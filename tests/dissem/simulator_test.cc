@@ -1,0 +1,181 @@
+#include "dissem/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "util/rng.h"
+
+namespace sds::dissem {
+namespace {
+
+class DisseminationSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new core::Workload(core::MakeWorkload(core::SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  DisseminationResult Run(const DisseminationConfig& config,
+                          uint64_t seed = 1) {
+    Rng rng(seed);
+    return SimulateDissemination(workload_->corpus(), workload_->clean(),
+                                 workload_->topology(), 0, config, &rng,
+                                 &workload_->generated().updates);
+  }
+
+  static core::Workload* workload_;
+};
+
+core::Workload* DisseminationSimTest::workload_ = nullptr;
+
+TEST_F(DisseminationSimTest, SavesBandwidth) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.dissemination_fraction = 0.10;
+  const auto result = Run(config);
+  EXPECT_GT(result.saved_fraction, 0.05);
+  EXPECT_LT(result.saved_fraction, 1.0);
+  EXPECT_GT(result.proxy_hit_fraction, 0.0);
+  EXPECT_LT(result.with_proxies_bytes_hops, result.baseline_bytes_hops);
+}
+
+TEST_F(DisseminationSimTest, MoreProxiesNeverHurt) {
+  DisseminationConfig config;
+  double prev = -1.0;
+  for (const uint32_t k : {1u, 2u, 4u, 8u}) {
+    config.num_proxies = k;
+    const auto result = Run(config);
+    EXPECT_GE(result.saved_fraction, prev - 0.02) << k;
+    prev = result.saved_fraction;
+  }
+}
+
+TEST_F(DisseminationSimTest, MoreDataNeverHurts) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.dissemination_fraction = 0.04;
+  const double low = Run(config).saved_fraction;
+  config.dissemination_fraction = 0.20;
+  const double high = Run(config).saved_fraction;
+  EXPECT_GE(high, low - 0.02);
+}
+
+TEST_F(DisseminationSimTest, StorageRespectsBudget) {
+  DisseminationConfig config;
+  config.num_proxies = 3;
+  config.dissemination_fraction = 0.10;
+  const auto result = Run(config);
+  const double budget =
+      0.10 * static_cast<double>(workload_->corpus().ServerBytes(0));
+  EXPECT_LE(static_cast<double>(result.storage_per_proxy_bytes),
+            budget * 1.01);
+}
+
+TEST_F(DisseminationSimTest, LoadSplitsBetweenServerAndProxies) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  const auto result = Run(config);
+  uint64_t proxy_total = 0;
+  for (const uint64_t n : result.proxy_requests) proxy_total += n;
+  EXPECT_GT(proxy_total, 0u);
+  EXPECT_GT(result.server_requests, 0u);
+  const double hit = static_cast<double>(proxy_total) /
+                     static_cast<double>(proxy_total + result.server_requests);
+  EXPECT_NEAR(hit, result.proxy_hit_fraction, 1e-9);
+}
+
+TEST_F(DisseminationSimTest, GreedyBeatsRandomPlacement) {
+  DisseminationConfig config;
+  config.num_proxies = 3;
+  config.placement = PlacementStrategy::kGreedy;
+  const double greedy = Run(config).saved_fraction;
+  config.placement = PlacementStrategy::kRandom;
+  double random_sum = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    random_sum += Run(config, seed).saved_fraction;
+  }
+  EXPECT_GT(greedy, random_sum / 5.0);
+}
+
+TEST_F(DisseminationSimTest, TailoredAtLeastAsGoodAsUniform) {
+  DisseminationConfig config;
+  config.num_proxies = 6;
+  config.dissemination_fraction = 0.04;
+  const double uniform = Run(config).saved_fraction;
+  config.tailored_per_proxy = true;
+  const double tailored = Run(config).saved_fraction;
+  EXPECT_GE(tailored, uniform - 0.05);
+}
+
+TEST_F(DisseminationSimTest, DynamicShieldingLimitsProxyLoad) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.proxy_daily_request_capacity = 5;
+  const auto result = Run(config);
+  EXPECT_GT(result.shielding_overflow_requests, 0u);
+  // Savings shrink but stay non-negative.
+  config.proxy_daily_request_capacity = 0;
+  const auto unlimited = Run(config);
+  EXPECT_LT(result.saved_fraction, unlimited.saved_fraction);
+  EXPECT_GE(result.saved_fraction, 0.0);
+}
+
+TEST_F(DisseminationSimTest, ExcludeMutableStillSaves) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.exclude_mutable = true;
+  const auto result = Run(config);
+  EXPECT_GT(result.saved_fraction, 0.0);
+}
+
+TEST_F(DisseminationSimTest, StalenessAccountingShapes) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  const auto never = Run(config);
+  EXPECT_GT(never.stale_proxy_requests, 0u);
+  EXPECT_GT(never.stale_fraction, 0.0);
+  EXPECT_LE(never.stale_fraction, 1.0);
+
+  // Daily re-dissemination removes staleness entirely.
+  config.redisseminate_every_days = 1;
+  const auto daily = Run(config);
+  EXPECT_EQ(daily.stale_proxy_requests, 0u);
+
+  // Weekly re-push sits in between.
+  config.redisseminate_every_days = 7;
+  const auto weekly = Run(config);
+  EXPECT_LE(weekly.stale_proxy_requests, never.stale_proxy_requests);
+  EXPECT_GE(weekly.stale_proxy_requests, daily.stale_proxy_requests);
+
+  // Excluding mutable documents cuts staleness without re-pushing.
+  config.redisseminate_every_days = 0;
+  config.exclude_mutable = true;
+  const auto excluded = Run(config);
+  EXPECT_LT(excluded.stale_fraction, never.stale_fraction);
+}
+
+TEST_F(DisseminationSimTest, DepthRestrictedPlacementWorks) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.placement_depths = {1};
+  const auto regional = Run(config);
+  config.placement_depths.clear();
+  const auto free_placement = Run(config);
+  EXPECT_GT(regional.saved_fraction, 0.0);
+  EXPECT_GE(free_placement.saved_fraction, regional.saved_fraction - 0.02);
+}
+
+TEST_F(DisseminationSimTest, BaselineCostIndependentOfConfig) {
+  DisseminationConfig a;
+  a.num_proxies = 1;
+  DisseminationConfig b;
+  b.num_proxies = 8;
+  b.dissemination_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(Run(a).baseline_bytes_hops, Run(b).baseline_bytes_hops);
+}
+
+}  // namespace
+}  // namespace sds::dissem

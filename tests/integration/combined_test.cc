@@ -1,0 +1,77 @@
+#include "core/combined.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+#include "util/rng.h"
+
+namespace sds::core {
+namespace {
+
+class CombinedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(MakeWorkload(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  static CombinedResult Run(uint32_t proxies, double tp) {
+    CombinedConfig config;
+    config.dissemination.num_proxies = proxies;
+    config.dissemination.dissemination_fraction = 0.10;
+    config.speculation = BaselineSpecConfig();
+    config.speculation.policy.threshold = tp;
+    Rng rng(3);
+    return SimulateCombined(*workload_, config, &rng);
+  }
+
+  static Workload* workload_;
+};
+
+Workload* CombinedTest::workload_ = nullptr;
+
+TEST_F(CombinedTest, RatiosWithinBounds) {
+  const CombinedResult r = Run(4, 0.3);
+  EXPECT_GT(r.bytes_hops_ratio, 0.0);
+  EXPECT_GT(r.server_load_ratio, 0.0);
+  EXPECT_GT(r.service_time_ratio, 0.0);
+  EXPECT_GE(r.proxy_share, 0.0);
+  EXPECT_LE(r.proxy_share, 1.0);
+  EXPECT_GE(r.cache_hit_share, 0.0);
+  EXPECT_LE(r.cache_hit_share, 1.0);
+}
+
+TEST_F(CombinedTest, CombinedBeatsPlainOnEveryAxis) {
+  const CombinedResult r = Run(4, 0.3);
+  EXPECT_LT(r.server_load_ratio, 1.0);
+  EXPECT_LT(r.service_time_ratio, 1.0);
+  // bytes x hops can exceed 1 only with very aggressive speculation; at
+  // Tp = 0.3 the proxy shortcuts dominate the extra pushed bytes.
+  EXPECT_LT(r.bytes_hops_ratio, 1.0);
+}
+
+TEST_F(CombinedTest, CombinedLoadBelowEitherAlone) {
+  const CombinedResult dissem_only = Run(4, 1.01);  // Tp > 1: no pushes
+  const CombinedResult spec_only = Run(0, 0.3);     // no proxies
+  const CombinedResult both = Run(4, 0.3);
+  EXPECT_LT(both.server_load_ratio, dissem_only.server_load_ratio);
+  EXPECT_LT(both.server_load_ratio, spec_only.server_load_ratio + 0.02);
+}
+
+TEST_F(CombinedTest, NoProxiesMeansNoProxyShare) {
+  const CombinedResult r = Run(0, 0.3);
+  EXPECT_DOUBLE_EQ(r.proxy_share, 0.0);
+}
+
+TEST_F(CombinedTest, SpeculationRaisesCacheHits) {
+  const CombinedResult quiet = Run(4, 1.01);
+  const CombinedResult pushy = Run(4, 0.2);
+  EXPECT_GT(pushy.cache_hit_share, quiet.cache_hit_share);
+}
+
+}  // namespace
+}  // namespace sds::core

@@ -1,0 +1,84 @@
+/// Asserts that the paper-scale synthetic workload actually reproduces the
+/// statistical properties the reproduction depends on (DESIGN.md §2's
+/// substitution argument). These run at paper scale and are the slowest
+/// tests in the suite; they are what licenses every other experiment to
+/// claim "shape holds".
+
+#include <gtest/gtest.h>
+
+#include "core/fidelity.h"
+#include "core/workload.h"
+
+namespace sds::core {
+namespace {
+
+class FidelityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(MakeWorkload(PaperScaleConfig()));
+    report_ = new FidelityReport(ComputeFidelityReport(*workload_));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete workload_;
+    report_ = nullptr;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+  static FidelityReport* report_;
+};
+
+Workload* FidelityTest::workload_ = nullptr;
+FidelityReport* FidelityTest::report_ = nullptr;
+
+TEST_F(FidelityTest, TraceVolumeInPaperBallpark) {
+  // Paper: 205,925 accesses, 8,474 clients, 20k+ sessions / ~90 days.
+  // The synthetic default uses 2,000 clients; volumes scale accordingly.
+  EXPECT_GT(report_->accesses, 50000u);
+  EXPECT_LT(report_->accesses, 500000u);
+  EXPECT_GT(report_->sessions, 8000u);
+  EXPECT_NEAR(report_->days, 90.0, 2.0);
+  EXPECT_GT(report_->requests_per_session, 3.0);
+  EXPECT_LT(report_->requests_per_session, 20.0);
+}
+
+TEST_F(FidelityTest, PopularityConcentrationMatchesFigure1) {
+  // Paper: 69% at 0.5% of bytes, 91% at 10%.
+  EXPECT_NEAR(report_->top_half_percent_coverage, 0.69, 0.12);
+  EXPECT_GT(report_->top_ten_percent_coverage, 0.85);
+  // Roughly half the documents are ever accessed (paper: 974 of 2000+,
+  // 656 remotely).
+  EXPECT_GT(report_->docs_remotely_accessed, 300u);
+  EXPECT_LT(report_->docs_remotely_accessed,
+            report_->docs_total);
+  EXPECT_GT(report_->accessed_bytes_fraction, 0.4);
+}
+
+TEST_F(FidelityTest, ClassSharesMatchSection2) {
+  // Paper: ~10% / 52% / 37%. Locally popular must dominate; remotely
+  // popular must be the smallest class.
+  EXPECT_GT(report_->local_class_share, 0.40);
+  EXPECT_GT(report_->global_class_share, 0.15);
+  EXPECT_LT(report_->remote_class_share, report_->global_class_share);
+  EXPECT_LT(report_->remote_class_share, report_->local_class_share);
+  EXPECT_NEAR(report_->remote_class_share + report_->local_class_share +
+                  report_->global_class_share,
+              1.0, 1e-6);
+}
+
+TEST_F(FidelityTest, UpdateRatesMatchSection2) {
+  // Paper: ~2%/day for locally popular, <0.5%/day otherwise; at minimum
+  // an unambiguous ordering with locals well above the rest.
+  EXPECT_GT(report_->local_update_rate, 0.01);
+  EXPECT_LT(report_->other_update_rate, report_->local_update_rate);
+}
+
+TEST_F(FidelityTest, DependencyStructureMatchesFigure4) {
+  EXPECT_GT(report_->dependency_pairs, 500u);
+  EXPECT_GE(report_->peaks_detected, 3u);
+  // The embedding peak sits at the right edge.
+  EXPECT_GT(report_->rightmost_peak, 0.85);
+}
+
+}  // namespace
+}  // namespace sds::core

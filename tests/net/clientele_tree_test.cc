@@ -1,0 +1,121 @@
+#include "net/clientele_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sds::net {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    TopologyConfig config;
+    config.regions = 3;
+    config.orgs_per_region = 2;
+    config.subnets_per_org = 2;
+    const uint32_t n = 60;
+    std::vector<bool> remote(n);
+    for (uint32_t c = 0; c < n; ++c) remote[c] = c % 4 != 0;
+    Rng rng(1);
+    topology = std::make_unique<Topology>(
+        Topology::Generate(config, n, remote, 1, &rng));
+
+    // Synthetic trace: every remote client issues two requests.
+    trace.num_clients = n;
+    for (uint32_t c = 0; c < n; ++c) {
+      for (int k = 0; k < 2; ++k) {
+        trace::Request r;
+        r.time = c * 10.0 + k;
+        r.client = c;
+        r.doc = 0;
+        r.server = 0;
+        r.bytes = 1000;
+        r.remote_client = remote[c];
+        trace.requests.push_back(r);
+      }
+    }
+    this->remote = remote;
+  }
+
+  std::unique_ptr<Topology> topology;
+  trace::Trace trace;
+  std::vector<bool> remote;
+};
+
+TEST(ClienteleTreeTest, OnlyRemoteTrafficCounted) {
+  const Fixture f;
+  const ClienteleTree tree = BuildClienteleTree(*f.topology, f.trace, 0);
+  uint64_t remote_requests = 0;
+  for (uint32_t c = 0; c < f.trace.num_clients; ++c) {
+    if (f.remote[c]) remote_requests += 2;
+  }
+  uint64_t tree_requests = 0;
+  for (const auto& leaf : tree.leaves) tree_requests += leaf.requests;
+  EXPECT_EQ(tree_requests, remote_requests);
+  EXPECT_EQ(tree.total_bytes, remote_requests * 1000);
+}
+
+TEST(ClienteleTreeTest, PathsStartAtServer) {
+  const Fixture f;
+  const ClienteleTree tree = BuildClienteleTree(*f.topology, f.trace, 0);
+  const NodeId server_node = f.topology->server_node(0);
+  for (const auto& leaf : tree.leaves) {
+    ASSERT_FALSE(leaf.path_from_server.empty());
+    EXPECT_EQ(leaf.path_from_server.front(), server_node);
+    EXPECT_EQ(leaf.path_from_server.back(), leaf.node);
+  }
+}
+
+TEST(ClienteleTreeTest, BytesHopsMatchesManualSum) {
+  const Fixture f;
+  const ClienteleTree tree = BuildClienteleTree(*f.topology, f.trace, 0);
+  uint64_t manual = 0;
+  const NodeId server_node = f.topology->server_node(0);
+  for (const auto& r : f.trace.requests) {
+    if (!r.remote_client) continue;
+    manual += r.bytes *
+              f.topology->HopCount(f.topology->client_node(r.client),
+                                   server_node);
+  }
+  EXPECT_EQ(tree.total_bytes_hops, manual);
+}
+
+TEST(ClienteleTreeTest, InteriorNodesExcludeServer) {
+  const Fixture f;
+  const ClienteleTree tree = BuildClienteleTree(*f.topology, f.trace, 0);
+  const NodeId server_node = f.topology->server_node(0);
+  EXPECT_FALSE(tree.interior_nodes.empty());
+  for (const NodeId n : tree.interior_nodes) {
+    EXPECT_NE(n, server_node);
+  }
+}
+
+TEST(ClienteleTreeTest, NoiseRequestsIgnored) {
+  Fixture f;
+  trace::Request bad;
+  bad.time = 0.5;
+  bad.client = 1;
+  bad.doc = trace::kInvalidDocument;
+  bad.server = 0;
+  bad.bytes = 99999;
+  bad.kind = trace::RequestKind::kNotFound;
+  bad.remote_client = true;
+  f.trace.requests.push_back(bad);
+  const ClienteleTree with_noise = BuildClienteleTree(*f.topology, f.trace, 0);
+  f.trace.requests.pop_back();
+  const ClienteleTree without = BuildClienteleTree(*f.topology, f.trace, 0);
+  EXPECT_EQ(with_noise.total_bytes, without.total_bytes);
+}
+
+TEST(ClienteleTreeTest, EmptyTraceYieldsEmptyTree) {
+  const Fixture f;
+  trace::Trace empty;
+  empty.num_clients = f.trace.num_clients;
+  const ClienteleTree tree = BuildClienteleTree(*f.topology, empty, 0);
+  EXPECT_TRUE(tree.leaves.empty());
+  EXPECT_EQ(tree.total_bytes, 0u);
+  EXPECT_EQ(tree.total_bytes_hops, 0u);
+}
+
+}  // namespace
+}  // namespace sds::net

@@ -1,0 +1,174 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sds::net {
+namespace {
+
+Topology MakeTopology(uint32_t num_clients = 100, uint32_t num_servers = 1,
+                      uint64_t seed = 1) {
+  TopologyConfig config;
+  config.regions = 4;
+  config.orgs_per_region = 3;
+  config.subnets_per_org = 2;
+  std::vector<bool> remote(num_clients);
+  for (uint32_t c = 0; c < num_clients; ++c) remote[c] = c % 3 != 0;
+  Rng rng(seed);
+  return Topology::Generate(config, num_clients, remote, num_servers, &rng);
+}
+
+TEST(TopologyTest, NodeCountMatchesHierarchy) {
+  const Topology topo = MakeTopology();
+  // 1 root + 4 regions + 12 orgs + 24 subnets.
+  EXPECT_EQ(topo.num_nodes(), 1u + 4u + 12u + 24u);
+}
+
+TEST(TopologyTest, DepthsAreConsistent) {
+  const Topology topo = MakeTopology();
+  EXPECT_EQ(topo.depth(topo.root()), 0u);
+  for (NodeId n = 1; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(topo.depth(n), topo.depth(topo.parent(n)) + 1);
+    EXPECT_LE(topo.depth(n), 3u);
+  }
+}
+
+TEST(TopologyTest, ClientsAttachToSubnets) {
+  const Topology topo = MakeTopology();
+  for (uint32_t c = 0; c < topo.num_clients(); ++c) {
+    EXPECT_EQ(topo.depth(topo.client_node(c)), 3u);
+  }
+}
+
+TEST(TopologyTest, HopCountProperties) {
+  const Topology topo = MakeTopology();
+  for (NodeId a = 0; a < topo.num_nodes(); a += 3) {
+    EXPECT_EQ(topo.HopCount(a, a), 0u);
+    for (NodeId b = 0; b < topo.num_nodes(); b += 5) {
+      EXPECT_EQ(topo.HopCount(a, b), topo.HopCount(b, a));
+      EXPECT_LE(topo.HopCount(a, b), 6u);  // diameter of a depth-3 tree
+    }
+  }
+}
+
+TEST(TopologyTest, TriangleInequalityOnTree) {
+  const Topology topo = MakeTopology();
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const NodeId c = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    EXPECT_LE(topo.HopCount(a, c),
+              topo.HopCount(a, b) + topo.HopCount(b, c));
+  }
+}
+
+TEST(TopologyTest, RouteEndpointsAndLength) {
+  const Topology topo = MakeTopology();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const auto route = topo.Route(a, b);
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(route.front(), a);
+    EXPECT_EQ(route.back(), b);
+    EXPECT_EQ(route.size(), topo.HopCount(a, b) + 1);
+    // Consecutive route nodes are parent/child pairs.
+    for (size_t j = 1; j < route.size(); ++j) {
+      EXPECT_TRUE(topo.parent(route[j]) == route[j - 1] ||
+                  topo.parent(route[j - 1]) == route[j]);
+    }
+  }
+}
+
+TEST(TopologyTest, OnRouteMatchesRoute) {
+  const Topology topo = MakeTopology();
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const auto route = topo.Route(a, b);
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      const bool expected =
+          std::find(route.begin(), route.end(), n) != route.end();
+      EXPECT_EQ(topo.OnRoute(n, a, b), expected)
+          << "node " << n << " route " << a << "->" << b;
+    }
+  }
+}
+
+TEST(TopologyTest, LcaIsCommonAncestor) {
+  const Topology topo = MakeTopology();
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(topo.num_nodes()));
+    const NodeId lca = topo.LowestCommonAncestor(a, b);
+    // lca is an ancestor of both.
+    for (const NodeId x : {a, b}) {
+      NodeId n = x;
+      bool found = false;
+      while (true) {
+        if (n == lca) {
+          found = true;
+          break;
+        }
+        if (n == topo.root()) break;
+        n = topo.parent(n);
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(TopologyTest, LocalClientsNearServer) {
+  const uint32_t n = 300;
+  TopologyConfig config;
+  std::vector<bool> remote(n);
+  for (uint32_t c = 0; c < n; ++c) remote[c] = c % 2 == 0;
+  Rng rng(6);
+  const Topology topo = Topology::Generate(config, n, remote, 1, &rng);
+  const NodeId server = topo.server_node(0);
+  double local_sum = 0.0, remote_sum = 0.0;
+  uint32_t locals = 0, remotes = 0;
+  for (uint32_t c = 0; c < n; ++c) {
+    const double h = topo.HopCount(topo.client_node(c), server);
+    if (remote[c]) {
+      remote_sum += h;
+      ++remotes;
+    } else {
+      local_sum += h;
+      ++locals;
+    }
+  }
+  EXPECT_LT(local_sum / locals, remote_sum / remotes);
+  // Local clients stay within the organisation (<= 2 hops).
+  for (uint32_t c = 0; c < n; ++c) {
+    if (!remote[c]) {
+      EXPECT_LE(topo.HopCount(topo.client_node(c), server), 2u);
+    }
+  }
+}
+
+TEST(TopologyTest, ServersInDistinctSubnets) {
+  const Topology topo = MakeTopology(50, 5, 7);
+  for (uint32_t a = 0; a < 5; ++a) {
+    for (uint32_t b = a + 1; b < 5; ++b) {
+      EXPECT_NE(topo.server_node(a), topo.server_node(b));
+    }
+  }
+}
+
+TEST(TopologyTest, Deterministic) {
+  const Topology a = MakeTopology(100, 1, 9);
+  const Topology b = MakeTopology(100, 1, 9);
+  for (uint32_t c = 0; c < 100; ++c) {
+    EXPECT_EQ(a.client_node(c), b.client_node(c));
+  }
+}
+
+}  // namespace
+}  // namespace sds::net

@@ -1,0 +1,125 @@
+#include "spec/aging.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace sds::spec {
+namespace {
+
+DayCounts MakeDay(
+    std::vector<std::tuple<trace::DocumentId, trace::DocumentId, uint32_t>>
+        pairs,
+    std::vector<std::pair<trace::DocumentId, uint32_t>> occurrences) {
+  DayCounts day;
+  for (const auto& [i, j, n] : pairs) day.pair_counts[PairKey(i, j)] = n;
+  for (const auto& [doc, n] : occurrences) day.occurrences[doc] = n;
+  return day;
+}
+
+DependencyConfig Loose() {
+  DependencyConfig c;
+  c.min_probability = 0.0;
+  c.min_support = 1;
+  return c;
+}
+
+TEST(DecayedCountsTest, SingleDayMatchesWindow) {
+  const auto day = MakeDay({{0, 1, 5}}, {{0, 10}, {1, 5}});
+  DecayedCounts decayed(2, 0.9);
+  decayed.AdvanceDay(day);
+  const auto p = decayed.BuildMatrix(Loose());
+  EXPECT_NEAR(p.Get(0, 1), 0.5, 1e-9);
+}
+
+TEST(DecayedCountsTest, DecayOneIsCumulative) {
+  const auto day = MakeDay({{0, 1, 2}}, {{0, 4}});
+  DecayedCounts decayed(2, 1.0);
+  decayed.AdvanceDay(day);
+  decayed.AdvanceDay(day);
+  const auto p = decayed.BuildMatrix(Loose());
+  EXPECT_NEAR(p.Get(0, 1), 0.5, 1e-9);  // 4 / 8
+}
+
+TEST(DecayedCountsTest, OldObservationsFadeOut) {
+  DecayedCounts decayed(3, 0.5);
+  // Day 0: strong 0 -> 1 dependency.
+  decayed.AdvanceDay(MakeDay({{0, 1, 8}}, {{0, 8}}));
+  // Days 1..n: the dependency flips to 0 -> 2.
+  for (int d = 0; d < 6; ++d) {
+    decayed.AdvanceDay(MakeDay({{0, 2, 8}}, {{0, 8}}));
+  }
+  const auto p = decayed.BuildMatrix(Loose());
+  EXPECT_GT(p.Get(0, 2), 0.8);
+  EXPECT_LT(p.Get(0, 1), 0.1);
+}
+
+TEST(DecayedCountsTest, PruningBoundsState) {
+  DecayedCounts decayed(100, 0.5);
+  DayCounts big;
+  for (trace::DocumentId j = 1; j < 100; ++j) {
+    big.pair_counts[PairKey(0, j)] = 1;
+  }
+  big.occurrences[0] = 99;
+  decayed.AdvanceDay(big);
+  const size_t fresh = decayed.NumPairs();
+  // After several empty days everything decays below the prune floor.
+  for (int d = 0; d < 10; ++d) decayed.AdvanceDay(DayCounts{});
+  EXPECT_EQ(decayed.NumPairs(), 0u);
+  EXPECT_GT(fresh, 0u);
+}
+
+TEST(DecayedCountsTest, WeightedRecency) {
+  // 10 old observations of 0->1 against 3 recent of 0->2 with decay 0.5:
+  // recency wins after a few days.
+  DecayedCounts decayed(3, 0.5);
+  decayed.AdvanceDay(MakeDay({{0, 1, 10}}, {{0, 10}}));
+  decayed.AdvanceDay(MakeDay({}, {}));
+  decayed.AdvanceDay(MakeDay({{0, 2, 3}}, {{0, 3}}));
+  const auto p = decayed.BuildMatrix(Loose());
+  EXPECT_GT(p.Get(0, 2), p.Get(0, 1));
+}
+
+TEST(DecayedCountsTest, ProbabilityCappedAtOne) {
+  // Pairs can outlive their occurrence denominator after decay + pruning;
+  // the probability must still be <= 1.
+  DecayedCounts decayed(2, 0.9);
+  decayed.AdvanceDay(MakeDay({{0, 1, 5}}, {{0, 5}}));
+  decayed.AdvanceDay(MakeDay({{0, 1, 5}}, {{0, 5}}));
+  const auto p = decayed.BuildMatrix(Loose());
+  EXPECT_LE(p.Get(0, 1), 1.0);
+  EXPECT_GT(p.Get(0, 1), 0.9);
+}
+
+TEST(DecayedCountsTest, MinSupportAppliesToAgedCounts) {
+  DependencyConfig config = Loose();
+  config.min_support = 3;
+  DecayedCounts decayed(2, 0.5);
+  decayed.AdvanceDay(MakeDay({{0, 1, 4}}, {{0, 4}}));
+  EXPECT_GT(decayed.BuildMatrix(config).Get(0, 1), 0.0);
+  // Two empty days decay the pair count to 1 < min_support.
+  decayed.AdvanceDay(DayCounts{});
+  decayed.AdvanceDay(DayCounts{});
+  EXPECT_DOUBLE_EQ(decayed.BuildMatrix(config).Get(0, 1), 0.0);
+}
+
+TEST(DecayedCountsTest, EndToEndWithSimulatorDeltas) {
+  const core::Workload w = core::MakeWorkload(core::SmallConfig());
+  DependencyConfig config;
+  const auto days = CountDailyDependencies(w.clean(), config);
+  DecayedCounts decayed(w.corpus().size(), 0.9);
+  for (const auto& d : days) decayed.AdvanceDay(d);
+  const auto p = decayed.BuildMatrix(config);
+  EXPECT_GT(p.NumEntries(), 0u);
+  for (trace::DocumentId i = 0; i < p.num_docs(); ++i) {
+    for (const auto& e : p.Row(i)) {
+      EXPECT_GT(e.probability, 0.0f);
+      EXPECT_LE(e.probability, 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sds::spec

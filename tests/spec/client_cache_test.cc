@@ -1,0 +1,135 @@
+#include "spec/client_cache.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace sds::spec {
+namespace {
+
+TEST(ClientCacheTest, BasicInsertContains) {
+  ClientCache cache({kInfiniteTime, 0});
+  cache.Touch(0.0);
+  EXPECT_FALSE(cache.Contains(1));
+  cache.Insert(1, 100, false, 0.0);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_EQ(cache.num_docs(), 1u);
+}
+
+TEST(ClientCacheTest, NoCacheWhenTimeoutZero) {
+  ClientCache cache({0.0, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(ClientCacheTest, SessionTimeoutPurges) {
+  ClientCache cache({60.0, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  cache.Touch(30.0);  // same session
+  EXPECT_TRUE(cache.Contains(1));
+  cache.Touch(120.0);  // gap 90 >= 60: new session
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(ClientCacheTest, GapExactlyTimeoutPurges) {
+  ClientCache cache({60.0, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  cache.Touch(60.0);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(ClientCacheTest, InfiniteTimeoutNeverPurges) {
+  ClientCache cache({kInfiniteTime, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  cache.Touch(1e9);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ClientCacheTest, LruEvictionRespectsCapacity) {
+  ClientCache cache({kInfiniteTime, 250});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  cache.Insert(2, 100, false, 1.0);
+  cache.Insert(3, 100, false, 2.0);  // evicts doc 1 (LRU)
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_LE(cache.used_bytes(), 250u);
+}
+
+TEST(ClientCacheTest, MarkUsedRefreshesLru) {
+  ClientCache cache({kInfiniteTime, 250});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  cache.Insert(2, 100, false, 1.0);
+  cache.MarkUsed(1);                 // 1 becomes most recent
+  cache.Insert(3, 100, false, 2.0);  // evicts 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(ClientCacheTest, OversizedDocumentNotCached) {
+  ClientCache cache({kInfiniteTime, 100});
+  cache.Touch(0.0);
+  cache.Insert(1, 500, true, 0.0);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.wasted_speculative_bytes(), 500u);
+}
+
+TEST(ClientCacheTest, SpeculativeFlagLifecycle) {
+  ClientCache cache({kInfiniteTime, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, true, 0.0);
+  EXPECT_TRUE(cache.IsUnusedSpeculative(1));
+  cache.MarkUsed(1);
+  EXPECT_FALSE(cache.IsUnusedSpeculative(1));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ClientCacheTest, WastedSpeculativeBytesOnPurge) {
+  ClientCache cache({60.0, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, true, 0.0);
+  cache.Insert(2, 50, true, 1.0);
+  cache.MarkUsed(2);   // used: not wasted
+  cache.Touch(500.0);  // purge
+  EXPECT_EQ(cache.wasted_speculative_bytes(), 100u);
+}
+
+TEST(ClientCacheTest, WastedSpeculativeBytesOnEviction) {
+  ClientCache cache({kInfiniteTime, 150});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, true, 0.0);
+  cache.Insert(2, 100, false, 1.0);  // evicts 1 unused
+  EXPECT_EQ(cache.wasted_speculative_bytes(), 100u);
+}
+
+TEST(ClientCacheTest, DuplicateInsertKeepsBytes) {
+  ClientCache cache({kInfiniteTime, 0});
+  cache.Touch(0.0);
+  cache.Insert(1, 100, false, 0.0);
+  cache.Insert(1, 100, false, 1.0);
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_EQ(cache.num_docs(), 1u);
+}
+
+TEST(ClientCacheTest, ContentsListsAllDocs) {
+  ClientCache cache({kInfiniteTime, 0});
+  cache.Touch(0.0);
+  cache.Insert(5, 10, false, 0.0);
+  cache.Insert(9, 10, false, 0.0);
+  auto contents = cache.Contents();
+  std::sort(contents.begin(), contents.end());
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0], 5u);
+  EXPECT_EQ(contents[1], 9u);
+}
+
+}  // namespace
+}  // namespace sds::spec

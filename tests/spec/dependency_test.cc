@@ -1,0 +1,181 @@
+#include "spec/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace sds::spec {
+namespace {
+
+trace::Trace MakeTrace(
+    std::vector<std::tuple<trace::ClientId, double, trace::DocumentId>>
+        entries,
+    uint32_t num_clients = 4) {
+  trace::Trace t;
+  t.num_clients = num_clients;
+  for (const auto& [client, time, doc] : entries) {
+    trace::Request r;
+    r.client = client;
+    r.time = time;
+    r.doc = doc;
+    r.bytes = 100;
+    t.requests.push_back(r);
+  }
+  t.SortByTime();
+  return t;
+}
+
+DependencyConfig Loose() {
+  DependencyConfig c;
+  c.min_probability = 0.0;
+  c.min_support = 1;
+  return c;
+}
+
+TEST(DependencyTest, SimplePairProbability) {
+  // Doc 0 requested 4 times; doc 1 follows twice within the window.
+  const auto t = MakeTrace({{0, 0.0, 0},   {0, 1.0, 1},
+                            {0, 100.0, 0}, {0, 101.0, 1},
+                            {0, 200.0, 0}, {0, 300.0, 0}});
+  const auto p = EstimateDependencies(t, 2, Loose());
+  EXPECT_NEAR(p.Get(0, 1), 0.5, 1e-6);
+  EXPECT_DOUBLE_EQ(p.Get(1, 0), 0.0);
+}
+
+TEST(DependencyTest, WindowBoundaryExclusive) {
+  DependencyConfig c = Loose();
+  c.window = 5.0;
+  c.stride_timeout = 10.0;
+  // Gap of exactly 5.0 is inside [0, Tw]; gap of 5.5 is outside.
+  const auto in = MakeTrace({{0, 0.0, 0}, {0, 5.0, 1}});
+  EXPECT_GT(EstimateDependencies(in, 2, c).Get(0, 1), 0.0);
+  const auto out = MakeTrace({{0, 0.0, 0}, {0, 5.5, 1}});
+  EXPECT_DOUBLE_EQ(EstimateDependencies(out, 2, c).Get(0, 1), 0.0);
+}
+
+TEST(DependencyTest, StrideBreakStopsCounting) {
+  DependencyConfig c = Loose();
+  c.window = 100.0;
+  c.stride_timeout = 5.0;
+  // 0 -> (gap 6 s, stride break) -> 1: within the window but not the stride.
+  const auto t = MakeTrace({{0, 0.0, 0}, {0, 6.0, 1}});
+  EXPECT_DOUBLE_EQ(EstimateDependencies(t, 2, c).Get(0, 1), 0.0);
+}
+
+TEST(DependencyTest, ChainWithinStrideCounts) {
+  DependencyConfig c = Loose();
+  c.window = 10.0;
+  c.stride_timeout = 5.0;
+  // 0 at t=0, 1 at t=4, 2 at t=8: 0->2 spans two stride-joined gaps.
+  const auto t = MakeTrace({{0, 0.0, 0}, {0, 4.0, 1}, {0, 8.0, 2}});
+  const auto p = EstimateDependencies(t, 3, c);
+  EXPECT_GT(p.Get(0, 1), 0.0);
+  EXPECT_GT(p.Get(0, 2), 0.0);
+  EXPECT_GT(p.Get(1, 2), 0.0);
+}
+
+TEST(DependencyTest, CrossClientPairsNeverCount) {
+  const auto t = MakeTrace({{0, 0.0, 0}, {1, 1.0, 1}});
+  const auto p = EstimateDependencies(t, 2, Loose());
+  EXPECT_DOUBLE_EQ(p.Get(0, 1), 0.0);
+}
+
+TEST(DependencyTest, DuplicateFollowerCountedOnce) {
+  // One occurrence of 0 followed by 1 twice: p must be 1, not 2.
+  const auto t = MakeTrace({{0, 0.0, 0}, {0, 1.0, 1}, {0, 2.0, 1}});
+  const auto p = EstimateDependencies(t, 2, Loose());
+  EXPECT_NEAR(p.Get(0, 1), 1.0, 1e-6);
+}
+
+TEST(DependencyTest, SelfPairsExcluded) {
+  const auto t = MakeTrace({{0, 0.0, 0}, {0, 1.0, 0}});
+  const auto p = EstimateDependencies(t, 1, Loose());
+  EXPECT_DOUBLE_EQ(p.Get(0, 0), 0.0);
+}
+
+TEST(DependencyTest, MinProbabilityPrunes) {
+  DependencyConfig c = Loose();
+  c.min_probability = 0.4;
+  // p(0 -> 1) = 1/3 < 0.4.
+  const auto t = MakeTrace(
+      {{0, 0.0, 0}, {0, 1.0, 1}, {0, 100.0, 0}, {0, 200.0, 0}});
+  EXPECT_DOUBLE_EQ(EstimateDependencies(t, 2, c).Get(0, 1), 0.0);
+}
+
+TEST(DependencyTest, MinSupportPrunes) {
+  DependencyConfig c = Loose();
+  c.min_support = 2;
+  const auto t = MakeTrace({{0, 0.0, 0}, {0, 1.0, 1}});
+  EXPECT_DOUBLE_EQ(EstimateDependencies(t, 2, c).Get(0, 1), 0.0);
+}
+
+TEST(DependencyTest, RowsSortedDescending) {
+  const auto t = MakeTrace({{0, 0.0, 0},   {0, 1.0, 1},  {0, 2.0, 2},
+                            {0, 100.0, 0}, {0, 101.0, 2}});
+  const auto p = EstimateDependencies(t, 3, Loose());
+  const auto& row = p.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_GE(row[0].probability, row[1].probability);
+  EXPECT_EQ(row[0].doc, 2u);  // p = 1.0
+}
+
+TEST(DependencyTest, TimeRangeRestricts) {
+  const auto t = MakeTrace({{0, 0.0, 0}, {0, 1.0, 1},
+                            {0, 100000.0, 0}, {0, 100001.0, 1}});
+  const auto p = EstimateDependencies(t, 2, Loose(), 0.0, 50000.0);
+  EXPECT_NEAR(p.Get(0, 1), 1.0, 1e-6);  // only the first occurrence counted
+}
+
+TEST(WindowedCountsTest, AddRemoveSymmetry) {
+  const core::Workload w = core::MakeWorkload(core::SmallConfig());
+  DependencyConfig config;
+  const auto days = CountDailyDependencies(w.clean(), config);
+  ASSERT_GE(days.size(), 3u);
+
+  WindowedCounts window(w.corpus().size());
+  window.Add(days[0]);
+  window.Add(days[1]);
+  const auto two_day = window.BuildMatrix(config);
+  window.Add(days[2]);
+  window.Remove(days[2]);
+  const auto still_two_day = window.BuildMatrix(config);
+  EXPECT_EQ(two_day.NumEntries(), still_two_day.NumEntries());
+  for (trace::DocumentId i = 0; i < two_day.num_docs(); ++i) {
+    ASSERT_EQ(two_day.Row(i).size(), still_two_day.Row(i).size());
+    for (size_t k = 0; k < two_day.Row(i).size(); ++k) {
+      EXPECT_EQ(two_day.Row(i)[k].doc, still_two_day.Row(i)[k].doc);
+      EXPECT_FLOAT_EQ(two_day.Row(i)[k].probability,
+                      still_two_day.Row(i)[k].probability);
+    }
+  }
+}
+
+TEST(WindowedCountsTest, DailySumMatchesOneShot) {
+  const core::Workload w = core::MakeWorkload(core::SmallConfig());
+  DependencyConfig config;
+  const auto days = CountDailyDependencies(w.clean(), config);
+  WindowedCounts window(w.corpus().size());
+  for (const auto& d : days) window.Add(d);
+  const auto summed = window.BuildMatrix(config);
+  const auto one_shot =
+      EstimateDependencies(w.clean(), w.corpus().size(), config);
+  EXPECT_EQ(summed.NumEntries(), one_shot.NumEntries());
+}
+
+TEST(DependencyTest, ProbabilitiesAreValid) {
+  const core::Workload w = core::MakeWorkload(core::SmallConfig());
+  const auto p = EstimateDependencies(w.clean(), w.corpus().size(),
+                                      DependencyConfig{});
+  EXPECT_GT(p.NumEntries(), 0u);
+  for (trace::DocumentId i = 0; i < p.num_docs(); ++i) {
+    for (const auto& e : p.Row(i)) {
+      EXPECT_GT(e.probability, 0.0f);
+      EXPECT_LE(e.probability, 1.0f);
+      EXPECT_NE(e.doc, i);
+      EXPECT_LT(e.doc, p.num_docs());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sds::spec

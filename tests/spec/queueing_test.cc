@@ -1,0 +1,114 @@
+#include "spec/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+#include "spec/simulator.h"
+
+namespace sds::spec {
+namespace {
+
+QueueConfig FastServer() {
+  QueueConfig config;
+  config.service_overhead_s = 1.0;
+  config.service_rate_bytes_per_s = 1000.0;
+  return config;
+}
+
+TEST(QueueTest, EmptyStream) {
+  const QueueStats stats = ComputeQueueStats({}, FastServer());
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_wait_s, 0.0);
+}
+
+TEST(QueueTest, IdleServerNoWaiting) {
+  // Requests far apart: no queueing, response = service time.
+  std::vector<ServerEvent> events = {{0.0, 1000.0}, {100.0, 1000.0}};
+  const QueueStats stats = ComputeQueueStats(events, FastServer());
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_wait_s, 0.0);
+  EXPECT_NEAR(stats.mean_response_s, 2.0, 1e-9);  // 1 s overhead + 1 s xfer
+}
+
+TEST(QueueTest, BackToBackRequestsQueue) {
+  // Three simultaneous requests, 2 s service each: waits 0, 2, 4.
+  std::vector<ServerEvent> events = {{0.0, 1000.0}, {0.0, 1000.0},
+                                     {0.0, 1000.0}};
+  const QueueStats stats = ComputeQueueStats(events, FastServer());
+  EXPECT_NEAR(stats.mean_wait_s, 2.0, 1e-9);
+  EXPECT_NEAR(stats.max_queue_depth, 3.0, 1e-9);
+}
+
+TEST(QueueTest, UtilizationBounds) {
+  std::vector<ServerEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back({i * 10.0, 500.0});
+  }
+  const QueueStats stats = ComputeQueueStats(events, FastServer());
+  EXPECT_GT(stats.utilization, 0.0);
+  EXPECT_LE(stats.utilization, 1.0);
+  // Service = 1.5 s every 10 s -> utilization ~15%.
+  EXPECT_NEAR(stats.utilization, 0.15, 0.02);
+}
+
+TEST(QueueTest, P95AtLeastMean) {
+  std::vector<ServerEvent> events;
+  for (int i = 0; i < 50; ++i) events.push_back({i * 0.5, 800.0});
+  const QueueStats stats = ComputeQueueStats(events, FastServer());
+  EXPECT_GE(stats.p95_response_s, stats.mean_response_s * 0.5);
+}
+
+TEST(QueueTest, FasterServerShorterWaits) {
+  std::vector<ServerEvent> events;
+  for (int i = 0; i < 200; ++i) events.push_back({i * 1.2, 1500.0});
+  QueueConfig slow = FastServer();
+  QueueConfig fast = FastServer();
+  fast.service_rate_bytes_per_s *= 10.0;
+  fast.service_overhead_s /= 10.0;
+  const QueueStats s = ComputeQueueStats(events, slow);
+  const QueueStats f = ComputeQueueStats(events, fast);
+  EXPECT_GT(s.mean_wait_s, f.mean_wait_s);
+}
+
+TEST(QueueTest, SimulatorEventStreamIsOrderedAndComplete) {
+  const core::Workload w = core::MakeWorkload(core::SmallConfig());
+  SpeculationSimulator sim(&w.corpus(), &w.clean());
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.3;
+  std::vector<ServerEvent> events;
+  const RunTotals totals = sim.Run(config, &events);
+  EXPECT_EQ(events.size(), totals.server_requests);
+  double bytes = 0.0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+    bytes += events[i].response_bytes;
+  }
+  EXPECT_NEAR(bytes, totals.bytes_sent, 1e-6);
+}
+
+TEST(QueueTest, SpeculationCutsWaitingNearSaturation) {
+  const core::Workload w = core::MakeWorkload(core::SmallConfig());
+  SpeculationSimulator sim(&w.corpus(), &w.clean());
+  SpeculationConfig plain = core::BaselineSpecConfig();
+  plain.mode = ServiceMode::kNone;
+  SpeculationConfig spec = core::BaselineSpecConfig();
+  spec.policy.threshold = 0.25;
+  std::vector<ServerEvent> plain_events, spec_events;
+  sim.Run(plain, &plain_events);
+  sim.Run(spec, &spec_events);
+  ASSERT_GT(plain_events.size(), spec_events.size());
+
+  // Pick a service rate that loads the plain server noticeably.
+  QueueConfig queue;
+  queue.service_overhead_s = 0.2;
+  queue.service_rate_bytes_per_s = 50e3;
+  const QueueStats p = ComputeQueueStats(plain_events, queue);
+  const QueueStats s = ComputeQueueStats(spec_events, queue);
+  EXPECT_LE(s.mean_wait_s, p.mean_wait_s + 1e-9);
+}
+
+}  // namespace
+}  // namespace sds::spec

@@ -1,0 +1,225 @@
+#include "spec/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+
+namespace sds::spec {
+namespace {
+
+class SpecSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new core::Workload(core::MakeWorkload(core::SmallConfig()));
+    sim_ = new SpeculationSimulator(&workload_->corpus(), &workload_->clean());
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    delete workload_;
+    sim_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static SpeculationConfig Baseline(double tp = 0.25) {
+    SpeculationConfig config = core::BaselineSpecConfig();
+    config.policy.threshold = tp;
+    return config;
+  }
+
+  static core::Workload* workload_;
+  static SpeculationSimulator* sim_;
+};
+
+core::Workload* SpecSimTest::workload_ = nullptr;
+SpeculationSimulator* SpecSimTest::sim_ = nullptr;
+
+TEST_F(SpecSimTest, BaselineRunAccountsEveryRequest) {
+  SpeculationConfig config = Baseline();
+  config.mode = ServiceMode::kNone;
+  const RunTotals totals = sim_->Run(config);
+  size_t clean_docs = 0;
+  for (const auto& r : workload_->clean().requests) {
+    if (r.kind == trace::RequestKind::kDocument ||
+        r.kind == trace::RequestKind::kAlias) {
+      ++clean_docs;
+    }
+  }
+  EXPECT_EQ(totals.client_requests, clean_docs);
+  EXPECT_EQ(totals.speculative_docs_sent, 0u);
+  EXPECT_DOUBLE_EQ(totals.speculative_bytes, 0.0);
+  EXPECT_LE(totals.server_requests, totals.client_requests);
+}
+
+TEST_F(SpecSimTest, NoCacheBaselineEveryRequestHitsServer) {
+  SpeculationConfig config = Baseline();
+  config.mode = ServiceMode::kNone;
+  config.cache.session_timeout = 0.0;
+  const RunTotals totals = sim_->Run(config);
+  EXPECT_EQ(totals.server_requests, totals.client_requests);
+  EXPECT_DOUBLE_EQ(totals.miss_bytes, totals.requested_bytes);
+  EXPECT_DOUBLE_EQ(totals.bytes_sent, totals.requested_bytes);
+}
+
+TEST_F(SpecSimTest, SpeculationReducesLoadAtSomeTrafficCost) {
+  const SpeculationMetrics m = sim_->Evaluate(Baseline(0.25));
+  EXPECT_LT(m.server_load_ratio, 1.0);
+  EXPECT_LT(m.service_time_ratio, 1.0);
+  EXPECT_LT(m.miss_rate_ratio, 1.0);
+  EXPECT_GE(m.bandwidth_ratio, 1.0);
+}
+
+TEST_F(SpecSimTest, ThresholdMonotonicity) {
+  // Lower Tp -> more speculation -> no less traffic and no more load.
+  const SpeculationMetrics strict = sim_->Evaluate(Baseline(0.8));
+  const SpeculationMetrics loose = sim_->Evaluate(Baseline(0.2));
+  EXPECT_GE(loose.bandwidth_ratio, strict.bandwidth_ratio - 1e-6);
+  EXPECT_LE(loose.server_load_ratio, strict.server_load_ratio + 1e-6);
+}
+
+TEST_F(SpecSimTest, EmbeddingOnlySpeculationNearlyFree) {
+  // Tp = 1 pushes only certain successors; traffic increase must be tiny
+  // (the paper: sending embedded documents cannot waste bandwidth).
+  const SpeculationMetrics m = sim_->Evaluate(Baseline(1.0));
+  EXPECT_LT(m.extra_traffic, 0.05);
+  EXPECT_LE(m.server_load_ratio, 1.0);
+}
+
+TEST_F(SpecSimTest, CooperativeClientsNeverUseMoreBandwidth) {
+  SpeculationConfig blind = Baseline(0.2);
+  SpeculationConfig coop = blind;
+  coop.cooperative_clients = true;
+  const RunTotals blind_run = sim_->Run(blind);
+  const RunTotals coop_run = sim_->Run(coop);
+  EXPECT_LE(coop_run.bytes_sent, blind_run.bytes_sent);
+  // Same or fewer misses (the cooperative server still pushes everything
+  // useful).
+  EXPECT_LE(coop_run.server_requests, blind_run.server_requests + 5);
+}
+
+TEST_F(SpecSimTest, MaxSizeReducesTraffic) {
+  SpeculationConfig unlimited = Baseline(0.2);
+  SpeculationConfig limited = unlimited;
+  limited.policy.max_size = 8 * 1024;
+  const RunTotals u = sim_->Run(unlimited);
+  const RunTotals l = sim_->Run(limited);
+  EXPECT_LT(l.speculative_bytes, u.speculative_bytes);
+}
+
+TEST_F(SpecSimTest, UpdateCycleStalenessDegrades) {
+  SpeculationConfig fresh = Baseline(0.25);
+  fresh.update_cycle_days = 1;
+  SpeculationConfig stale = Baseline(0.25);
+  stale.update_cycle_days = 10;  // trace is only 14 days long
+  const SpeculationMetrics f = sim_->Evaluate(fresh);
+  const SpeculationMetrics s = sim_->Evaluate(stale);
+  EXPECT_LE(f.server_load_ratio, s.server_load_ratio + 0.02);
+}
+
+TEST_F(SpecSimTest, RawPVersusClosure) {
+  SpeculationConfig closure = Baseline(0.3);
+  SpeculationConfig raw = closure;
+  raw.use_closure = false;
+  const RunTotals c = sim_->Run(closure);
+  const RunTotals r = sim_->Run(raw);
+  // The closure dominates P entrywise, so it speculates at least as much.
+  EXPECT_GE(c.speculative_docs_sent, r.speculative_docs_sent);
+}
+
+TEST_F(SpecSimTest, ClientPrefetchIssuesPrefetchRequests) {
+  SpeculationConfig config = Baseline(0.25);
+  config.mode = ServiceMode::kClientPrefetch;
+  // Profiles can only help against a cache that forgets; with an infinite
+  // multi-session cache everything the profile knows is already cached.
+  config.cache.session_timeout = kHour;
+  const RunTotals totals = sim_->Run(config);
+  EXPECT_GT(totals.prefetch_requests, 0u);
+  EXPECT_EQ(totals.speculative_docs_sent, totals.prefetch_requests);
+}
+
+TEST_F(SpecSimTest, HybridPushesLessThanFullSpeculation) {
+  SpeculationConfig full = Baseline(0.25);
+  full.cache.session_timeout = kHour;
+  SpeculationConfig hybrid = full;
+  hybrid.mode = ServiceMode::kHybrid;
+  const RunTotals f = sim_->Run(full);
+  const RunTotals h = sim_->Run(hybrid);
+  // The hybrid's pushes are restricted to near-certain documents; its
+  // remaining speculation comes from client prefetching.
+  EXPECT_LT(h.speculative_bytes - h.prefetch_requests * 0.0,
+            f.speculative_bytes * 1.5);
+  EXPECT_GT(h.prefetch_requests, 0u);
+}
+
+TEST_F(SpecSimTest, ServerHintsNeverSendDuplicateBytes) {
+  SpeculationConfig push = Baseline(0.25);
+  SpeculationConfig hints = push;
+  hints.mode = ServiceMode::kServerHints;
+  const RunTotals p = sim_->Run(push);
+  const RunTotals h = sim_->Run(hints);
+  // Hints are client-filtered, so they can never push a cached document:
+  // no wasted duplicate bytes, less total traffic than blind push.
+  EXPECT_LE(h.bytes_sent, p.bytes_sent + 1e-6);
+  // But every accepted hint is a separate server request.
+  EXPECT_GT(h.prefetch_requests, 0u);
+  EXPECT_GT(h.server_requests, p.server_requests);
+  // Same candidates reach the cache either way: miss bytes match closely.
+  EXPECT_NEAR(h.miss_bytes / p.miss_bytes, 1.0, 0.1);
+}
+
+TEST_F(SpecSimTest, DecayEstimatorComparableToWindow) {
+  SpeculationConfig window = Baseline(0.25);
+  SpeculationConfig decay = window;
+  decay.estimator = SpeculationConfig::EstimatorKind::kExponentialDecay;
+  decay.decay_per_day = 0.9;
+  const SpeculationMetrics w = sim_->Evaluate(window);
+  const SpeculationMetrics d = sim_->Evaluate(decay);
+  // The aged estimator must deliver speculation of similar quality on a
+  // short trace (both see essentially the same history).
+  EXPECT_LT(d.server_load_ratio, 1.0);
+  EXPECT_NEAR(d.server_load_ratio, w.server_load_ratio, 0.1);
+}
+
+TEST_F(SpecSimTest, SpeculativeHitsAreCounted) {
+  const RunTotals totals = sim_->Run(Baseline(0.25));
+  EXPECT_GT(totals.speculative_hits, 0u);
+  EXPECT_LE(totals.speculative_hits, totals.speculative_docs_sent);
+}
+
+TEST_F(SpecSimTest, ChargingSpeculativeLatencyIsSlower) {
+  SpeculationConfig cheap = Baseline(0.2);
+  SpeculationConfig charged = cheap;
+  charged.charge_speculative_latency = true;
+  const RunTotals a = sim_->Run(cheap);
+  const RunTotals b = sim_->Run(charged);
+  EXPECT_GT(b.total_latency, a.total_latency);
+}
+
+TEST_F(SpecSimTest, DeterministicAcrossRuns) {
+  const RunTotals a = sim_->Run(Baseline(0.3));
+  const RunTotals b = sim_->Run(Baseline(0.3));
+  EXPECT_EQ(a.server_requests, b.server_requests);
+  EXPECT_DOUBLE_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_DOUBLE_EQ(a.total_latency, b.total_latency);
+}
+
+TEST_F(SpecSimTest, MetricsRatiosConsistent) {
+  const SpeculationMetrics m = sim_->Evaluate(Baseline(0.3));
+  EXPECT_NEAR(m.bandwidth_ratio,
+              m.with_speculation.bytes_sent /
+                  m.without_speculation.bytes_sent,
+              1e-12);
+  EXPECT_NEAR(m.extra_traffic, m.bandwidth_ratio - 1.0, 1e-12);
+}
+
+TEST(SpecMetricsTest, DegenerateBaselinesYieldUnitRatios) {
+  const RunTotals empty_a, empty_b;
+  const SpeculationMetrics m = ComputeMetrics(empty_a, empty_b);
+  EXPECT_DOUBLE_EQ(m.bandwidth_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.server_load_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.service_time_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.miss_rate_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace sds::spec

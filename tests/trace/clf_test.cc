@@ -1,0 +1,144 @@
+#include "trace/clf.h"
+
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "trace/corpus.h"
+#include "trace/filter.h"
+#include "trace/generator.h"
+#include "trace/link_graph.h"
+#include "util/rng.h"
+
+namespace sds::trace {
+namespace {
+
+TEST(ClfTimeTest, EpochFormatsAsJan1995) {
+  EXPECT_EQ(FormatClfTime(0.0), "[01/Jan/1995:00:00:00 +0000]");
+}
+
+TEST(ClfTimeTest, FormatsDayRollovers) {
+  EXPECT_EQ(FormatClfTime(86400.0 + 3661.0), "[02/Jan/1995:01:01:01 +0000]");
+  // 31 days of January.
+  EXPECT_EQ(FormatClfTime(31.0 * 86400.0), "[01/Feb/1995:00:00:00 +0000]");
+  // 1995 is not a leap year: Feb has 28 days.
+  EXPECT_EQ(FormatClfTime((31.0 + 28.0) * 86400.0),
+            "[01/Mar/1995:00:00:00 +0000]");
+}
+
+TEST(ClfTimeTest, ParseRoundTrip) {
+  for (const double t : {0.0, 59.0, 86399.0, 86400.0, 123456.0, 7776000.0}) {
+    const auto parsed = ParseClfTime(FormatClfTime(t));
+    ASSERT_TRUE(parsed.ok()) << FormatClfTime(t);
+    EXPECT_DOUBLE_EQ(parsed.value(), std::floor(t));
+  }
+}
+
+TEST(ClfTimeTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseClfTime("01/Jan/1995:00:00:00").ok());  // no brackets
+  EXPECT_FALSE(ParseClfTime("[01/Foo/1995:00:00:00 +0000]").ok());
+  EXPECT_FALSE(ParseClfTime("[bad]").ok());
+}
+
+TEST(ClfLineTest, FormatAndParse) {
+  ClfRecord rec;
+  rec.host = "h12.org3.example.com";
+  rec.time = 3600.0;
+  rec.method = "GET";
+  rec.path = "/docs/0001.html";
+  rec.status = 200;
+  rec.bytes = 4321;
+  const std::string line = FormatClfLine(rec);
+  EXPECT_EQ(line,
+            "h12.org3.example.com - - [01/Jan/1995:01:00:00 +0000] "
+            "\"GET /docs/0001.html HTTP/1.0\" 200 4321");
+  const auto parsed = ParseClfLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().host, rec.host);
+  EXPECT_EQ(parsed.value().path, rec.path);
+  EXPECT_EQ(parsed.value().status, 200);
+  EXPECT_EQ(parsed.value().bytes, 4321u);
+  EXPECT_DOUBLE_EQ(parsed.value().time, 3600.0);
+}
+
+TEST(ClfLineTest, ParseDashBytes) {
+  const auto parsed = ParseClfLine(
+      "h1.cs.bu.edu - - [01/Jan/1995:00:00:00 +0000] \"GET /x HTTP/1.0\" "
+      "404 -");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().bytes, 0u);
+}
+
+TEST(ClfLineTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseClfLine("nonsense").ok());
+  EXPECT_FALSE(ParseClfLine("host - - [01/Jan/1995:00:00:00 +0000] 200 5").ok());
+}
+
+class ClfRoundTripTest : public ::testing::Test {
+ protected:
+  ClfRoundTripTest() {
+    CorpusConfig cconfig;
+    cconfig.pages_per_server = 30;
+    cconfig.images_per_server = 40;
+    cconfig.archives_per_server = 3;
+    Rng rng(11);
+    corpus_ = GenerateCorpus(cconfig, &rng);
+    LinkGraph graph(&corpus_, LinkGraphConfig{}, &rng);
+    TraceGeneratorConfig tconfig;
+    tconfig.num_clients = 40;
+    tconfig.days = 3;
+    tconfig.sessions_per_client_per_day = 1.0;
+    trace_ = GenerateTrace(tconfig, &graph, &rng).trace;
+  }
+
+  Corpus corpus_;
+  Trace trace_;
+};
+
+TEST_F(ClfRoundTripTest, TraceToClfToTracePreservesCleanRequests) {
+  const auto lines = TraceToClf(trace_, corpus_);
+  ASSERT_EQ(lines.size(), trace_.size());
+  const auto round = ClfToTrace(lines, corpus_);
+  ASSERT_TRUE(round.ok());
+  const Trace& rt = round.value();
+  ASSERT_EQ(rt.size(), trace_.size());
+
+  // After preprocessing, both traces must be identical request-for-request
+  // (CLF timestamps have 1-second resolution, so compare with tolerance).
+  const Trace a = FilterTrace(trace_);
+  const Trace b = FilterTrace(rt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.requests[i].doc, b.requests[i].doc) << i;
+    EXPECT_EQ(a.requests[i].client, b.requests[i].client) << i;
+    EXPECT_EQ(a.requests[i].remote_client, b.requests[i].remote_client) << i;
+    EXPECT_NEAR(a.requests[i].time, b.requests[i].time, 1.0) << i;
+    EXPECT_EQ(a.requests[i].bytes, b.requests[i].bytes) << i;
+  }
+}
+
+TEST_F(ClfRoundTripTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sds_clf_test.log";
+  ASSERT_TRUE(WriteClfFile(path, trace_, corpus_).ok());
+  const auto read = ReadClfFile(path, corpus_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), trace_.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(ClfRoundTripTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadClfFile("/no/such/file.log", corpus_).ok());
+}
+
+TEST_F(ClfRoundTripTest, UnknownPathsBecomeNotFound) {
+  const std::vector<std::string> lines = {
+      "h1.cs.bu.edu - - [01/Jan/1995:00:00:00 +0000] "
+      "\"GET /definitely/missing.html HTTP/1.0\" 200 100"};
+  const auto round = ClfToTrace(lines, corpus_);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().size(), 1u);
+  EXPECT_EQ(round.value().requests[0].kind, RequestKind::kNotFound);
+}
+
+}  // namespace
+}  // namespace sds::trace

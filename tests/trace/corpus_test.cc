@@ -1,0 +1,149 @@
+#include "trace/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sds::trace {
+namespace {
+
+CorpusConfig TinyConfig() {
+  CorpusConfig config;
+  config.pages_per_server = 40;
+  config.images_per_server = 60;
+  config.archives_per_server = 5;
+  return config;
+}
+
+TEST(CorpusTest, GeneratesExpectedCounts) {
+  Rng rng(1);
+  const Corpus corpus = GenerateCorpus(TinyConfig(), &rng);
+  EXPECT_EQ(corpus.size(), 105u);
+  EXPECT_EQ(corpus.num_servers(), 1u);
+  EXPECT_EQ(corpus.server_docs(0).size(), 105u);
+}
+
+TEST(CorpusTest, IdsAreDense) {
+  Rng rng(2);
+  const Corpus corpus = GenerateCorpus(TinyConfig(), &rng);
+  for (DocumentId id = 0; id < corpus.size(); ++id) {
+    EXPECT_EQ(corpus.doc(id).id, id);
+  }
+}
+
+TEST(CorpusTest, SizesArePositiveAndBounded) {
+  Rng rng(3);
+  CorpusConfig config = TinyConfig();
+  const Corpus corpus = GenerateCorpus(config, &rng);
+  for (const auto& d : corpus.docs()) {
+    EXPECT_GT(d.size_bytes, 0u);
+    if (d.kind == DocumentKind::kArchive) {
+      EXPECT_GE(d.size_bytes, static_cast<uint64_t>(config.archive_size_min));
+      EXPECT_LE(d.size_bytes, static_cast<uint64_t>(config.archive_size_max));
+    }
+  }
+}
+
+TEST(CorpusTest, FindByPathRoundTrip) {
+  Rng rng(4);
+  const Corpus corpus = GenerateCorpus(TinyConfig(), &rng);
+  for (const auto& d : corpus.docs()) {
+    const auto found = corpus.FindByPath(d.server, d.path);
+    ASSERT_TRUE(found.ok()) << d.path;
+    EXPECT_EQ(found.value(), d.id);
+  }
+  EXPECT_FALSE(corpus.FindByPath(0, "/nope.html").ok());
+}
+
+TEST(CorpusTest, MultiServerPartition) {
+  Rng rng(5);
+  CorpusConfig config = TinyConfig();
+  config.num_servers = 3;
+  const Corpus corpus = GenerateCorpus(config, &rng);
+  EXPECT_EQ(corpus.num_servers(), 3u);
+  size_t total = 0;
+  for (ServerId s = 0; s < 3; ++s) {
+    for (const DocumentId id : corpus.server_docs(s)) {
+      EXPECT_EQ(corpus.doc(id).server, s);
+    }
+    total += corpus.server_docs(s).size();
+  }
+  EXPECT_EQ(total, corpus.size());
+}
+
+TEST(CorpusTest, TotalBytesConsistent) {
+  Rng rng(6);
+  CorpusConfig config = TinyConfig();
+  config.num_servers = 2;
+  const Corpus corpus = GenerateCorpus(config, &rng);
+  EXPECT_EQ(corpus.TotalBytes(), corpus.ServerBytes(0) + corpus.ServerBytes(1));
+}
+
+TEST(CorpusTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const Corpus ca = GenerateCorpus(TinyConfig(), &a);
+  const Corpus cb = GenerateCorpus(TinyConfig(), &b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (DocumentId id = 0; id < ca.size(); ++id) {
+    EXPECT_EQ(ca.doc(id).size_bytes, cb.doc(id).size_bytes);
+    EXPECT_EQ(ca.doc(id).audience, cb.doc(id).audience);
+  }
+}
+
+TEST(CorpusTest, AudienceMixRoughlyMatchesConfig) {
+  Rng rng(8);
+  CorpusConfig config;
+  config.pages_per_server = 2000;
+  config.images_per_server = 0;
+  config.archives_per_server = 0;
+  const Corpus corpus = GenerateCorpus(config, &rng);
+  int remote = 0, local = 0, global = 0;
+  for (const auto& d : corpus.docs()) {
+    switch (d.audience) {
+      case AudienceClass::kRemote:
+        ++remote;
+        break;
+      case AudienceClass::kLocal:
+        ++local;
+        break;
+      case AudienceClass::kGlobal:
+        ++global;
+        break;
+    }
+  }
+  EXPECT_NEAR(remote / 2000.0, config.remote_fraction, 0.03);
+  EXPECT_NEAR(local / 2000.0, config.local_fraction, 0.04);
+}
+
+TEST(CorpusTest, MutableUpdateRatesClassConditional) {
+  Rng rng(9);
+  CorpusConfig config;
+  config.pages_per_server = 3000;
+  config.images_per_server = 0;
+  config.archives_per_server = 0;
+  const Corpus corpus = GenerateCorpus(config, &rng);
+  double local_rate = 0.0, other_rate = 0.0;
+  int local_n = 0, other_n = 0;
+  for (const auto& d : corpus.docs()) {
+    if (d.audience == AudienceClass::kLocal) {
+      local_rate += d.update_probability_per_day;
+      ++local_n;
+    } else {
+      other_rate += d.update_probability_per_day;
+      ++other_n;
+    }
+  }
+  // Locally oriented documents update much more often on average (paper:
+  // ~2%/day vs <0.5%/day).
+  EXPECT_GT(local_rate / local_n, 2.0 * other_rate / other_n);
+}
+
+TEST(CorpusTest, KindAndClassNames) {
+  EXPECT_STREQ(DocumentKindToString(DocumentKind::kPage), "page");
+  EXPECT_STREQ(DocumentKindToString(DocumentKind::kImage), "image");
+  EXPECT_STREQ(DocumentKindToString(DocumentKind::kArchive), "archive");
+  EXPECT_STREQ(AudienceClassToString(AudienceClass::kRemote), "remote");
+}
+
+}  // namespace
+}  // namespace sds::trace

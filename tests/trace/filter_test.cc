@@ -1,0 +1,71 @@
+#include "trace/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::trace {
+namespace {
+
+Trace MakeRawTrace() {
+  Trace raw;
+  raw.num_clients = 2;
+  Request r;
+  r.time = 1.0;
+  r.client = 0;
+  r.doc = 10;
+  r.bytes = 100;
+  r.kind = RequestKind::kDocument;
+  raw.requests.push_back(r);
+  r.time = 2.0;
+  r.doc = 11;
+  r.kind = RequestKind::kAlias;
+  raw.requests.push_back(r);
+  r.time = 3.0;
+  r.doc = kInvalidDocument;
+  r.bytes = 0;
+  r.kind = RequestKind::kNotFound;
+  raw.requests.push_back(r);
+  r.time = 4.0;
+  r.kind = RequestKind::kScript;
+  r.bytes = 512;
+  raw.requests.push_back(r);
+  return raw;
+}
+
+TEST(FilterTest, DropsNoiseKeepsDocuments) {
+  FilterStats stats;
+  const Trace clean = FilterTrace(MakeRawTrace(), &stats);
+  EXPECT_EQ(clean.size(), 2u);
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.dropped_not_found, 1u);
+  EXPECT_EQ(stats.dropped_script, 1u);
+  EXPECT_EQ(stats.canonicalized_alias, 1u);
+}
+
+TEST(FilterTest, AliasCanonicalized) {
+  const Trace clean = FilterTrace(MakeRawTrace());
+  for (const auto& r : clean.requests) {
+    EXPECT_EQ(r.kind, RequestKind::kDocument);
+  }
+  EXPECT_EQ(clean.requests[1].doc, 11u);
+}
+
+TEST(FilterTest, PreservesOrderAndMetadata) {
+  const Trace raw = MakeRawTrace();
+  const Trace clean = FilterTrace(raw);
+  EXPECT_EQ(clean.num_clients, raw.num_clients);
+  EXPECT_LT(clean.requests[0].time, clean.requests[1].time);
+}
+
+TEST(FilterTest, EmptyTrace) {
+  FilterStats stats;
+  const Trace clean = FilterTrace(Trace{}, &stats);
+  EXPECT_TRUE(clean.empty());
+  EXPECT_EQ(stats.kept, 0u);
+}
+
+TEST(FilterTest, NullStatsPointerOk) {
+  EXPECT_EQ(FilterTrace(MakeRawTrace(), nullptr).size(), 2u);
+}
+
+}  // namespace
+}  // namespace sds::trace

@@ -1,0 +1,186 @@
+#include "trace/link_graph.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <gtest/gtest.h>
+
+#include "trace/corpus.h"
+#include "util/rng.h"
+
+namespace sds::trace {
+namespace {
+
+class LinkGraphTest : public ::testing::Test {
+ protected:
+  LinkGraphTest() {
+    CorpusConfig config;
+    config.pages_per_server = 80;
+    config.images_per_server = 120;
+    config.archives_per_server = 8;
+    Rng rng(42);
+    corpus_ = GenerateCorpus(config, &rng);
+    graph_rng_ = Rng(43);
+    graph_ = std::make_unique<LinkGraph>(&corpus_, LinkGraphConfig{},
+                                         &graph_rng_);
+  }
+
+  Corpus corpus_;
+  Rng graph_rng_{0};
+  std::unique_ptr<LinkGraph> graph_;
+};
+
+TEST_F(LinkGraphTest, OnlyPagesHaveEdges) {
+  for (const auto& d : corpus_.docs()) {
+    if (d.kind != DocumentKind::kPage) {
+      EXPECT_TRUE(graph_->Embedded(d.id).empty());
+      EXPECT_TRUE(graph_->OutLinks(d.id).empty());
+    }
+  }
+}
+
+TEST_F(LinkGraphTest, EmbeddedTargetsAreImagesOnSameServer) {
+  for (const auto& d : corpus_.docs()) {
+    for (const DocumentId img : graph_->Embedded(d.id)) {
+      EXPECT_EQ(corpus_.doc(img).kind, DocumentKind::kImage);
+      EXPECT_EQ(corpus_.doc(img).server, d.server);
+    }
+  }
+}
+
+TEST_F(LinkGraphTest, OutLinksStayOnServerAndAvoidImages) {
+  for (const auto& d : corpus_.docs()) {
+    for (const DocumentId target : graph_->OutLinks(d.id)) {
+      EXPECT_NE(corpus_.doc(target).kind, DocumentKind::kImage);
+      EXPECT_EQ(corpus_.doc(target).server, d.server);
+      EXPECT_NE(target, d.id);
+    }
+  }
+}
+
+TEST_F(LinkGraphTest, MeanOutDegreeNearConfig) {
+  const double mean = static_cast<double>(graph_->TotalOutLinks()) / 80.0;
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 10.0);
+}
+
+TEST_F(LinkGraphTest, SampleEntryPageReturnsPages) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const DocumentId page = graph_->SampleEntryPage(0, i % 2 == 0, &rng);
+    EXPECT_EQ(corpus_.doc(page).kind, DocumentKind::kPage);
+  }
+}
+
+TEST_F(LinkGraphTest, HomePageBiasConcentratesEntries) {
+  Rng rng(2);
+  std::unordered_map<DocumentId, int> counts;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[graph_->SampleEntryPage(0, true, &rng)];
+  }
+  int max_count = 0;
+  for (const auto& [page, c] : counts) max_count = std::max(max_count, c);
+  // Default home_page_bias = 0.6: the home page should dominate.
+  EXPECT_GT(max_count, n / 2);
+}
+
+TEST_F(LinkGraphTest, RemoteEntriesFavorRemoteAudience) {
+  Rng rng(3);
+  const int n = 20000;
+  int remote_hits_remote_class = 0, local_hits_remote_class = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto r = corpus_.doc(graph_->SampleEntryPage(0, true, &rng));
+    const auto l = corpus_.doc(graph_->SampleEntryPage(0, false, &rng));
+    if (r.audience == AudienceClass::kRemote) ++remote_hits_remote_class;
+    if (l.audience == AudienceClass::kRemote) ++local_hits_remote_class;
+  }
+  // Remote clients must hit remote-class documents far more often than
+  // local clients do.
+  EXPECT_GT(remote_hits_remote_class, 2 * local_hits_remote_class);
+}
+
+TEST_F(LinkGraphTest, SampleOutLinkUniformOverLinks) {
+  Rng rng(4);
+  // Find a page with at least 3 links.
+  DocumentId page = kInvalidDocument;
+  for (const auto& d : corpus_.docs()) {
+    if (graph_->OutLinks(d.id).size() >= 3) {
+      page = d.id;
+      break;
+    }
+  }
+  ASSERT_NE(page, kInvalidDocument);
+  const auto& links = graph_->OutLinks(page);
+  std::unordered_map<DocumentId, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[graph_->SampleOutLink(page, &rng)];
+  // Duplicated link targets get proportionally more probability; count
+  // multiplicity.
+  std::unordered_map<DocumentId, int> multiplicity;
+  for (const DocumentId t : links) ++multiplicity[t];
+  for (const auto& [target, m] : multiplicity) {
+    const double expected =
+        static_cast<double>(m) / static_cast<double>(links.size()) * n;
+    EXPECT_NEAR(counts[target], expected, 5.0 * std::sqrt(expected) + 10.0);
+  }
+}
+
+TEST_F(LinkGraphTest, SampleOutLinkFromLinklessPage) {
+  Rng rng(5);
+  for (const auto& d : corpus_.docs()) {
+    if (d.kind == DocumentKind::kPage && graph_->OutLinks(d.id).empty()) {
+      EXPECT_EQ(graph_->SampleOutLink(d.id, &rng), kInvalidDocument);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no link-less page in this corpus";
+}
+
+TEST_F(LinkGraphTest, AdvanceDayPreservesInvariants) {
+  Rng rng(6);
+  const size_t links_before = graph_->TotalOutLinks();
+  const size_t embedded_before = graph_->TotalEmbedded();
+  for (int day = 0; day < 30; ++day) graph_->AdvanceDay(&rng);
+  // Rewiring replaces edges one-for-one.
+  EXPECT_EQ(graph_->TotalOutLinks(), links_before);
+  EXPECT_EQ(graph_->TotalEmbedded(), embedded_before);
+  for (const auto& d : corpus_.docs()) {
+    for (const DocumentId target : graph_->OutLinks(d.id)) {
+      EXPECT_EQ(corpus_.doc(target).server, d.server);
+    }
+  }
+}
+
+TEST_F(LinkGraphTest, AdvanceDayChangesSomething) {
+  Rng rng(7);
+  std::vector<std::vector<DocumentId>> before;
+  for (const auto& d : corpus_.docs()) before.push_back(graph_->OutLinks(d.id));
+  for (int day = 0; day < 60; ++day) graph_->AdvanceDay(&rng);
+  size_t changed = 0;
+  for (const auto& d : corpus_.docs()) {
+    if (graph_->OutLinks(d.id) != before[d.id]) ++changed;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(LinkGraphMultiServerTest, EdgesNeverCrossServers) {
+  CorpusConfig config;
+  config.num_servers = 3;
+  config.pages_per_server = 30;
+  config.images_per_server = 40;
+  config.archives_per_server = 4;
+  Rng rng(8);
+  const Corpus corpus = GenerateCorpus(config, &rng);
+  const LinkGraph graph(&corpus, LinkGraphConfig{}, &rng);
+  for (const auto& d : corpus.docs()) {
+    for (const DocumentId t : graph.OutLinks(d.id)) {
+      EXPECT_EQ(corpus.doc(t).server, d.server);
+    }
+    for (const DocumentId t : graph.Embedded(d.id)) {
+      EXPECT_EQ(corpus.doc(t).server, d.server);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sds::trace

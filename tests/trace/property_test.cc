@@ -1,0 +1,184 @@
+/// Property tests: generator invariants across its configuration space
+/// (browser-cache model on/off, locality knobs, scale), asserting the
+/// structural properties every downstream analysis assumes.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "trace/corpus.h"
+#include "trace/filter.h"
+#include "trace/generator.h"
+#include "trace/link_graph.h"
+#include "trace/sessionizer.h"
+#include "util/rng.h"
+
+namespace sds::trace {
+namespace {
+
+class GeneratorSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t /*seed*/, bool /*browser_cache*/,
+                     double /*remote_fraction*/>> {};
+
+TEST_P(GeneratorSweepTest, StructuralInvariants) {
+  const auto [seed, browser_cache, remote_fraction] = GetParam();
+  CorpusConfig cconfig;
+  cconfig.pages_per_server = 50;
+  cconfig.images_per_server = 70;
+  cconfig.archives_per_server = 5;
+  Rng rng(seed);
+  const Corpus corpus = GenerateCorpus(cconfig, &rng);
+  LinkGraph graph(&corpus, LinkGraphConfig{}, &rng);
+  TraceGeneratorConfig config;
+  config.num_clients = 80;
+  config.days = 6;
+  config.sessions_per_client_per_day = 1.0;
+  config.remote_client_fraction = remote_fraction;
+  config.browser_cache_bytes = browser_cache ? 2 * 1024 * 1024 : 0;
+  const GeneratedTrace generated = GenerateTrace(config, &graph, &rng);
+  const Trace& trace = generated.trace;
+  ASSERT_GT(trace.size(), 100u);
+
+  // Time-ordering and horizon.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const auto& r = trace.requests[i];
+    if (i > 0) {
+      EXPECT_GE(r.time, trace.requests[i - 1].time);
+    }
+    EXPECT_GE(r.time, 0.0);
+    EXPECT_LT(r.time, (config.days + 1) * kDay);
+    EXPECT_LT(r.client, config.num_clients);
+    // Kind/doc coherence.
+    if (r.kind == RequestKind::kDocument || r.kind == RequestKind::kAlias) {
+      ASSERT_LT(r.doc, corpus.size());
+      EXPECT_EQ(r.bytes, corpus.doc(r.doc).size_bytes);
+    } else {
+      EXPECT_EQ(r.doc, kInvalidDocument);
+    }
+    EXPECT_EQ(r.remote_client, generated.client_is_remote[r.client]);
+  }
+
+  // Filtering keeps exactly the document accesses.
+  FilterStats stats;
+  const Trace clean = FilterTrace(trace, &stats);
+  EXPECT_EQ(stats.kept + stats.dropped_not_found + stats.dropped_script,
+            trace.size());
+  for (const auto& r : clean.requests) {
+    EXPECT_EQ(r.kind, RequestKind::kDocument);
+  }
+
+  // Remote request share tracks the configured client mix (locals browse
+  // more, so the remote share sits below the client fraction).
+  size_t remote = 0;
+  for (const auto& r : clean.requests) {
+    if (r.remote_client) ++remote;
+  }
+  const double share =
+      static_cast<double>(remote) / static_cast<double>(clean.size());
+  if (remote_fraction == 0.0) {
+    EXPECT_EQ(remote, 0u);
+  } else {
+    // Zipf-skewed client activity plus the 3x local multiplier makes the
+    // remote *request* share far smaller than the client fraction; it just
+    // has to be present and bounded.
+    EXPECT_GT(share, 0.01);
+    EXPECT_LT(share, remote_fraction + 0.15);
+  }
+
+  // Sessions exist and strides cluster requests.
+  EXPECT_GT(CountSegments(clean, 30 * kMinute), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorSweepTest,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 99ull),
+                       ::testing::Bool(),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+TEST(GeneratorKnobTest, AbortRateThinsEmbeddedFetches) {
+  CorpusConfig cconfig;
+  cconfig.pages_per_server = 40;
+  cconfig.images_per_server = 60;
+  cconfig.archives_per_server = 0;
+  auto count_images = [&](double abort_rate) {
+    Rng rng(5);
+    const Corpus corpus = GenerateCorpus(cconfig, &rng);
+    LinkGraphConfig lconfig;
+    lconfig.mean_embedded_per_page = 3.0;
+    LinkGraph graph(&corpus, lconfig, &rng);
+    TraceGeneratorConfig config;
+    config.num_clients = 60;
+    config.days = 4;
+    config.sessions_per_client_per_day = 1.0;
+    config.browser_cache_bytes = 0;  // isolate the abort effect
+    config.abort_rate = abort_rate;
+    const GeneratedTrace generated = GenerateTrace(config, &graph, &rng);
+    size_t images = 0;
+    for (const auto& r : generated.trace.requests) {
+      if (r.doc != kInvalidDocument &&
+          corpus.doc(r.doc).kind == DocumentKind::kImage) {
+        ++images;
+      }
+    }
+    return images;
+  };
+  EXPECT_LT(count_images(0.5), count_images(0.0));
+}
+
+TEST(GeneratorKnobTest, LocalActivityMultiplierShiftsVolume) {
+  CorpusConfig cconfig;
+  cconfig.pages_per_server = 40;
+  cconfig.images_per_server = 50;
+  cconfig.archives_per_server = 3;
+  auto local_share = [&](double multiplier) {
+    Rng rng(9);
+    const Corpus corpus = GenerateCorpus(cconfig, &rng);
+    LinkGraph graph(&corpus, LinkGraphConfig{}, &rng);
+    TraceGeneratorConfig config;
+    config.num_clients = 150;
+    config.days = 5;
+    config.sessions_per_client_per_day = 0.8;
+    config.remote_client_fraction = 0.5;
+    config.local_activity_multiplier = multiplier;
+    const GeneratedTrace generated = GenerateTrace(config, &graph, &rng);
+    size_t local = 0;
+    for (const auto& r : generated.trace.requests) {
+      if (!r.remote_client) ++local;
+    }
+    return static_cast<double>(local) /
+           static_cast<double>(generated.trace.size());
+  };
+  EXPECT_GT(local_share(4.0), local_share(1.0) + 0.1);
+}
+
+TEST(GeneratorKnobTest, HigherRestartProbabilityMoreRefetches) {
+  CorpusConfig cconfig;
+  cconfig.pages_per_server = 30;
+  cconfig.images_per_server = 40;
+  cconfig.archives_per_server = 2;
+  auto repeats = [&](double restart) {
+    Rng rng(11);
+    const Corpus corpus = GenerateCorpus(cconfig, &rng);
+    LinkGraph graph(&corpus, LinkGraphConfig{}, &rng);
+    TraceGeneratorConfig config;
+    config.num_clients = 40;
+    config.days = 8;
+    config.sessions_per_client_per_day = 1.5;
+    config.browser_restart_probability = restart;
+    config.forced_reload_rate = 0.0;
+    const GeneratedTrace generated = GenerateTrace(config, &graph, &rng);
+    std::map<std::pair<ClientId, DocumentId>, int> seen;
+    size_t repeats = 0;
+    for (const auto& r : generated.trace.requests) {
+      if (r.kind != RequestKind::kDocument) continue;
+      const auto key = std::make_pair(r.client, r.doc);
+      if (++seen[key] > 1) ++repeats;
+    }
+    return repeats;
+  };
+  EXPECT_GT(repeats(0.9), repeats(0.0));
+}
+
+}  // namespace
+}  // namespace sds::trace

@@ -1,0 +1,78 @@
+#include "trace/sessionizer.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace sds::trace {
+namespace {
+
+Trace MakeTrace(std::vector<std::pair<ClientId, SimTime>> entries) {
+  Trace trace;
+  uint32_t max_client = 0;
+  for (const auto& [client, time] : entries) {
+    Request r;
+    r.client = client;
+    r.time = time;
+    r.doc = 0;
+    trace.requests.push_back(r);
+    max_client = std::max(max_client, client + 1);
+  }
+  trace.num_clients = max_client;
+  trace.SortByTime();
+  return trace;
+}
+
+TEST(GroupByClientTest, SplitsStreams) {
+  const Trace trace = MakeTrace({{0, 1.0}, {1, 2.0}, {0, 3.0}, {1, 4.0}});
+  const auto by_client = GroupByClient(trace);
+  ASSERT_EQ(by_client.size(), 2u);
+  EXPECT_EQ(by_client[0].size(), 2u);
+  EXPECT_EQ(by_client[1].size(), 2u);
+  // Streams preserve time order.
+  EXPECT_LT(trace.requests[by_client[0][0]].time,
+            trace.requests[by_client[0][1]].time);
+}
+
+TEST(SplitByGapTest, SplitsAtTimeout) {
+  const Trace trace =
+      MakeTrace({{0, 0.0}, {0, 2.0}, {0, 4.0}, {0, 100.0}, {0, 101.0}});
+  const auto by_client = GroupByClient(trace);
+  const auto segments = SplitByGap(trace, by_client[0], 5.0);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].size(), 3u);
+  EXPECT_EQ(segments[1].size(), 2u);
+}
+
+TEST(SplitByGapTest, GapEqualToTimeoutSplits) {
+  const Trace trace = MakeTrace({{0, 0.0}, {0, 5.0}});
+  const auto by_client = GroupByClient(trace);
+  EXPECT_EQ(SplitByGap(trace, by_client[0], 5.0).size(), 2u);
+}
+
+TEST(SplitByGapTest, InfiniteTimeoutSingleSegment) {
+  const Trace trace = MakeTrace({{0, 0.0}, {0, 1e6}, {0, 2e6}});
+  const auto by_client = GroupByClient(trace);
+  EXPECT_EQ(SplitByGap(trace, by_client[0], kInfiniteTime).size(), 1u);
+}
+
+TEST(SplitByGapTest, ZeroTimeoutOnePerRequest) {
+  const Trace trace = MakeTrace({{0, 0.0}, {0, 0.5}, {0, 1.0}});
+  const auto by_client = GroupByClient(trace);
+  EXPECT_EQ(SplitByGap(trace, by_client[0], 0.0).size(), 3u);
+}
+
+TEST(SplitByGapTest, EmptyStream) {
+  const Trace trace = MakeTrace({{1, 0.0}});
+  const auto by_client = GroupByClient(trace);
+  EXPECT_TRUE(SplitByGap(trace, by_client[0], 5.0).empty());
+}
+
+TEST(CountSegmentsTest, AcrossClients) {
+  const Trace trace =
+      MakeTrace({{0, 0.0}, {0, 1.0}, {0, 50.0}, {1, 0.0}, {1, 100.0}});
+  EXPECT_EQ(CountSegments(trace, 10.0), 4u);
+  EXPECT_EQ(CountSegments(trace, kInfiniteTime), 2u);
+}
+
+}  // namespace
+}  // namespace sds::trace

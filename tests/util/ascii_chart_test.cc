@@ -1,0 +1,47 @@
+#include "util/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(AsciiChartTest, EmptyChart) {
+  AsciiChart chart;
+  EXPECT_EQ(chart.Render(), "(empty chart)\n");
+}
+
+TEST(AsciiChartTest, SingleSeriesRenders) {
+  AsciiChart chart(40, 10);
+  chart.AddSeries("line", {0.0, 1.0, 2.0}, {0.0, 1.0, 2.0});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("line"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(AsciiChartTest, MultipleSeriesDistinctGlyphs) {
+  AsciiChart chart(40, 10);
+  chart.AddSeries("a", {0.0, 1.0}, {0.0, 0.0});
+  chart.AddSeries("b", {0.0, 1.0}, {1.0, 1.0});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiChartTest, FixedYRangeClipsOutliers) {
+  AsciiChart chart(40, 10);
+  chart.SetYRange(0.0, 1.0);
+  chart.AddSeries("s", {0.0, 1.0, 2.0}, {0.5, 5.0, -3.0});
+  // Should not crash; out-of-range points are simply dropped.
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(40, 10);
+  chart.AddSeries("flat", {1.0, 1.0}, {2.0, 2.0});
+  EXPECT_FALSE(chart.Render().empty());
+}
+
+}  // namespace
+}  // namespace sds

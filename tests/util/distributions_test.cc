@@ -1,0 +1,167 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sds {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (const double s : {0.6, 1.0, 1.4}) {
+    const ZipfDistribution zipf(500, s);
+    double sum = 0.0;
+    for (uint64_t r = 0; r < 500; ++r) sum += zipf.Pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  const ZipfDistribution zipf(100, 1.2);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LT(zipf.Pmf(r), zipf.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  const ZipfDistribution zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(0), 1.0);
+}
+
+/// Property sweep: empirical frequencies of sampled ranks must match the
+/// analytic PMF across n and s.
+class ZipfSampleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfSampleTest, EmpiricalMatchesPmf) {
+  const auto [n, s] = GetParam();
+  const ZipfDistribution zipf(n, s);
+  Rng rng(123);
+  std::vector<double> counts(std::min<uint64_t>(n, 16), 0.0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    ASSERT_LT(r, n);
+    if (r < counts.size()) counts[r] += 1.0;
+  }
+  for (size_t r = 0; r < counts.size(); ++r) {
+    const double expected = zipf.Pmf(r) * samples;
+    if (expected < 100) continue;  // too rare to test tightly
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected))
+        << "rank " << r << " n=" << n << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfSampleTest,
+    ::testing::Combine(::testing::Values(10ull, 1000ull, 100000ull),
+                       ::testing::Values(0.8, 1.0, 1.3)));
+
+TEST(LognormalTest, MedianAndMean) {
+  const LognormalDistribution dist(std::log(100.0), 0.5);
+  EXPECT_NEAR(dist.Median(), 100.0, 1e-9);
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(dist.Sample(&rng));
+  EXPECT_NEAR(stats.mean(), dist.Mean(), dist.Mean() * 0.02);
+}
+
+TEST(LognormalTest, ZeroSigmaIsConstant) {
+  const LognormalDistribution dist(std::log(42.0), 0.0);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(dist.Sample(&rng), 42.0, 1e-9);
+  }
+}
+
+TEST(BoundedParetoTest, SamplesWithinBounds) {
+  const BoundedParetoDistribution dist(1.1, 10.0, 1000.0);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist.Sample(&rng);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(BoundedParetoTest, EmpiricalMeanMatchesAnalytic) {
+  const BoundedParetoDistribution dist(1.5, 1.0, 100.0);
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.Add(dist.Sample(&rng));
+  EXPECT_NEAR(stats.mean(), dist.Mean(), dist.Mean() * 0.03);
+}
+
+TEST(ExponentialTest, MeanMatches) {
+  const ExponentialDistribution dist(0.25);
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(dist.Sample(&rng));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(GeometricTest, MeanAndSupport) {
+  const GeometricDistribution dist(0.25);
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t x = dist.Sample(&rng);
+    EXPECT_GE(x, 1u);
+    stats.Add(static_cast<double>(x));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(GeometricTest, POneAlwaysOne) {
+  const GeometricDistribution dist(1.0);
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.Sample(&rng), 1u);
+}
+
+TEST(StandardNormalTest, MeanZeroVarOne) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(SampleStandardNormal(&rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+}
+
+TEST(SampleDiscreteTest, RespectsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[SampleDiscrete(weights, &rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  Rng rng(15);
+  const std::vector<double> weights = {5.0, 1.0, 0.0, 4.0};
+  const DiscreteSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(DiscreteSamplerTest, SingleBucket) {
+  Rng rng(16);
+  const DiscreteSampler sampler({2.5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,80 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.num_bins(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+TEST(HistogramTest, AddRoutesToCorrectBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.26);
+  h.Add(0.26);
+  h.Add(0.99);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, UnderflowOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-0.5);
+  h.Add(1.0);  // hi is exclusive
+  h.Add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(0) + h.count(1), 0.0);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(5.5, 3.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 3.0);
+}
+
+TEST(HistogramTest, ArgMax) {
+  Histogram h(0.0, 1.0, 5);
+  h.Add(0.5, 10.0);
+  h.Add(0.1, 2.0);
+  EXPECT_EQ(h.ArgMaxBin(), 2u);
+}
+
+TEST(HistogramTest, PeakBinsFindsLocalMaxima) {
+  Histogram h(0.0, 1.0, 7);
+  // Counts: 0, 5, 0, 0, 8, 2, 0 -> peaks at bins 1 and 4.
+  h.Add(0.15, 5.0);
+  h.Add(0.60, 8.0);
+  h.Add(0.75, 2.0);
+  const auto peaks = h.PeakBins(3.0);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1u);
+  EXPECT_EQ(peaks[1], 4u);
+}
+
+TEST(HistogramTest, PeakBinsRespectsMinCount) {
+  Histogram h(0.0, 1.0, 3);
+  h.Add(0.5, 2.0);
+  EXPECT_TRUE(h.PeakBins(5.0).empty());
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.25, 4.0);
+  const std::string out = h.Render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.Fork();
+  // The fork and the parent should not produce identical sequences.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, MixIsDeterministicAndSpreads) {
+  EXPECT_EQ(Rng::Mix(123), Rng::Mix(123));
+  EXPECT_NE(Rng::Mix(1), Rng::Mix(2));
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == UINT64_MAX);
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,130 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sds {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(FitLinearTest, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyLineDecentR2) {
+  Rng rng(2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 5.0 + (rng.NextDouble() - 0.5) * 20.0);
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinearWeightedTest, ZeroWeightPointsIgnored) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 100.0};
+  const std::vector<double> y = {0.0, 1.0, 2.0, -500.0};
+  const std::vector<double> w = {1.0, 1.0, 1.0, 0.0};
+  const LinearFit fit = FitLinearWeighted(x, y, w);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-9);
+}
+
+TEST(PearsonTest, SignAndMagnitude) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, up), 1.0, 1e-9);
+  EXPECT_NEAR(PearsonCorrelation(x, down), -1.0, 1e-9);
+}
+
+TEST(GiniTest, UniformIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5.0, 5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, ConcentratedApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_GT(GiniCoefficient(v), 0.95);
+}
+
+TEST(GiniTest, KnownValue) {
+  // For {0, 1}: G = 0.5.
+  EXPECT_NEAR(GiniCoefficient({0.0, 1.0}), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(TableTest, Dimensions) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, 1), "2");
+}
+
+TEST(TableTest, AlignedOutputContainsHeaderAndRule) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "10"});
+  const std::string out = t.ToAlignedString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a"});
+  t.AddRow({"plain"});
+  t.AddRow({"with,comma"});
+  t.AddRow({"with\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.AddRow({"x", "1"});
+  const std::string path = ::testing::TempDir() + "/sds_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "k,v");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,1");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvBadPathFails) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.235, 1), "23.5%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(36.5 * 1024 * 1024), "36.5 MB");
+  EXPECT_EQ(FormatBytes(3.0 * 1024 * 1024 * 1024), "3.0 GB");
+}
+
+}  // namespace
+}  // namespace sds
