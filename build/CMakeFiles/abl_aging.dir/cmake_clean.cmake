@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_aging.dir/bench/abl_aging.cpp.o"
+  "CMakeFiles/abl_aging.dir/bench/abl_aging.cpp.o.d"
+  "bench/abl_aging"
+  "bench/abl_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_allocation.dir/bench/abl_allocation.cpp.o"
+  "CMakeFiles/abl_allocation.dir/bench/abl_allocation.cpp.o.d"
+  "bench/abl_allocation"
+  "bench/abl_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

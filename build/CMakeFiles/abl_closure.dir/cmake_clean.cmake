@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_closure.dir/bench/abl_closure.cpp.o"
+  "CMakeFiles/abl_closure.dir/bench/abl_closure.cpp.o.d"
+  "bench/abl_closure"
+  "bench/abl_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_combined.dir/bench/abl_combined.cpp.o"
+  "CMakeFiles/abl_combined.dir/bench/abl_combined.cpp.o.d"
+  "bench/abl_combined"
+  "bench/abl_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hierarchy.dir/bench/abl_hierarchy.cpp.o"
+  "CMakeFiles/abl_hierarchy.dir/bench/abl_hierarchy.cpp.o.d"
+  "bench/abl_hierarchy"
+  "bench/abl_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_push_vs_pull.dir/bench/abl_push_vs_pull.cpp.o"
+  "CMakeFiles/abl_push_vs_pull.dir/bench/abl_push_vs_pull.cpp.o.d"
+  "bench/abl_push_vs_pull"
+  "bench/abl_push_vs_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_push_vs_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

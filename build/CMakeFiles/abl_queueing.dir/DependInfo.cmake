@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_queueing.cpp" "CMakeFiles/abl_queueing.dir/bench/abl_queueing.cpp.o" "gcc" "CMakeFiles/abl_queueing.dir/bench/abl_queueing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissem/CMakeFiles/sds_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sds_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queueing.dir/bench/abl_queueing.cpp.o"
+  "CMakeFiles/abl_queueing.dir/bench/abl_queueing.cpp.o.d"
+  "bench/abl_queueing"
+  "bench/abl_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_client_caching.dir/bench/exp_client_caching.cpp.o"
+  "CMakeFiles/exp_client_caching.dir/bench/exp_client_caching.cpp.o.d"
+  "bench/exp_client_caching"
+  "bench/exp_client_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_client_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cooperative_clients.dir/bench/exp_cooperative_clients.cpp.o"
+  "CMakeFiles/exp_cooperative_clients.dir/bench/exp_cooperative_clients.cpp.o.d"
+  "bench/exp_cooperative_clients"
+  "bench/exp_cooperative_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cooperative_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_maxsize.dir/bench/exp_maxsize.cpp.o"
+  "CMakeFiles/exp_maxsize.dir/bench/exp_maxsize.cpp.o.d"
+  "bench/exp_maxsize"
+  "bench/exp_maxsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_maxsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_prefetch_hybrid.dir/bench/exp_prefetch_hybrid.cpp.o"
+  "CMakeFiles/exp_prefetch_hybrid.dir/bench/exp_prefetch_hybrid.cpp.o.d"
+  "bench/exp_prefetch_hybrid"
+  "bench/exp_prefetch_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_prefetch_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_update_cycle.dir/bench/exp_update_cycle.cpp.o"
+  "CMakeFiles/exp_update_cycle.dir/bench/exp_update_cycle.cpp.o.d"
+  "bench/exp_update_cycle"
+  "bench/exp_update_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_update_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_storage_allocation.dir/bench/fig2_storage_allocation.cpp.o"
+  "CMakeFiles/fig2_storage_allocation.dir/bench/fig2_storage_allocation.cpp.o.d"
+  "bench/fig2_storage_allocation"
+  "bench/fig2_storage_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_storage_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

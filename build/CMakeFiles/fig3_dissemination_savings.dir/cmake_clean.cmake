@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dissemination_savings.dir/bench/fig3_dissemination_savings.cpp.o"
+  "CMakeFiles/fig3_dissemination_savings.dir/bench/fig3_dissemination_savings.cpp.o.d"
+  "bench/fig3_dissemination_savings"
+  "bench/fig3_dissemination_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dissemination_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_dissemination_savings.
+# This may be replaced when dependencies are built.

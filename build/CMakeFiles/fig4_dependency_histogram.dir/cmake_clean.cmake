@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dependency_histogram.dir/bench/fig4_dependency_histogram.cpp.o"
+  "CMakeFiles/fig4_dependency_histogram.dir/bench/fig4_dependency_histogram.cpp.o.d"
+  "bench/fig4_dependency_histogram"
+  "bench/fig4_dependency_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dependency_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speculation_baseline.dir/bench/fig5_speculation_baseline.cpp.o"
+  "CMakeFiles/fig5_speculation_baseline.dir/bench/fig5_speculation_baseline.cpp.o.d"
+  "bench/fig5_speculation_baseline"
+  "bench/fig5_speculation_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speculation_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_document_classes.dir/bench/tab1_document_classes.cpp.o"
+  "CMakeFiles/tab1_document_classes.dir/bench/tab1_document_classes.cpp.o.d"
+  "bench/tab1_document_classes"
+  "bench/tab1_document_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_document_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

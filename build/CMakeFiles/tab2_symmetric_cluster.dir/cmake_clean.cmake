@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_symmetric_cluster.dir/bench/tab2_symmetric_cluster.cpp.o"
+  "CMakeFiles/tab2_symmetric_cluster.dir/bench/tab2_symmetric_cluster.cpp.o.d"
+  "bench/tab2_symmetric_cluster"
+  "bench/tab2_symmetric_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_symmetric_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fidelity.dir/bench/workload_fidelity.cpp.o"
+  "CMakeFiles/workload_fidelity.dir/bench/workload_fidelity.cpp.o.d"
+  "bench/workload_fidelity"
+  "bench/workload_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

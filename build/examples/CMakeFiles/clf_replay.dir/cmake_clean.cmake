@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clf_replay.dir/clf_replay.cpp.o"
+  "CMakeFiles/clf_replay.dir/clf_replay.cpp.o.d"
+  "clf_replay"
+  "clf_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clf_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissemination_planning.dir/dissemination_planning.cpp.o"
+  "CMakeFiles/dissemination_planning.dir/dissemination_planning.cpp.o.d"
+  "dissemination_planning"
+  "dissemination_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissemination_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

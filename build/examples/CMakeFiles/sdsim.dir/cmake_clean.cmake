@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsim.dir/sdsim.cpp.o"
+  "CMakeFiles/sdsim.dir/sdsim.cpp.o.d"
+  "sdsim"
+  "sdsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

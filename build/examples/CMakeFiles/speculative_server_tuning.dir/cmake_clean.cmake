@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_server_tuning.dir/speculative_server_tuning.cpp.o"
+  "CMakeFiles/speculative_server_tuning.dir/speculative_server_tuning.cpp.o.d"
+  "speculative_server_tuning"
+  "speculative_server_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_server_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_core.dir/combined.cc.o"
+  "CMakeFiles/sds_core.dir/combined.cc.o.d"
+  "CMakeFiles/sds_core.dir/experiments.cc.o"
+  "CMakeFiles/sds_core.dir/experiments.cc.o.d"
+  "CMakeFiles/sds_core.dir/fidelity.cc.o"
+  "CMakeFiles/sds_core.dir/fidelity.cc.o.d"
+  "CMakeFiles/sds_core.dir/workload.cc.o"
+  "CMakeFiles/sds_core.dir/workload.cc.o.d"
+  "libsds_core.a"
+  "libsds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dissem/allocation.cc" "src/dissem/CMakeFiles/sds_dissem.dir/allocation.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/allocation.cc.o.d"
+  "/root/repo/src/dissem/classify.cc" "src/dissem/CMakeFiles/sds_dissem.dir/classify.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/classify.cc.o.d"
+  "/root/repo/src/dissem/cluster_simulator.cc" "src/dissem/CMakeFiles/sds_dissem.dir/cluster_simulator.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/cluster_simulator.cc.o.d"
+  "/root/repo/src/dissem/expfit.cc" "src/dissem/CMakeFiles/sds_dissem.dir/expfit.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/expfit.cc.o.d"
+  "/root/repo/src/dissem/popularity.cc" "src/dissem/CMakeFiles/sds_dissem.dir/popularity.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/popularity.cc.o.d"
+  "/root/repo/src/dissem/pull_cache.cc" "src/dissem/CMakeFiles/sds_dissem.dir/pull_cache.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/pull_cache.cc.o.d"
+  "/root/repo/src/dissem/simulator.cc" "src/dissem/CMakeFiles/sds_dissem.dir/simulator.cc.o" "gcc" "src/dissem/CMakeFiles/sds_dissem.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

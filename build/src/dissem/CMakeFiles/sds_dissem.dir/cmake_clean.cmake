@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_dissem.dir/allocation.cc.o"
+  "CMakeFiles/sds_dissem.dir/allocation.cc.o.d"
+  "CMakeFiles/sds_dissem.dir/classify.cc.o"
+  "CMakeFiles/sds_dissem.dir/classify.cc.o.d"
+  "CMakeFiles/sds_dissem.dir/cluster_simulator.cc.o"
+  "CMakeFiles/sds_dissem.dir/cluster_simulator.cc.o.d"
+  "CMakeFiles/sds_dissem.dir/expfit.cc.o"
+  "CMakeFiles/sds_dissem.dir/expfit.cc.o.d"
+  "CMakeFiles/sds_dissem.dir/popularity.cc.o"
+  "CMakeFiles/sds_dissem.dir/popularity.cc.o.d"
+  "CMakeFiles/sds_dissem.dir/pull_cache.cc.o"
+  "CMakeFiles/sds_dissem.dir/pull_cache.cc.o.d"
+  "CMakeFiles/sds_dissem.dir/simulator.cc.o"
+  "CMakeFiles/sds_dissem.dir/simulator.cc.o.d"
+  "libsds_dissem.a"
+  "libsds_dissem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_dissem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/clientele_tree.cc" "src/net/CMakeFiles/sds_net.dir/clientele_tree.cc.o" "gcc" "src/net/CMakeFiles/sds_net.dir/clientele_tree.cc.o.d"
+  "/root/repo/src/net/placement.cc" "src/net/CMakeFiles/sds_net.dir/placement.cc.o" "gcc" "src/net/CMakeFiles/sds_net.dir/placement.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/sds_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/sds_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

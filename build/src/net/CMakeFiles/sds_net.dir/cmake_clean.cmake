@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_net.dir/clientele_tree.cc.o"
+  "CMakeFiles/sds_net.dir/clientele_tree.cc.o.d"
+  "CMakeFiles/sds_net.dir/placement.cc.o"
+  "CMakeFiles/sds_net.dir/placement.cc.o.d"
+  "CMakeFiles/sds_net.dir/topology.cc.o"
+  "CMakeFiles/sds_net.dir/topology.cc.o.d"
+  "libsds_net.a"
+  "libsds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/aging.cc" "src/spec/CMakeFiles/sds_spec.dir/aging.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/aging.cc.o.d"
+  "/root/repo/src/spec/client_cache.cc" "src/spec/CMakeFiles/sds_spec.dir/client_cache.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/client_cache.cc.o.d"
+  "/root/repo/src/spec/closure.cc" "src/spec/CMakeFiles/sds_spec.dir/closure.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/closure.cc.o.d"
+  "/root/repo/src/spec/dependency.cc" "src/spec/CMakeFiles/sds_spec.dir/dependency.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/dependency.cc.o.d"
+  "/root/repo/src/spec/metrics.cc" "src/spec/CMakeFiles/sds_spec.dir/metrics.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/metrics.cc.o.d"
+  "/root/repo/src/spec/policy.cc" "src/spec/CMakeFiles/sds_spec.dir/policy.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/policy.cc.o.d"
+  "/root/repo/src/spec/queueing.cc" "src/spec/CMakeFiles/sds_spec.dir/queueing.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/queueing.cc.o.d"
+  "/root/repo/src/spec/simulator.cc" "src/spec/CMakeFiles/sds_spec.dir/simulator.cc.o" "gcc" "src/spec/CMakeFiles/sds_spec.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_spec.dir/aging.cc.o"
+  "CMakeFiles/sds_spec.dir/aging.cc.o.d"
+  "CMakeFiles/sds_spec.dir/client_cache.cc.o"
+  "CMakeFiles/sds_spec.dir/client_cache.cc.o.d"
+  "CMakeFiles/sds_spec.dir/closure.cc.o"
+  "CMakeFiles/sds_spec.dir/closure.cc.o.d"
+  "CMakeFiles/sds_spec.dir/dependency.cc.o"
+  "CMakeFiles/sds_spec.dir/dependency.cc.o.d"
+  "CMakeFiles/sds_spec.dir/metrics.cc.o"
+  "CMakeFiles/sds_spec.dir/metrics.cc.o.d"
+  "CMakeFiles/sds_spec.dir/policy.cc.o"
+  "CMakeFiles/sds_spec.dir/policy.cc.o.d"
+  "CMakeFiles/sds_spec.dir/queueing.cc.o"
+  "CMakeFiles/sds_spec.dir/queueing.cc.o.d"
+  "CMakeFiles/sds_spec.dir/simulator.cc.o"
+  "CMakeFiles/sds_spec.dir/simulator.cc.o.d"
+  "libsds_spec.a"
+  "libsds_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

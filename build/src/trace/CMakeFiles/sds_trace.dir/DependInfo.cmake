@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/clf.cc" "src/trace/CMakeFiles/sds_trace.dir/clf.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/clf.cc.o.d"
+  "/root/repo/src/trace/corpus.cc" "src/trace/CMakeFiles/sds_trace.dir/corpus.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/corpus.cc.o.d"
+  "/root/repo/src/trace/filter.cc" "src/trace/CMakeFiles/sds_trace.dir/filter.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/filter.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/sds_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/link_graph.cc" "src/trace/CMakeFiles/sds_trace.dir/link_graph.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/link_graph.cc.o.d"
+  "/root/repo/src/trace/request.cc" "src/trace/CMakeFiles/sds_trace.dir/request.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/request.cc.o.d"
+  "/root/repo/src/trace/sessionizer.cc" "src/trace/CMakeFiles/sds_trace.dir/sessionizer.cc.o" "gcc" "src/trace/CMakeFiles/sds_trace.dir/sessionizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

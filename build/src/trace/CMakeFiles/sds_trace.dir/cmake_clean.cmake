@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_trace.dir/clf.cc.o"
+  "CMakeFiles/sds_trace.dir/clf.cc.o.d"
+  "CMakeFiles/sds_trace.dir/corpus.cc.o"
+  "CMakeFiles/sds_trace.dir/corpus.cc.o.d"
+  "CMakeFiles/sds_trace.dir/filter.cc.o"
+  "CMakeFiles/sds_trace.dir/filter.cc.o.d"
+  "CMakeFiles/sds_trace.dir/generator.cc.o"
+  "CMakeFiles/sds_trace.dir/generator.cc.o.d"
+  "CMakeFiles/sds_trace.dir/link_graph.cc.o"
+  "CMakeFiles/sds_trace.dir/link_graph.cc.o.d"
+  "CMakeFiles/sds_trace.dir/request.cc.o"
+  "CMakeFiles/sds_trace.dir/request.cc.o.d"
+  "CMakeFiles/sds_trace.dir/sessionizer.cc.o"
+  "CMakeFiles/sds_trace.dir/sessionizer.cc.o.d"
+  "libsds_trace.a"
+  "libsds_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/sds_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/sds_util.dir/distributions.cc.o"
+  "CMakeFiles/sds_util.dir/distributions.cc.o.d"
+  "CMakeFiles/sds_util.dir/histogram.cc.o"
+  "CMakeFiles/sds_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sds_util.dir/logging.cc.o"
+  "CMakeFiles/sds_util.dir/logging.cc.o.d"
+  "CMakeFiles/sds_util.dir/rng.cc.o"
+  "CMakeFiles/sds_util.dir/rng.cc.o.d"
+  "CMakeFiles/sds_util.dir/stats.cc.o"
+  "CMakeFiles/sds_util.dir/stats.cc.o.d"
+  "CMakeFiles/sds_util.dir/status.cc.o"
+  "CMakeFiles/sds_util.dir/status.cc.o.d"
+  "CMakeFiles/sds_util.dir/string_util.cc.o"
+  "CMakeFiles/sds_util.dir/string_util.cc.o.d"
+  "CMakeFiles/sds_util.dir/table.cc.o"
+  "CMakeFiles/sds_util.dir/table.cc.o.d"
+  "libsds_util.a"
+  "libsds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

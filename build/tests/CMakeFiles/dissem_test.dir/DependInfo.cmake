@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dissem/allocation_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/allocation_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/allocation_test.cc.o.d"
+  "/root/repo/tests/dissem/classify_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/classify_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/classify_test.cc.o.d"
+  "/root/repo/tests/dissem/cluster_simulator_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/cluster_simulator_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/cluster_simulator_test.cc.o.d"
+  "/root/repo/tests/dissem/expfit_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/expfit_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/expfit_test.cc.o.d"
+  "/root/repo/tests/dissem/popularity_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/popularity_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/popularity_test.cc.o.d"
+  "/root/repo/tests/dissem/property_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/property_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/property_test.cc.o.d"
+  "/root/repo/tests/dissem/proxy_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/proxy_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/proxy_test.cc.o.d"
+  "/root/repo/tests/dissem/pull_cache_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/pull_cache_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/pull_cache_test.cc.o.d"
+  "/root/repo/tests/dissem/simulator_test.cc" "tests/CMakeFiles/dissem_test.dir/dissem/simulator_test.cc.o" "gcc" "tests/CMakeFiles/dissem_test.dir/dissem/simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissem/CMakeFiles/sds_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sds_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

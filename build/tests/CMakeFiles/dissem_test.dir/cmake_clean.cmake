@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissem_test.dir/dissem/allocation_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/allocation_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/classify_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/classify_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/cluster_simulator_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/cluster_simulator_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/expfit_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/expfit_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/popularity_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/popularity_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/property_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/property_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/proxy_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/proxy_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/pull_cache_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/pull_cache_test.cc.o.d"
+  "CMakeFiles/dissem_test.dir/dissem/simulator_test.cc.o"
+  "CMakeFiles/dissem_test.dir/dissem/simulator_test.cc.o.d"
+  "dissem_test"
+  "dissem_test.pdb"
+  "dissem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dissem_test.
+# This may be replaced when dependencies are built.

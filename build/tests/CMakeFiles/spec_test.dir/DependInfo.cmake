@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spec/aging_test.cc" "tests/CMakeFiles/spec_test.dir/spec/aging_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/aging_test.cc.o.d"
+  "/root/repo/tests/spec/client_cache_test.cc" "tests/CMakeFiles/spec_test.dir/spec/client_cache_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/client_cache_test.cc.o.d"
+  "/root/repo/tests/spec/closure_test.cc" "tests/CMakeFiles/spec_test.dir/spec/closure_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/closure_test.cc.o.d"
+  "/root/repo/tests/spec/dependency_test.cc" "tests/CMakeFiles/spec_test.dir/spec/dependency_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/dependency_test.cc.o.d"
+  "/root/repo/tests/spec/policy_test.cc" "tests/CMakeFiles/spec_test.dir/spec/policy_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/policy_test.cc.o.d"
+  "/root/repo/tests/spec/property_test.cc" "tests/CMakeFiles/spec_test.dir/spec/property_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/property_test.cc.o.d"
+  "/root/repo/tests/spec/queueing_test.cc" "tests/CMakeFiles/spec_test.dir/spec/queueing_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/queueing_test.cc.o.d"
+  "/root/repo/tests/spec/simulator_test.cc" "tests/CMakeFiles/spec_test.dir/spec/simulator_test.cc.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissem/CMakeFiles/sds_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sds_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_test.dir/spec/aging_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/aging_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/client_cache_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/client_cache_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/closure_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/closure_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/dependency_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/dependency_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/policy_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/policy_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/property_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/property_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/queueing_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/queueing_test.cc.o.d"
+  "CMakeFiles/spec_test.dir/spec/simulator_test.cc.o"
+  "CMakeFiles/spec_test.dir/spec/simulator_test.cc.o.d"
+  "spec_test"
+  "spec_test.pdb"
+  "spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

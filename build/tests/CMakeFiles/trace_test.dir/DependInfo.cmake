@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/clf_test.cc" "tests/CMakeFiles/trace_test.dir/trace/clf_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/clf_test.cc.o.d"
+  "/root/repo/tests/trace/corpus_test.cc" "tests/CMakeFiles/trace_test.dir/trace/corpus_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/corpus_test.cc.o.d"
+  "/root/repo/tests/trace/filter_test.cc" "tests/CMakeFiles/trace_test.dir/trace/filter_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/filter_test.cc.o.d"
+  "/root/repo/tests/trace/generator_test.cc" "tests/CMakeFiles/trace_test.dir/trace/generator_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/generator_test.cc.o.d"
+  "/root/repo/tests/trace/link_graph_test.cc" "tests/CMakeFiles/trace_test.dir/trace/link_graph_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/link_graph_test.cc.o.d"
+  "/root/repo/tests/trace/property_test.cc" "tests/CMakeFiles/trace_test.dir/trace/property_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/property_test.cc.o.d"
+  "/root/repo/tests/trace/sessionizer_test.cc" "tests/CMakeFiles/trace_test.dir/trace/sessionizer_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/sessionizer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissem/CMakeFiles/sds_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sds_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/clf_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/clf_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/corpus_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/corpus_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/filter_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/filter_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/generator_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/generator_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/link_graph_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/link_graph_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/property_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/property_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/sessionizer_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/sessionizer_test.cc.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

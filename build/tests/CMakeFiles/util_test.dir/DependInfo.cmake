@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/ascii_chart_test.cc" "tests/CMakeFiles/util_test.dir/util/ascii_chart_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/ascii_chart_test.cc.o.d"
+  "/root/repo/tests/util/distributions_test.cc" "tests/CMakeFiles/util_test.dir/util/distributions_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/distributions_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/util_test.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/util_test.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissem/CMakeFiles/sds_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sds_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
