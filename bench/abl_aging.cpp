@@ -5,9 +5,12 @@
 /// sliding HistoryLength window, under the workload's daily link drift.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/experiments.h"
+#include "core/sweep.h"
 #include "spec/simulator.h"
 #include "util/table.h"
 
@@ -19,33 +22,51 @@ int main() {
   bench::PrintWorkloadSummary(workload);
 
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = core::BaselineSpecConfig();
-  config.policy.threshold = 0.25;
+  sim.Prewarm(core::BaselineSpecConfig().dependency);
+
+  using EstimatorKind = spec::SpeculationConfig::EstimatorKind;
+  struct Case {
+    std::string label;
+    EstimatorKind estimator;
+    uint32_t history_days;
+    double decay_per_day;
+  };
+  std::vector<Case> cases;
+  for (const uint32_t window : {60u, 30u, 14u}) {
+    cases.push_back({"window D' = " + std::to_string(window) + "d",
+                     EstimatorKind::kSlidingWindow, window, 0.95});
+  }
+  for (const double decay : {0.98, 0.95, 0.90, 0.80}) {
+    cases.push_back({"decay " + FormatDouble(decay, 2) + "/day (~" +
+                         std::to_string(static_cast<int>(1.0 / (1.0 - decay))) +
+                         "d)",
+                     EstimatorKind::kExponentialDecay, 60, decay});
+  }
+
+  core::SweepStats stats;
+  const auto metrics = core::SweepMap(
+      cases.size(), core::SweepOptions{},
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = core::BaselineSpecConfig();
+        config.policy.threshold = 0.25;
+        config.estimator = cases[index].estimator;
+        config.history_days = cases[index].history_days;
+        config.decay_per_day = cases[index].decay_per_day;
+        return sim.Evaluate(config);
+      },
+      &stats);
 
   Table table({"estimator", "extra_traffic", "load_reduction",
                "time_reduction", "miss_reduction"});
-  auto add = [&](const char* label) {
-    const auto m = sim.Evaluate(config);
-    table.AddRow({label, FormatPercent(m.extra_traffic, 1),
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& m = metrics[i];
+    table.AddRow({cases[i].label, FormatPercent(m.extra_traffic, 1),
                   FormatPercent(1.0 - m.server_load_ratio, 1),
                   FormatPercent(1.0 - m.service_time_ratio, 1),
                   FormatPercent(1.0 - m.miss_rate_ratio, 1)});
-  };
-
-  using EstimatorKind = spec::SpeculationConfig::EstimatorKind;
-  for (const uint32_t window : {60u, 30u, 14u}) {
-    config.estimator = EstimatorKind::kSlidingWindow;
-    config.history_days = window;
-    add(("window D' = " + std::to_string(window) + "d").c_str());
-  }
-  for (const double decay : {0.98, 0.95, 0.90, 0.80}) {
-    config.estimator = EstimatorKind::kExponentialDecay;
-    config.decay_per_day = decay;
-    add(("decay " + FormatDouble(decay, 2) + "/day (~" +
-         std::to_string(static_cast<int>(1.0 / (1.0 - decay))) + "d)")
-            .c_str());
   }
   std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("%s\n\n", stats.Summary().c_str());
   std::printf("aging matches a short window's freshness while keeping the\n"
               "statistical support of a long one (§3.4's envisioned\n"
               "mechanism).\n");

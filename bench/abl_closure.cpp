@@ -6,9 +6,11 @@
 /// speculation value comes from multi-hop inference.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/experiments.h"
+#include "core/sweep.h"
 #include "spec/simulator.h"
 #include "util/table.h"
 
@@ -19,39 +21,53 @@ int main() {
   bench::PrintWorkloadSummary(workload);
 
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
+  sim.Prewarm(core::BaselineSpecConfig().dependency);
+
+  struct Case {
+    double tp;
+    const char* label;
+    bool use_closure;
+    spec::ClosureSemantics semantics;
+  };
+  std::vector<Case> cases;
+  for (const double tp : {0.5, 0.25, 0.1}) {
+    cases.push_back({tp, "raw P (no closure)", false,
+                     spec::ClosureSemantics::kMaxProduct});
+    cases.push_back({tp, "max-product P*", true,
+                     spec::ClosureSemantics::kMaxProduct});
+    cases.push_back({tp, "sum-product P* (capped)", true,
+                     spec::ClosureSemantics::kSumProductCapped});
+  }
+
+  core::SweepStats stats;
+  const auto metrics = core::SweepMap(
+      cases.size(), core::SweepOptions{},
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = core::BaselineSpecConfig();
+        config.policy.threshold = cases[index].tp;
+        config.use_closure = cases[index].use_closure;
+        config.closure.semantics = cases[index].semantics;
+        return sim.Evaluate(config);
+      },
+      &stats);
 
   Table table({"Tp", "semantics", "extra_traffic", "load_reduction",
                "spec hit rate"});
-  for (const double tp : {0.5, 0.25, 0.1}) {
-    struct Case {
-      const char* label;
-      bool use_closure;
-      spec::ClosureSemantics semantics;
-    };
-    const Case cases[] = {
-        {"raw P (no closure)", false, spec::ClosureSemantics::kMaxProduct},
-        {"max-product P*", true, spec::ClosureSemantics::kMaxProduct},
-        {"sum-product P* (capped)", true,
-         spec::ClosureSemantics::kSumProductCapped},
-    };
-    for (const auto& c : cases) {
-      spec::SpeculationConfig config = core::BaselineSpecConfig();
-      config.policy.threshold = tp;
-      config.use_closure = c.use_closure;
-      config.closure.semantics = c.semantics;
-      const auto m = sim.Evaluate(config);
-      const auto& w = m.with_speculation;
-      table.AddRow(
-          {FormatDouble(tp, 2), c.label, FormatPercent(m.extra_traffic, 1),
-           FormatPercent(1.0 - m.server_load_ratio, 1),
-           FormatPercent(w.speculative_docs_sent == 0
-                             ? 0.0
-                             : static_cast<double>(w.speculative_hits) /
-                                   static_cast<double>(w.speculative_docs_sent),
-                         1)});
-    }
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& m = metrics[i];
+    const auto& w = m.with_speculation;
+    table.AddRow(
+        {FormatDouble(cases[i].tp, 2), cases[i].label,
+         FormatPercent(m.extra_traffic, 1),
+         FormatPercent(1.0 - m.server_load_ratio, 1),
+         FormatPercent(w.speculative_docs_sent == 0
+                           ? 0.0
+                           : static_cast<double>(w.speculative_hits) /
+                                 static_cast<double>(w.speculative_docs_sent),
+                       1)});
   }
   std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("%s\n\n", stats.Summary().c_str());
   std::printf("the closure adds multi-hop candidates: more coverage than\n"
               "raw P at the same threshold; sum-product promotes targets\n"
               "reachable along many chains (embedding-heavy pages).\n");

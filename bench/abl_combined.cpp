@@ -5,11 +5,12 @@
 /// proxies are also cheap, so the protocols compound.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/combined.h"
 #include "core/experiments.h"
-#include "util/rng.h"
+#include "core/sweep.h"
 #include "util/table.h"
 
 int main() {
@@ -19,31 +20,46 @@ int main() {
   const core::Workload workload = bench::MakePaperWorkload();
   bench::PrintWorkloadSummary(workload);
 
-  Rng rng(23);
+  // Isolated protocols (speculation disabled via Tp > 1; dissemination
+  // disabled via zero proxies) and the combination.
+  struct Case {
+    const char* label;
+    uint32_t proxies;
+    double fraction;
+    double tp;
+  };
+  const std::vector<Case> cases = {
+      {"dissemination only (4 proxies, 10%)", 4, 0.10, 1.01},
+      {"speculation only (Tp = 0.3)", 0, 0.10, 0.3},
+      {"combined (4 proxies, Tp = 0.3)", 4, 0.10, 0.3},
+      {"combined (8 proxies, Tp = 0.2)", 8, 0.10, 0.2},
+  };
+
+  core::SweepStats stats;
+  const auto results = core::SweepMap(
+      cases.size(), core::SweepOptions{.seed = 23},
+      [&](size_t index, Rng& rng) {
+        core::CombinedConfig config;
+        config.dissemination.num_proxies = cases[index].proxies;
+        config.dissemination.dissemination_fraction = cases[index].fraction;
+        config.speculation = core::BaselineSpecConfig();
+        config.speculation.policy.threshold = cases[index].tp;
+        return SimulateCombined(workload, config, &rng);
+      },
+      &stats);
+
   Table table({"config", "bytes x hops", "server load", "service time",
                "proxy share", "cache hits"});
-  auto add = [&](const char* label, uint32_t proxies, double fraction,
-                 double tp) {
-    core::CombinedConfig config;
-    config.dissemination.num_proxies = proxies;
-    config.dissemination.dissemination_fraction = fraction;
-    config.speculation = core::BaselineSpecConfig();
-    config.speculation.policy.threshold = tp;
-    const auto result = SimulateCombined(workload, config, &rng);
-    table.AddRow({label, FormatDouble(result.bytes_hops_ratio, 3),
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& result = results[i];
+    table.AddRow({cases[i].label, FormatDouble(result.bytes_hops_ratio, 3),
                   FormatDouble(result.server_load_ratio, 3),
                   FormatDouble(result.service_time_ratio, 3),
                   FormatPercent(result.proxy_share, 1),
                   FormatPercent(result.cache_hit_share, 1)});
-  };
-
-  // Isolated protocols (speculation disabled via Tp > 1; dissemination
-  // disabled via zero proxies) and the combination.
-  add("dissemination only (4 proxies, 10%)", 4, 0.10, 1.01);
-  add("speculation only (Tp = 0.3)", 0, 0.10, 0.3);
-  add("combined (4 proxies, Tp = 0.3)", 4, 0.10, 0.3);
-  add("combined (8 proxies, Tp = 0.2)", 8, 0.10, 0.2);
+  }
   std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("%s\n\n", stats.Summary().c_str());
   std::printf("ratios are vs plain service (no proxies, no speculation,\n"
               "same client caches) over the evaluation half of the trace.\n");
   return 0;

@@ -6,11 +6,12 @@
 /// replication.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/sweep.h"
 #include "dissem/pull_cache.h"
 #include "dissem/simulator.h"
-#include "util/rng.h"
 #include "util/table.h"
 
 int main() {
@@ -20,36 +21,59 @@ int main() {
   const core::Workload workload = bench::MakePaperWorkload();
   bench::PrintWorkloadSummary(workload);
 
-  Table table({"storage/proxy", "proxies", "push saved", "push hits",
-               "pull saved", "pull hits", "pull evictions"});
-  Rng rng(11);
+  struct Case {
+    double fraction;
+    uint32_t proxies;
+  };
+  std::vector<Case> cases;
   for (const double fraction : {0.02, 0.04, 0.10, 0.20}) {
     for (const uint32_t k : {2u, 4u, 8u}) {
-      dissem::DisseminationConfig push;
-      push.dissemination_fraction = fraction;
-      push.num_proxies = k;
-      const auto push_result = SimulateDissemination(
-          workload.corpus(), workload.clean(), workload.topology(), 0, push,
-          &rng, &workload.generated().updates);
-
-      dissem::PullCacheConfig pull;
-      pull.storage_fraction = fraction;
-      pull.num_proxies = k;
-      const auto pull_result = SimulatePullThroughCache(
-          workload.corpus(), workload.clean(), workload.topology(), 0, pull,
-          &rng, &workload.generated().updates);
-
-      table.AddRow(
-          {FormatBytes(fraction *
-                       static_cast<double>(workload.corpus().ServerBytes(0))),
-           std::to_string(k), FormatPercent(push_result.saved_fraction, 1),
-           FormatPercent(push_result.proxy_hit_fraction, 1),
-           FormatPercent(pull_result.saved_fraction, 1),
-           FormatPercent(pull_result.proxy_hit_fraction, 1),
-           std::to_string(pull_result.evictions)});
+      cases.push_back({fraction, k});
     }
   }
+
+  struct Point {
+    dissem::DisseminationResult push;
+    dissem::PullCacheResult pull;
+  };
+  core::SweepStats stats;
+  const auto points = core::SweepMap(
+      cases.size(), core::SweepOptions{.seed = 11},
+      [&](size_t index, Rng& rng) {
+        Point point;
+        dissem::DisseminationConfig push;
+        push.dissemination_fraction = cases[index].fraction;
+        push.num_proxies = cases[index].proxies;
+        point.push = SimulateDissemination(
+            workload.corpus(), workload.clean(), workload.topology(), 0, push,
+            &rng, &workload.generated().updates);
+
+        dissem::PullCacheConfig pull;
+        pull.storage_fraction = cases[index].fraction;
+        pull.num_proxies = cases[index].proxies;
+        point.pull = SimulatePullThroughCache(
+            workload.corpus(), workload.clean(), workload.topology(), 0, pull,
+            &rng, &workload.generated().updates);
+        return point;
+      },
+      &stats);
+
+  Table table({"storage/proxy", "proxies", "push saved", "push hits",
+               "pull saved", "pull hits", "pull evictions"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& point = points[i];
+    table.AddRow(
+        {FormatBytes(cases[i].fraction *
+                     static_cast<double>(workload.corpus().ServerBytes(0))),
+         std::to_string(cases[i].proxies),
+         FormatPercent(point.push.saved_fraction, 1),
+         FormatPercent(point.push.proxy_hit_fraction, 1),
+         FormatPercent(point.pull.saved_fraction, 1),
+         FormatPercent(point.pull.proxy_hit_fraction, 1),
+         std::to_string(point.pull.evictions)});
+  }
   std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("%s\n\n", stats.Summary().c_str());
   std::printf("push knows the popularity profile up front; pull pays a\n"
               "compulsory miss (full-path fetch) for every first access at\n"
               "each proxy and churns under tight budgets.\n");

@@ -6,10 +6,11 @@
 /// re-dissemination.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/sweep.h"
 #include "dissem/simulator.h"
-#include "util/rng.h"
 #include "util/table.h"
 
 int main() {
@@ -19,26 +20,44 @@ int main() {
   const core::Workload workload = bench::MakePaperWorkload();
   bench::PrintWorkloadSummary(workload);
 
-  Rng rng(17);
-  Table table({"exclude mutable", "re-push every", "saved", "stale serves",
-               "stale fraction"});
+  struct Case {
+    bool exclude;
+    uint32_t repush;
+  };
+  std::vector<Case> cases;
   for (const bool exclude : {false, true}) {
     for (const uint32_t repush : {0u, 30u, 7u, 1u}) {
-      dissem::DisseminationConfig config;
-      config.num_proxies = 4;
-      config.exclude_mutable = exclude;
-      config.redisseminate_every_days = repush;
-      const auto result = SimulateDissemination(
-          workload.corpus(), workload.clean(), workload.topology(), 0,
-          config, &rng, &workload.generated().updates);
-      table.AddRow({exclude ? "yes" : "no",
-                    repush == 0 ? "never" : std::to_string(repush) + "d",
-                    FormatPercent(result.saved_fraction, 1),
-                    std::to_string(result.stale_proxy_requests),
-                    FormatPercent(result.stale_fraction, 2)});
+      cases.push_back({exclude, repush});
     }
   }
+
+  core::SweepStats stats;
+  const auto results = core::SweepMap(
+      cases.size(), core::SweepOptions{.seed = 17},
+      [&](size_t index, Rng& rng) {
+        dissem::DisseminationConfig config;
+        config.num_proxies = 4;
+        config.exclude_mutable = cases[index].exclude;
+        config.redisseminate_every_days = cases[index].repush;
+        return SimulateDissemination(workload.corpus(), workload.clean(),
+                                     workload.topology(), 0, config, &rng,
+                                     &workload.generated().updates);
+      },
+      &stats);
+
+  Table table({"exclude mutable", "re-push every", "saved", "stale serves",
+               "stale fraction"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& result = results[i];
+    table.AddRow({cases[i].exclude ? "yes" : "no",
+                  cases[i].repush == 0 ? "never"
+                                       : std::to_string(cases[i].repush) + "d",
+                  FormatPercent(result.saved_fraction, 1),
+                  std::to_string(result.stale_proxy_requests),
+                  FormatPercent(result.stale_fraction, 2)});
+  }
   std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("%s\n\n", stats.Summary().c_str());
   std::printf("excluding the small mutable subset removes most staleness\n"
               "at almost no bandwidth cost; frequent re-pushing is the\n"
               "expensive alternative.\n");

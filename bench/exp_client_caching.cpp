@@ -23,6 +23,7 @@ int main() {
   const core::ExpClientCachingResult result =
       core::RunExpClientCaching(workload);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: speculative gains survive without any long-term\n"
               "cache and shrink only slightly with an infinite cache.\n");
   return 0;

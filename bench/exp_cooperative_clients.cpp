@@ -20,6 +20,7 @@ int main() {
 
   const core::ExpCooperativeResult result = core::RunExpCooperative(workload);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: cooperative clients waste less bandwidth for the\n"
               "same speculation level.\n");
   return 0;

@@ -19,6 +19,7 @@ int main() {
 
   const core::ExpMaxSizeResult result = core::RunExpMaxSize(workload);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: optimum MaxSize ~15 KB at ~3%% extra traffic, "
               "~29 KB at ~10%%.\n");
   return 0;

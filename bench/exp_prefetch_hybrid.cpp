@@ -22,6 +22,7 @@ int main() {
 
   const core::ExpPrefetchResult result = core::RunExpPrefetch(workload);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: client profiles help on revisits; server speculation\n"
               "covers newly traversed documents; hybrid combines both.\n");
   return 0;

@@ -21,6 +21,7 @@ int main() {
 
   const core::ExpUpdateCycleResult result = core::RunExpUpdateCycle(workload);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: D=7 degrades ~3%% absolute, D=60 ~7%% (vs D=1);\n"
               "       D'=30 improves ~5%% over D'=60.\n");
   return 0;

@@ -22,6 +22,7 @@ int main() {
 
   const core::Fig3Result result = core::RunFig3(workload, /*max_proxies=*/16);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
 
   AsciiChart chart(72, 16);
   std::vector<double> xs;

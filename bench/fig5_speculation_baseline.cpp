@@ -22,6 +22,7 @@ int main() {
 
   const core::Fig5Result result = core::RunFig5(workload);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
+  std::printf("%s\n\n", result.sweep.Summary().c_str());
 
   AsciiChart chart(72, 18);
   std::vector<double> tps, bw, load, time, miss;

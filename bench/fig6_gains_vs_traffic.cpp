@@ -21,6 +21,7 @@ int main() {
 
   const core::Fig5Result sweep = core::RunFig5(workload);
   std::printf("%s\n", sweep.ToFig6Table().ToAlignedString().c_str());
+  std::printf("%s\n\n", sweep.sweep.Summary().c_str());
 
   AsciiChart chart(72, 16);
   std::vector<double> traffic, load, time, miss;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "dissem/allocation.h"
 #include "dissem/popularity.h"
@@ -171,39 +172,51 @@ Tab2Result RunTab2() {
 // Figure 3
 // ---------------------------------------------------------------------------
 
-Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies) {
+Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies,
+                   const SweepOptions& options) {
+  struct Point {
+    dissem::DisseminationResult top10;
+    dissem::DisseminationResult top4;
+    dissem::DisseminationResult tailored;
+  };
   Fig3Result result;
-  Rng rng(99);
+  const auto points = SweepMap(
+      max_proxies, options,
+      [&](size_t index, Rng& rng) {
+        dissem::DisseminationConfig config;
+        config.num_proxies = static_cast<uint32_t>(index) + 1;
+        config.placement = dissem::PlacementStrategy::kGreedy;
+
+        Point point;
+        config.dissemination_fraction = 0.10;
+        point.top10 =
+            SimulateDissemination(workload.corpus(), workload.clean(),
+                                  workload.topology(), 0, config, &rng,
+                                  &workload.generated().updates);
+        config.dissemination_fraction = 0.04;
+        point.top4 =
+            SimulateDissemination(workload.corpus(), workload.clean(),
+                                  workload.topology(), 0, config, &rng,
+                                  &workload.generated().updates);
+        config.dissemination_fraction = 0.10;
+        config.tailored_per_proxy = true;
+        point.tailored =
+            SimulateDissemination(workload.corpus(), workload.clean(),
+                                  workload.topology(), 0, config, &rng,
+                                  &workload.generated().updates);
+        return point;
+      },
+      &result.sweep);
   for (uint32_t k = 1; k <= max_proxies; ++k) {
-    dissem::DisseminationConfig config;
-    config.num_proxies = k;
-    config.placement = dissem::PlacementStrategy::kGreedy;
-
-    config.dissemination_fraction = 0.10;
-    const auto top10 =
-        SimulateDissemination(workload.corpus(), workload.clean(),
-                              workload.topology(), 0, config, &rng,
-                              &workload.generated().updates);
-    config.dissemination_fraction = 0.04;
-    const auto top4 =
-        SimulateDissemination(workload.corpus(), workload.clean(),
-                              workload.topology(), 0, config, &rng,
-                              &workload.generated().updates);
-    config.dissemination_fraction = 0.10;
-    config.tailored_per_proxy = true;
-    const auto tailored =
-        SimulateDissemination(workload.corpus(), workload.clean(),
-                              workload.topology(), 0, config, &rng,
-                              &workload.generated().updates);
-
+    const Point& point = points[k - 1];
     result.num_proxies.push_back(k);
-    result.saved_top10.push_back(top10.saved_fraction);
-    result.saved_top4.push_back(top4.saved_fraction);
+    result.saved_top10.push_back(point.top10.saved_fraction);
+    result.saved_top4.push_back(point.top4.saved_fraction);
     result.storage_top10.push_back(
-        static_cast<double>(top10.total_storage_bytes));
+        static_cast<double>(point.top10.total_storage_bytes));
     result.storage_top4.push_back(
-        static_cast<double>(top4.total_storage_bytes));
-    result.saved_top10_tailored.push_back(tailored.saved_fraction);
+        static_cast<double>(point.top4.total_storage_bytes));
+    result.saved_top10_tailored.push_back(point.tailored.saved_fraction);
   }
   return result;
 }
@@ -269,29 +282,34 @@ Table Fig4Result::ToTable() const {
 // Figures 5 & 6
 // ---------------------------------------------------------------------------
 
-Fig5Result RunFig5(const Workload& workload, const std::vector<double>& tps) {
+Fig5Result RunFig5(const Workload& workload, const std::vector<double>& tps,
+                   const SweepOptions& options) {
   std::vector<double> grid = tps;
   if (grid.empty()) {
     grid = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05};
   }
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = BaselineSpecConfig();
+  const spec::SpeculationConfig base = BaselineSpecConfig();
+  sim.Prewarm(base.dependency);
 
   Fig5Result result;
   const spec::RunTotals baseline = [&] {
-    spec::SpeculationConfig b = config;
+    spec::SpeculationConfig b = base;
     b.mode = spec::ServiceMode::kNone;
     return sim.Run(b);
   }();
-  for (const double tp : grid) {
-    config.policy.threshold = tp;
-    config.closure.min_probability = std::min(0.02, tp);
-    const spec::RunTotals with = sim.Run(config);
-    SpecSweepPoint point;
-    point.tp = tp;
-    point.metrics = spec::ComputeMetrics(with, baseline);
-    result.points.push_back(point);
-  }
+  result.points = SweepMap(
+      grid.size(), options,
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = base;
+        config.policy.threshold = grid[index];
+        config.closure.min_probability = std::min(0.02, grid[index]);
+        SpecSweepPoint point;
+        point.tp = grid[index];
+        point.metrics = spec::ComputeMetrics(sim.Run(config), baseline);
+        return point;
+      },
+      &result.sweep);
   return result;
 }
 
@@ -331,25 +349,31 @@ Table Fig5Result::ToFig6Table() const {
 // E1 — update cycle / history length
 // ---------------------------------------------------------------------------
 
-ExpUpdateCycleResult RunExpUpdateCycle(const Workload& workload, double tp) {
+ExpUpdateCycleResult RunExpUpdateCycle(const Workload& workload, double tp,
+                                       const SweepOptions& options) {
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = BaselineSpecConfig();
-  config.policy.threshold = tp;
+  spec::SpeculationConfig base = BaselineSpecConfig();
+  base.policy.threshold = tp;
+  sim.Prewarm(base.dependency);
 
   ExpUpdateCycleResult result;
   const struct {
     uint32_t d;
     uint32_t d_prime;
   } cases[] = {{1, 60}, {7, 60}, {60, 60}, {1, 30}, {7, 30}};
-  for (const auto& c : cases) {
-    config.update_cycle_days = c.d;
-    config.history_days = c.d_prime;
-    ExpUpdateCycleResult::Row row;
-    row.update_cycle_days = c.d;
-    row.history_days = c.d_prime;
-    row.metrics = sim.Evaluate(config);
-    result.rows.push_back(row);
-  }
+  result.rows = SweepMap(
+      std::size(cases), options,
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = base;
+        config.update_cycle_days = cases[index].d;
+        config.history_days = cases[index].d_prime;
+        ExpUpdateCycleResult::Row row;
+        row.update_cycle_days = cases[index].d;
+        row.history_days = cases[index].d_prime;
+        row.metrics = sim.Evaluate(config);
+        return row;
+      },
+      &result.sweep);
   return result;
 }
 
@@ -383,23 +407,28 @@ Table ExpUpdateCycleResult::ToTable() const {
 // E2 — MaxSize
 // ---------------------------------------------------------------------------
 
-ExpMaxSizeResult RunExpMaxSize(const Workload& workload, double tp) {
+ExpMaxSizeResult RunExpMaxSize(const Workload& workload, double tp,
+                               const SweepOptions& options) {
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = BaselineSpecConfig();
-  config.policy.threshold = tp;
+  spec::SpeculationConfig base = BaselineSpecConfig();
+  base.policy.threshold = tp;
+  sim.Prewarm(base.dependency);
 
   ExpMaxSizeResult result;
   const uint64_t kKb = 1024;
-  for (const uint64_t max_size :
-       {uint64_t{2} * kKb, uint64_t{4} * kKb, uint64_t{8} * kKb,
-        uint64_t{15} * kKb, uint64_t{29} * kKb, uint64_t{64} * kKb,
-        uint64_t{256} * kKb, uint64_t{0}}) {
-    config.policy.max_size = max_size;
-    ExpMaxSizeResult::Row row;
-    row.max_size = max_size;
-    row.metrics = sim.Evaluate(config);
-    result.rows.push_back(row);
-  }
+  const uint64_t sizes[] = {2 * kKb,  4 * kKb,   8 * kKb,   15 * kKb,
+                            29 * kKb, 64 * kKb,  256 * kKb, 0};
+  result.rows = SweepMap(
+      std::size(sizes), options,
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = base;
+        config.policy.max_size = sizes[index];
+        ExpMaxSizeResult::Row row;
+        row.max_size = sizes[index];
+        row.metrics = sim.Evaluate(config);
+        return row;
+      },
+      &result.sweep);
   return result;
 }
 
@@ -422,10 +451,12 @@ Table ExpMaxSizeResult::ToTable() const {
 // ---------------------------------------------------------------------------
 
 ExpClientCachingResult RunExpClientCaching(const Workload& workload,
-                                           double tp) {
+                                           double tp,
+                                           const SweepOptions& options) {
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = BaselineSpecConfig();
-  config.policy.threshold = tp;
+  spec::SpeculationConfig base = BaselineSpecConfig();
+  base.policy.threshold = tp;
+  sim.Prewarm(base.dependency);
 
   ExpClientCachingResult result;
   const ExpClientCachingResult::Row cases[] = {
@@ -434,13 +465,17 @@ ExpClientCachingResult RunExpClientCaching(const Workload& workload,
       {"finite LRU 256 KB, multi-session", kInfiniteTime, 256 * 1024, {}},
       {"infinite multi-session", kInfiniteTime, 0, {}},
   };
-  for (const auto& c : cases) {
-    config.cache.session_timeout = c.session_timeout;
-    config.cache.capacity_bytes = c.capacity;
-    ExpClientCachingResult::Row row = c;
-    row.metrics = sim.Evaluate(config);
-    result.rows.push_back(row);
-  }
+  result.rows = SweepMap(
+      std::size(cases), options,
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = base;
+        config.cache.session_timeout = cases[index].session_timeout;
+        config.cache.capacity_bytes = cases[index].capacity;
+        ExpClientCachingResult::Row row = cases[index];
+        row.metrics = sim.Evaluate(config);
+        return row;
+      },
+      &result.sweep);
   return result;
 }
 
@@ -460,22 +495,27 @@ Table ExpClientCachingResult::ToTable() const {
 // E4 — cooperative clients
 // ---------------------------------------------------------------------------
 
-ExpCooperativeResult RunExpCooperative(const Workload& workload) {
+ExpCooperativeResult RunExpCooperative(const Workload& workload,
+                                       const SweepOptions& options) {
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = BaselineSpecConfig();
+  const spec::SpeculationConfig base = BaselineSpecConfig();
+  sim.Prewarm(base.dependency);
 
+  const double tps[] = {0.5, 0.25, 0.1};
   ExpCooperativeResult result;
-  for (const double tp : {0.5, 0.25, 0.1}) {
-    for (const bool cooperative : {false, true}) {
-      config.policy.threshold = tp;
-      config.cooperative_clients = cooperative;
-      ExpCooperativeResult::Row row;
-      row.cooperative = cooperative;
-      row.tp = tp;
-      row.metrics = sim.Evaluate(config);
-      result.rows.push_back(row);
-    }
-  }
+  result.rows = SweepMap(
+      std::size(tps) * 2, options,
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = base;
+        config.policy.threshold = tps[index / 2];
+        config.cooperative_clients = (index % 2) != 0;
+        ExpCooperativeResult::Row row;
+        row.cooperative = config.cooperative_clients;
+        row.tp = config.policy.threshold;
+        row.metrics = sim.Evaluate(config);
+        return row;
+      },
+      &result.sweep);
   return result;
 }
 
@@ -496,26 +536,33 @@ Table ExpCooperativeResult::ToTable() const {
 // E5 — prefetching modes
 // ---------------------------------------------------------------------------
 
-ExpPrefetchResult RunExpPrefetch(const Workload& workload, double tp) {
+ExpPrefetchResult RunExpPrefetch(const Workload& workload, double tp,
+                                 const SweepOptions& options) {
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
-  spec::SpeculationConfig config = BaselineSpecConfig();
-  config.policy.threshold = tp;
+  spec::SpeculationConfig base = BaselineSpecConfig();
+  base.policy.threshold = tp;
   // Client-initiated prefetching is only meaningful against a cache that
   // forgets: with the baseline infinite multi-session cache everything a
   // user's profile knows about is already cached. Use the single-session
   // cache of the paper's client-prefetch study.
-  config.cache.session_timeout = kHour;
+  base.cache.session_timeout = kHour;
+  sim.Prewarm(base.dependency);
 
+  const spec::ServiceMode modes[] = {
+      spec::ServiceMode::kSpeculativePush, spec::ServiceMode::kServerHints,
+      spec::ServiceMode::kClientPrefetch, spec::ServiceMode::kHybrid};
   ExpPrefetchResult result;
-  for (const spec::ServiceMode mode :
-       {spec::ServiceMode::kSpeculativePush, spec::ServiceMode::kServerHints,
-        spec::ServiceMode::kClientPrefetch, spec::ServiceMode::kHybrid}) {
-    config.mode = mode;
-    ExpPrefetchResult::Row row;
-    row.mode = mode;
-    row.metrics = sim.Evaluate(config);
-    result.rows.push_back(row);
-  }
+  result.rows = SweepMap(
+      std::size(modes), options,
+      [&](size_t index, Rng&) {
+        spec::SpeculationConfig config = base;
+        config.mode = modes[index];
+        ExpPrefetchResult::Row row;
+        row.mode = modes[index];
+        row.metrics = sim.Evaluate(config);
+        return row;
+      },
+      &result.sweep);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/sweep.h"
 #include "core/workload.h"
 #include "dissem/classify.h"
 #include "spec/simulator.h"
@@ -99,11 +100,17 @@ struct Fig3Result {
   std::vector<double> storage_top4;
   /// Tailored (per-proxy) dissemination at the 10% level (footnote 5).
   std::vector<double> saved_top10_tailored;
+  /// Timing of the proxy-count sweep.
+  SweepStats sweep;
 
   Table ToTable() const;
 };
 
-Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies = 16);
+/// Each proxy count is one sweep point; point k's three dissemination
+/// simulations share one RNG stream derived from (options.seed, k), so the
+/// result is identical for any worker count.
+Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies = 16,
+                   const SweepOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Figure 4 — histogram of p[i, j] pair probabilities
@@ -133,13 +140,16 @@ struct SpecSweepPoint {
 
 struct Fig5Result {
   std::vector<SpecSweepPoint> points;
+  /// Timing of the T_p sweep.
+  SweepStats sweep;
 
   Table ToTable() const;      ///< Figure 5: ratios vs T_p.
   Table ToFig6Table() const;  ///< Figure 6: reductions vs extra traffic.
 };
 
 Fig5Result RunFig5(const Workload& workload,
-                   const std::vector<double>& tps = {});
+                   const std::vector<double>& tps = {},
+                   const SweepOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // §3.4 fine-tuning experiments
@@ -154,6 +164,7 @@ struct ExpUpdateCycleResult {
     spec::SpeculationMetrics metrics;
   };
   std::vector<Row> rows;
+  SweepStats sweep;
   /// Mean absolute degradation of the three reduction metrics vs the
   /// (D = 1, D' = 60) row.
   double MeanDegradation(size_t row) const;
@@ -162,7 +173,8 @@ struct ExpUpdateCycleResult {
 };
 
 ExpUpdateCycleResult RunExpUpdateCycle(const Workload& workload,
-                                       double tp = 0.25);
+                                       double tp = 0.25,
+                                       const SweepOptions& options = {});
 
 /// E2: effect of MaxSize at a fixed T_p.
 struct ExpMaxSizeResult {
@@ -171,11 +183,13 @@ struct ExpMaxSizeResult {
     spec::SpeculationMetrics metrics;
   };
   std::vector<Row> rows;
+  SweepStats sweep;
 
   Table ToTable() const;
 };
 
-ExpMaxSizeResult RunExpMaxSize(const Workload& workload, double tp = 0.15);
+ExpMaxSizeResult RunExpMaxSize(const Workload& workload, double tp = 0.15,
+                               const SweepOptions& options = {});
 
 /// E3: effect of client caching (SessionTimeout 0 / 1 h / ∞, plus a finite
 /// LRU cache) at a fixed T_p.
@@ -187,12 +201,14 @@ struct ExpClientCachingResult {
     spec::SpeculationMetrics metrics;
   };
   std::vector<Row> rows;
+  SweepStats sweep;
 
   Table ToTable() const;
 };
 
 ExpClientCachingResult RunExpClientCaching(const Workload& workload,
-                                           double tp = 0.25);
+                                           double tp = 0.25,
+                                           const SweepOptions& options = {});
 
 /// E4: cooperative clients (cache digests) vs blind speculation.
 struct ExpCooperativeResult {
@@ -202,11 +218,13 @@ struct ExpCooperativeResult {
     spec::SpeculationMetrics metrics;
   };
   std::vector<Row> rows;
+  SweepStats sweep;
 
   Table ToTable() const;
 };
 
-ExpCooperativeResult RunExpCooperative(const Workload& workload);
+ExpCooperativeResult RunExpCooperative(const Workload& workload,
+                                       const SweepOptions& options = {});
 
 /// E5: server push vs client-initiated prefetching vs the hybrid protocol.
 struct ExpPrefetchResult {
@@ -215,11 +233,13 @@ struct ExpPrefetchResult {
     spec::SpeculationMetrics metrics;
   };
   std::vector<Row> rows;
+  SweepStats sweep;
 
   Table ToTable() const;
 };
 
-ExpPrefetchResult RunExpPrefetch(const Workload& workload, double tp = 0.25);
+ExpPrefetchResult RunExpPrefetch(const Workload& workload, double tp = 0.25,
+                                 const SweepOptions& options = {});
 
 }  // namespace sds::core
 

@@ -104,12 +104,17 @@ SpeculationSimulator::SpeculationSimulator(const trace::Corpus* corpus,
 const std::vector<DayCounts>& SpeculationSimulator::DailyDeltas(
     const DependencyConfig& config) {
   const auto key = std::make_pair(config.window, config.stride_timeout);
+  std::lock_guard<std::mutex> lock(delta_mutex_);
   auto it = delta_cache_.find(key);
   if (it == delta_cache_.end()) {
     it = delta_cache_.emplace(key, CountDailyDependencies(*trace_, config))
              .first;
   }
   return it->second;
+}
+
+void SpeculationSimulator::Prewarm(const DependencyConfig& config) {
+  DailyDeltas(config);
 }
 
 RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "spec/aging.h"
@@ -103,6 +104,13 @@ struct SpeculationConfig {
 /// ratios. Per-day dependency counts are cached across runs that share
 /// (T_w, StrideTimeout), which makes parameter sweeps (T_p, MaxSize, ...)
 /// cheap.
+///
+/// Thread safety: Run and Evaluate may be called concurrently from any
+/// number of threads on the same simulator (all replay state is local to
+/// the call; the shared per-day count cache is mutex-guarded and its
+/// contents are a pure function of the dependency config). Core sweeps
+/// call Prewarm first so that workers do not serialise on the first cache
+/// fill.
 class SpeculationSimulator {
  public:
   /// `corpus` and `trace` must outlive the simulator. The trace should be
@@ -123,13 +131,22 @@ class SpeculationSimulator {
   /// Runs `config` and its mode-kNone twin and computes the four ratios.
   SpeculationMetrics Evaluate(const SpeculationConfig& config);
 
+  /// Builds the per-day dependency counts for `config` now (a no-op if
+  /// already cached). Parallel sweeps whose points share a dependency
+  /// config call this once up front so the table is construction-time
+  /// built instead of lazily filled under the cache mutex.
+  void Prewarm(const DependencyConfig& config);
+
  private:
   const std::vector<DayCounts>& DailyDeltas(const DependencyConfig& config);
 
   const trace::Corpus* corpus_;
   const trace::Trace* trace_;
   /// Cache of per-day dependency counts keyed by (window, stride timeout).
+  /// Guarded by delta_mutex_; entries are immutable once inserted and
+  /// std::map never moves them, so returned references stay valid.
   std::map<std::pair<double, double>, std::vector<DayCounts>> delta_cache_;
+  std::mutex delta_mutex_;
 };
 
 }  // namespace sds::spec
