@@ -346,6 +346,87 @@ Table Fig5Result::ToFig6Table() const {
 }
 
 // ---------------------------------------------------------------------------
+// Figure 7 — availability under fault injection
+// ---------------------------------------------------------------------------
+
+Fig7Result RunFig7(const Workload& workload,
+                   const std::vector<double>& failure_rates,
+                   const std::vector<uint32_t>& proxies,
+                   const SweepOptions& options) {
+  Fig7Result result;
+  result.failure_rates = failure_rates;
+  if (result.failure_rates.empty()) {
+    result.failure_rates = {0.0, 0.02, 0.05, 0.10};
+  }
+  result.num_proxies = proxies;
+  if (result.num_proxies.empty()) result.num_proxies = {1, 2, 4, 8};
+
+  const double horizon_days = workload.clean().Span() / kDay + 1.0;
+  const size_t cols = result.num_proxies.size();
+  // The schedule stream is keyed by the row (rate) only, so every proxy
+  // count of one row replays the same outages; the offset keeps it
+  // disjoint from the per-point streams below.
+  const uint64_t schedule_seed = Rng::Mix(options.seed ^ 0xfa177au);
+
+  result.cells = SweepMap(
+      result.failure_rates.size() * cols, options,
+      [&](size_t index, Rng& rng) {
+        const size_t row = index / cols;
+        const double rate = result.failure_rates[row];
+
+        net::FaultInjectionConfig fault_config;
+        fault_config.horizon_days = horizon_days;
+        fault_config.node_failure_rate_per_day = rate;
+        fault_config.link_failure_rate_per_day = rate / 2.0;
+        fault_config.server_failure_rate_per_day = rate;
+        fault_config.mean_outage_days = 1.0;
+        fault_config.min_outage_days = 2.0 / 24.0;
+        Rng schedule_rng = MakePointRng(schedule_seed, row);
+        const net::FaultSchedule schedule = net::GenerateFaultSchedule(
+            workload.topology(), fault_config, &schedule_rng);
+
+        dissem::DisseminationConfig config;
+        config.num_proxies = result.num_proxies[index % cols];
+        config.dissemination_fraction = 0.10;
+        config.faults = &schedule;
+        config.retry.max_attempts = 6;
+        config.retry.timeout_s = 5.0;
+        config.retry.base_backoff_s = 1.0;
+        config.retry.backoff_multiplier = 2.0;
+        config.retry.max_backoff_s = 60.0;
+        config.retry.jitter = 0.1;
+        return SimulateDissemination(workload.corpus(), workload.clean(),
+                                     workload.topology(), 0, config, &rng,
+                                     &workload.generated().updates);
+      },
+      &result.sweep);
+  return result;
+}
+
+Table Fig7Result::ToTable() const {
+  Table table({"fail rate/day", "proxies", "unavailable", "no-proxy unavail",
+               "saved", "failovers", "retries", "degraded traffic"});
+  for (size_t row = 0; row < failure_rates.size(); ++row) {
+    for (size_t col = 0; col < num_proxies.size(); ++col) {
+      const auto& c = cell(row, col);
+      const double degraded_share =
+          c.with_proxies_bytes_hops <= 0.0
+              ? 0.0
+              : c.degraded_bytes_hops / c.with_proxies_bytes_hops;
+      table.AddRow({FormatDouble(failure_rates[row], 3),
+                    std::to_string(num_proxies[col]),
+                    FormatPercent(c.unavailable_fraction, 2),
+                    FormatPercent(c.baseline_unavailable_fraction, 2),
+                    FormatPercent(c.saved_fraction, 1),
+                    std::to_string(c.failover_requests),
+                    std::to_string(c.retry_attempts),
+                    FormatPercent(degraded_share, 1)});
+    }
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
 // E1 — update cycle / history length
 // ---------------------------------------------------------------------------
 

@@ -7,6 +7,8 @@
 #include "core/sweep.h"
 #include "core/workload.h"
 #include "dissem/classify.h"
+#include "dissem/simulator.h"
+#include "net/faults.h"
 #include "spec/simulator.h"
 #include "util/table.h"
 
@@ -149,6 +151,39 @@ struct Fig5Result {
 
 Fig5Result RunFig5(const Workload& workload,
                    const std::vector<double>& tps = {},
+                   const SweepOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Figure 7 — availability under fault injection (this reproduction's
+// extension: replicas keep documents reachable when the home server or a
+// tree link is down)
+// ---------------------------------------------------------------------------
+
+struct Fig7Result {
+  /// Per-entity per-day outage rates (rows) x proxy counts (columns).
+  std::vector<double> failure_rates;
+  std::vector<uint32_t> num_proxies;
+  /// Row-major: cells[rate_index * num_proxies.size() + proxy_index].
+  std::vector<dissem::DisseminationResult> cells;
+  SweepStats sweep;
+
+  const dissem::DisseminationResult& cell(size_t rate_index,
+                                          size_t proxy_index) const {
+    return cells[rate_index * num_proxies.size() + proxy_index];
+  }
+
+  Table ToTable() const;
+};
+
+/// Sweeps failure rate x num_proxies over the dissemination simulator with
+/// fault injection. Every cell of one row shares the same failure schedule
+/// (generated from a stream that is a pure function of (options.seed,
+/// rate_index)), so availability is comparable across proxy counts and the
+/// whole grid is bit-identical for any worker count. Rate r maps to node
+/// and server outage rates r/day and link outage rate r/2/day.
+Fig7Result RunFig7(const Workload& workload,
+                   const std::vector<double>& failure_rates = {},
+                   const std::vector<uint32_t>& proxies = {},
                    const SweepOptions& options = {});
 
 // ---------------------------------------------------------------------------

@@ -15,11 +15,17 @@ namespace sds::dissem {
 namespace {
 
 /// Per client-attachment-node routing info relative to the proxy set:
-/// the proxy nearest to the client on its route and the hop splits.
+/// the proxy nearest to the client on its route and the hop splits, plus
+/// the full failover ordering used under fault injection.
 struct RoutePlan {
   int proxy_index = -1;         ///< -1: no proxy on the route.
   uint32_t hops_to_proxy = 0;   ///< client -> proxy.
   uint32_t hops_to_server = 0;  ///< client -> server (full route).
+  /// Proxies on the client's route, nearest-to-client first.
+  std::vector<std::pair<int, uint32_t>> on_route;
+  /// Remaining proxies by hop distance from the client (replicas of last
+  /// resort when the route to the home server is broken).
+  std::vector<std::pair<int, uint32_t>> off_route;
 };
 
 std::vector<bool> MarkMutable(const trace::Corpus& corpus,
@@ -119,16 +125,35 @@ DisseminationResult SimulateDissemination(
     RoutePlan plan;
     const auto route = topology.Route(server_node, client_node);
     plan.hops_to_server = static_cast<uint32_t>(route.size() - 1);
-    for (uint32_t d = 1; d < route.size(); ++d) {
+    std::vector<bool> seen_on_route(num_proxies, false);
+    // Walk the route client-to-server so on_route is nearest-first.
+    for (uint32_t d = static_cast<uint32_t>(route.size()) - 1; d >= 1; --d) {
       for (size_t p = 0; p < num_proxies; ++p) {
         if (placement.proxies[p] == route[d]) {
-          // Keep the proxy *nearest the client* (largest d).
-          plan.proxy_index = static_cast<int>(p);
-          plan.hops_to_proxy = plan.hops_to_server - d;
+          plan.on_route.emplace_back(static_cast<int>(p),
+                                     plan.hops_to_server - d);
+          seen_on_route[p] = true;
         }
       }
     }
-    return plans.emplace(client_node, plan).first->second;
+    if (!plan.on_route.empty()) {
+      // The proxy *nearest the client*.
+      plan.proxy_index = plan.on_route.front().first;
+      plan.hops_to_proxy = plan.on_route.front().second;
+    }
+    for (size_t p = 0; p < num_proxies; ++p) {
+      if (seen_on_route[p]) continue;
+      plan.off_route.emplace_back(
+          static_cast<int>(p),
+          topology.HopCount(client_node, placement.proxies[p]));
+    }
+    std::sort(plan.off_route.begin(), plan.off_route.end(),
+              [](const std::pair<int, uint32_t>& a,
+                 const std::pair<int, uint32_t>& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    return plans.emplace(client_node, std::move(plan)).first->second;
   };
 
   // --- Dissemination contents. ---
@@ -205,6 +230,23 @@ DisseminationResult SimulateDissemination(
   }
   uint64_t proxy_served = 0;
 
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
+  const net::RetryPolicy& retry = config.retry;
+  // A candidate is reachable when its node is up and every node/link on
+  // the client's route to it is intact.
+  const auto server_reachable = [&](net::NodeId client_node,
+                                    SimTime when) -> bool {
+    return !config.faults->ServerDown(server, when) &&
+           !config.faults->NodeDown(server_node, when) &&
+           config.faults->PathUp(topology, client_node, server_node, when);
+  };
+  const auto proxy_reachable = [&](net::NodeId client_node, int p,
+                                   SimTime when) -> bool {
+    const net::NodeId node = placement.proxies[p];
+    return !config.faults->NodeDown(node, when) &&
+           config.faults->PathUp(topology, client_node, node, when);
+  };
+
   for (const auto& r : trace.requests) {
     if (r.time < split) continue;
     if (r.server != server || !r.remote_client) continue;
@@ -229,11 +271,108 @@ DisseminationResult SimulateDissemination(
       today = DayOfTime(r.time);
       std::fill(today_count.begin(), today_count.end(), 0);
     }
-    const RoutePlan& plan = plan_for(topology.client_node(r.client));
+    const net::NodeId client_node = topology.client_node(r.client);
+    const RoutePlan& plan = plan_for(client_node);
     const double bytes = static_cast<double>(r.bytes);
+
+    if (faulty) {
+      // --- Baseline availability: a home-server-only client retrying the
+      // server with the same policy. ---
+      {
+        SimTime when = r.time;
+        bool served = server_reachable(client_node, when);
+        for (uint32_t attempt = 1;
+             !served && attempt < retry.max_attempts; ++attempt) {
+          when += retry.timeout_s +
+                  retry.BackoffBeforeRetry(attempt - 1, rng);
+          served = server_reachable(client_node, when);
+        }
+        if (served) {
+          result.baseline_bytes_hops += bytes * plan.hops_to_server;
+        } else {
+          ++result.baseline_unavailable_requests;
+        }
+      }
+
+      // --- With proxies: walk the failover chain with retries. ---
+      // Chain: on-route proxies holding the document (nearest first), the
+      // home server, then any other live replica by distance. A proxy past
+      // its daily capacity is shielded out of the chain.
+      struct Candidate {
+        int proxy = -1;  ///< -1 = home server.
+        uint32_t hops = 0;
+      };
+      std::vector<Candidate> chain;
+      bool capacity_blocked = false;
+      const auto consider_proxy = [&](int p, uint32_t hops) {
+        if (!stores[p].Contains(r.doc)) return;
+        if (config.proxy_daily_request_capacity > 0 &&
+            today_count[p] >= config.proxy_daily_request_capacity) {
+          capacity_blocked = true;
+          return;
+        }
+        chain.push_back({p, hops});
+      };
+      for (const auto& [p, hops] : plan.on_route) consider_proxy(p, hops);
+      chain.push_back({-1, plan.hops_to_server});
+      for (const auto& [p, hops] : plan.off_route) consider_proxy(p, hops);
+
+      SimTime when = r.time;
+      size_t pos = 0;
+      int served_at = -1;  ///< Chain position that served, -1 = none.
+      for (uint32_t attempts = 0; attempts < retry.max_attempts;) {
+        const Candidate& cand = chain[pos];
+        const bool up = cand.proxy < 0
+                            ? server_reachable(client_node, when)
+                            : proxy_reachable(client_node, cand.proxy, when);
+        ++attempts;
+        if (up) {
+          served_at = static_cast<int>(pos);
+          break;
+        }
+        ++result.retry_attempts;
+        if (attempts < retry.max_attempts) {
+          const double wait =
+              retry.timeout_s + retry.BackoffBeforeRetry(attempts - 1, rng);
+          result.retry_wait_seconds += wait;
+          when += wait;
+        } else {
+          result.retry_wait_seconds += retry.timeout_s;
+        }
+        pos = (pos + 1) % chain.size();
+      }
+
+      if (served_at < 0) {
+        ++result.unavailable_requests;
+        continue;
+      }
+      const Candidate& winner = chain[served_at];
+      result.with_proxies_bytes_hops += bytes * winner.hops;
+      if (served_at != 0) {
+        ++result.failover_requests;
+        result.degraded_bytes_hops += bytes * winner.hops;
+      }
+      if (winner.proxy >= 0) {
+        ++today_count[winner.proxy];
+        ++result.proxy_requests[winner.proxy];
+        ++proxy_served;
+        if (last_update_day[r.doc] > dissemination_day) {
+          ++result.stale_proxy_requests;
+        }
+      } else if (capacity_blocked) {
+        // Shielding overflow: the proxy copy existed but the daily budget
+        // was spent, so the home server absorbed the request.
+        ++result.shielding_overflow_requests;
+      } else {
+        ++result.server_requests;
+      }
+      continue;
+    }
+
     result.baseline_bytes_hops += bytes * plan.hops_to_server;
 
     bool served_by_proxy = false;
+    bool overflowed = false;
     if (plan.proxy_index >= 0 && stores[plan.proxy_index].Contains(r.doc)) {
       if (config.proxy_daily_request_capacity == 0 ||
           today_count[plan.proxy_index] <
@@ -241,6 +380,7 @@ DisseminationResult SimulateDissemination(
         served_by_proxy = true;
         ++today_count[plan.proxy_index];
       } else {
+        overflowed = true;
         ++result.shielding_overflow_requests;
       }
     }
@@ -252,18 +392,33 @@ DisseminationResult SimulateDissemination(
         ++result.stale_proxy_requests;
       }
     } else {
+      // Served by the home server at full hop cost; overflowed requests
+      // stay in shielding_overflow_requests (not server_requests), so
+      // proxy + server + overflow == evaluated requests.
       result.with_proxies_bytes_hops += bytes * plan.hops_to_server;
-      ++result.server_requests;
+      if (!overflowed) ++result.server_requests;
     }
   }
 
-  uint64_t eval_requests = result.server_requests;
+  uint64_t eval_requests = result.server_requests +
+                           result.shielding_overflow_requests +
+                           result.unavailable_requests;
   for (const uint64_t n : result.proxy_requests) eval_requests += n;
   result.proxy_hit_fraction =
       eval_requests == 0
           ? 0.0
-          : 1.0 - static_cast<double>(result.server_requests) /
-                      static_cast<double>(eval_requests);
+          : static_cast<double>(proxy_served) /
+                static_cast<double>(eval_requests);
+  result.unavailable_fraction =
+      eval_requests == 0
+          ? 0.0
+          : static_cast<double>(result.unavailable_requests) /
+                static_cast<double>(eval_requests);
+  result.baseline_unavailable_fraction =
+      eval_requests == 0
+          ? 0.0
+          : static_cast<double>(result.baseline_unavailable_requests) /
+                static_cast<double>(eval_requests);
   result.stale_fraction =
       proxy_served == 0
           ? 0.0

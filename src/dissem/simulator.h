@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/faults.h"
 #include "net/topology.h"
 #include "trace/corpus.h"
 #include "trace/request.h"
@@ -49,6 +50,15 @@ struct DisseminationConfig {
   /// re-push updated versions); 0 = disseminate once and never refresh.
   /// Only affects the staleness accounting below.
   uint32_t redisseminate_every_days = 0;
+  /// Failure schedule overlaid on the evaluation replay (null or empty =
+  /// fault-free, bit-identical to the pre-fault-injection simulator). Must
+  /// outlive the call; shared read-only across sweep points.
+  const net::FaultSchedule* faults = nullptr;
+  /// Client recovery policy used when `faults` is active: the client walks
+  /// its failover chain (nearest on-route proxy, further on-route proxies,
+  /// home server, any other live replica) with one attempt per candidate,
+  /// cycling until max_attempts is spent, backing off between attempts.
+  net::RetryPolicy retry;
 };
 
 /// \brief Outcome of one dissemination simulation.
@@ -76,6 +86,24 @@ struct DisseminationResult {
   double stale_fraction = 0.0;
   /// Chosen proxy sites.
   std::vector<net::NodeId> proxy_nodes;
+
+  // --- Availability under fault injection (all zero when fault-free). ---
+  /// Requests that exhausted the retry budget with proxies deployed.
+  uint64_t unavailable_requests = 0;
+  double unavailable_fraction = 0.0;
+  /// Same requests replayed against the home server only (no proxies):
+  /// the availability baseline dissemination is compared to.
+  uint64_t baseline_unavailable_requests = 0;
+  double baseline_unavailable_fraction = 0.0;
+  /// Requests served by a candidate other than the client's primary
+  /// (nearest on-route proxy holding the document, else the home server).
+  uint64_t failover_requests = 0;
+  /// bytes x hops of failover-served requests (degraded-mode traffic).
+  double degraded_bytes_hops = 0.0;
+  /// Failed attempts across all requests, and the backoff+timeout seconds
+  /// they cost clients.
+  uint64_t retry_attempts = 0;
+  double retry_wait_seconds = 0.0;
 };
 
 /// \brief Trace-driven simulation of the dissemination protocol for one

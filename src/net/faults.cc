@@ -1,0 +1,193 @@
+#include "net/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sds::net {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeOutage:
+      return "node-outage";
+    case FaultKind::kLinkOutage:
+      return "link-outage";
+    case FaultKind::kServerOutage:
+      return "server-outage";
+    case FaultKind::kServerBrownout:
+      return "server-brownout";
+  }
+  return "?";
+}
+
+void FaultSchedule::Add(const FaultEvent& event) {
+  SDS_CHECK(event.end >= event.start);
+  events_.push_back(event);
+  Intervals* target = nullptr;
+  switch (event.kind) {
+    case FaultKind::kNodeOutage:
+      target = &node_down_;
+      break;
+    case FaultKind::kLinkOutage:
+      target = &link_down_;
+      break;
+    case FaultKind::kServerOutage:
+      target = &server_down_;
+      break;
+    case FaultKind::kServerBrownout:
+      target = &server_degraded_;
+      break;
+  }
+  (*target)[event.id].emplace_back(event.start, event.end);
+}
+
+bool FaultSchedule::Covers(const Intervals& intervals, uint32_t id,
+                           SimTime t) {
+  const auto it = intervals.find(id);
+  if (it == intervals.end()) return false;
+  for (const auto& [start, end] : it->second) {
+    if (start <= t && t < end) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::NodeDown(NodeId node, SimTime t) const {
+  return Covers(node_down_, node, t);
+}
+
+bool FaultSchedule::LinkDown(NodeId child, SimTime t) const {
+  return Covers(link_down_, child, t);
+}
+
+bool FaultSchedule::ServerDown(trace::ServerId server, SimTime t) const {
+  return Covers(server_down_, server, t);
+}
+
+bool FaultSchedule::ServerDegraded(trace::ServerId server, SimTime t) const {
+  return Covers(server_degraded_, server, t);
+}
+
+bool FaultSchedule::PathUp(const Topology& topology, NodeId from, NodeId to,
+                           SimTime t) const {
+  if (node_down_.empty() && link_down_.empty()) return true;
+  const std::vector<NodeId> route = topology.Route(from, to);
+  for (size_t i = 1; i < route.size(); ++i) {
+    if (NodeDown(route[i], t)) return false;
+    // The edge between route[i-1] and route[i] is keyed by whichever
+    // endpoint is the child (the deeper node).
+    const NodeId child = topology.depth(route[i]) > topology.depth(route[i - 1])
+                             ? route[i]
+                             : route[i - 1];
+    if (LinkDown(child, t)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// One exponential outage duration in days, floored.
+double DrawOutageDays(const FaultInjectionConfig& config, Rng* rng) {
+  const double u = rng->NextDouble();
+  const double days = -config.mean_outage_days * std::log1p(-u);
+  return std::max(config.min_outage_days, days);
+}
+
+/// Draws daily outages for one entity. Every Bernoulli draw is made
+/// unconditionally (the duration draw only when it fires), in increasing
+/// day order, keeping the stream layout simple and documented.
+void DrawEntityOutages(FaultKind kind, uint32_t id, double rate_per_day,
+                       const FaultInjectionConfig& config, Rng* rng,
+                       FaultSchedule* schedule) {
+  const long days = static_cast<long>(std::ceil(config.horizon_days));
+  for (long day = 0; day < days; ++day) {
+    if (!rng->NextBernoulli(rate_per_day)) continue;
+    const double start =
+        static_cast<double>(day) * kDay + rng->NextDouble() * kDay;
+    const double duration = DrawOutageDays(config, rng) * kDay;
+    schedule->Add({kind, id, start, start + duration});
+  }
+}
+
+}  // namespace
+
+FaultSchedule GenerateFaultSchedule(const Topology& topology,
+                                    const FaultInjectionConfig& config,
+                                    Rng* rng) {
+  SDS_CHECK(rng != nullptr);
+  FaultSchedule schedule;
+  if (config.horizon_days <= 0.0) return schedule;
+  // Node 0 is the backbone root and never fails; every other node can.
+  if (config.node_failure_rate_per_day > 0.0) {
+    for (NodeId node = 1; node < topology.num_nodes(); ++node) {
+      DrawEntityOutages(FaultKind::kNodeOutage, node,
+                        config.node_failure_rate_per_day, config, rng,
+                        &schedule);
+    }
+  }
+  // Each non-root node identifies the edge to its parent.
+  if (config.link_failure_rate_per_day > 0.0) {
+    for (NodeId node = 1; node < topology.num_nodes(); ++node) {
+      DrawEntityOutages(FaultKind::kLinkOutage, node,
+                        config.link_failure_rate_per_day, config, rng,
+                        &schedule);
+    }
+  }
+  if (config.server_failure_rate_per_day > 0.0) {
+    for (trace::ServerId server = 0; server < topology.num_servers();
+         ++server) {
+      DrawEntityOutages(FaultKind::kServerOutage, server,
+                        config.server_failure_rate_per_day, config, rng,
+                        &schedule);
+    }
+  }
+  return schedule;
+}
+
+uint32_t AddLoadBrownouts(const trace::Trace& trace, trace::ServerId server,
+                          const BrownoutConfig& config,
+                          FaultSchedule* schedule) {
+  SDS_CHECK(schedule != nullptr);
+  std::vector<uint64_t> day_requests;
+  std::vector<double> day_bytes;
+  for (const auto& r : trace.requests) {
+    if (r.server != server) continue;
+    if (r.kind != trace::RequestKind::kDocument &&
+        r.kind != trace::RequestKind::kAlias) {
+      continue;
+    }
+    const size_t day = static_cast<size_t>(DayOfTime(r.time));
+    if (day >= day_requests.size()) {
+      day_requests.resize(day + 1, 0);
+      day_bytes.resize(day + 1, 0.0);
+    }
+    ++day_requests[day];
+    day_bytes[day] += static_cast<double>(r.bytes);
+  }
+  uint32_t tripped = 0;
+  for (size_t day = 0; day < day_requests.size(); ++day) {
+    const double busy_s =
+        static_cast<double>(day_requests[day]) * config.service_overhead_s +
+        day_bytes[day] / config.service_rate_bytes_per_s;
+    if (busy_s / kDay <= config.utilization_threshold) continue;
+    const double start = static_cast<double>(day) * kDay;
+    schedule->Add({FaultKind::kServerBrownout, server, start, start + kDay});
+    ++tripped;
+  }
+  return tripped;
+}
+
+double RetryPolicy::BackoffBeforeRetry(uint32_t retry_index, Rng* rng) const {
+  double backoff = base_backoff_s;
+  for (uint32_t i = 0; i < retry_index && backoff < max_backoff_s; ++i) {
+    backoff *= backoff_multiplier;
+  }
+  backoff = std::min(backoff, max_backoff_s);
+  if (jitter > 0.0) {
+    SDS_CHECK(rng != nullptr);
+    backoff *= 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
+  }
+  return backoff;
+}
+
+}  // namespace sds::net

@@ -1,0 +1,155 @@
+#ifndef SDS_NET_FAULTS_H_
+#define SDS_NET_FAULTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "trace/request.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace sds::net {
+
+/// \brief What kind of entity a scheduled fault takes down.
+enum class FaultKind : uint8_t {
+  /// A topology node (router) is unreachable; every route through it is
+  /// broken. Takes a proxy offline when it hits the proxy's node.
+  kNodeOutage = 0,
+  /// The tree edge between a node and its parent is cut; routes crossing
+  /// the edge are broken while the nodes stay up.
+  kLinkOutage = 1,
+  /// A home server is down entirely (crash, maintenance): it serves
+  /// nothing. Identified by ServerId, not NodeId.
+  kServerOutage = 2,
+  /// A home server is overloaded but alive (brownout): it still serves
+  /// requested documents but sheds all speculative work.
+  kServerBrownout = 3,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// \brief One scheduled fault: `id` (a NodeId for node/link faults, a
+/// ServerId for server faults) is affected during [start, end).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeOutage;
+  uint32_t id = 0;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+};
+
+/// \brief A deterministic overlay of failures on the clientele tree.
+///
+/// The schedule is built up front (generated from an explicit Rng stream
+/// and/or from the load profile of the trace) and then queried read-only by
+/// the simulators, so the same schedule object can be shared across sweep
+/// points and threads. All queries are half-open: an entity is down at `t`
+/// iff some event covers start <= t < end.
+class FaultSchedule {
+ public:
+  void Add(const FaultEvent& event);
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  bool NodeDown(NodeId node, SimTime t) const;
+  /// The edge between `child` and its parent is cut at `t`.
+  bool LinkDown(NodeId child, SimTime t) const;
+  bool ServerDown(trace::ServerId server, SimTime t) const;
+  bool ServerDegraded(trace::ServerId server, SimTime t) const;
+
+  /// True when the tree route from `from` to `to` is intact at `t`: every
+  /// node on the route except `from` itself is up and every edge on the
+  /// route is uncut. (`from` is the querying client's own attachment node;
+  /// its failure is modelled as the client being offline, not as a service
+  /// failure, so it is not checked here.)
+  bool PathUp(const Topology& topology, NodeId from, NodeId to,
+              SimTime t) const;
+
+ private:
+  using Intervals =
+      std::unordered_map<uint32_t, std::vector<std::pair<SimTime, SimTime>>>;
+  static bool Covers(const Intervals& intervals, uint32_t id, SimTime t);
+
+  std::vector<FaultEvent> events_;
+  Intervals node_down_;
+  Intervals link_down_;
+  Intervals server_down_;
+  Intervals server_degraded_;
+};
+
+/// \brief Rates of the randomly generated part of a failure schedule. All
+/// rates are per-entity per-day probabilities of an outage starting.
+struct FaultInjectionConfig {
+  /// Days covered by the schedule (typically ceil(trace span / kDay) + 1).
+  double horizon_days = 0.0;
+  double node_failure_rate_per_day = 0.0;
+  double link_failure_rate_per_day = 0.0;
+  double server_failure_rate_per_day = 0.0;
+  /// Outage durations are exponential with this mean, floored at
+  /// `min_outage_days` (a crashed router takes at least that long to come
+  /// back).
+  double mean_outage_days = 0.25;
+  double min_outage_days = 1.0 / 24.0;
+};
+
+/// \brief Draws node, link and server outages from `rng`.
+///
+/// Deterministic-seeding contract: the generated schedule is a pure
+/// function of (topology shape, config, the Rng stream) — entities are
+/// visited in increasing id order and days in increasing order, and every
+/// Bernoulli draw is made whether or not it fires, so the draw sequence
+/// never depends on earlier outcomes' side effects. Generating from a
+/// sweep point's Rng therefore preserves parallel == serial bit-identity
+/// (docs/SWEEP.md). The backbone root (node 0) never fails.
+FaultSchedule GenerateFaultSchedule(const Topology& topology,
+                                    const FaultInjectionConfig& config,
+                                    Rng* rng);
+
+/// \brief Load-dependent brownouts driven by the queueing model of
+/// spec/queueing.h: a day's offered utilization is
+/// (requests x overhead + bytes / rate) / 86400, and any day above the
+/// threshold becomes a kServerBrownout. Defaults mirror spec::QueueConfig.
+struct BrownoutConfig {
+  double service_overhead_s = 0.05;
+  double service_rate_bytes_per_s = 1.5e6;
+  /// Utilization above which the server sheds speculative work.
+  double utilization_threshold = 0.75;
+};
+
+/// \brief Appends one brownout event per overloaded day of `server` in
+/// `trace` (kDocument/kAlias records only) and returns how many days
+/// tripped. Deterministic: no randomness involved.
+uint32_t AddLoadBrownouts(const trace::Trace& trace, trace::ServerId server,
+                          const BrownoutConfig& config,
+                          FaultSchedule* schedule);
+
+/// \brief Client-side recovery policy: how a client re-issues a request
+/// after a failed attempt (timeout, dead proxy, broken route).
+///
+/// Attempt 0 happens immediately; each retry waits
+/// timeout_s + Backoff(retry_index), where Backoff is exponential
+/// (base x multiplier^index, capped at max_backoff_s) scaled by a uniform
+/// jitter factor in [1 - jitter, 1 + jitter). With jitter = 0 no random
+/// draw is made, so fault-free replays consume no Rng state.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  uint32_t max_attempts = 4;
+  /// Time a failed attempt costs before the client gives up on it.
+  double timeout_s = 5.0;
+  double base_backoff_s = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 60.0;
+  /// Relative jitter; must be in [0, 1].
+  double jitter = 0.0;
+
+  /// Backoff waited before retry `retry_index` (0 = first retry). `rng`
+  /// may be null when jitter == 0.
+  double BackoffBeforeRetry(uint32_t retry_index, Rng* rng) const;
+};
+
+}  // namespace sds::net
+
+#endif  // SDS_NET_FAULTS_H_

@@ -20,6 +20,11 @@ SpeculationMetrics ComputeMetrics(const RunTotals& with_spec,
       Ratio(with_spec.MeanLatency(), without_spec.MeanLatency());
   m.miss_rate_ratio = Ratio(with_spec.MissRate(), without_spec.MissRate());
   m.extra_traffic = m.bandwidth_ratio - 1.0;
+  m.unavailable_request_fraction =
+      with_spec.client_requests == 0
+          ? 0.0
+          : static_cast<double>(with_spec.unavailable_requests) /
+                static_cast<double>(with_spec.client_requests);
   return m;
 }
 

@@ -30,6 +30,19 @@ struct RunTotals {
   /// included in server_requests).
   uint64_t prefetch_requests = 0;
 
+  // --- Availability under fault injection (all zero when fault-free). ---
+  /// Cache misses that never reached the server: every retry found it down.
+  uint64_t unavailable_requests = 0;
+  /// Failed attempts across all requests, and the timeout+backoff seconds
+  /// clients spent waiting on them (kept separate from total_latency,
+  /// which is in the paper's abstract cost units).
+  uint64_t retry_attempts = 0;
+  double retry_wait_seconds = 0.0;
+  /// Responses served during a brownout, with speculation shed.
+  uint64_t brownout_responses = 0;
+  /// Speculative/hinted/prefetch transfers suppressed by brownouts.
+  uint64_t suppressed_speculative_docs = 0;
+
   double MeanLatency() const {
     return client_requests == 0
                ? 0.0
@@ -49,6 +62,9 @@ struct SpeculationMetrics {
   double miss_rate_ratio = 1.0;
   /// bandwidth_ratio - 1 (the "extra traffic" axis of Figure 6).
   double extra_traffic = 0.0;
+  /// Unavailable fraction of client requests in the speculative run
+  /// (0 when fault-free); the plain run's is in without_speculation.
+  double unavailable_request_fraction = 0.0;
 
   RunTotals with_speculation;
   RunTotals without_speculation;

@@ -159,6 +159,9 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
   long current_day = 0;
   bool model_ready = false;
 
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
+  Rng retry_rng(config.retry_jitter_seed);
+
   for (const auto& r : trace_->requests) {
     if (r.kind != trace::RequestKind::kDocument &&
         r.kind != trace::RequestKind::kAlias) {
@@ -206,12 +209,56 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
       continue;  // zero-latency cache hit, no server involvement
     }
 
-    // Cache miss: the request reaches the server.
+    // Cache miss: the request tries to reach the server. During a server
+    // outage the client retries with backoff; if every attempt finds the
+    // server down, the request is lost (counted unavailable, never served).
+    if (faulty && config.faults->ServerDown(r.server, r.time)) {
+      SimTime when = r.time;
+      double waited = 0.0;
+      bool reached = false;
+      ++totals.retry_attempts;  // the initial attempt timed out
+      for (uint32_t attempt = 1; attempt < config.retry.max_attempts;
+           ++attempt) {
+        const double wait =
+            config.retry.timeout_s +
+            config.retry.BackoffBeforeRetry(attempt - 1, &retry_rng);
+        waited += wait;
+        when += wait;
+        if (!config.faults->ServerDown(r.server, when)) {
+          reached = true;
+          break;
+        }
+        ++totals.retry_attempts;
+      }
+      if (!reached) waited += config.retry.timeout_s;
+      totals.retry_wait_seconds += waited;
+      if (!reached) {
+        ++totals.unavailable_requests;
+        totals.miss_bytes += static_cast<double>(size);
+        continue;
+      }
+    }
+    // Brownout (overload, §2.3's shielding pressure): demand service stays
+    // up but every speculative transfer is shed until the load drains.
+    const bool degraded =
+        faulty && config.faults->ServerDegraded(r.server, r.time);
+
     ++totals.server_requests;
     totals.miss_bytes += static_cast<double>(size);
     double response_bytes = static_cast<double>(size);
 
-    if (server_speculates && model_ready) {
+    if (degraded && model_ready &&
+        (server_speculates || server_hints)) {
+      ++totals.brownout_responses;
+      const auto& row =
+          config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
+      totals.suppressed_speculative_docs +=
+          SelectCandidates(row, *corpus_,
+                           server_speculates ? push_policy : config.policy)
+              .size();
+    }
+
+    if (server_speculates && model_ready && !degraded) {
       const auto& row =
           config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
       for (const auto& cand :
@@ -234,7 +281,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
       }
     }
 
-    if (server_hints && model_ready) {
+    if (server_hints && model_ready && !degraded) {
       // The hint list itself is negligible; the client fetches hinted
       // documents it lacks as background prefetches.
       const auto& row =
@@ -266,7 +313,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
                                 : static_cast<double>(size));
     cache.Insert(r.doc, size, /*speculative=*/false, r.time);
 
-    if (client_prefetches) {
+    if (client_prefetches && !degraded) {
       // The client consults its own profile and fetches likely successors
       // in the background (each is a normal request to the server).
       const auto successors = profiles[r.client].Successors(

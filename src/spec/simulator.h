@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "net/faults.h"
 #include "spec/aging.h"
 #include "spec/client_cache.h"
 #include "spec/closure.h"
@@ -94,6 +95,19 @@ struct SpeculationConfig {
   /// Client heuristics fire on a single past co-occurrence (a user's own
   /// history is tiny compared with the server's logs).
   uint32_t client_prefetch_min_support = 1;
+
+  /// Failure schedule overlaid on the replay (null or empty = fault-free,
+  /// bit-identical to the pre-fault-injection simulator). Server outages
+  /// make cache misses retry with backoff and eventually fail; brownouts
+  /// (kServerBrownout) keep demand service up but shed all speculative
+  /// pushes, hints and prefetch service. Must outlive the run.
+  const net::FaultSchedule* faults = nullptr;
+  /// Retry policy for misses that hit a server outage.
+  net::RetryPolicy retry;
+  /// Seed of the jitter stream used by `retry` (the simulator has no Rng
+  /// parameter; sweeps derive this from their per-point stream to keep
+  /// parallel == serial bit-identity). Unused when jitter == 0.
+  uint64_t retry_jitter_seed = 0;
 };
 
 /// \brief Trace-driven simulator of speculative service.

@@ -200,16 +200,42 @@ std::vector<std::string> TraceToClf(const Trace& trace, const Corpus& corpus) {
 }
 
 Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
-                         const Corpus& corpus) {
+                         const Corpus& corpus, const ClfReadOptions& options,
+                         ClfReadStats* stats) {
   Trace trace;
   trace.requests.reserve(lines.size());
   uint32_t max_client = 0;
-  for (const auto& line : lines) {
+  ClfReadStats local_stats;
+  ClfReadStats& st = stats != nullptr ? *stats : local_stats;
+  st = ClfReadStats{};
+  // Records a skip (lenient) or surfaces the parse error with its 1-based
+  // line number (strict); callers `continue` on OK.
+  const auto fail = [&](size_t line_number, const Status& status) -> Status {
+    if (options.lenient) {
+      ++st.skipped_lines;
+      return Status::OK();
+    }
+    return Status::ParseError("line " + std::to_string(line_number) + ": " +
+                              status.message());
+  };
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
     if (StripWhitespace(line).empty()) continue;
-    SDS_ASSIGN_OR_RETURN(const ClfRecord rec, ParseClfLine(line));
+    ++st.lines;
+    const Result<ClfRecord> parsed = ParseClfLine(line);
+    if (!parsed.ok()) {
+      SDS_RETURN_IF_ERROR(fail(i + 1, parsed.status()));
+      continue;
+    }
+    const ClfRecord& rec = parsed.value();
     Request r;
     bool remote = false;
-    SDS_ASSIGN_OR_RETURN(r.client, ClientFromHost(rec.host, &remote));
+    const Result<ClientId> client = ClientFromHost(rec.host, &remote);
+    if (!client.ok()) {
+      SDS_RETURN_IF_ERROR(fail(i + 1, client.status()));
+      continue;
+    }
+    r.client = client.value();
     r.remote_client = remote;
     r.time = rec.time;
     r.bytes = static_cast<uint32_t>(rec.bytes);
@@ -250,13 +276,19 @@ Status WriteClfFile(const std::string& path, const Trace& trace,
   return Status::OK();
 }
 
-Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus) {
+Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus,
+                          const ClfReadOptions& options, ClfReadStats* stats) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::vector<std::string> lines;
   std::string line;
   while (std::getline(in, line)) lines.push_back(line);
-  return ClfToTrace(lines, corpus);
+  Result<Trace> trace = ClfToTrace(lines, corpus, options, stats);
+  if (!trace.ok()) {
+    return Status(trace.status().code(),
+                  path + ": " + trace.status().message());
+  }
+  return trace;
 }
 
 }  // namespace sds::trace

@@ -49,19 +49,46 @@ Result<ClfRecord> ParseClfLine(const std::string& line);
 /// path and scripts `/cgi-bin/...`.
 std::vector<std::string> TraceToClf(const Trace& trace, const Corpus& corpus);
 
+/// \brief Parsing options for ClfToTrace / ReadClfFile.
+///
+/// Real 1995-era logs (the BU traces included) contain truncated and
+/// garbled lines; `lenient` mirrors how the paper's preprocessing dropped
+/// them instead of aborting the whole analysis.
+struct ClfReadOptions {
+  /// Skip malformed lines (counted in ClfReadStats::skipped_lines) instead
+  /// of failing the whole read.
+  bool lenient = false;
+};
+
+/// \brief Per-read accounting filled in by ClfToTrace / ReadClfFile.
+struct ClfReadStats {
+  size_t lines = 0;          ///< Non-blank lines examined.
+  size_t skipped_lines = 0;  ///< Malformed lines dropped (lenient mode).
+};
+
 /// \brief Reconstructs a Trace from CLF lines using the corpus to resolve
 /// paths (server 0 is assumed; multi-server traces are serialized per
 /// server). Unresolvable document paths become kNotFound records, matching
 /// how the paper's preprocessing treated them.
+///
+/// In strict mode (default) the first malformed line fails the read with a
+/// `Status::ParseError` naming the 1-based line number. In lenient mode
+/// malformed lines are skipped and tallied in `stats`.
 Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
-                         const Corpus& corpus);
+                         const Corpus& corpus,
+                         const ClfReadOptions& options = {},
+                         ClfReadStats* stats = nullptr);
 
 /// \brief Writes CLF lines to a file.
 Status WriteClfFile(const std::string& path, const Trace& trace,
                     const Corpus& corpus);
 
-/// \brief Reads a CLF file into a trace.
-Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus);
+/// \brief Reads a CLF file into a trace. Error messages and `stats` follow
+/// the ClfToTrace contract; strict-mode errors are prefixed with the file
+/// path.
+Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus,
+                          const ClfReadOptions& options = {},
+                          ClfReadStats* stats = nullptr);
 
 }  // namespace sds::trace
 

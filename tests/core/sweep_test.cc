@@ -260,6 +260,51 @@ TEST_F(SweepExperimentsTest, Fig5TablesAreIdenticalForAnyWorkerCount) {
   }
 }
 
+TEST_F(SweepExperimentsTest, Fig7FaultInjectionIsIdenticalForAnyWorkerCount) {
+  // Fault injection draws failure schedules and retry jitter; all of it
+  // must come from per-point streams so the contract still holds.
+  const std::vector<double> rates = {0.0, 0.05, 0.1};
+  const std::vector<uint32_t> proxies = {1, 2, 4};
+  const Fig7Result serial = RunFig7(*workload_, rates, proxies, {.workers = 1});
+  const std::string serial_table = serial.ToTable().ToAlignedString();
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const uint32_t workers : {2u, hw}) {
+    const Fig7Result parallel =
+        RunFig7(*workload_, rates, proxies, {.workers = workers});
+    EXPECT_EQ(serial_table, parallel.ToTable().ToAlignedString())
+        << "workers=" << workers;
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+      EXPECT_EQ(serial.cells[i].unavailable_requests,
+                parallel.cells[i].unavailable_requests) << i;
+      EXPECT_EQ(serial.cells[i].retry_attempts,
+                parallel.cells[i].retry_attempts) << i;
+      EXPECT_EQ(serial.cells[i].with_proxies_bytes_hops,
+                parallel.cells[i].with_proxies_bytes_hops) << i;
+      EXPECT_EQ(serial.cells[i].retry_wait_seconds,
+                parallel.cells[i].retry_wait_seconds) << i;
+      EXPECT_EQ(serial.cells[i].degraded_bytes_hops,
+                parallel.cells[i].degraded_bytes_hops) << i;
+    }
+  }
+  // The zero-rate row must behave exactly like the fault-free simulator:
+  // no unavailability, no retries, and strictly positive savings.
+  for (size_t col = 0; col < proxies.size(); ++col) {
+    const auto& cell = serial.cell(0, col);
+    EXPECT_EQ(cell.unavailable_requests, 0u);
+    EXPECT_EQ(cell.retry_attempts, 0u);
+    EXPECT_GT(cell.saved_fraction, 0.0);
+  }
+  // At a positive failure rate, more proxies never increase unavailability.
+  for (size_t row = 1; row < rates.size(); ++row) {
+    for (size_t col = 1; col < proxies.size(); ++col) {
+      EXPECT_LE(serial.cell(row, col).unavailable_fraction,
+                serial.cell(row, col - 1).unavailable_fraction)
+          << "rate " << rates[row] << " proxies " << proxies[col];
+    }
+  }
+}
+
 TEST_F(SweepExperimentsTest, FineTuningSweepsAreIdenticalForAnyWorkerCount) {
   const std::string maxsize_serial =
       RunExpMaxSize(*workload_, 0.2, {.workers = 1}).ToTable()

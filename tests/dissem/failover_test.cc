@@ -1,0 +1,209 @@
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "dissem/simulator.h"
+#include "net/faults.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace sds::dissem {
+namespace {
+
+// --- RetryPolicy unit tests -------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndCappedWithoutJitter) {
+  net::RetryPolicy policy;
+  policy.base_backoff_s = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 60.0;
+  policy.jitter = 0.0;
+  const double expected[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 60.0, 60.0};
+  for (uint32_t i = 0; i < 8; ++i) {
+    // jitter == 0 must not require (or consume) an Rng.
+    EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(i, nullptr), expected[i]) << i;
+  }
+}
+
+TEST(RetryPolicyTest, JitterStaysInBoundsAndIsDeterministic) {
+  net::RetryPolicy policy;
+  policy.base_backoff_s = 2.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_s = 1000.0;
+  policy.jitter = 0.25;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  bool saw_off_center = false;
+  for (uint32_t i = 0; i < 6; ++i) {
+    const double center = std::min(2.0 * std::pow(3.0, i), 1000.0);
+    const double a = policy.BackoffBeforeRetry(i, &rng_a);
+    const double b = policy.BackoffBeforeRetry(i, &rng_b);
+    EXPECT_DOUBLE_EQ(a, b) << i;  // same stream, same backoff
+    EXPECT_GE(a, center * 0.75) << i;
+    EXPECT_LT(a, center * 1.25) << i;
+    if (std::abs(a - center) > 1e-6 * center) saw_off_center = true;
+  }
+  EXPECT_TRUE(saw_off_center);
+}
+
+// --- Failover ordering in the dissemination simulator -----------------------
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new core::Workload(core::MakeWorkload(core::SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  DisseminationResult Run(const DisseminationConfig& config,
+                          uint64_t seed = 1) {
+    Rng rng(seed);
+    return SimulateDissemination(workload_->corpus(), workload_->clean(),
+                                 workload_->topology(), 0, config, &rng,
+                                 &workload_->generated().updates);
+  }
+
+  /// A fault interval covering the whole trace (and its retry tail).
+  std::pair<SimTime, SimTime> FullSpan() const {
+    return {0.0, workload_->clean().Span() + 30 * kDay};
+  }
+
+  static uint64_t TotalAccounted(const DisseminationResult& r) {
+    uint64_t total = r.server_requests + r.shielding_overflow_requests +
+                     r.unavailable_requests;
+    for (const uint64_t n : r.proxy_requests) total += n;
+    return total;
+  }
+
+  static core::Workload* workload_;
+};
+
+core::Workload* FailoverTest::workload_ = nullptr;
+
+TEST_F(FailoverTest, EmptyScheduleIsBitIdenticalToNoSchedule) {
+  DisseminationConfig plain;
+  plain.num_proxies = 4;
+  const auto a = Run(plain);
+
+  net::FaultSchedule empty;
+  DisseminationConfig with_empty = plain;
+  with_empty.faults = &empty;
+  const auto b = Run(with_empty);
+
+  EXPECT_DOUBLE_EQ(a.baseline_bytes_hops, b.baseline_bytes_hops);
+  EXPECT_DOUBLE_EQ(a.with_proxies_bytes_hops, b.with_proxies_bytes_hops);
+  EXPECT_DOUBLE_EQ(a.saved_fraction, b.saved_fraction);
+  EXPECT_DOUBLE_EQ(a.proxy_hit_fraction, b.proxy_hit_fraction);
+  EXPECT_EQ(a.server_requests, b.server_requests);
+  EXPECT_EQ(a.proxy_requests, b.proxy_requests);
+  EXPECT_EQ(b.unavailable_requests, 0u);
+  EXPECT_EQ(b.failover_requests, 0u);
+  EXPECT_EQ(b.retry_attempts, 0u);
+  EXPECT_DOUBLE_EQ(b.retry_wait_seconds, 0.0);
+}
+
+TEST_F(FailoverTest, DeadProxyNodeShiftsItsLoadElsewhere) {
+  DisseminationConfig plain;
+  plain.num_proxies = 4;
+  const auto healthy = Run(plain);
+  ASSERT_EQ(healthy.proxy_nodes.size(), 4u);
+
+  // Kill the busiest proxy's node for the whole trace.
+  size_t busiest = 0;
+  for (size_t p = 1; p < healthy.proxy_requests.size(); ++p) {
+    if (healthy.proxy_requests[p] > healthy.proxy_requests[busiest]) {
+      busiest = p;
+    }
+  }
+  ASSERT_GT(healthy.proxy_requests[busiest], 0u);
+  const auto [start, end] = FullSpan();
+  net::FaultSchedule schedule;
+  schedule.Add({net::FaultKind::kNodeOutage, healthy.proxy_nodes[busiest],
+                start, end});
+
+  DisseminationConfig faulted = plain;
+  faulted.faults = &schedule;
+  faulted.retry.max_attempts = 6;
+  const auto result = Run(faulted);
+
+  // The dead proxy serves nothing; its former requests fail over to other
+  // replicas or the home server rather than vanishing.
+  EXPECT_EQ(result.proxy_requests[busiest], 0u);
+  EXPECT_GT(result.failover_requests, 0u);
+  EXPECT_GT(result.retry_attempts, 0u);
+  EXPECT_GT(result.retry_wait_seconds, 0.0);
+  EXPECT_EQ(TotalAccounted(result), TotalAccounted(healthy));
+}
+
+TEST_F(FailoverTest, ProxiesServeThroughFullServerOutage) {
+  const auto [start, end] = FullSpan();
+  net::FaultSchedule schedule;
+  schedule.Add({net::FaultKind::kServerOutage, 0, start, end});
+
+  DisseminationConfig config;
+  config.num_proxies = 8;
+  config.dissemination_fraction = 0.10;
+  config.faults = &schedule;
+  config.retry.max_attempts = 6;
+  const auto result = Run(config);
+
+  // Without proxies every request is unavailable; with them the
+  // disseminated share of traffic is still served.
+  EXPECT_DOUBLE_EQ(result.baseline_unavailable_fraction, 1.0);
+  EXPECT_GT(result.unavailable_fraction, 0.0);
+  EXPECT_LT(result.unavailable_fraction,
+            result.baseline_unavailable_fraction);
+  EXPECT_EQ(result.server_requests, 0u);
+  uint64_t proxy_total = 0;
+  for (const uint64_t n : result.proxy_requests) proxy_total += n;
+  EXPECT_GT(proxy_total, 0u);
+}
+
+TEST_F(FailoverTest, TotalOutageMakesEverythingUnavailable) {
+  const auto [start, end] = FullSpan();
+  net::FaultSchedule schedule;
+  schedule.Add({net::FaultKind::kServerOutage, 0, start, end});
+  const auto& topo = workload_->topology();
+  for (net::NodeId n = 1; n < topo.num_nodes(); ++n) {
+    schedule.Add({net::FaultKind::kNodeOutage, n, start, end});
+  }
+
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.faults = &schedule;
+  const auto result = Run(config);
+
+  EXPECT_DOUBLE_EQ(result.unavailable_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.baseline_unavailable_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.with_proxies_bytes_hops, 0.0);
+  EXPECT_EQ(result.server_requests, 0u);
+  for (const uint64_t n : result.proxy_requests) EXPECT_EQ(n, 0u);
+}
+
+TEST_F(FailoverTest, FaultReplayIsDeterministicInSeed) {
+  net::FaultSchedule schedule;
+  const auto [start, end] = FullSpan();
+  // A mid-trace server outage plus a cut regional link exercise both the
+  // baseline retry loop and the failover chain.
+  schedule.Add({net::FaultKind::kServerOutage, 0, end * 0.25, end * 0.5});
+  schedule.Add({net::FaultKind::kLinkOutage, 1, end * 0.1, end * 0.2});
+
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.faults = &schedule;
+  config.retry.jitter = 0.2;  // jitter draws come from the passed-in Rng
+  const auto a = Run(config, 7);
+  const auto b = Run(config, 7);
+  EXPECT_DOUBLE_EQ(a.with_proxies_bytes_hops, b.with_proxies_bytes_hops);
+  EXPECT_DOUBLE_EQ(a.retry_wait_seconds, b.retry_wait_seconds);
+  EXPECT_EQ(a.unavailable_requests, b.unavailable_requests);
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+  EXPECT_EQ(a.proxy_requests, b.proxy_requests);
+}
+
+}  // namespace
+}  // namespace sds::dissem

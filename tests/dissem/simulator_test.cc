@@ -168,6 +168,37 @@ TEST_F(DisseminationSimTest, DepthRestrictedPlacementWorks) {
   EXPECT_GE(free_placement.saved_fraction, regional.saved_fraction - 0.02);
 }
 
+TEST_F(DisseminationSimTest, ShieldingOverflowConservesRequestAccounting) {
+  // Every evaluated request is served exactly once: by a proxy, by the home
+  // server directly, or by the home server after shielding overflow. The
+  // total must not depend on the capacity limit (regression: overflowed
+  // requests used to be double-counted as server requests).
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  uint64_t expected_total = 0;
+  for (const uint64_t capacity : {uint64_t{0}, uint64_t{5}, uint64_t{1} << 40}) {
+    config.proxy_daily_request_capacity = capacity;
+    const auto result = Run(config);
+    uint64_t total = result.server_requests + result.shielding_overflow_requests;
+    for (const uint64_t n : result.proxy_requests) total += n;
+    if (expected_total == 0) {
+      expected_total = total;
+    } else {
+      EXPECT_EQ(total, expected_total) << "capacity " << capacity;
+    }
+    if (capacity == 5) {
+      EXPECT_GT(result.shielding_overflow_requests, 0u);
+    } else {
+      EXPECT_EQ(result.shielding_overflow_requests, 0u);
+    }
+    // Overflowed requests pay the full home-server hop cost, so shielding
+    // can only lose bandwidth relative to unlimited proxies.
+    EXPECT_GE(result.with_proxies_bytes_hops, 0.0);
+    EXPECT_LE(result.with_proxies_bytes_hops,
+              result.baseline_bytes_hops * (1.0 + 1e-9));
+  }
+}
+
 TEST_F(DisseminationSimTest, BaselineCostIndependentOfConfig) {
   DisseminationConfig a;
   a.num_proxies = 1;

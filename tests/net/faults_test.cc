@@ -1,0 +1,216 @@
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "trace/request.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace sds::net {
+namespace {
+
+Topology MakeTopology(uint32_t num_clients = 60, uint32_t num_servers = 2,
+                      uint64_t seed = 1) {
+  TopologyConfig config;
+  config.regions = 4;
+  config.orgs_per_region = 3;
+  config.subnets_per_org = 2;
+  std::vector<bool> remote(num_clients);
+  for (uint32_t c = 0; c < num_clients; ++c) remote[c] = c % 3 != 0;
+  Rng rng(seed);
+  return Topology::Generate(config, num_clients, remote, num_servers, &rng);
+}
+
+TEST(FaultScheduleTest, IntervalsAreHalfOpen) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kNodeOutage, 7, 10.0, 20.0});
+  EXPECT_FALSE(schedule.NodeDown(7, 9.999));
+  EXPECT_TRUE(schedule.NodeDown(7, 10.0));
+  EXPECT_TRUE(schedule.NodeDown(7, 19.999));
+  EXPECT_FALSE(schedule.NodeDown(7, 20.0));
+  // Other nodes and other fault kinds are unaffected.
+  EXPECT_FALSE(schedule.NodeDown(8, 15.0));
+  EXPECT_FALSE(schedule.LinkDown(7, 15.0));
+  EXPECT_FALSE(schedule.ServerDown(7, 15.0));
+}
+
+TEST(FaultScheduleTest, KindsAreKeyedIndependently) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kLinkOutage, 3, 0.0, 5.0});
+  schedule.Add({FaultKind::kServerOutage, 0, 0.0, 5.0});
+  schedule.Add({FaultKind::kServerBrownout, 1, 0.0, 5.0});
+  EXPECT_TRUE(schedule.LinkDown(3, 1.0));
+  EXPECT_FALSE(schedule.NodeDown(3, 1.0));
+  EXPECT_TRUE(schedule.ServerDown(0, 1.0));
+  EXPECT_FALSE(schedule.ServerDegraded(0, 1.0));
+  EXPECT_TRUE(schedule.ServerDegraded(1, 1.0));
+  EXPECT_FALSE(schedule.ServerDown(1, 1.0));
+  EXPECT_EQ(schedule.size(), 3u);
+}
+
+TEST(FaultScheduleTest, PathUpChecksRouteNodesAndEdges) {
+  const Topology topo = MakeTopology();
+  const NodeId server = topo.server_node(0);
+  // Pick a remote client whose route to the server crosses several nodes.
+  NodeId client = kInvalidNode;
+  for (uint32_t c = 0; c < topo.num_clients(); ++c) {
+    if (topo.Route(topo.client_node(c), server).size() >= 4) {
+      client = topo.client_node(c);
+      break;
+    }
+  }
+  ASSERT_NE(client, kInvalidNode);
+  const std::vector<NodeId> route = topo.Route(client, server);
+
+  FaultSchedule empty;
+  EXPECT_TRUE(empty.PathUp(topo, client, server, 0.0));
+
+  // A node mid-route breaks the path while it is down.
+  FaultSchedule node_fault;
+  node_fault.Add({FaultKind::kNodeOutage, route[1], 0.0, 10.0});
+  EXPECT_FALSE(node_fault.PathUp(topo, client, server, 5.0));
+  EXPECT_TRUE(node_fault.PathUp(topo, client, server, 10.0));
+
+  // The querying client's own attachment node is exempt.
+  FaultSchedule own_node;
+  own_node.Add({FaultKind::kNodeOutage, client, 0.0, 10.0});
+  EXPECT_TRUE(own_node.PathUp(topo, client, server, 5.0));
+
+  // Cutting the first edge (keyed by its deeper endpoint, the client's
+  // subnet) breaks the path even though every node is up.
+  FaultSchedule link_fault;
+  link_fault.Add({FaultKind::kLinkOutage, client, 0.0, 10.0});
+  EXPECT_FALSE(link_fault.PathUp(topo, client, server, 5.0));
+
+  // A link elsewhere in the tree does not.
+  NodeId off_route = kInvalidNode;
+  for (NodeId n = 1; n < topo.num_nodes(); ++n) {
+    if (!topo.OnRoute(n, client, server)) {
+      off_route = n;
+      break;
+    }
+  }
+  ASSERT_NE(off_route, kInvalidNode);
+  FaultSchedule other_link;
+  other_link.Add({FaultKind::kLinkOutage, off_route, 0.0, 10.0});
+  EXPECT_TRUE(other_link.PathUp(topo, client, server, 5.0));
+}
+
+TEST(GenerateFaultScheduleTest, ZeroRatesProduceEmptySchedule) {
+  const Topology topo = MakeTopology();
+  FaultInjectionConfig config;
+  config.horizon_days = 30.0;
+  Rng rng(42);
+  const FaultSchedule schedule = GenerateFaultSchedule(topo, config, &rng);
+  EXPECT_TRUE(schedule.empty());
+}
+
+TEST(GenerateFaultScheduleTest, DeterministicForEqualSeeds) {
+  const Topology topo = MakeTopology();
+  FaultInjectionConfig config;
+  config.horizon_days = 60.0;
+  config.node_failure_rate_per_day = 0.05;
+  config.link_failure_rate_per_day = 0.02;
+  config.server_failure_rate_per_day = 0.1;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const FaultSchedule a = GenerateFaultSchedule(topo, config, &rng_a);
+  const FaultSchedule b = GenerateFaultSchedule(topo, config, &rng_b);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].id, b.events()[i].id);
+    EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+    EXPECT_EQ(a.events()[i].end, b.events()[i].end);
+  }
+  Rng rng_c(8);
+  const FaultSchedule c = GenerateFaultSchedule(topo, config, &rng_c);
+  bool differs = c.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = c.events()[i].id != a.events()[i].id ||
+              c.events()[i].start != a.events()[i].start;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GenerateFaultScheduleTest, RespectsEntityDomainsAndDurations) {
+  const Topology topo = MakeTopology(60, 2);
+  FaultInjectionConfig config;
+  config.horizon_days = 90.0;
+  config.node_failure_rate_per_day = 0.05;
+  config.link_failure_rate_per_day = 0.05;
+  config.server_failure_rate_per_day = 0.05;
+  Rng rng(11);
+  const FaultSchedule schedule = GenerateFaultSchedule(topo, config, &rng);
+  ASSERT_FALSE(schedule.empty());
+  const SimTime horizon = config.horizon_days * kDay;
+  for (const FaultEvent& e : schedule.events()) {
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_LT(e.start, horizon);
+    EXPECT_GE(e.end - e.start, config.min_outage_days * kDay);
+    switch (e.kind) {
+      case FaultKind::kNodeOutage:
+      case FaultKind::kLinkOutage:
+        // The backbone root never fails and no id is out of range.
+        EXPECT_GE(e.id, 1u);
+        EXPECT_LT(e.id, topo.num_nodes());
+        break;
+      case FaultKind::kServerOutage:
+        EXPECT_LT(e.id, topo.num_servers());
+        break;
+      case FaultKind::kServerBrownout:
+        ADD_FAILURE() << "random generation must not emit brownouts";
+        break;
+    }
+  }
+}
+
+TEST(AddLoadBrownoutsTest, TripsOnlyOverloadedDays) {
+  trace::Trace trace;
+  trace.num_clients = 1;
+  trace.num_servers = 2;
+  // Day 0: one tiny request on server 0 (under any sane threshold).
+  // Day 1: heavy traffic on server 0. Day 1 on server 1: idle.
+  trace::Request light;
+  light.time = 1000.0;
+  light.kind = trace::RequestKind::kDocument;
+  light.server = 0;
+  light.bytes = 1000;
+  trace.requests.push_back(light);
+  for (int i = 0; i < 200; ++i) {
+    trace::Request heavy;
+    heavy.time = kDay + 100.0 * i;
+    heavy.kind = trace::RequestKind::kDocument;
+    heavy.server = 0;
+    heavy.bytes = 50'000'000;
+    trace.requests.push_back(heavy);
+  }
+  // kScript/kNotFound records never count toward server load here.
+  trace::Request script;
+  script.time = 2 * kDay + 5.0;
+  script.kind = trace::RequestKind::kScript;
+  script.server = 0;
+  script.bytes = 1'000'000'000;
+  trace.requests.push_back(script);
+
+  BrownoutConfig config;
+  config.utilization_threshold = 0.05;
+  // 200 x 50 MB / 1.5 MB/s ~ 6667 s busy ~ 0.077 utilization > 0.05.
+  FaultSchedule schedule;
+  const uint32_t tripped = AddLoadBrownouts(trace, 0, config, &schedule);
+  EXPECT_EQ(tripped, 1u);
+  EXPECT_FALSE(schedule.ServerDegraded(0, 1000.0));
+  EXPECT_TRUE(schedule.ServerDegraded(0, kDay + 1.0));
+  EXPECT_TRUE(schedule.ServerDegraded(0, 2 * kDay - 1.0));
+  EXPECT_FALSE(schedule.ServerDegraded(0, 2 * kDay + 10.0));
+  // Brownout does not mean down, and other servers are unaffected.
+  EXPECT_FALSE(schedule.ServerDown(0, kDay + 1.0));
+  FaultSchedule other;
+  EXPECT_EQ(AddLoadBrownouts(trace, 1, config, &other), 0u);
+  EXPECT_TRUE(other.empty());
+}
+
+}  // namespace
+}  // namespace sds::net

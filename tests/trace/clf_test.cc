@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 
 #include "trace/corpus.h"
@@ -138,6 +139,62 @@ TEST_F(ClfRoundTripTest, UnknownPathsBecomeNotFound) {
   ASSERT_TRUE(round.ok());
   ASSERT_EQ(round.value().size(), 1u);
   EXPECT_EQ(round.value().requests[0].kind, RequestKind::kNotFound);
+}
+
+TEST_F(ClfRoundTripTest, StrictModeNamesOffendingLine) {
+  std::vector<std::string> lines = TraceToClf(trace_, corpus_);
+  ASSERT_GE(lines.size(), 3u);
+  lines[2] = "truncated garbage";
+  const auto strict = ClfToTrace(lines, corpus_);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kParseError);
+  EXPECT_NE(strict.status().message().find("line 3"), std::string::npos)
+      << strict.status().message();
+}
+
+TEST_F(ClfRoundTripTest, LenientModeSkipsAndCountsMalformedLines) {
+  std::vector<std::string> lines = TraceToClf(trace_, corpus_);
+  const size_t total = lines.size();
+  ASSERT_GE(total, 5u);
+  lines[0] = "truncated garbage";                // no timestamp
+  lines[3] = "h1.cs.bu.edu - - [01/Jan/1995] "   // bad timestamp
+             "\"GET /a HTTP/1.0\" 200 5";
+  lines[4] = "bad-host - - [01/Jan/1995:00:00:00 +0000] "  // bad host
+             "\"GET /a HTTP/1.0\" 200 5";
+  lines.push_back("");  // blank lines are not counted at all
+
+  ClfReadOptions options;
+  options.lenient = true;
+  ClfReadStats stats;
+  const auto round = ClfToTrace(lines, corpus_, options, &stats);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(stats.lines, total);
+  EXPECT_EQ(stats.skipped_lines, 3u);
+  EXPECT_EQ(round.value().size(), total - 3);
+}
+
+TEST_F(ClfRoundTripTest, LenientFileReadReportsPerFileSkipCount) {
+  const std::string path = ::testing::TempDir() + "/sds_clf_lenient_test.log";
+  ASSERT_TRUE(WriteClfFile(path, trace_, corpus_).ok());
+  {
+    std::ofstream append(path, std::ios::app);
+    append << "garbage line one\n\ngarbage line two\n";
+  }
+  ClfReadOptions options;
+  options.lenient = true;
+  ClfReadStats stats;
+  const auto read = ReadClfFile(path, corpus_, options, &stats);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(stats.skipped_lines, 2u);
+  EXPECT_EQ(stats.lines, trace_.size() + 2);
+  EXPECT_EQ(read.value().size(), trace_.size());
+
+  // The same file fails a strict read, with the file and line in the error.
+  const auto strict = ReadClfFile(path, corpus_);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find(path), std::string::npos);
+  EXPECT_NE(strict.status().message().find("line"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace
