@@ -14,11 +14,16 @@
 #include "spec/simulator.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_aging");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_aging",
                      "ablation: sliding window vs exponential aging");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
@@ -70,5 +75,7 @@ int main() {
   std::printf("aging matches a short window's freshness while keeping the\n"
               "statistical support of a long one (§3.4's envisioned\n"
               "mechanism).\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

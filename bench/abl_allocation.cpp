@@ -14,8 +14,12 @@
 #include "dissem/cluster_simulator.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_allocation");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_allocation",
                      "ablation: cluster storage allocation policies");
   const core::Workload workload =
@@ -54,5 +58,7 @@ int main() {
   std::printf("the closed-form optimum tracks the non-parametric greedy and\n"
               "dominates naive splits; eq. 1's prediction from the fitted\n"
               "exponential models lands close to the measured shield.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -14,10 +14,15 @@
 #include "spec/simulator.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_closure");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_closure", "ablation: closure semantics for P*");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
@@ -71,5 +76,7 @@ int main() {
   std::printf("the closure adds multi-hop candidates: more coverage than\n"
               "raw P at the same threshold; sum-product promotes targets\n"
               "reachable along many chains (embedding-heavy pages).\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -13,11 +13,16 @@
 #include "core/sweep.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_combined");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_combined",
                      "ablation: dissemination + speculation combined");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   // Isolated protocols (speculation disabled via Tp > 1; dissemination
@@ -62,5 +67,7 @@ int main() {
   std::printf("%s\n\n", stats.Summary().c_str());
   std::printf("ratios are vs plain service (no proxies, no speculation,\n"
               "same client caches) over the evaluation half of the trace.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -13,11 +13,16 @@
 #include "dissem/simulator.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_hierarchy");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_hierarchy",
                      "ablation: multi-level dissemination + shielding");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   auto run = [&](const dissem::DisseminationConfig& config, Rng& rng) {
@@ -92,5 +97,7 @@ int main() {
               "overloads, pushing requests back to the server):\n%s",
               shielding.ToAlignedString().c_str());
   std::printf("%s\n", shield_stats.Summary().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

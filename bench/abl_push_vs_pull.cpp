@@ -14,11 +14,16 @@
 #include "dissem/simulator.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_push_vs_pull");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_push_vs_pull",
                      "ablation: dissemination vs pull-through caching");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   struct Case {
@@ -77,5 +82,7 @@ int main() {
   std::printf("push knows the popularity profile up front; pull pays a\n"
               "compulsory miss (full-path fetch) for every first access at\n"
               "each proxy and churns under tight budgets.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -26,11 +26,16 @@ std::vector<sds::spec::ServerEvent> Compress(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_queueing");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_queueing",
                      "ablation: load reduction under a server queue");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
@@ -77,5 +82,7 @@ int main() {
   std::printf("speculative responses are bigger (extra bytes), yet the\n"
               "request cut shrinks waiting time by more than the 33%% load\n"
               "cut itself as the server gets busier.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

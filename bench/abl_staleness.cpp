@@ -13,11 +13,16 @@
 #include "dissem/simulator.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("abl_staleness");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("abl_staleness",
                      "ablation: mutable documents and staleness");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   struct Case {
@@ -61,5 +66,7 @@ int main() {
   std::printf("excluding the small mutable subset removes most staleness\n"
               "at almost no bandwidth cost; frequent re-pushing is the\n"
               "expensive alternative.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -1,8 +1,12 @@
 #ifndef SDS_BENCH_BENCH_UTIL_H_
 #define SDS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/workload.h"
 
@@ -16,10 +20,92 @@ inline void PrintHeader(const char* experiment, const char* paper_artifact) {
   std::printf("=====================================================\n");
 }
 
+/// Common bench command line: `--smoke` shrinks the workload/grid for CI,
+/// `--json` is accepted for symmetry with micro_kernels (every bench
+/// writes BENCH_<name>.json regardless). Unknown flags are ignored.
+struct BenchArgs {
+  bool smoke = false;
+  bool json = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) args.json = true;
+  }
+  return args;
+}
+
+/// Wall-clock stopwatch for the stage timings below.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable timing/metric sink: collects named doubles and writes
+/// them as `BENCH_<name>.json` in the working directory (flat object, one
+/// key per metric, insertion order). CI uploads these as artifacts and
+/// diffs them across commits; docs/PERF.md describes the workflow.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Times `fn()` and records the elapsed seconds under `<key>_s`.
+  template <typename Fn>
+  auto Stage(const std::string& key, Fn&& fn) {
+    Stopwatch watch;
+    auto result = fn();
+    Metric(key + "_s", watch.Seconds());
+    return result;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"name\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : metrics_) {
+      std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 /// The shared paper-scale workload. Benches are separate processes, so each
 /// builds it once; generation takes well under a second.
 inline core::Workload MakePaperWorkload() {
   return core::MakeWorkload(core::PaperScaleConfig());
+}
+
+/// Paper-scale workload, or the small CI workload under `--smoke`.
+inline core::Workload MakeBenchWorkload(const BenchArgs& args) {
+  return args.smoke ? core::MakeWorkload(core::SmallConfig())
+                    : MakePaperWorkload();
 }
 
 inline void PrintWorkloadSummary(const core::Workload& workload) {

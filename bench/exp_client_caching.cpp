@@ -13,18 +13,26 @@
 #include "bench/bench_util.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("exp_client_caching");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("exp_client_caching",
                      "Section 3.4 effect of client caching");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   const core::ExpClientCachingResult result =
-      core::RunExpClientCaching(workload);
+      bench_report.Stage(
+      "run", [&] { return core::RunExpClientCaching(workload); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: speculative gains survive without any long-term\n"
               "cache and shrink only slightly with an infinite cache.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -11,17 +11,25 @@
 #include "bench/bench_util.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("exp_cooperative_clients");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("exp_cooperative_clients",
                      "Section 3.4 cooperative clients");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::ExpCooperativeResult result = core::RunExpCooperative(workload);
+  const core::ExpCooperativeResult result = bench_report.Stage(
+      "run", [&] { return core::RunExpCooperative(workload); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: cooperative clients waste less bandwidth for the\n"
               "same speculation level.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

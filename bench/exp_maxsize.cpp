@@ -11,16 +11,24 @@
 #include "bench/bench_util.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("exp_maxsize");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("exp_maxsize", "Section 3.4 effect of MaxSize");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::ExpMaxSizeResult result = core::RunExpMaxSize(workload);
+  const core::ExpMaxSizeResult result = bench_report.Stage(
+      "run", [&] { return core::RunExpMaxSize(workload); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: optimum MaxSize ~15 KB at ~3%% extra traffic, "
               "~29 KB at ~10%%.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -13,17 +13,25 @@
 #include "bench/bench_util.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("exp_prefetch_hybrid");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("exp_prefetch_hybrid",
                      "Section 3.4 server-assisted prefetching / hybrid");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::ExpPrefetchResult result = core::RunExpPrefetch(workload);
+  const core::ExpPrefetchResult result = bench_report.Stage(
+      "run", [&] { return core::RunExpPrefetch(workload); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
   std::printf("paper: client profiles help on revisits; server speculation\n"
               "covers newly traversed documents; hybrid combines both.\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

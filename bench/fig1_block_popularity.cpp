@@ -14,14 +14,20 @@
 #include "util/ascii_chart.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("fig1_block_popularity");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig1_block_popularity",
                      "Figure 1 (popularity of data blocks)");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::Fig1Result result = core::RunFig1(workload);
+  const core::Fig1Result result = bench_report.Stage(
+      "run", [&] { return core::RunFig1(workload); });
   std::printf("server docs: %u total (%s), %u accessed (%s)\n",
               result.total_docs,
               FormatBytes(static_cast<double>(result.total_bytes)).c_str(),
@@ -46,5 +52,7 @@ int main() {
   chart.AddSeries("cumulative bandwidth saved", xs, bytes);
   std::printf("coverage vs blocks of decreasing popularity\n%s\n",
               chart.Render().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

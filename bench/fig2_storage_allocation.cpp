@@ -13,11 +13,16 @@
 #include "core/experiments.h"
 #include "util/ascii_chart.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("fig2_storage_allocation");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig2_storage_allocation",
                      "Figure 2 (storage allocation for R_i = R)");
-  const core::Fig2Result result = core::RunFig2(/*n=*/10);
+  const core::Fig2Result result = bench_report.Stage(
+      "run", [&] { return core::RunFig2(/*n=*/10); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
 
   AsciiChart chart(72, 18);
@@ -27,5 +32,7 @@ int main() {
                   result.lax_allocation);
   std::printf("B_j vs lambda_j/lambda_i (allocation in units of 1/lambda)\n%s\n",
               chart.Render().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

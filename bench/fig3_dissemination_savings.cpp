@@ -13,14 +13,20 @@
 #include "core/experiments.h"
 #include "util/ascii_chart.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("fig3_dissemination_savings");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig3_dissemination_savings",
                      "Figure 3 (bandwidth saved by dissemination)");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::Fig3Result result = core::RunFig3(workload, /*max_proxies=*/16);
+  const core::Fig3Result result = bench_report.Stage(
+      "run", [&] { return core::RunFig3(workload, /*max_proxies=*/16); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
 
@@ -35,5 +41,7 @@ int main() {
                   result.saved_top10_tailored);
   std::printf("saved fraction vs number of proxies\n%s\n",
               chart.Render().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -12,14 +12,20 @@
 #include "core/experiments.h"
 #include "util/histogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("fig4_dependency_histogram");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig4_dependency_histogram",
                      "Figure 4 (pairs per range of p[i,j])");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::Fig4Result result = core::RunFig4(workload);
+  const core::Fig4Result result = bench_report.Stage(
+      "run", [&] { return core::RunFig4(workload); });
   std::printf("dependency pairs: %zu\n", result.total_pairs);
   std::printf("detected peaks near p = ");
   for (const double c : result.peak_centers) std::printf("%.3f ", c);
@@ -30,5 +36,7 @@ int main() {
     hist.Add(result.bin_lo[i] + 1e-6, result.bin_count[i]);
   }
   std::printf("%s\n", hist.Render(56).c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

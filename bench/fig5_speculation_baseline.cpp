@@ -13,14 +13,20 @@
 #include "core/experiments.h"
 #include "util/ascii_chart.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("fig5_speculation_baseline");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig5_speculation_baseline",
                      "Figure 5 (baseline simulation results)");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::Fig5Result result = core::RunFig5(workload);
+  const core::Fig5Result result = bench_report.Stage(
+      "run", [&] { return core::RunFig5(workload); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
 
@@ -38,5 +44,7 @@ int main() {
   chart.AddSeries("service time ratio", tps, time);
   chart.AddSeries("miss rate ratio", tps, miss);
   std::printf("ratios vs Tp (x axis: Tp)\n%s\n", chart.Render().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -12,14 +12,20 @@
 #include "core/experiments.h"
 #include "util/ascii_chart.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("fig6_gains_vs_traffic");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig6_gains_vs_traffic",
                      "Figure 6 (performance gains versus bandwidth used)");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::Fig5Result sweep = core::RunFig5(workload);
+  const core::Fig5Result sweep = bench_report.Stage(
+      "run", [&] { return core::RunFig5(workload); });
   std::printf("%s\n", sweep.ToFig6Table().ToAlignedString().c_str());
   std::printf("%s\n\n", sweep.sweep.Summary().c_str());
 
@@ -36,5 +42,7 @@ int main() {
   chart.AddSeries("miss rate reduction", traffic, miss);
   std::printf("reductions vs extra traffic fraction\n%s\n",
               chart.Render().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -42,19 +42,22 @@ sds::net::BrownoutConfig TunedBrownouts(const sds::trace::Trace& trace,
 
 int main(int argc, char** argv) {
   using namespace sds;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bench::BenchArgs bench_args = bench::ParseBenchArgs(argc, argv);
+  const bool smoke = bench_args.smoke;
+  bench::BenchReport bench_report("fig7_availability");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("fig7_availability",
                      "Figure 7 (availability under fault injection)");
-  const core::Workload workload =
-      smoke ? core::MakeWorkload(core::SmallConfig())
-            : bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
   const std::vector<double> rates =
       smoke ? std::vector<double>{0.05} : std::vector<double>{};
   const std::vector<uint32_t> proxies =
       smoke ? std::vector<uint32_t>{1, 2, 4} : std::vector<uint32_t>{};
-  const core::Fig7Result result = core::RunFig7(workload, rates, proxies);
+  const core::Fig7Result result = bench_report.Stage(
+      "run", [&] { return core::RunFig7(workload, rates, proxies); });
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("%s\n\n", result.sweep.Summary().c_str());
 
@@ -122,5 +125,7 @@ int main(int argc, char** argv) {
       "misses retried with backoff during outages\n%s\n",
       brownout_days, brownouts.utilization_threshold,
       spec_table.ToAlignedString().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -3,13 +3,28 @@
 /// generation, dependency estimation, closure rows, storage allocation and
 /// the speculation replay loop. Not a paper artefact — these guard against
 /// performance regressions of the simulator itself.
+///
+/// The *Legacy* kernels reimplement the pre-flat-layout (hash-map based)
+/// versions of the closure-row, dependency-count and route-plan hot paths,
+/// so the BM_X vs BM_XLegacy pairs quantify what the CSR/flat rewrites buy.
+///
+/// `--smoke` shortens every benchmark's min time; `--json` writes
+/// BENCH_micro_kernels.json (google-benchmark's JSON format).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/experiments.h"
 #include "core/workload.h"
 #include "dissem/allocation.h"
 #include "dissem/popularity.h"
+#include "dissem/simulator.h"
+#include "net/placement.h"
 #include "spec/closure.h"
 #include "spec/dependency.h"
 #include "spec/simulator.h"
@@ -54,20 +69,135 @@ void BM_DependencyEstimation(benchmark::State& state) {
 }
 BENCHMARK(BM_DependencyEstimation)->Unit(benchmark::kMillisecond);
 
+const spec::SparseProbMatrix& SharedDependencyMatrix() {
+  static const spec::SparseProbMatrix& p =
+      *new spec::SparseProbMatrix(spec::EstimateDependencies(
+          SharedWorkload().clean(), SharedWorkload().corpus().size(),
+          spec::DependencyConfig{}));
+  return p;
+}
+
 void BM_ClosureRows(benchmark::State& state) {
-  const auto& w = SharedWorkload();
-  spec::DependencyConfig config;
-  const auto p =
-      spec::EstimateDependencies(w.clean(), w.corpus().size(), config);
+  const auto& p = SharedDependencyMatrix();
   spec::ClosureConfig closure_config;
+  spec::ClosureScratch scratch;
   trace::DocumentId doc = 0;
   for (auto _ : state) {
     doc = (doc + 1) % static_cast<trace::DocumentId>(p.num_docs());
     benchmark::DoNotOptimize(
-        spec::ComputeClosureRow(p, doc, closure_config).size());
+        spec::ComputeClosureRow(p, doc, closure_config, &scratch).size());
   }
 }
 BENCHMARK(BM_ClosureRows);
+
+/// The pre-CSR closure row: priority_queue + unordered_map best-chain
+/// search, exactly as shipped before the flat rewrite (reads the same
+/// matrix through the same Row() API, so only the bookkeeping differs).
+void BM_ClosureRowsLegacyMap(benchmark::State& state) {
+  const auto& p = SharedDependencyMatrix();
+  const spec::ClosureConfig config;
+  trace::DocumentId source = 0;
+  struct Item {
+    double prob;
+    uint32_t depth;
+    trace::DocumentId doc;
+    bool operator<(const Item& other) const { return prob < other.prob; }
+  };
+  for (auto _ : state) {
+    source = (source + 1) % static_cast<trace::DocumentId>(p.num_docs());
+    std::priority_queue<Item> queue;
+    std::unordered_map<trace::DocumentId, double> best;
+    queue.push({1.0, 0, source});
+    best[source] = 1.0;
+    uint32_t expansions = 0;
+    std::vector<spec::SparseProbMatrix::Entry> out;
+    while (!queue.empty() && expansions < config.max_expansions) {
+      const Item item = queue.top();
+      queue.pop();
+      if (item.prob < best[item.doc]) continue;
+      ++expansions;
+      if (item.doc != source) {
+        out.push_back({item.doc, static_cast<float>(item.prob)});
+      }
+      if (item.depth >= config.max_depth) continue;
+      if (item.doc >= p.num_docs()) continue;
+      for (const auto& e : p.Row(item.doc)) {
+        const double cand = item.prob * e.probability;
+        if (cand < config.min_probability) break;
+        auto [it, inserted] = best.emplace(e.doc, cand);
+        if (!inserted) {
+          if (cand <= it->second) continue;
+          it->second = cand;
+        }
+        queue.push({cand, item.depth + 1, e.doc});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const spec::SparseProbMatrix::Entry& a,
+                 const spec::SparseProbMatrix::Entry& b) {
+                if (a.probability != b.probability)
+                  return a.probability > b.probability;
+                return a.doc < b.doc;
+              });
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_ClosureRowsLegacyMap);
+
+void BM_DependencyCountFlat(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  spec::DependencyConfig config;
+  for (auto _ : state) {
+    const auto days = spec::CountDailyDependencies(w.clean(), config);
+    benchmark::DoNotOptimize(days.size());
+  }
+}
+BENCHMARK(BM_DependencyCountFlat)->Unit(benchmark::kMillisecond);
+
+/// Floor for the counting kernels: the dependency scan with no-op sinks
+/// (isolates aggregation cost from the shared pair-walk cost).
+void BM_DependencyScanOnly(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  spec::DependencyConfig config;
+  for (auto _ : state) {
+    uint64_t n = 0;
+    spec::ScanDependencies(
+        w.clean(), config, 0.0, kInfiniteTime,
+        [&](uint32_t, trace::DocumentId) { ++n; },
+        [&](uint32_t, trace::DocumentId, trace::DocumentId) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_DependencyScanOnly)->Unit(benchmark::kMillisecond);
+
+/// The pre-flat daily counting: per-day unordered_map accumulators fed by
+/// the identical scan (spec::ScanDependencies), as shipped before the
+/// rewrite.
+void BM_DependencyCountLegacyMap(benchmark::State& state) {
+  const auto& w = SharedWorkload();
+  spec::DependencyConfig config;
+  struct LegacyDayCounts {
+    std::unordered_map<uint64_t, uint32_t> pair_counts;
+    std::unordered_map<trace::DocumentId, uint32_t> occurrences;
+  };
+  for (auto _ : state) {
+    const uint32_t days =
+        w.clean().empty()
+            ? 1
+            : static_cast<uint32_t>(DayOfTime(w.clean().Span())) + 1;
+    std::vector<LegacyDayCounts> out(days);
+    spec::ScanDependencies(
+        w.clean(), config, 0.0, kInfiniteTime,
+        [&](uint32_t day, trace::DocumentId doc) {
+          ++out[day].occurrences[doc];
+        },
+        [&](uint32_t day, trace::DocumentId i, trace::DocumentId j) {
+          ++out[day].pair_counts[spec::PairKey(i, j)];
+        });
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_DependencyCountLegacyMap)->Unit(benchmark::kMillisecond);
 
 void BM_ExponentialAllocation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -106,6 +236,87 @@ void BM_PopularityAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_PopularityAnalysis)->Unit(benchmark::kMillisecond);
 
+const dissem::PreparedDissemination& SharedPrepared() {
+  static const dissem::PreparedDissemination& prepared =
+      *new dissem::PreparedDissemination(dissem::PrepareDissemination(
+          SharedWorkload().corpus(), SharedWorkload().clean(),
+          SharedWorkload().topology(), 0, 0.5));
+  return prepared;
+}
+
+std::vector<net::NodeId> SharedProxyPlacement() {
+  return net::GreedyPlacement(SharedPrepared().tree, 4, 1.0).proxies;
+}
+
+/// Route-plan lookup over the evaluation replay: one flat array indexed by
+/// the prepared per-request plan index (the current hot path).
+void BM_RoutePlanIndexedLookup(benchmark::State& state) {
+  const auto& prepared = SharedPrepared();
+  const std::vector<dissem::RoutePlan> plans =
+      dissem::BuildRoutePlans(prepared, SharedProxyPlacement());
+  for (auto _ : state) {
+    uint64_t hops = 0;
+    for (size_t k = 0; k < prepared.eval_node.size(); ++k) {
+      hops += plans[prepared.eval_node[k]].hops_to_server;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+}
+BENCHMARK(BM_RoutePlanIndexedLookup);
+
+/// The pre-rewrite lookup: a per-request hash-map find on the client's
+/// attachment node (plans built once here; the legacy path also built them
+/// lazily inside the replay).
+void BM_RoutePlanHashLookup(benchmark::State& state) {
+  const auto& prepared = SharedPrepared();
+  const std::vector<dissem::RoutePlan> plans =
+      dissem::BuildRoutePlans(prepared, SharedProxyPlacement());
+  std::unordered_map<net::NodeId, dissem::RoutePlan> by_node;
+  for (size_t i = 0; i < prepared.nodes.size(); ++i) {
+    by_node.emplace(prepared.nodes[i], plans[i]);
+  }
+  for (auto _ : state) {
+    uint64_t hops = 0;
+    for (size_t k = 0; k < prepared.eval_node.size(); ++k) {
+      const net::NodeId node = prepared.nodes[prepared.eval_node[k]];
+      hops += by_node.find(node)->second.hops_to_server;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+}
+BENCHMARK(BM_RoutePlanHashLookup);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main so the suite accepts the repo-wide bench flags: `--smoke`
+/// maps to a short --benchmark_min_time, `--json` to google-benchmark's
+/// JSON writer targeting BENCH_micro_kernels.json. All other arguments
+/// pass through to google-benchmark untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> args_storage;
+  args_storage.reserve(static_cast<size_t>(argc) + 2);
+  args_storage.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args_storage.push_back("--benchmark_min_time=0.05");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args_storage.push_back("--benchmark_out=BENCH_micro_kernels.json");
+      args_storage.push_back("--benchmark_out_format=json");
+    } else {
+      args_storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(args_storage.size());
+  for (std::string& arg : args_storage) {
+    bench_argv.push_back(arg.data());
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,8 +24,12 @@ std::string MeanSd(const sds::RunningStats& stats, int digits = 1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("seed_robustness");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("seed_robustness",
                      "headline anchors across workload seeds");
 
@@ -71,5 +75,7 @@ int main() {
   table.AddRow({"Fig5: extra traffic at Tp=0.3", "tens of %",
                 MeanSd(traffic_at_03)});
   std::printf("\n%s", table.ToAlignedString().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

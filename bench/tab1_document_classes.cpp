@@ -12,18 +12,26 @@
 #include "bench/bench_util.h"
 #include "core/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("tab1_document_classes");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("tab1_document_classes",
                      "Section 2 document classification");
-  const core::Workload workload = bench::MakePaperWorkload();
+  const core::Workload workload = bench_report.Stage(
+      "workload", [&] { return bench::MakeBenchWorkload(bench_args); });
   bench::PrintWorkloadSummary(workload);
 
-  const core::Tab1Result result = core::RunTab1(workload);
+  const core::Tab1Result result = bench_report.Stage(
+      "run", [&] { return core::RunTab1(workload); });
   std::printf("accessed documents: %u\n\n", result.accessed_docs);
   std::printf("%s\n", result.ToTable().ToAlignedString().c_str());
   std::printf("paper shares of accessed docs: remote ~10%%, local ~52%%, "
               "global ~37%%\n");
   std::printf("paper update rates: local ~0.02/day, remote+global < 0.005/day\n");
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

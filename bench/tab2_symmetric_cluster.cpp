@@ -9,11 +9,16 @@
 #include "core/experiments.h"
 #include "dissem/allocation.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  [[maybe_unused]] const bench::BenchArgs bench_args =
+      bench::ParseBenchArgs(argc, argv);
+  bench::BenchReport bench_report("tab2_symmetric_cluster");
+  const bench::Stopwatch bench_total;
   bench::PrintHeader("tab2_symmetric_cluster",
                      "Section 2.3 symmetric-cluster worked numbers (eq. 10)");
-  const core::Tab2Result result = core::RunTab2();
+  const core::Tab2Result result = bench_report.Stage(
+      "run", [&] { return core::RunTab2(); });
   std::printf("%s\n", result.table.ToAlignedString().c_str());
 
   // Storage requirement as a function of the shield target.
@@ -28,5 +33,7 @@ int main() {
                                                             alpha))});
   }
   std::printf("%s", sweep.ToAlignedString().c_str());
+  bench_report.Metric("total_s", bench_total.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -180,6 +180,13 @@ Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies,
     dissem::DisseminationResult tailored;
   };
   Fig3Result result;
+  // The training-side derivations (popularity, clientele tree, routes,
+  // eval filter) do not depend on the sweep point; build them once and
+  // share read-only across workers.
+  const dissem::PreparedDissemination prepared =
+      dissem::PrepareDissemination(workload.corpus(), workload.clean(),
+                                   workload.topology(), 0,
+                                   dissem::DisseminationConfig{}.train_fraction);
   const auto points = SweepMap(
       max_proxies, options,
       [&](size_t index, Rng& rng) {
@@ -189,21 +196,15 @@ Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies,
 
         Point point;
         config.dissemination_fraction = 0.10;
-        point.top10 =
-            SimulateDissemination(workload.corpus(), workload.clean(),
-                                  workload.topology(), 0, config, &rng,
-                                  &workload.generated().updates);
+        point.top10 = SimulateDissemination(prepared, config, &rng,
+                                            &workload.generated().updates);
         config.dissemination_fraction = 0.04;
-        point.top4 =
-            SimulateDissemination(workload.corpus(), workload.clean(),
-                                  workload.topology(), 0, config, &rng,
-                                  &workload.generated().updates);
+        point.top4 = SimulateDissemination(prepared, config, &rng,
+                                           &workload.generated().updates);
         config.dissemination_fraction = 0.10;
         config.tailored_per_proxy = true;
-        point.tailored =
-            SimulateDissemination(workload.corpus(), workload.clean(),
-                                  workload.topology(), 0, config, &rng,
-                                  &workload.generated().updates);
+        point.tailored = SimulateDissemination(prepared, config, &rng,
+                                               &workload.generated().updates);
         return point;
       },
       &result.sweep);
@@ -368,6 +369,10 @@ Fig7Result RunFig7(const Workload& workload,
   // disjoint from the per-point streams below.
   const uint64_t schedule_seed = Rng::Mix(options.seed ^ 0xfa177au);
 
+  const dissem::PreparedDissemination prepared =
+      dissem::PrepareDissemination(workload.corpus(), workload.clean(),
+                                   workload.topology(), 0,
+                                   dissem::DisseminationConfig{}.train_fraction);
   result.cells = SweepMap(
       result.failure_rates.size() * cols, options,
       [&](size_t index, Rng& rng) {
@@ -395,8 +400,7 @@ Fig7Result RunFig7(const Workload& workload,
         config.retry.backoff_multiplier = 2.0;
         config.retry.max_backoff_s = 60.0;
         config.retry.jitter = 0.1;
-        return SimulateDissemination(workload.corpus(), workload.clean(),
-                                     workload.topology(), 0, config, &rng,
+        return SimulateDissemination(prepared, config, &rng,
                                      &workload.generated().updates);
       },
       &result.sweep);

@@ -14,20 +14,6 @@
 namespace sds::dissem {
 namespace {
 
-/// Per client-attachment-node routing info relative to the proxy set:
-/// the proxy nearest to the client on its route and the hop splits, plus
-/// the full failover ordering used under fault injection.
-struct RoutePlan {
-  int proxy_index = -1;         ///< -1: no proxy on the route.
-  uint32_t hops_to_proxy = 0;   ///< client -> proxy.
-  uint32_t hops_to_server = 0;  ///< client -> server (full route).
-  /// Proxies on the client's route, nearest-to-client first.
-  std::vector<std::pair<int, uint32_t>> on_route;
-  /// Remaining proxies by hop distance from the client (replicas of last
-  /// resort when the route to the home server is broken).
-  std::vector<std::pair<int, uint32_t>> off_route;
-};
-
 std::vector<bool> MarkMutable(const trace::Corpus& corpus,
                               const std::vector<trace::UpdateEvent>* updates,
                               double observation_days, double threshold) {
@@ -58,78 +44,89 @@ void FillProxy(const trace::Corpus& corpus,
 
 }  // namespace
 
-DisseminationResult SimulateDissemination(
-    const trace::Corpus& corpus, const trace::Trace& trace,
-    const net::Topology& topology, trace::ServerId server,
-    const DisseminationConfig& config, Rng* rng,
-    const std::vector<trace::UpdateEvent>* updates) {
-  SDS_CHECK(config.train_fraction > 0.0 && config.train_fraction < 1.0);
-  DisseminationResult result;
-  const double span = trace.Span();
-  const double split = span * config.train_fraction;
+PreparedDissemination PrepareDissemination(const trace::Corpus& corpus,
+                                           const trace::Trace& trace,
+                                           const net::Topology& topology,
+                                           trace::ServerId server,
+                                           double train_fraction) {
+  SDS_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  PreparedDissemination prepared;
+  prepared.corpus = &corpus;
+  prepared.trace = &trace;
+  prepared.topology = &topology;
+  prepared.server = server;
+  prepared.train_fraction = train_fraction;
+  prepared.span = trace.Span();
+  prepared.split = prepared.span * train_fraction;
+  const double split = prepared.split;
 
-  // --- Training: popularity, clientele tree, placement, dissemination. ---
-  const ServerPopularity pop =
-      AnalyzeServer(corpus, trace, server, 0.0, split);
-  if (pop.total_remote_requests == 0) return result;
+  prepared.pop = AnalyzeServer(corpus, trace, server, 0.0, split);
+  if (prepared.pop.total_remote_requests == 0) return prepared;
 
-  trace::Trace train;
-  train.num_clients = trace.num_clients;
-  train.num_servers = trace.num_servers;
+  prepared.train.num_clients = trace.num_clients;
+  prepared.train.num_servers = trace.num_servers;
+  size_t train_count = 0;
   for (const auto& r : trace.requests) {
-    if (r.time < split) train.requests.push_back(r);
+    if (r.time < split) ++train_count;
   }
-  const net::ClienteleTree tree =
-      net::BuildClienteleTree(topology, train, server);
-
-  net::PlacementResult placement;
-  switch (config.placement) {
-    case PlacementStrategy::kGreedy:
-      placement =
-          config.placement_depths.empty()
-              ? net::GreedyPlacement(tree, config.num_proxies, 1.0)
-              : net::GreedyPlacementAtDepths(topology, tree,
-                                             config.num_proxies, 1.0,
-                                             config.placement_depths);
-      break;
-    case PlacementStrategy::kRegional:
-      placement =
-          net::RegionalPlacement(topology, tree, config.num_proxies, 1.0);
-      break;
-    case PlacementStrategy::kRandom:
-      placement = net::RandomPlacement(tree, config.num_proxies, 1.0, rng);
-      break;
+  prepared.train.requests.reserve(train_count);
+  for (const auto& r : trace.requests) {
+    if (r.time < split) prepared.train.requests.push_back(r);
   }
-  result.proxy_nodes = placement.proxies;
-  const size_t num_proxies = placement.proxies.size();
+  prepared.tree = net::BuildClienteleTree(topology, prepared.train, server);
+  prepared.server_node = topology.server_node(server);
+  prepared.routes = net::RouteTable(topology, prepared.server_node);
 
-  const std::vector<bool> is_mutable =
-      MarkMutable(corpus, updates, span / kDay,
-                  config.mutable_threshold_per_day);
+  // Index the distinct attachment nodes of this server's remote
+  // requesters; per-request plan lookups become array indexing.
+  std::unordered_map<net::NodeId, uint32_t> node_index;
+  const auto index_of = [&](net::NodeId node) -> uint32_t {
+    auto [it, inserted] =
+        node_index.emplace(node, static_cast<uint32_t>(prepared.nodes.size()));
+    if (inserted) prepared.nodes.push_back(node);
+    return it->second;
+  };
 
-  const double budget =
-      config.dissemination_fraction *
-      static_cast<double>(corpus.ServerBytes(server));
-  std::vector<ProxyStore> stores;
-  stores.reserve(num_proxies);
-  for (size_t p = 0; p < num_proxies; ++p) {
-    stores.emplace_back(static_cast<uint64_t>(budget) + 1);
+  for (const auto& r : prepared.train.requests) {
+    if (r.server != server || !r.remote_client ||
+        r.doc == trace::kInvalidDocument) {
+      continue;
+    }
+    prepared.tailored_obs.push_back(
+        {index_of(topology.client_node(r.client)), r.doc});
   }
 
-  // --- Route plans for every client attachment node. ---
-  const net::NodeId server_node = topology.server_node(server);
-  std::unordered_map<net::NodeId, RoutePlan> plans;
-  auto plan_for = [&](net::NodeId client_node) -> const RoutePlan& {
-    auto it = plans.find(client_node);
-    if (it != plans.end()) return it->second;
+  for (uint32_t idx = 0; idx < trace.requests.size(); ++idx) {
+    const auto& r = trace.requests[idx];
+    if (r.time < split) continue;
+    if (r.server != server || !r.remote_client) continue;
+    if (r.kind == trace::RequestKind::kNotFound ||
+        r.kind == trace::RequestKind::kScript) {
+      continue;
+    }
+    prepared.eval_index.push_back(idx);
+    prepared.eval_node.push_back(index_of(topology.client_node(r.client)));
+    prepared.eval_day.push_back(static_cast<uint32_t>(DayOfTime(r.time)));
+  }
+  return prepared;
+}
+
+std::vector<RoutePlan> BuildRoutePlans(
+    const PreparedDissemination& prepared,
+    const std::vector<net::NodeId>& proxies) {
+  const size_t num_proxies = proxies.size();
+  std::vector<RoutePlan> plans;
+  plans.reserve(prepared.nodes.size());
+  std::vector<bool> seen_on_route(num_proxies, false);
+  for (const net::NodeId client_node : prepared.nodes) {
     RoutePlan plan;
-    const auto route = topology.Route(server_node, client_node);
+    const auto& route = prepared.routes.route(client_node);
     plan.hops_to_server = static_cast<uint32_t>(route.size() - 1);
-    std::vector<bool> seen_on_route(num_proxies, false);
+    std::fill(seen_on_route.begin(), seen_on_route.end(), false);
     // Walk the route client-to-server so on_route is nearest-first.
     for (uint32_t d = static_cast<uint32_t>(route.size()) - 1; d >= 1; --d) {
       for (size_t p = 0; p < num_proxies; ++p) {
-        if (placement.proxies[p] == route[d]) {
+        if (proxies[p] == route[d]) {
           plan.on_route.emplace_back(static_cast<int>(p),
                                      plan.hops_to_server - d);
           seen_on_route[p] = true;
@@ -145,7 +142,7 @@ DisseminationResult SimulateDissemination(
       if (seen_on_route[p]) continue;
       plan.off_route.emplace_back(
           static_cast<int>(p),
-          topology.HopCount(client_node, placement.proxies[p]));
+          prepared.topology->HopCount(client_node, proxies[p]));
     }
     std::sort(plan.off_route.begin(), plan.off_route.end(),
               [](const std::pair<int, uint32_t>& a,
@@ -153,34 +150,85 @@ DisseminationResult SimulateDissemination(
                 if (a.second != b.second) return a.second < b.second;
                 return a.first < b.first;
               });
-    return plans.emplace(client_node, std::move(plan)).first->second;
-  };
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+DisseminationResult SimulateDissemination(
+    const PreparedDissemination& prepared, const DisseminationConfig& config,
+    Rng* rng, const std::vector<trace::UpdateEvent>* updates) {
+  SDS_CHECK(config.train_fraction == prepared.train_fraction)
+      << "config/prepared training split mismatch";
+  DisseminationResult result;
+  const trace::Corpus& corpus = *prepared.corpus;
+  const trace::Trace& trace = *prepared.trace;
+  const double span = prepared.span;
+  const double split = prepared.split;
+
+  if (prepared.pop.total_remote_requests == 0) return result;
+
+  net::PlacementResult placement;
+  switch (config.placement) {
+    case PlacementStrategy::kGreedy:
+      placement =
+          config.placement_depths.empty()
+              ? net::GreedyPlacement(prepared.tree, config.num_proxies, 1.0)
+              : net::GreedyPlacementAtDepths(*prepared.topology, prepared.tree,
+                                             config.num_proxies, 1.0,
+                                             config.placement_depths);
+      break;
+    case PlacementStrategy::kRegional:
+      placement = net::RegionalPlacement(*prepared.topology, prepared.tree,
+                                         config.num_proxies, 1.0);
+      break;
+    case PlacementStrategy::kRandom:
+      placement =
+          net::RandomPlacement(prepared.tree, config.num_proxies, 1.0, rng);
+      break;
+  }
+  result.proxy_nodes = placement.proxies;
+  const size_t num_proxies = placement.proxies.size();
+
+  const std::vector<bool> is_mutable =
+      MarkMutable(corpus, updates, span / kDay,
+                  config.mutable_threshold_per_day);
+
+  const double budget =
+      config.dissemination_fraction *
+      static_cast<double>(corpus.ServerBytes(prepared.server));
+  std::vector<ProxyStore> stores;
+  stores.reserve(num_proxies);
+  for (size_t p = 0; p < num_proxies; ++p) {
+    stores.emplace_back(static_cast<uint64_t>(budget) + 1);
+  }
+
+  // --- Route plans: one flat array indexed like prepared.nodes; the
+  // per-request lookup below is plans[prepared.eval_node[k]]. ---
+  const std::vector<RoutePlan> plans =
+      BuildRoutePlans(prepared, placement.proxies);
 
   // --- Dissemination contents. ---
   if (!config.tailored_per_proxy || num_proxies == 0) {
     for (auto& store : stores) {
-      FillProxy(corpus, pop.by_popularity, budget, config.exclude_mutable,
-                is_mutable, &store);
+      FillProxy(corpus, prepared.pop.by_popularity, budget,
+                config.exclude_mutable, is_mutable, &store);
     }
   } else {
     // Geographic tailoring (footnote 5): rank documents per proxy by the
     // training-window requests of the clients that proxy would intercept.
-    std::vector<std::unordered_map<trace::DocumentId, uint64_t>> counts(
-        num_proxies);
-    for (const auto& r : train.requests) {
-      if (r.server != server || !r.remote_client ||
-          r.doc == trace::kInvalidDocument) {
-        continue;
-      }
-      const RoutePlan& plan = plan_for(topology.client_node(r.client));
-      if (plan.proxy_index >= 0) {
-        counts[plan.proxy_index][r.doc] += 1;
-      }
+    // Dense per-proxy count arrays, filled from the prepared observations.
+    std::vector<std::vector<uint64_t>> counts(
+        num_proxies, std::vector<uint64_t>(corpus.size(), 0));
+    for (const auto& [node, doc] : prepared.tailored_obs) {
+      const int proxy = plans[node].proxy_index;
+      if (proxy >= 0) counts[proxy][doc] += 1;
     }
     for (size_t p = 0; p < num_proxies; ++p) {
       std::vector<trace::DocumentId> order;
-      order.reserve(counts[p].size());
-      for (const auto& [doc, n] : counts[p]) order.push_back(doc);
+      for (trace::DocumentId doc = 0; doc < corpus.size(); ++doc) {
+        if (counts[p][doc] > 0) order.push_back(doc);
+      }
       std::sort(order.begin(), order.end(),
                 [&](trace::DocumentId a, trace::DocumentId b) {
                   const double da =
@@ -232,11 +280,13 @@ DisseminationResult SimulateDissemination(
 
   const bool faulty = config.faults != nullptr && !config.faults->empty();
   const net::RetryPolicy& retry = config.retry;
+  const net::NodeId server_node = prepared.server_node;
+  const net::Topology& topology = *prepared.topology;
   // A candidate is reachable when its node is up and every node/link on
   // the client's route to it is intact.
   const auto server_reachable = [&](net::NodeId client_node,
                                     SimTime when) -> bool {
-    return !config.faults->ServerDown(server, when) &&
+    return !config.faults->ServerDown(prepared.server, when) &&
            !config.faults->NodeDown(server_node, when) &&
            config.faults->PathUp(topology, client_node, server_node, when);
   };
@@ -247,14 +297,10 @@ DisseminationResult SimulateDissemination(
            config.faults->PathUp(topology, client_node, node, when);
   };
 
-  for (const auto& r : trace.requests) {
-    if (r.time < split) continue;
-    if (r.server != server || !r.remote_client) continue;
-    if (r.kind == trace::RequestKind::kNotFound ||
-        r.kind == trace::RequestKind::kScript) {
-      continue;
-    }
-    while (applied_day <= DayOfTime(r.time)) {
+  for (size_t k = 0; k < prepared.eval_index.size(); ++k) {
+    const auto& r = trace.requests[prepared.eval_index[k]];
+    const long day = static_cast<long>(prepared.eval_day[k]);
+    while (applied_day <= day) {
       if (static_cast<size_t>(applied_day) < updates_by_day.size()) {
         for (const trace::DocumentId doc : updates_by_day[applied_day]) {
           last_update_day[doc] = applied_day;
@@ -267,12 +313,12 @@ DisseminationResult SimulateDissemination(
       }
       ++applied_day;
     }
-    if (config.proxy_daily_request_capacity > 0 && DayOfTime(r.time) != today) {
-      today = DayOfTime(r.time);
+    if (config.proxy_daily_request_capacity > 0 && day != today) {
+      today = day;
       std::fill(today_count.begin(), today_count.end(), 0);
     }
-    const net::NodeId client_node = topology.client_node(r.client);
-    const RoutePlan& plan = plan_for(client_node);
+    const net::NodeId client_node = prepared.nodes[prepared.eval_node[k]];
+    const RoutePlan& plan = plans[prepared.eval_node[k]];
     const double bytes = static_cast<double>(r.bytes);
 
     if (faulty) {
@@ -429,6 +475,16 @@ DisseminationResult SimulateDissemination(
           ? 0.0
           : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
   return result;
+}
+
+DisseminationResult SimulateDissemination(
+    const trace::Corpus& corpus, const trace::Trace& trace,
+    const net::Topology& topology, trace::ServerId server,
+    const DisseminationConfig& config, Rng* rng,
+    const std::vector<trace::UpdateEvent>* updates) {
+  const PreparedDissemination prepared = PrepareDissemination(
+      corpus, trace, topology, server, config.train_fraction);
+  return SimulateDissemination(prepared, config, rng, updates);
 }
 
 }  // namespace sds::dissem

@@ -2,9 +2,13 @@
 #define SDS_DISSEM_SIMULATOR_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "dissem/popularity.h"
+#include "net/clientele_tree.h"
 #include "net/faults.h"
+#include "net/route_table.h"
 #include "net/topology.h"
 #include "trace/corpus.h"
 #include "trace/request.h"
@@ -106,6 +110,70 @@ struct DisseminationResult {
   double retry_wait_seconds = 0.0;
 };
 
+/// \brief Routing of one client attachment node relative to a proxy set:
+/// the proxy nearest to the client on its route and the hop splits, plus
+/// the full failover ordering used under fault injection. (Exposed for the
+/// route-plan micro-benchmarks.)
+struct RoutePlan {
+  int proxy_index = -1;         ///< -1: no proxy on the route.
+  uint32_t hops_to_proxy = 0;   ///< client -> proxy.
+  uint32_t hops_to_server = 0;  ///< client -> server (full route).
+  /// Proxies on the client's route, nearest-to-client first.
+  std::vector<std::pair<int, uint32_t>> on_route;
+  /// Remaining proxies by hop distance from the client (replicas of last
+  /// resort when the route to the home server is broken).
+  std::vector<std::pair<int, uint32_t>> off_route;
+};
+
+/// \brief Immutable per-(corpus, trace, topology, server) context of the
+/// dissemination simulation: everything a run needs that does not depend
+/// on the config's proxy placement or budget. Built once per sweep
+/// (PrepareDissemination) and shared read-only across every sweep point,
+/// so per-point work is pure simulation instead of re-deriving popularity,
+/// the clientele tree, routes and the eval-request filter each time.
+struct PreparedDissemination {
+  const trace::Corpus* corpus = nullptr;
+  const trace::Trace* trace = nullptr;
+  const net::Topology* topology = nullptr;
+  trace::ServerId server = 0;
+  /// Training split this context was prepared for (configs must match).
+  double train_fraction = 0.0;
+  double span = 0.0;   ///< trace->Span()
+  double split = 0.0;  ///< span * train_fraction
+  ServerPopularity pop;
+  /// Training-window slice of the trace (requests with time < split).
+  trace::Trace train;
+  net::ClienteleTree tree;
+  net::NodeId server_node = net::kInvalidNode;
+  /// Precomputed routes from the server's node to every topology node.
+  net::RouteTable routes;
+  /// Distinct client attachment nodes of this server's remote requesters,
+  /// in first-seen trace order. RoutePlans are built per node.
+  std::vector<net::NodeId> nodes;
+  /// Tailored-dissemination training observations: (node index into
+  /// `nodes`, doc) per qualifying training request.
+  std::vector<std::pair<uint32_t, trace::DocumentId>> tailored_obs;
+  /// Evaluation replay, pre-filtered (time >= split, this server, remote
+  /// client, document kinds): request index, plan index into `nodes`, and
+  /// day, one entry per replayed request.
+  std::vector<uint32_t> eval_index;
+  std::vector<uint32_t> eval_node;
+  std::vector<uint32_t> eval_day;
+};
+
+/// \brief Builds the shared context for SimulateDissemination runs over
+/// one (corpus, trace, topology, server, train_fraction) tuple.
+PreparedDissemination PrepareDissemination(const trace::Corpus& corpus,
+                                           const trace::Trace& trace,
+                                           const net::Topology& topology,
+                                           trace::ServerId server,
+                                           double train_fraction);
+
+/// \brief Route plans for every prepared attachment node against a concrete
+/// proxy placement, indexed like `prepared.nodes`.
+std::vector<RoutePlan> BuildRoutePlans(const PreparedDissemination& prepared,
+                                       const std::vector<net::NodeId>& proxies);
+
 /// \brief Trace-driven simulation of the dissemination protocol for one
 /// home server: estimates popularity and places proxies on the training
 /// part of the trace, disseminates the most popular
@@ -117,6 +185,13 @@ DisseminationResult SimulateDissemination(
     const net::Topology& topology, trace::ServerId server,
     const DisseminationConfig& config, Rng* rng,
     const std::vector<trace::UpdateEvent>* updates = nullptr);
+
+/// \brief Same simulation over a shared prepared context; requires
+/// config.train_fraction == prepared.train_fraction. Sweeps build the
+/// context once and call this per point.
+DisseminationResult SimulateDissemination(
+    const PreparedDissemination& prepared, const DisseminationConfig& config,
+    Rng* rng, const std::vector<trace::UpdateEvent>* updates = nullptr);
 
 }  // namespace sds::dissem
 

@@ -1,0 +1,15 @@
+#include "net/route_table.h"
+
+namespace sds::net {
+
+RouteTable::RouteTable(const Topology& topology, NodeId root) : root_(root) {
+  const size_t n = topology.num_nodes();
+  routes_.reserve(n);
+  hops_.reserve(n);
+  for (NodeId to = 0; to < n; ++to) {
+    routes_.push_back(topology.Route(root, to));
+    hops_.push_back(static_cast<uint32_t>(routes_.back().size() - 1));
+  }
+}
+
+}  // namespace sds::net

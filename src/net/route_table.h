@@ -1,0 +1,42 @@
+#ifndef SDS_NET_ROUTE_TABLE_H_
+#define SDS_NET_ROUTE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace sds::net {
+
+/// \brief Precomputed routes from one root node (a home server's
+/// attachment point) to every node of the topology.
+///
+/// Topology::Route walks parent pointers and allocates on every call; the
+/// dissemination replay asks for the same few hundred routes millions of
+/// times across a sweep, so this flattens them once: `route(n)` and
+/// `hops(n)` are O(1) lookups into contiguous arrays.
+class RouteTable {
+ public:
+  /// Empty table (no routes); assign from a real one before use.
+  RouteTable() : root_(kInvalidNode) {}
+  RouteTable(const Topology& topology, NodeId root);
+
+  NodeId root() const { return root_; }
+  size_t num_nodes() const { return hops_.size(); }
+
+  /// The route from the root to `to`, inclusive of both endpoints
+  /// (route(to)[0] == root, route(to).back() == to).
+  const std::vector<NodeId>& route(NodeId to) const { return routes_[to]; }
+
+  /// Number of edges on that route.
+  uint32_t hops(NodeId to) const { return hops_[to]; }
+
+ private:
+  NodeId root_;
+  std::vector<std::vector<NodeId>> routes_;
+  std::vector<uint32_t> hops_;
+};
+
+}  // namespace sds::net
+
+#endif  // SDS_NET_ROUTE_TABLE_H_

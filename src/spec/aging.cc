@@ -12,34 +12,35 @@ namespace {
 /// weight 1 survives log(floor)/log(d) days after its last observation.
 constexpr double kPruneFloor = 0.05;
 
-template <typename Map>
-void AgeAndPrune(Map* map, double decay) {
-  for (auto it = map->begin(); it != map->end();) {
-    it->second *= decay;
-    if (it->second < kPruneFloor) {
-      it = map->erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
 }  // namespace
 
 DecayedCounts::DecayedCounts(size_t num_docs, double decay_per_day)
-    : num_docs_(num_docs), decay_(decay_per_day) {
+    : num_docs_(num_docs), decay_(decay_per_day),
+      occurrences_(num_docs, 0.0) {
   SDS_CHECK(decay_per_day > 0.0 && decay_per_day <= 1.0);
 }
 
 void DecayedCounts::AdvanceDay(const DayCounts& day) {
   if (decay_ < 1.0) {
-    AgeAndPrune(&pair_counts_, decay_);
-    AgeAndPrune(&occurrences_, decay_);
+    // Age the pair table by rebuilding it without the pruned entries (the
+    // open-addressing layout has no per-slot erase; a rebuild also keeps
+    // probe chains short after mass pruning).
+    PairTable<double> aged(pair_counts_.size());
+    pair_counts_.ForEach([&](uint64_t key, double n) {
+      const double decayed = n * decay_;
+      if (decayed >= kPruneFloor) aged[key] = decayed;
+    });
+    pair_counts_ = std::move(aged);
+    for (double& occ : occurrences_) {
+      occ *= decay_;
+      if (occ < kPruneFloor) occ = 0.0;
+    }
   }
   for (const auto& [key, n] : day.pair_counts) {
     pair_counts_[key] += static_cast<double>(n);
   }
   for (const auto& [doc, n] : day.occurrences) {
+    if (doc >= occurrences_.size()) occurrences_.resize(doc + 1, 0.0);
     occurrences_[doc] += static_cast<double>(n);
   }
 }
@@ -47,17 +48,17 @@ void DecayedCounts::AdvanceDay(const DayCounts& day) {
 SparseProbMatrix DecayedCounts::BuildMatrix(
     const DependencyConfig& config) const {
   SparseProbMatrix matrix(num_docs_);
-  for (const auto& [key, n] : pair_counts_) {
-    if (n < static_cast<double>(config.min_support)) continue;
+  matrix.Reserve(pair_counts_.size());
+  pair_counts_.ForEach([&](uint64_t key, double n) {
+    if (n < static_cast<double>(config.min_support)) return;
     const trace::DocumentId i = static_cast<trace::DocumentId>(key >> 32);
     const trace::DocumentId j =
         static_cast<trace::DocumentId>(key & 0xffffffffu);
-    const auto occ = occurrences_.find(i);
-    if (occ == occurrences_.end() || occ->second <= 0.0) continue;
-    const double p = std::min(1.0, n / occ->second);
-    if (p < config.min_probability) continue;
+    if (i >= occurrences_.size() || occurrences_[i] <= 0.0) return;
+    const double p = std::min(1.0, n / occurrences_[i]);
+    if (p < config.min_probability) return;
     matrix.Add(i, j, p);
-  }
+  });
   matrix.SortRows();
   return matrix;
 }

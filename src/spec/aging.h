@@ -2,9 +2,10 @@
 #define SDS_SPEC_AGING_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "spec/dependency.h"
+#include "spec/pair_table.h"
 
 namespace sds::spec {
 
@@ -16,7 +17,10 @@ namespace sds::spec {
 /// Every counter is multiplied by `decay_per_day` at each day boundary, so
 /// a pair observed d days ago contributes decay^d of an observation. The
 /// effective history length is roughly 1 / (1 - decay) days; counters
-/// below a floor are pruned to keep the maps sparse.
+/// below a floor are pruned to keep the table sparse. Pair counters live
+/// in a flat open-addressing table, occurrences in a dense per-document
+/// array (values below the floor are zeroed, which BuildMatrix treats as
+/// absent).
 class DecayedCounts {
  public:
   /// \param num_docs corpus size (bounds matrix dimensions)
@@ -39,9 +43,9 @@ class DecayedCounts {
  private:
   size_t num_docs_;
   double decay_;
-  /// Aged (fractional) counters.
-  std::unordered_map<uint64_t, double> pair_counts_;
-  std::unordered_map<trace::DocumentId, double> occurrences_;
+  /// Aged (fractional) counters; every stored pair is >= the prune floor.
+  PairTable<double> pair_counts_;
+  std::vector<double> occurrences_;
 };
 
 }  // namespace sds::spec

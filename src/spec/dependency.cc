@@ -3,79 +3,121 @@
 #include <algorithm>
 #include <cmath>
 
-#include "trace/sessionizer.h"
 #include "util/logging.h"
 
 namespace sds::spec {
 namespace {
 
-/// Walks every (occurrence, following-document) dependency pair of the
-/// trace within [t_begin, t_end). `on_occurrence(day, doc)` fires once per
-/// qualifying request; `on_pair(day, i, j)` fires once per occurrence of i
-/// for each distinct j that follows i within T_w inside the same stride.
-template <typename OccurrenceFn, typename PairFn>
-void ScanDependencies(const trace::Trace& trace,
-                      const DependencyConfig& config, SimTime t_begin,
-                      SimTime t_end, OccurrenceFn&& on_occurrence,
-                      PairFn&& on_pair) {
-  const auto by_client = trace::GroupByClient(trace);
-  std::vector<SimTime> times;
-  std::vector<trace::DocumentId> docs;
-  std::vector<trace::DocumentId> seen;
-  for (const auto& stream : by_client) {
-    times.clear();
-    docs.clear();
-    for (const uint32_t idx : stream) {
-      const auto& r = trace.requests[idx];
-      if (r.time < t_begin || r.time >= t_end) continue;
-      if (r.kind != trace::RequestKind::kDocument &&
-          r.kind != trace::RequestKind::kAlias) {
-        continue;
-      }
-      times.push_back(r.time);
-      docs.push_back(r.doc);
+/// Byte-wise stable LSD radix sort of `*v` by `extract(element)`. Keys
+/// here are document ids / packed id pairs / day numbers, so the occupied
+/// width is far below 64 bits and constant digits get skipped; unlike a
+/// comparison sort there is no data-dependent branching, which is what
+/// made std::sort the hot spot of dependency counting.
+template <typename T, typename Extract>
+void RadixSortBy(std::vector<T>* v, std::vector<T>* tmp, Extract&& extract) {
+  uint64_t max_key = 0;
+  for (const T& e : *v) max_key = std::max(max_key, extract(e));
+  tmp->resize(v->size());
+  std::vector<T>* src = v;
+  std::vector<T>* dst = tmp;
+  for (uint32_t shift = 0; (max_key >> shift) != 0; shift += 8) {
+    uint32_t counts[256] = {};
+    for (const T& e : *src) ++counts[(extract(e) >> shift) & 0xff];
+    if (counts[(max_key >> shift) & 0xff] == src->size()) continue;
+    uint32_t offset = 0;
+    for (uint32_t b = 0; b < 256; ++b) {
+      const uint32_t n = counts[b];
+      counts[b] = offset;
+      offset += n;
     }
-    for (size_t a = 0; a < docs.size(); ++a) {
-      const uint32_t day = static_cast<uint32_t>(DayOfTime(times[a]));
-      on_occurrence(day, docs[a]);
-      seen.clear();
-      for (size_t b = a + 1; b < docs.size(); ++b) {
-        if (times[b] - times[b - 1] >= config.stride_timeout) break;
-        if (times[b] - times[a] > config.window) break;
-        if (docs[b] == docs[a]) continue;
-        if (std::find(seen.begin(), seen.end(), docs[b]) != seen.end()) {
-          continue;
-        }
-        seen.push_back(docs[b]);
-        on_pair(day, docs[a], docs[b]);
-      }
+    for (const T& e : *src) {
+      (*dst)[counts[(extract(e) >> shift) & 0xff]++] = e;
     }
+    std::swap(src, dst);
   }
+  if (src != v) *v = std::move(*tmp);
+}
+
+/// Sorts a (key, count) run by key and merges duplicates by summing.
+template <typename Key, typename Count>
+void NormalizeRun(std::vector<std::pair<Key, Count>>* run) {
+  using Item = std::pair<Key, Count>;
+  if (run->size() < 64) {
+    std::sort(run->begin(), run->end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  } else {
+    std::vector<Item> tmp;
+    RadixSortBy(run, &tmp,
+                [](const Item& e) { return static_cast<uint64_t>(e.first); });
+  }
+  size_t out = 0;
+  for (size_t i = 0; i < run->size();) {
+    Key key = (*run)[i].first;
+    Count total = 0;
+    for (; i < run->size() && (*run)[i].first == key; ++i) {
+      total += (*run)[i].second;
+    }
+    (*run)[out++] = {key, total};
+  }
+  run->resize(out);
 }
 
 }  // namespace
 
 double SparseProbMatrix::Get(trace::DocumentId i, trace::DocumentId j) const {
-  if (i >= rows_.size()) return 0.0;
-  for (const auto& e : rows_[i]) {
+  if (i >= num_docs_) return 0.0;
+  if (offsets_.empty()) {
+    // Not finalised: scan the staged triplets.
+    for (const auto& [row, e] : staging_) {
+      if (row == i && e.doc == j) return e.probability;
+    }
+    return 0.0;
+  }
+  for (const auto& e : Row(i)) {
     if (e.doc == j) return e.probability;
   }
   return 0.0;
 }
 
+void SparseProbMatrix::Definalize() {
+  staging_.reserve(staging_.size() + entries_.size());
+  for (trace::DocumentId i = 0; i < num_docs_; ++i) {
+    for (uint32_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+      staging_.push_back({i, entries_[k]});
+    }
+  }
+  offsets_.clear();
+  entries_.clear();
+}
+
 void SparseProbMatrix::SortRows() {
-  for (auto& row : rows_) {
-    std::sort(row.begin(), row.end(), [](const Entry& a, const Entry& b) {
-      if (a.probability != b.probability) return a.probability > b.probability;
-      return a.doc < b.doc;
-    });
+  if (!offsets_.empty()) return;  // already finalised, rows stay sorted
+  // Counting sort into CSR: per-row counts, prefix sums, then placement.
+  offsets_.assign(num_docs_ + 1, 0);
+  for (const auto& [row, e] : staging_) {
+    SDS_CHECK(row < num_docs_) << "row out of range";
+    ++offsets_[row + 1];
+  }
+  for (size_t i = 1; i <= num_docs_; ++i) offsets_[i] += offsets_[i - 1];
+  entries_.resize(staging_.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [row, e] : staging_) entries_[cursor[row]++] = e;
+  staging_.clear();
+  staging_.shrink_to_fit();
+  for (trace::DocumentId i = 0; i < num_docs_; ++i) {
+    std::sort(entries_.begin() + offsets_[i],
+              entries_.begin() + offsets_[i + 1],
+              [](const Entry& a, const Entry& b) {
+                if (a.probability != b.probability)
+                  return a.probability > b.probability;
+                return a.doc < b.doc;
+              });
   }
 }
 
-size_t SparseProbMatrix::NumEntries() const {
-  size_t total = 0;
-  for (const auto& row : rows_) total += row.size();
-  return total;
+void DayCounts::Normalize() {
+  NormalizeRun(&pair_counts);
+  NormalizeRun(&occurrences);
 }
 
 std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
@@ -84,14 +126,53 @@ std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
       trace.empty() ? 1
                     : static_cast<uint32_t>(DayOfTime(trace.Span())) + 1;
   std::vector<DayCounts> out(days);
+  // Stage raw emissions per day, then aggregate day-by-day through shared
+  // presized flat scratch: an open-addressing table for pair keys and a
+  // dense per-document count array for occurrences. Presizing from the
+  // staged emission counts means no rehash growth, and the emitted runs
+  // keep the deterministic first-seen key order (downstream consumers
+  // never depend on run order beyond determinism), so no comparison sort
+  // runs anywhere on this path.
+  std::vector<std::vector<uint64_t>> staged_pairs(days);
+  std::vector<std::vector<trace::DocumentId>> staged_occs(days);
+  trace::DocumentId max_doc = 0;
   ScanDependencies(
       trace, config, 0.0, kInfiniteTime,
       [&](uint32_t day, trace::DocumentId doc) {
-        ++out[day].occurrences[doc];
+        staged_occs[day].push_back(doc);
+        max_doc = std::max(max_doc, doc);
       },
       [&](uint32_t day, trace::DocumentId i, trace::DocumentId j) {
-        ++out[day].pair_counts[PairKey(i, j)];
+        staged_pairs[day].push_back(PairKey(i, j));
       });
+  PairTable<uint32_t> pair_scratch;
+  std::vector<uint64_t> pair_order;
+  std::vector<uint32_t> occ_counts(static_cast<size_t>(max_doc) + 1, 0);
+  std::vector<trace::DocumentId> occ_order;
+  for (uint32_t d = 0; d < days; ++d) {
+    pair_scratch.Reset(staged_pairs[d].size());
+    pair_order.clear();
+    for (const uint64_t key : staged_pairs[d]) {
+      uint32_t& n = pair_scratch[key];
+      if (n == 0) pair_order.push_back(key);
+      ++n;
+    }
+    out[d].pair_counts.reserve(pair_order.size());
+    for (const uint64_t key : pair_order) {
+      out[d].pair_counts.push_back({key, *pair_scratch.Find(key)});
+    }
+    occ_order.clear();
+    for (const trace::DocumentId doc : staged_occs[d]) {
+      uint32_t& n = occ_counts[doc];
+      if (n == 0) occ_order.push_back(doc);
+      ++n;
+    }
+    out[d].occurrences.reserve(occ_order.size());
+    for (const trace::DocumentId doc : occ_order) {
+      out[d].occurrences.push_back({doc, occ_counts[doc]});
+      occ_counts[doc] = 0;  // scratch stays zeroed for the next day
+    }
+  }
   return out;
 }
 
@@ -100,42 +181,41 @@ void WindowedCounts::Add(const DayCounts& day) {
     pair_counts_[key] += n;
     total_pairs_ += n;
   }
-  for (const auto& [doc, n] : day.occurrences) occurrences_[doc] += n;
+  for (const auto& [doc, n] : day.occurrences) {
+    if (doc >= occurrences_.size()) occurrences_.resize(doc + 1, 0);
+    occurrences_[doc] += n;
+  }
 }
 
 void WindowedCounts::Remove(const DayCounts& day) {
   for (const auto& [key, n] : day.pair_counts) {
-    auto it = pair_counts_.find(key);
-    SDS_CHECK(it != pair_counts_.end() && it->second >= n)
-        << "window underflow";
-    it->second -= n;
+    int64_t* count = pair_counts_.Find(key);
+    SDS_CHECK(count != nullptr && *count >= n) << "window underflow";
+    *count -= n;
     total_pairs_ -= n;
-    if (it->second == 0) pair_counts_.erase(it);
   }
   for (const auto& [doc, n] : day.occurrences) {
-    auto it = occurrences_.find(doc);
-    SDS_CHECK(it != occurrences_.end() && it->second >= n)
+    SDS_CHECK(doc < occurrences_.size() && occurrences_[doc] >= n)
         << "window underflow";
-    it->second -= n;
-    if (it->second == 0) occurrences_.erase(it);
+    occurrences_[doc] -= n;
   }
 }
 
 SparseProbMatrix WindowedCounts::BuildMatrix(
     const DependencyConfig& config) const {
   SparseProbMatrix matrix(num_docs_);
-  for (const auto& [key, n] : pair_counts_) {
-    if (n < config.min_support) continue;
+  matrix.Reserve(pair_counts_.size());
+  pair_counts_.ForEach([&](uint64_t key, int64_t n) {
+    if (n <= 0 || n < config.min_support) return;
     const trace::DocumentId i = static_cast<trace::DocumentId>(key >> 32);
     const trace::DocumentId j =
         static_cast<trace::DocumentId>(key & 0xffffffffu);
-    const auto occ = occurrences_.find(i);
-    if (occ == occurrences_.end() || occ->second == 0) continue;
+    if (i >= occurrences_.size() || occurrences_[i] == 0) return;
     const double p = std::min(
-        1.0, static_cast<double>(n) / static_cast<double>(occ->second));
-    if (p < config.min_probability) continue;
+        1.0, static_cast<double>(n) / static_cast<double>(occurrences_[i]));
+    if (p < config.min_probability) return;
     matrix.Add(i, j, p);
-  }
+  });
   matrix.SortRows();
   return matrix;
 }
@@ -145,14 +225,12 @@ SparseProbMatrix EstimateDependencies(const trace::Trace& trace,
                                       const DependencyConfig& config,
                                       SimTime t_begin, SimTime t_end) {
   WindowedCounts window(num_docs);
-  DayCounts all;
   ScanDependencies(
       trace, config, t_begin, t_end,
-      [&](uint32_t, trace::DocumentId doc) { ++all.occurrences[doc]; },
+      [&](uint32_t, trace::DocumentId doc) { window.AddOccurrence(doc); },
       [&](uint32_t, trace::DocumentId i, trace::DocumentId j) {
-        ++all.pair_counts[PairKey(i, j)];
+        window.AddPair(i, j);
       });
-  window.Add(all);
   return window.BuildMatrix(config);
 }
 

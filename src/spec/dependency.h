@@ -1,11 +1,14 @@
 #ifndef SDS_SPEC_DEPENDENCY_H_
 #define SDS_SPEC_DEPENDENCY_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "spec/pair_table.h"
 #include "trace/request.h"
+#include "trace/sessionizer.h"
 #include "util/sim_time.h"
 
 namespace sds::spec {
@@ -18,21 +21,31 @@ inline uint64_t PairKey(trace::DocumentId i, trace::DocumentId j) {
 /// \brief Sparse row-major matrix of conditional probabilities p[i, j]
 /// (the paper's P relation): probability that D_j is requested within the
 /// window T_w given that D_i was requested.
+///
+/// Storage is CSR: Add() stages (row, entry) triplets, SortRows() finalises
+/// them into one contiguous offsets/entries layout. Row() is then a span
+/// over the shared entry array — no per-row vector headers, no per-row
+/// allocations, and sequential row scans walk contiguous memory.
 class SparseProbMatrix {
  public:
   struct Entry {
     trace::DocumentId doc = trace::kInvalidDocument;
     float probability = 0.0f;
   };
+  /// A finalised row: contiguous entries sorted by descending probability.
+  using RowView = std::span<const Entry>;
 
   SparseProbMatrix() = default;
-  explicit SparseProbMatrix(size_t num_docs) : rows_(num_docs) {}
+  explicit SparseProbMatrix(size_t num_docs) : num_docs_(num_docs) {}
 
-  size_t num_docs() const { return rows_.size(); }
+  size_t num_docs() const { return num_docs_; }
 
-  /// Entries of row i, sorted by descending probability.
-  const std::vector<Entry>& Row(trace::DocumentId i) const {
-    return rows_[i];
+  /// Entries of row i, sorted by descending probability. Valid after
+  /// SortRows(); an empty view before any insertion.
+  RowView Row(trace::DocumentId i) const {
+    if (offsets_.empty()) return {};
+    return RowView(entries_.data() + offsets_[i],
+                   offsets_[i + 1] - offsets_[i]);
   }
 
   /// Probability p[i, j]; 0 if absent.
@@ -41,26 +54,49 @@ class SparseProbMatrix {
   /// Adds an entry (caller guarantees j unique within row i); call
   /// SortRows() once after all insertions.
   void Add(trace::DocumentId i, trace::DocumentId j, double p) {
-    rows_[i].push_back({j, static_cast<float>(p)});
+    if (!offsets_.empty()) Definalize();
+    staging_.push_back({i, {j, static_cast<float>(p)}});
   }
 
-  /// Sorts every row by descending probability (ties by doc id).
+  /// Pre-sizes the staging area for `entries` insertions.
+  void Reserve(size_t entries) { staging_.reserve(entries); }
+
+  /// Finalises the staged entries into CSR form, every row sorted by
+  /// descending probability (ties by doc id).
   void SortRows();
 
   /// Total number of stored (i, j) entries.
-  size_t NumEntries() const;
+  size_t NumEntries() const {
+    return offsets_.empty() ? staging_.size() : entries_.size();
+  }
 
  private:
-  std::vector<std::vector<Entry>> rows_;
+  void Definalize();
+
+  size_t num_docs_ = 0;
+  /// Staged (row, entry) triplets awaiting SortRows().
+  std::vector<std::pair<trace::DocumentId, Entry>> staging_;
+  /// CSR layout: row i occupies entries_[offsets_[i], offsets_[i + 1]).
+  std::vector<uint32_t> offsets_;
+  std::vector<Entry> entries_;
 };
 
 /// \brief Pair/occurrence counters for one day of trace; the building block
 /// of the sliding HistoryLength window.
+///
+/// Flat layout: both counters are sorted unique (key, count) runs. Build by
+/// appending raw observations, then call Normalize() once to sort and
+/// merge-sum duplicates.
 struct DayCounts {
-  /// (i, j) -> number of occurrences of i followed by j within T_w.
-  std::unordered_map<uint64_t, uint32_t> pair_counts;
-  /// doc -> number of occurrences (the denominator of p[i, j]).
-  std::unordered_map<trace::DocumentId, uint32_t> occurrences;
+  /// PairKey(i, j) -> occurrences of i followed by j within T_w. Sorted by
+  /// key, unique, after Normalize().
+  std::vector<std::pair<uint64_t, uint32_t>> pair_counts;
+  /// doc -> occurrences (the denominator of p[i, j]). Sorted, unique,
+  /// after Normalize().
+  std::vector<std::pair<trace::DocumentId, uint32_t>> occurrences;
+
+  /// Sorts both runs by key and merges duplicates by summing counts.
+  void Normalize();
 };
 
 /// \brief Counting parameters (paper §3.1/§3.2).
@@ -78,6 +114,52 @@ struct DependencyConfig {
   uint32_t min_support = 3;
 };
 
+/// \brief Walks every (occurrence, following-document) dependency pair of
+/// the trace within [t_begin, t_end). `on_occurrence(day, doc)` fires once
+/// per qualifying kDocument/kAlias request; `on_pair(day, i, j)` fires once
+/// per occurrence of i for each distinct j that follows i within T_w inside
+/// the same stride. Exposed (as an inlineable template) so tests and
+/// benchmarks can drive reference aggregators over the identical scan.
+template <typename OccurrenceFn, typename PairFn>
+void ScanDependencies(const trace::Trace& trace,
+                      const DependencyConfig& config, SimTime t_begin,
+                      SimTime t_end, OccurrenceFn&& on_occurrence,
+                      PairFn&& on_pair) {
+  const auto by_client = trace::GroupByClient(trace);
+  std::vector<SimTime> times;
+  std::vector<trace::DocumentId> docs;
+  std::vector<trace::DocumentId> seen;
+  for (const auto& stream : by_client) {
+    times.clear();
+    docs.clear();
+    for (const uint32_t idx : stream) {
+      const auto& r = trace.requests[idx];
+      if (r.time < t_begin || r.time >= t_end) continue;
+      if (r.kind != trace::RequestKind::kDocument &&
+          r.kind != trace::RequestKind::kAlias) {
+        continue;
+      }
+      times.push_back(r.time);
+      docs.push_back(r.doc);
+    }
+    for (size_t a = 0; a < docs.size(); ++a) {
+      const uint32_t day = static_cast<uint32_t>(DayOfTime(times[a]));
+      on_occurrence(day, docs[a]);
+      seen.clear();
+      for (size_t b = a + 1; b < docs.size(); ++b) {
+        if (times[b] - times[b - 1] >= config.stride_timeout) break;
+        if (times[b] - times[a] > config.window) break;
+        if (docs[b] == docs[a]) continue;
+        if (std::find(seen.begin(), seen.end(), docs[b]) != seen.end()) {
+          continue;
+        }
+        seen.push_back(docs[b]);
+        on_pair(day, docs[a], docs[b]);
+      }
+    }
+  }
+}
+
 /// \brief Splits the trace into per-day pair/occurrence counts. Day d
 /// covers [d * kDay, (d+1) * kDay). Only kDocument/kAlias accesses count.
 std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
@@ -87,13 +169,26 @@ std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
 ///
 /// The simulator adds each finished day and drops days older than
 /// HistoryLength; BuildMatrix converts the current window into a pruned
-/// SparseProbMatrix.
+/// SparseProbMatrix. Pair counts live in a flat open-addressing table and
+/// occurrences in a dense per-document array.
 class WindowedCounts {
  public:
-  explicit WindowedCounts(size_t num_docs) : num_docs_(num_docs) {}
+  explicit WindowedCounts(size_t num_docs)
+      : num_docs_(num_docs), occurrences_(num_docs, 0) {}
 
   void Add(const DayCounts& day);
   void Remove(const DayCounts& day);
+
+  /// Single-emission accumulators so scans can feed the window directly
+  /// (EstimateDependencies) without materialising intermediate DayCounts.
+  void AddOccurrence(trace::DocumentId doc) {
+    if (doc >= occurrences_.size()) occurrences_.resize(doc + 1, 0);
+    ++occurrences_[doc];
+  }
+  void AddPair(trace::DocumentId i, trace::DocumentId j) {
+    ++pair_counts_[PairKey(i, j)];
+    ++total_pairs_;
+  }
 
   /// Builds P from the current window, applying the pruning thresholds.
   SparseProbMatrix BuildMatrix(const DependencyConfig& config) const;
@@ -102,8 +197,8 @@ class WindowedCounts {
 
  private:
   size_t num_docs_;
-  std::unordered_map<uint64_t, int64_t> pair_counts_;
-  std::unordered_map<trace::DocumentId, int64_t> occurrences_;
+  PairTable<int64_t> pair_counts_;
+  std::vector<int64_t> occurrences_;
   uint64_t total_pairs_ = 0;
 };
 

@@ -1,0 +1,105 @@
+#ifndef SDS_SPEC_PAIR_TABLE_H_
+#define SDS_SPEC_PAIR_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sds::spec {
+
+/// \brief Flat open-addressing hash table keyed by packed 64-bit pair keys
+/// (PairKey): one contiguous slot array, linear probing, power-of-two
+/// capacity. Replaces the `std::unordered_map<uint64_t, ...>` pair counters
+/// on the dependency-estimation hot path — no per-node allocation, no
+/// pointer chasing, and iteration walks one contiguous array.
+///
+/// The all-ones key is reserved as the empty-slot sentinel; PairKey never
+/// produces it because i == j pairs are not counted.
+template <typename Value>
+class PairTable {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    Value value{};
+  };
+
+  explicit PairTable(size_t expected_keys = 0) { Reset(expected_keys); }
+
+  /// Drops all entries and re-sizes for `expected_keys` distinct keys.
+  void Reset(size_t expected_keys) {
+    size_t cap = 16;
+    while (cap * 5 < expected_keys * 8) cap <<= 1;  // load factor <= 0.625
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    used_ = 0;
+  }
+
+  size_t size() const { return used_; }
+  bool empty() const { return used_ == 0; }
+
+  /// Value for `key`, default-constructed on first access (the
+  /// unordered_map::operator[] contract the counters rely on).
+  Value& operator[](uint64_t key) {
+    SDS_CHECK(key != kEmptyKey) << "reserved pair-table key";
+    if ((used_ + 1) * 8 > slots_.size() * 5) Grow();
+    size_t i = Probe(key);
+    if (slots_[i].key == kEmptyKey) {
+      slots_[i].key = key;
+      ++used_;
+    }
+    return slots_[i].value;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    const size_t i = Probe(key);
+    return slots_[i].key == kEmptyKey ? nullptr : &slots_[i].value;
+  }
+  Value* Find(uint64_t key) {
+    const size_t i = Probe(key);
+    return slots_[i].key == kEmptyKey ? nullptr : &slots_[i].value;
+  }
+
+  /// Visits every occupied slot in slot order (deterministic for a
+  /// deterministic insertion history).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  size_t Probe(uint64_t key) const {
+    size_t i = static_cast<size_t>(Rng::Mix(key)) & mask_;
+    while (slots_[i].key != key && slots_[i].key != kEmptyKey) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.key == kEmptyKey) continue;
+      size_t i = static_cast<size_t>(Rng::Mix(s.key)) & mask_;
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace sds::spec
+
+#endif  // SDS_SPEC_PAIR_TABLE_H_

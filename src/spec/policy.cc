@@ -3,8 +3,8 @@
 namespace sds::spec {
 
 std::vector<CandidateDoc> SelectCandidates(
-    const std::vector<SparseProbMatrix::Entry>& closure_row,
-    const trace::Corpus& corpus, const PolicyConfig& config) {
+    SparseProbMatrix::RowView closure_row, const trace::Corpus& corpus,
+    const PolicyConfig& config) {
   std::vector<CandidateDoc> out;
   uint64_t budget_used = 0;
   for (const auto& e : closure_row) {

@@ -43,8 +43,8 @@ struct CandidateDoc {
 /// most probable first. Cooperative cache filtering is the simulator's job
 /// (it needs client state).
 std::vector<CandidateDoc> SelectCandidates(
-    const std::vector<SparseProbMatrix::Entry>& closure_row,
-    const trace::Corpus& corpus, const PolicyConfig& config);
+    SparseProbMatrix::RowView closure_row, const trace::Corpus& corpus,
+    const PolicyConfig& config);
 
 }  // namespace sds::spec
 

@@ -99,11 +99,36 @@ SpeculationSimulator::SpeculationSimulator(const trace::Corpus* corpus,
     : corpus_(corpus), trace_(trace) {
   SDS_CHECK(corpus != nullptr);
   SDS_CHECK(trace != nullptr);
+  size_t eligible = 0;
+  for (const auto& r : trace->requests) {
+    if (r.kind == trace::RequestKind::kDocument ||
+        r.kind == trace::RequestKind::kAlias) {
+      ++eligible;
+    }
+  }
+  prepared_.time.reserve(eligible);
+  prepared_.client.reserve(eligible);
+  prepared_.server.reserve(eligible);
+  prepared_.doc.reserve(eligible);
+  prepared_.size_bytes.reserve(eligible);
+  prepared_.day.reserve(eligible);
+  for (const auto& r : trace->requests) {
+    if (r.kind != trace::RequestKind::kDocument &&
+        r.kind != trace::RequestKind::kAlias) {
+      continue;
+    }
+    prepared_.time.push_back(r.time);
+    prepared_.client.push_back(r.client);
+    prepared_.server.push_back(r.server);
+    prepared_.doc.push_back(r.doc);
+    prepared_.size_bytes.push_back(corpus->doc(r.doc).size_bytes);
+    prepared_.day.push_back(static_cast<uint32_t>(DayOfTime(r.time)));
+  }
 }
 
 const std::vector<DayCounts>& SpeculationSimulator::DailyDeltas(
     const DependencyConfig& config) {
-  const auto key = std::make_pair(config.window, config.stride_timeout);
+  const DeltaKey key = MakeDeltaKey(config);
   std::lock_guard<std::mutex> lock(delta_mutex_);
   auto it = delta_cache_.find(key);
   if (it == delta_cache_.end()) {
@@ -162,14 +187,17 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
   const bool faulty = config.faults != nullptr && !config.faults->empty();
   Rng retry_rng(config.retry_jitter_seed);
 
-  for (const auto& r : trace_->requests) {
-    if (r.kind != trace::RequestKind::kDocument &&
-        r.kind != trace::RequestKind::kAlias) {
-      continue;
-    }
+  // Replay the prepared flat arrays (kDocument/kAlias requests only, with
+  // sizes and day indices resolved at construction).
+  const PreparedSpecTrace& pt = prepared_;
+  for (size_t i = 0; i < pt.size(); ++i) {
+    const SimTime now = pt.time[i];
+    const trace::ClientId client = pt.client[i];
+    const trace::DocumentId doc = pt.doc[i];
+    const trace::ServerId server = pt.server[i];
     // Day roll: fold finished days into the sliding window and re-estimate
     // the relations at UpdateCycle boundaries.
-    while (DayOfTime(r.time) > current_day) {
+    while (static_cast<long>(pt.day[i]) > current_day) {
       const long finished = current_day;
       ++current_day;
       if (needs_model) {
@@ -197,23 +225,23 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
       }
     }
 
-    ClientCache& cache = caches[r.client];
-    cache.Touch(r.time);
-    const uint64_t size = corpus_->doc(r.doc).size_bytes;
+    ClientCache& cache = caches[client];
+    cache.Touch(now);
+    const uint64_t size = pt.size_bytes[i];
     ++totals.client_requests;
     totals.requested_bytes += static_cast<double>(size);
 
-    if (cache.Contains(r.doc)) {
-      if (cache.IsUnusedSpeculative(r.doc)) ++totals.speculative_hits;
-      cache.MarkUsed(r.doc);
+    if (cache.Contains(doc)) {
+      if (cache.IsUnusedSpeculative(doc)) ++totals.speculative_hits;
+      cache.MarkUsed(doc);
       continue;  // zero-latency cache hit, no server involvement
     }
 
     // Cache miss: the request tries to reach the server. During a server
     // outage the client retries with backoff; if every attempt finds the
     // server down, the request is lost (counted unavailable, never served).
-    if (faulty && config.faults->ServerDown(r.server, r.time)) {
-      SimTime when = r.time;
+    if (faulty && config.faults->ServerDown(server, now)) {
+      SimTime when = now;
       double waited = 0.0;
       bool reached = false;
       ++totals.retry_attempts;  // the initial attempt timed out
@@ -224,7 +252,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
             config.retry.BackoffBeforeRetry(attempt - 1, &retry_rng);
         waited += wait;
         when += wait;
-        if (!config.faults->ServerDown(r.server, when)) {
+        if (!config.faults->ServerDown(server, when)) {
           reached = true;
           break;
         }
@@ -241,7 +269,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     // Brownout (overload, §2.3's shielding pressure): demand service stays
     // up but every speculative transfer is shed until the load drains.
     const bool degraded =
-        faulty && config.faults->ServerDegraded(r.server, r.time);
+        faulty && config.faults->ServerDegraded(server, now);
 
     ++totals.server_requests;
     totals.miss_bytes += static_cast<double>(size);
@@ -250,8 +278,8 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     if (degraded && model_ready &&
         (server_speculates || server_hints)) {
       ++totals.brownout_responses;
-      const auto& row =
-          config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
+      const SparseProbMatrix::RowView row =
+          config.use_closure ? closure.Row(doc) : matrix.Row(doc);
       totals.suppressed_speculative_docs +=
           SelectCandidates(row, *corpus_,
                            server_speculates ? push_policy : config.policy)
@@ -259,8 +287,8 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     }
 
     if (server_speculates && model_ready && !degraded) {
-      const auto& row =
-          config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
+      const SparseProbMatrix::RowView row =
+          config.use_closure ? closure.Row(doc) : matrix.Row(doc);
       for (const auto& cand :
            SelectCandidates(row, *corpus_, push_policy)) {
         const uint64_t cand_size = corpus_->doc(cand.doc).size_bytes;
@@ -276,7 +304,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
           totals.wasted_speculative_bytes +=
               static_cast<double>(cand_size);
         } else {
-          cache.Insert(cand.doc, cand_size, /*speculative=*/true, r.time);
+          cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
         }
       }
     }
@@ -284,8 +312,8 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     if (server_hints && model_ready && !degraded) {
       // The hint list itself is negligible; the client fetches hinted
       // documents it lacks as background prefetches.
-      const auto& row =
-          config.use_closure ? closure.Row(r.doc) : matrix.Row(r.doc);
+      const SparseProbMatrix::RowView row =
+          config.use_closure ? closure.Row(doc) : matrix.Row(doc);
       for (const auto& cand :
            SelectCandidates(row, *corpus_, config.policy)) {
         if (cache.Contains(cand.doc)) continue;
@@ -295,15 +323,15 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         totals.bytes_sent += static_cast<double>(cand_size);
         totals.speculative_bytes += static_cast<double>(cand_size);
         ++totals.speculative_docs_sent;
-        cache.Insert(cand.doc, cand_size, /*speculative=*/true, r.time);
+        cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
         if (server_events != nullptr) {
-          server_events->push_back({r.time, static_cast<double>(cand_size)});
+          server_events->push_back({now, static_cast<double>(cand_size)});
         }
       }
     }
 
     if (server_events != nullptr) {
-      server_events->push_back({r.time, response_bytes});
+      server_events->push_back({now, response_bytes});
     }
     totals.bytes_sent += response_bytes;
     totals.total_latency +=
@@ -311,13 +339,13 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         config.comm_cost * (config.charge_speculative_latency
                                 ? response_bytes
                                 : static_cast<double>(size));
-    cache.Insert(r.doc, size, /*speculative=*/false, r.time);
+    cache.Insert(doc, size, /*speculative=*/false, now);
 
     if (client_prefetches && !degraded) {
       // The client consults its own profile and fetches likely successors
       // in the background (each is a normal request to the server).
-      const auto successors = profiles[r.client].Successors(
-          r.doc, config.client_prefetch_threshold,
+      const auto successors = profiles[client].Successors(
+          doc, config.client_prefetch_threshold,
           config.client_prefetch_min_support);
       for (const auto& cand : successors) {
         if (cache.Contains(cand.doc)) continue;
@@ -331,14 +359,14 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         totals.bytes_sent += static_cast<double>(cand_size);
         totals.speculative_bytes += static_cast<double>(cand_size);
         ++totals.speculative_docs_sent;
-        cache.Insert(cand.doc, cand_size, /*speculative=*/true, r.time);
+        cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
         if (server_events != nullptr) {
-          server_events->push_back({r.time, static_cast<double>(cand_size)});
+          server_events->push_back({now, static_cast<double>(cand_size)});
         }
       }
     }
     if (client_prefetches) {
-      profiles[r.client].Observe(r.doc, r.time, config.dependency);
+      profiles[client].Observe(doc, now, config.dependency);
     }
   }
 

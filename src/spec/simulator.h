@@ -1,6 +1,8 @@
 #ifndef SDS_SPEC_SIMULATOR_H_
 #define SDS_SPEC_SIMULATOR_H_
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -110,6 +112,24 @@ struct SpeculationConfig {
   uint64_t retry_jitter_seed = 0;
 };
 
+/// \brief Immutable flat view of the replayable requests of a trace
+/// (kDocument/kAlias only), with document sizes and day indices resolved
+/// up front. Built once per simulator and shared read-only by every Run:
+/// the replay loop streams these parallel arrays instead of re-filtering
+/// request structs and chasing corpus lookups on every sweep point.
+struct PreparedSpecTrace {
+  std::vector<SimTime> time;
+  std::vector<trace::ClientId> client;
+  std::vector<trace::ServerId> server;
+  std::vector<trace::DocumentId> doc;
+  /// Corpus size of `doc` (the response size of a demand fetch).
+  std::vector<uint64_t> size_bytes;
+  /// DayOfTime(time), precomputed for the day-roll check.
+  std::vector<uint32_t> day;
+
+  size_t size() const { return time.size(); }
+};
+
 /// \brief Trace-driven simulator of speculative service.
 ///
 /// Construct once per (corpus, trace); Run replays the trace under a
@@ -151,15 +171,31 @@ class SpeculationSimulator {
   /// built instead of lazily filled under the cache mutex.
   void Prewarm(const DependencyConfig& config);
 
+  /// The shared flat replay context (exposed for benchmarks).
+  const PreparedSpecTrace& prepared() const { return prepared_; }
+
  private:
+  /// Cache key for (window, stride_timeout): the doubles are keyed by
+  /// their bit patterns, so -0.0 and 0.0 map to distinct entries instead
+  /// of aliasing, and a NaN parameter gets a well-defined slot instead of
+  /// breaking the map's strict weak ordering (NaN < NaN is false both
+  /// ways under operator< on doubles, which std::map must not see).
+  using DeltaKey = std::array<uint64_t, 2>;
+  static DeltaKey MakeDeltaKey(const DependencyConfig& config) {
+    return {std::bit_cast<uint64_t>(config.window),
+            std::bit_cast<uint64_t>(config.stride_timeout)};
+  }
+
   const std::vector<DayCounts>& DailyDeltas(const DependencyConfig& config);
 
   const trace::Corpus* corpus_;
   const trace::Trace* trace_;
-  /// Cache of per-day dependency counts keyed by (window, stride timeout).
-  /// Guarded by delta_mutex_; entries are immutable once inserted and
-  /// std::map never moves them, so returned references stay valid.
-  std::map<std::pair<double, double>, std::vector<DayCounts>> delta_cache_;
+  PreparedSpecTrace prepared_;
+  /// Cache of per-day dependency counts keyed by the bit-exact
+  /// (window, stride timeout) pair. Guarded by delta_mutex_; entries are
+  /// immutable once inserted and std::map never moves them, so returned
+  /// references stay valid.
+  std::map<DeltaKey, std::vector<DayCounts>> delta_cache_;
   std::mutex delta_mutex_;
 };
 

@@ -282,7 +282,7 @@ Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus,
   if (!in) return Status::IoError("cannot open " + path);
   std::vector<std::string> lines;
   std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  while (std::getline(in, line)) lines.push_back(std::move(line));
   Result<Trace> trace = ClfToTrace(lines, corpus, options, stats);
   if (!trace.ok()) {
     return Status(trace.status().code(),

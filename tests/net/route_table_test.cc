@@ -1,0 +1,49 @@
+/// RouteTable must be a pure cache of Topology::Route from a fixed root:
+/// identical routes, identical hop counts, O(1) lookups notwithstanding.
+
+#include "net/route_table.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace sds::net {
+namespace {
+
+Topology MakeTopology() {
+  Rng rng(1234);
+  TopologyConfig config;
+  return Topology::Generate(config, /*num_clients=*/64,
+                            std::vector<bool>(64, true),
+                            /*num_servers=*/2, &rng);
+}
+
+TEST(RouteTableTest, MatchesTopologyRouteFromEveryNode) {
+  const Topology topology = MakeTopology();
+  const NodeId root = topology.server_node(0);
+  const RouteTable table(topology, root);
+  ASSERT_EQ(table.root(), root);
+  ASSERT_EQ(table.num_nodes(), topology.num_nodes());
+  for (NodeId to = 0; to < topology.num_nodes(); ++to) {
+    const std::vector<NodeId> expected = topology.Route(root, to);
+    EXPECT_EQ(table.route(to), expected) << "to " << to;
+    EXPECT_EQ(table.hops(to), topology.HopCount(root, to)) << "to " << to;
+    ASSERT_FALSE(table.route(to).empty());
+    EXPECT_EQ(table.route(to).front(), root);
+    EXPECT_EQ(table.route(to).back(), to);
+    EXPECT_EQ(table.route(to).size(), table.hops(to) + 1u);
+  }
+}
+
+TEST(RouteTableTest, RouteToRootIsJustTheRoot) {
+  const Topology topology = MakeTopology();
+  const NodeId root = topology.server_node(1);
+  const RouteTable table(topology, root);
+  ASSERT_EQ(table.route(root).size(), 1u);
+  EXPECT_EQ(table.route(root)[0], root);
+  EXPECT_EQ(table.hops(root), 0u);
+}
+
+}  // namespace
+}  // namespace sds::net

@@ -14,8 +14,11 @@ DayCounts MakeDay(
         pairs,
     std::vector<std::pair<trace::DocumentId, uint32_t>> occurrences) {
   DayCounts day;
-  for (const auto& [i, j, n] : pairs) day.pair_counts[PairKey(i, j)] = n;
-  for (const auto& [doc, n] : occurrences) day.occurrences[doc] = n;
+  for (const auto& [i, j, n] : pairs) {
+    day.pair_counts.push_back({PairKey(i, j), n});
+  }
+  for (const auto& [doc, n] : occurrences) day.occurrences.push_back({doc, n});
+  day.Normalize();
   return day;
 }
 
@@ -60,9 +63,10 @@ TEST(DecayedCountsTest, PruningBoundsState) {
   DecayedCounts decayed(100, 0.5);
   DayCounts big;
   for (trace::DocumentId j = 1; j < 100; ++j) {
-    big.pair_counts[PairKey(0, j)] = 1;
+    big.pair_counts.push_back({PairKey(0, j), 1});
   }
-  big.occurrences[0] = 99;
+  big.occurrences.push_back({0, 99});
+  big.Normalize();
   decayed.AdvanceDay(big);
   const size_t fresh = decayed.NumPairs();
   // After several empty days everything decays below the prune floor.
