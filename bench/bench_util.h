@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sds::bench {
 
@@ -22,10 +24,15 @@ inline void PrintHeader(const char* experiment, const char* paper_artifact) {
 
 /// Common bench command line: `--smoke` shrinks the workload/grid for CI,
 /// `--json` is accepted for symmetry with micro_kernels (every bench
-/// writes BENCH_<name>.json regardless). Unknown flags are ignored.
+/// writes BENCH_<name>.json regardless). `--obs` turns the observability
+/// layer on (metrics land in the report's "metrics" section) and
+/// `--trace-out <file>` additionally dumps the stage-trace spans as JSON
+/// (implies `--obs`). Unknown flags are ignored.
 struct BenchArgs {
   bool smoke = false;
   bool json = false;
+  bool obs = false;
+  std::string trace_out;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -33,7 +40,13 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
     if (std::strcmp(argv[i], "--json") == 0) args.json = true;
+    if (std::strcmp(argv[i], "--obs") == 0) args.obs = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      args.trace_out = argv[++i];
+      args.obs = true;
+    }
   }
+  if (args.obs) obs::SetEnabled(true);
   return args;
 }
 
@@ -64,6 +77,12 @@ class BenchReport {
     metrics_.emplace_back(key, value);
   }
 
+  /// Attaches an observability snapshot; Write() emits it as a nested
+  /// "metrics" object after the flat timing keys.
+  void ObsSnapshot(const obs::MetricsSnapshot& snapshot) {
+    obs_json_ = snapshot.ToJson("  ");
+  }
+
   /// Times `fn()` and records the elapsed seconds under `<key>_s`.
   template <typename Fn>
   auto Stage(const std::string& key, Fn&& fn) {
@@ -85,6 +104,9 @@ class BenchReport {
     for (const auto& [key, value] : metrics_) {
       std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
     }
+    if (!obs_json_.empty()) {
+      std::fprintf(out, ",\n  \"metrics\": %s", obs_json_.c_str());
+    }
     std::fprintf(out, "\n}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path.c_str());
@@ -94,7 +116,25 @@ class BenchReport {
  private:
   std::string name_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::string obs_json_;
 };
+
+/// Call right before `report->Write()`: when `--obs` was passed, snapshots
+/// the metrics registry into the report's "metrics" section and, when
+/// `--trace-out <file>` was passed, dumps the stage-trace spans there.
+/// No-op (and no "metrics" key emitted) when observability is off.
+inline void FinishObsReport(BenchReport* report, const BenchArgs& args) {
+  if (!args.obs || !obs::Enabled()) return;
+  report->ObsSnapshot(obs::SnapshotMetrics());
+  if (!args.trace_out.empty()) {
+    if (obs::WriteTrace(args.trace_out)) {
+      std::printf("wrote %s\n", args.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   args.trace_out.c_str());
+    }
+  }
+}
 
 /// The shared paper-scale workload. Benches are separate processes, so each
 /// builds it once; generation takes well under a second.

@@ -31,12 +31,13 @@ int main(int argc, char** argv) {
   for (const double c : result.peak_centers) std::printf("%.3f ", c);
   std::printf("(expect values near 1, 1/2, 1/3, ...)\n\n");
 
-  Histogram hist(0.0, 1.0 + 1e-9, result.bin_lo.size());
+  Histogram hist(0.0, 1.0, result.bin_lo.size());
   for (size_t i = 0; i < result.bin_lo.size(); ++i) {
     hist.Add(result.bin_lo[i] + 1e-6, result.bin_count[i]);
   }
   std::printf("%s\n", hist.Render(56).c_str());
   bench_report.Metric("total_s", bench_total.Seconds());
+  bench::FinishObsReport(&bench_report, bench_args);
   bench_report.Write();
   return 0;
 }

@@ -251,7 +251,9 @@ Fig4Result RunFig4(const Workload& workload, double window, size_t bins,
       workload.clean(), workload.corpus().size(), config, 0.0,
       static_cast<double>(history_days) * kDay);
 
-  Histogram hist(0.0, 1.0 + 1e-9, bins);
+  // [0, 1] with the top edge inclusive: the k = 1 embedding-dependency
+  // peak sits at exactly p = 1.0 and must land in the last bin.
+  Histogram hist(0.0, 1.0, bins);
   for (trace::DocumentId i = 0; i < p.num_docs(); ++i) {
     for (const auto& e : p.Row(i)) hist.Add(e.probability);
   }

@@ -8,6 +8,9 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sds::core {
 namespace {
 
@@ -74,13 +77,22 @@ SweepStats RunSweep(size_t num_points, const SweepOptions& options,
 
   auto run_point = [&](size_t index) {
     const auto point_start = Clock::now();
+    // Queue time: how long this point sat waiting behind earlier points
+    // on the same worker pool before it started executing.
+    const double queue_s = SecondsSince(wall_start);
     Rng rng = MakePointRng(options.seed, index);
     try {
+      obs::ScopedPoint scoped_point(static_cast<int64_t>(index));
+      obs::SpanGuard point_span("sweep.point");
       fn(index, rng);
     } catch (...) {
       errors[index] = std::current_exception();
     }
     stats.point_seconds[index] = SecondsSince(point_start);
+    if (obs::Enabled()) {
+      obs::Observe("sweep.point_wall_s", stats.point_seconds[index]);
+      obs::Observe("sweep.point_queue_s", queue_s);
+    }
   };
 
   if (stats.workers == 1) {
@@ -103,6 +115,10 @@ SweepStats RunSweep(size_t num_points, const SweepOptions& options,
 
   stats.wall_seconds = SecondsSince(wall_start);
   for (const double s : stats.point_seconds) stats.serial_seconds += s;
+  if (obs::Enabled()) {
+    obs::Count("sweep.runs");
+    obs::Count("sweep.points", static_cast<double>(num_points));
+  }
 
   // Deterministic propagation: the lowest-indexed failure wins regardless
   // of which worker hit it first.

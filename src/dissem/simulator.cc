@@ -8,6 +8,8 @@
 #include "dissem/proxy.h"
 #include "net/clientele_tree.h"
 #include "net/placement.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/sim_time.h"
 
@@ -160,6 +162,7 @@ DisseminationResult SimulateDissemination(
     Rng* rng, const std::vector<trace::UpdateEvent>* updates) {
   SDS_CHECK(config.train_fraction == prepared.train_fraction)
       << "config/prepared training split mismatch";
+  obs::SpanGuard run_span("dissem.simulate");
   DisseminationResult result;
   const trace::Corpus& corpus = *prepared.corpus;
   const trace::Trace& trace = *prepared.trace;
@@ -392,6 +395,8 @@ DisseminationResult SimulateDissemination(
         ++result.unavailable_requests;
         continue;
       }
+      obs::Observe("dissem.failover_chain_depth",
+                   static_cast<double>(served_at));
       const Candidate& winner = chain[served_at];
       result.with_proxies_bytes_hops += bytes * winner.hops;
       if (served_at != 0) {
@@ -474,6 +479,29 @@ DisseminationResult SimulateDissemination(
       result.baseline_bytes_hops <= 0.0
           ? 0.0
           : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
+  if (obs::Enabled()) {
+    obs::Count("dissem.runs");
+    obs::Count("dissem.eval_requests", static_cast<double>(eval_requests));
+    obs::Count("dissem.server_requests",
+               static_cast<double>(result.server_requests));
+    obs::Count("dissem.shielding_overflow_requests",
+               static_cast<double>(result.shielding_overflow_requests));
+    obs::Count("dissem.failover_requests",
+               static_cast<double>(result.failover_requests));
+    obs::Count("dissem.degraded_bytes_hops", result.degraded_bytes_hops);
+    obs::Count("dissem.unavailable_requests",
+               static_cast<double>(result.unavailable_requests));
+    obs::Count("dissem.retry_attempts",
+               static_cast<double>(result.retry_attempts));
+    obs::Count("dissem.stale_proxy_requests",
+               static_cast<double>(result.stale_proxy_requests));
+    // Per-proxy hit distribution: one sample per proxy, weighted samples
+    // would hide empty proxies, so the sample *value* is the hit count.
+    for (const uint64_t n : result.proxy_requests) {
+      obs::Observe("dissem.proxy_requests", static_cast<double>(n));
+    }
+    run_span.AddBytes(result.with_proxies_bytes_hops);
+  }
   return result;
 }
 

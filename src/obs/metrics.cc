@@ -1,0 +1,298 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sds::obs {
+
+// ---------------------------------------------------------------------------
+// Shared by both build flavors: bucket math and snapshot JSON.
+// ---------------------------------------------------------------------------
+
+size_t DistBucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // also catches NaN
+  int exponent = 0;
+  std::frexp(value, &exponent);  // value = m * 2^exponent, m in [0.5, 1)
+  const int index = exponent + 32;
+  if (index < 0) return 0;
+  if (index >= static_cast<int>(kDistBuckets)) return kDistBuckets - 1;
+  return static_cast<size_t>(index);
+}
+
+double DistBucketLo(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 33);
+}
+
+void DistData::Add(double value, double weight) {
+  count += weight;
+  sum += value * weight;
+  if (value < min) min = value;
+  if (value > max) max = value;
+  buckets[DistBucketIndex(value)] += weight;
+}
+
+void DistData::Merge(const DistData& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  for (size_t b = 0; b < kDistBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendScalarMap(std::string* out, const std::map<std::string, double>& m,
+                     const std::string& pad) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [name, value] : m) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += pad + "  \"" + name + "\": ";
+    AppendNumber(out, value);
+  }
+  *out += first ? "}" : "\n" + pad + "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(const std::string& indent) const {
+  std::string out = "{\n";
+  out += indent + "  \"counters\": ";
+  AppendScalarMap(&out, counters, indent + "  ");
+  out += ",\n" + indent + "  \"gauges\": ";
+  AppendScalarMap(&out, gauges, indent + "  ");
+
+  out += ",\n" + indent + "  \"distributions\": {";
+  bool first = true;
+  for (const auto& [name, dist] : distributions) {
+    if (dist.count <= 0.0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += indent + "    \"" + name + "\": {\"count\": ";
+    AppendNumber(&out, dist.count);
+    out += ", \"sum\": ";
+    AppendNumber(&out, dist.sum);
+    out += ", \"min\": ";
+    AppendNumber(&out, dist.min);
+    out += ", \"max\": ";
+    AppendNumber(&out, dist.max);
+    out += ", \"mean\": ";
+    AppendNumber(&out, dist.mean());
+    // Sparse buckets as [lower_edge, weight] pairs.
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t b = 0; b < kDistBuckets; ++b) {
+      if (dist.buckets[b] <= 0.0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[";
+      AppendNumber(&out, DistBucketLo(b));
+      out += ", ";
+      AppendNumber(&out, dist.buckets[b]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n" + indent + "  }";
+
+  out += ",\n" + indent + "  \"points\": {";
+  first = true;
+  for (const auto& [point, counters_at_point] : point_counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += indent + "    \"" + std::to_string(point) + "\": ";
+    AppendScalarMap(&out, counters_at_point, indent + "    ");
+  }
+  out += first ? "}" : "\n" + indent + "  }";
+  out += "\n" + indent + "}";
+  return out;
+}
+
+#ifndef SDS_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Recording machinery (compiled out under SDS_OBS_DISABLED).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("SDS_OBS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+
+thread_local int64_t tls_point = kNoPoint;
+
+struct Key {
+  const char* name;
+  int64_t point;
+  bool operator==(const Key& other) const {
+    return name == other.name && point == other.point;
+  }
+};
+
+struct KeyHash {
+  size_t operator()(const Key& key) const {
+    // splitmix64-style finalizer over the pointer and the point index.
+    uint64_t x = reinterpret_cast<uintptr_t>(key.name) ^
+                 (static_cast<uint64_t>(key.point) * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// One thread's private accumulation. Keys hold string-literal pointers;
+/// they are resolved to strings when merged into a snapshot.
+struct Shard {
+  std::unordered_map<Key, double, KeyHash> counters;
+  std::unordered_map<Key, double, KeyHash> gauges;
+  std::unordered_map<Key, DistData, KeyHash> dists;
+
+  void Clear() {
+    counters.clear();
+    gauges.clear();
+    dists.clear();
+  }
+};
+
+void MergeShardInto(const Shard& shard, MetricsSnapshot* snapshot) {
+  for (const auto& [key, value] : shard.counters) {
+    snapshot->counters[key.name] += value;
+    if (key.point != kNoPoint) {
+      snapshot->point_counters[key.point][key.name] += value;
+    }
+  }
+  for (const auto& [key, value] : shard.gauges) {
+    auto [it, inserted] = snapshot->gauges.emplace(key.name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  for (const auto& [key, dist] : shard.dists) {
+    snapshot->distributions[key.name].Merge(dist);
+  }
+}
+
+void MergeSnapshotInto(const MetricsSnapshot& from, MetricsSnapshot* into) {
+  for (const auto& [name, value] : from.counters) into->counters[name] += value;
+  for (const auto& [name, value] : from.gauges) {
+    auto [it, inserted] = into->gauges.emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  for (const auto& [name, dist] : from.distributions) {
+    into->distributions[name].Merge(dist);
+  }
+  for (const auto& [point, counters_at_point] : from.point_counters) {
+    auto& dest = into->point_counters[point];
+    for (const auto& [name, value] : counters_at_point) dest[name] += value;
+  }
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Shard*> live;
+  /// Accumulated shards of exited threads, merged by name string.
+  MetricsSnapshot retired;
+};
+
+/// Leaked on purpose: thread_local shard destructors (including the main
+/// thread's, at process exit) must always find a live registry.
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+struct ShardHandle {
+  Shard shard;
+  ShardHandle() {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.live.push_back(&shard);
+  }
+  ~ShardHandle() {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    MergeShardInto(shard, &registry.retired);
+    for (auto it = registry.live.begin(); it != registry.live.end(); ++it) {
+      if (*it == &shard) {
+        registry.live.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+Shard& LocalShard() {
+  thread_local ShardHandle handle;
+  return handle.shard;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Count(const char* name, double delta) {
+  if (!Enabled()) return;
+  LocalShard().counters[Key{name, tls_point}] += delta;
+}
+
+void GaugeMax(const char* name, double value) {
+  if (!Enabled()) return;
+  auto [it, inserted] =
+      LocalShard().gauges.emplace(Key{name, tls_point}, value);
+  if (!inserted && value > it->second) it->second = value;
+}
+
+void Observe(const char* name, double value) {
+  if (!Enabled()) return;
+  LocalShard().dists[Key{name, tls_point}].Add(value);
+}
+
+ScopedPoint::ScopedPoint(int64_t point) : previous_(tls_point) {
+  tls_point = point;
+}
+
+ScopedPoint::~ScopedPoint() { tls_point = previous_; }
+
+int64_t CurrentPoint() { return tls_point; }
+
+MetricsSnapshot SnapshotMetrics() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  MetricsSnapshot snapshot;
+  MergeSnapshotInto(registry.retired, &snapshot);
+  for (const Shard* shard : registry.live) MergeShardInto(*shard, &snapshot);
+  return snapshot;
+}
+
+void ResetMetrics() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.retired = MetricsSnapshot{};
+  for (Shard* shard : registry.live) shard->Clear();
+}
+
+#endif  // !SDS_OBS_DISABLED
+
+}  // namespace sds::obs

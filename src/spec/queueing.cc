@@ -44,7 +44,13 @@ QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
     max_depth = std::max(max_depth, in_system.size());
   }
 
-  const double span = std::max(events.back().time, server_free);
+  // Utilization is measured over the observed window: first arrival to
+  // last completion. Anchoring at t = 0 would dilute utilization toward
+  // zero for streams with a large start timestamp (e.g. replaying an
+  // eval split cut from the tail of a trace). server_free ends as the
+  // last completion, which is >= events.back().time, so span >= busy and
+  // a zero span implies zero busy time.
+  const double span = server_free - events.front().time;
   stats.requests = events.size();
   stats.utilization = span > 0.0 ? std::min(1.0, busy / span) : 0.0;
   stats.mean_wait_s = waits.mean();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sds::spec {
@@ -132,8 +134,11 @@ const std::vector<DayCounts>& SpeculationSimulator::DailyDeltas(
   std::lock_guard<std::mutex> lock(delta_mutex_);
   auto it = delta_cache_.find(key);
   if (it == delta_cache_.end()) {
+    obs::Count("spec.delta_cache.misses");
     it = delta_cache_.emplace(key, CountDailyDependencies(*trace_, config))
              .first;
+  } else {
+    obs::Count("spec.delta_cache.hits");
   }
   return it->second;
 }
@@ -144,6 +149,7 @@ void SpeculationSimulator::Prewarm(const DependencyConfig& config) {
 
 RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
                                     std::vector<ServerEvent>* server_events) {
+  obs::SpanGuard run_span("spec.run");
   if (server_events != nullptr) server_events->clear();
   SDS_CHECK(config.update_cycle_days >= 1);
   SDS_CHECK(config.history_days >= 1);
@@ -373,6 +379,27 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
   for (const auto& cache : caches) {
     totals.wasted_speculative_bytes +=
         static_cast<double>(cache.wasted_speculative_bytes());
+  }
+  if (obs::Enabled()) {
+    obs::Count("spec.runs");
+    obs::Count("spec.client_requests",
+               static_cast<double>(totals.client_requests));
+    obs::Count("spec.server_requests",
+               static_cast<double>(totals.server_requests));
+    obs::Count("spec.speculative_docs_sent",
+               static_cast<double>(totals.speculative_docs_sent));
+    obs::Count("spec.speculative_hits",
+               static_cast<double>(totals.speculative_hits));
+    obs::Count("spec.speculative_bytes", totals.speculative_bytes);
+    obs::Count("spec.wasted_speculative_bytes",
+               totals.wasted_speculative_bytes);
+    obs::Count("spec.suppressed_speculative_docs",
+               static_cast<double>(totals.suppressed_speculative_docs));
+    obs::Count("spec.unavailable_requests",
+               static_cast<double>(totals.unavailable_requests));
+    obs::Count("spec.retry_attempts",
+               static_cast<double>(totals.retry_attempts));
+    run_span.AddBytes(totals.bytes_sent);
   }
   return totals;
 }

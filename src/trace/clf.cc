@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace sds::trace {
@@ -202,6 +204,7 @@ std::vector<std::string> TraceToClf(const Trace& trace, const Corpus& corpus) {
 Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
                          const Corpus& corpus, const ClfReadOptions& options,
                          ClfReadStats* stats) {
+  obs::SpanGuard span("trace.clf_to_trace");
   Trace trace;
   trace.requests.reserve(lines.size());
   uint32_t max_client = 0;
@@ -264,6 +267,12 @@ Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
   trace.num_clients = max_client;
   trace.num_servers = corpus.num_servers();
   trace.SortByTime();
+  if (obs::Enabled()) {
+    obs::Count("trace.clf_lines", static_cast<double>(st.lines));
+    obs::Count("trace.clf_skipped_lines", static_cast<double>(st.skipped_lines));
+    obs::Count("trace.clf_requests",
+               static_cast<double>(trace.requests.size()));
+  }
   return trace;
 }
 
@@ -278,6 +287,7 @@ Status WriteClfFile(const std::string& path, const Trace& trace,
 
 Result<Trace> ReadClfFile(const std::string& path, const Corpus& corpus,
                           const ClfReadOptions& options, ClfReadStats* stats) {
+  obs::SpanGuard span("trace.read_clf_file");
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::vector<std::string> lines;

@@ -21,12 +21,15 @@ void Histogram::Add(double value, double weight) {
     underflow_ += weight;
     return;
   }
-  if (value >= hi_) {
+  if (!(value <= hi_)) {  // also routes NaN to overflow
     overflow_ += weight;
     return;
   }
+  // The top edge is inclusive: value == hi_ lands in the last bin, so a
+  // distribution supported on [lo, hi] keeps its mass at exactly hi
+  // (e.g. the p = 1, k = 1 dependency peak at 1.0 in Figure 4).
   size_t bin = static_cast<size_t>((value - lo_) / width_);
-  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // hi edge + fp
   counts_[bin] += weight;
 }
 

@@ -8,14 +8,17 @@
 
 namespace sds {
 
-/// \brief Fixed-width binned histogram over [lo, hi).
+/// \brief Fixed-width binned histogram over [lo, hi].
 ///
-/// Values below lo land in an underflow bucket, values >= hi in an overflow
-/// bucket. Used for the paper's Figure 4 (histogram of pair probabilities).
+/// Values below lo land in an underflow bucket, values above hi (or NaN)
+/// in an overflow bucket. The top edge is inclusive: value == hi counts
+/// in the last bin, so a distribution supported on [lo, hi] keeps its
+/// boundary mass. Used for the paper's Figure 4 (pair probabilities,
+/// whose k = 1 peak sits at exactly 1.0).
 class Histogram {
  public:
   /// \param lo inclusive lower bound of the first bin
-  /// \param hi exclusive upper bound of the last bin (must be > lo)
+  /// \param hi inclusive upper bound of the last bin (must be > lo)
   /// \param num_bins number of equal-width bins (>= 1)
   Histogram(double lo, double hi, size_t num_bins);
 

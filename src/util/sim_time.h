@@ -1,6 +1,7 @@
 #ifndef SDS_UTIL_SIM_TIME_H_
 #define SDS_UTIL_SIM_TIME_H_
 
+#include <cmath>
 #include <limits>
 
 namespace sds {
@@ -21,13 +22,19 @@ inline constexpr SimTime kWeek = 7.0 * kDay;
 inline constexpr SimTime kInfiniteTime =
     std::numeric_limits<double>::infinity();
 
-/// Day index (0-based) containing the given time.
-inline long DayOfTime(SimTime t) { return static_cast<long>(t / kDay); }
+/// Day index (0-based) containing the given time. Floor semantics, so
+/// negative times map to negative days (t = -1 s is day -1, not day 0).
+inline long DayOfTime(SimTime t) {
+  return static_cast<long>(std::floor(t / kDay));
+}
 
-/// Seconds into the day, in [0, 86400).
+/// Seconds into the day, guaranteed in [0, 86400) even when fp rounding
+/// of the division in DayOfTime lands the remainder on either edge.
 inline SimTime TimeOfDay(SimTime t) {
-  const long day = DayOfTime(t);
-  return t - static_cast<double>(day) * kDay;
+  SimTime r = t - static_cast<double>(DayOfTime(t)) * kDay;
+  if (r < 0.0) r += kDay;
+  if (r >= kDay) r -= kDay;
+  return r < 0.0 ? 0.0 : r;
 }
 
 }  // namespace sds

@@ -52,6 +52,52 @@ TEST(QueueTest, UtilizationBounds) {
   EXPECT_NEAR(stats.utilization, 0.15, 0.02);
 }
 
+TEST(QueueTest, UtilizationInvariantUnderTimeOriginShift) {
+  // Regression: the span used to be measured from t = 0, so replaying an
+  // eval split with large start timestamps diluted utilization toward
+  // zero. All stats must be invariant under a constant origin shift.
+  std::vector<ServerEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back({i * 10.0 + (i % 7) * 0.25, 200.0 + 40.0 * (i % 5)});
+  }
+  const QueueStats base = ComputeQueueStats(events, FastServer());
+
+  for (const double shift : {3600.0, 30.0 * 86400.0, 2.5e8}) {
+    std::vector<ServerEvent> shifted = events;
+    for (auto& e : shifted) e.time += shift;
+    const QueueStats moved = ComputeQueueStats(shifted, FastServer());
+    // Tolerance covers fp rounding at the shifted magnitudes (ulp of
+    // 2.5e8 is ~3e-8); the pre-fix dilution was ~0.15, five orders
+    // larger.
+    EXPECT_NEAR(moved.utilization, base.utilization, 1e-7) << shift;
+    EXPECT_NEAR(moved.mean_wait_s, base.mean_wait_s, 1e-7) << shift;
+    EXPECT_NEAR(moved.mean_response_s, base.mean_response_s, 1e-7) << shift;
+    EXPECT_NEAR(moved.p95_response_s, base.p95_response_s, 1e-7) << shift;
+    EXPECT_DOUBLE_EQ(moved.max_queue_depth, base.max_queue_depth) << shift;
+  }
+}
+
+TEST(QueueTest, LateSingleRequestHasHonestUtilization) {
+  // One 2 s request arriving at t = 10^6: the observed window is just its
+  // own service time, so the server was 100% busy while observed.
+  std::vector<ServerEvent> events = {{1e6, 1000.0}};
+  const QueueStats stats = ComputeQueueStats(events, FastServer());
+  EXPECT_DOUBLE_EQ(stats.utilization, 1.0);
+}
+
+TEST(QueueTest, ZeroSpanStreamClamps) {
+  // Degenerate config: zero overhead and zero-byte responses make every
+  // completion coincide with the (single) arrival instant.
+  QueueConfig instant;
+  instant.service_overhead_s = 0.0;
+  instant.service_rate_bytes_per_s = 1000.0;
+  std::vector<ServerEvent> events = {{5.0, 0.0}, {5.0, 0.0}};
+  const QueueStats stats = ComputeQueueStats(events, instant);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_DOUBLE_EQ(stats.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_wait_s, 0.0);
+}
+
 TEST(QueueTest, P95AtLeastMean) {
   std::vector<ServerEvent> events;
   for (int i = 0; i < 50; ++i) events.push_back({i * 0.5, 800.0});

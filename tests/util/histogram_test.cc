@@ -1,5 +1,7 @@
 #include "util/histogram.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace sds {
@@ -30,11 +32,27 @@ TEST(HistogramTest, AddRoutesToCorrectBin) {
 TEST(HistogramTest, UnderflowOverflow) {
   Histogram h(0.0, 1.0, 2);
   h.Add(-0.5);
-  h.Add(1.0);  // hi is exclusive
+  h.Add(1.0);  // hi is inclusive: lands in the last bin, not overflow
   h.Add(2.0);
   EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+}
+
+TEST(HistogramTest, TopEdgeCountsInLastBin) {
+  // Regression: value == hi used to be routed to overflow, which dropped
+  // the p = 1 embedding-dependency peak from the Figure 4 histogram.
+  Histogram h(0.0, 1.0, 40);
+  h.Add(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(h.count(h.num_bins() - 1), 7.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  // The edge itself is the only value that folds down; anything above
+  // still overflows, and NaN never lands in a bin.
+  h.Add(1.0 + 1e-12);
+  h.Add(std::nan(""));
   EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
-  EXPECT_DOUBLE_EQ(h.count(0) + h.count(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(h.num_bins() - 1), 7.0);
 }
 
 TEST(HistogramTest, WeightedAdd) {

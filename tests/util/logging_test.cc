@@ -56,5 +56,39 @@ TEST(SimTimeTest, DayOfTimeAndTimeOfDay) {
   EXPECT_DOUBLE_EQ(TimeOfDay(0.5), 0.5);
 }
 
+TEST(SimTimeTest, NegativeTimesUseFloorSemantics) {
+  // Regression: truncation toward zero mapped all of (-86400, 0) to day 0.
+  EXPECT_EQ(DayOfTime(-1.0), -1);
+  EXPECT_EQ(DayOfTime(-86400.0), -1);
+  EXPECT_EQ(DayOfTime(-86401.0), -2);
+  EXPECT_DOUBLE_EQ(TimeOfDay(-1.0), 86399.0);
+  EXPECT_DOUBLE_EQ(TimeOfDay(-kDay), 0.0);
+  EXPECT_DOUBLE_EQ(TimeOfDay(-kDay - 1.0), 86399.0);
+}
+
+TEST(SimTimeTest, TimeOfDayStaysInRangeAtBoundaries) {
+  // fp-hostile times near day boundaries: the documented range [0, kDay)
+  // must hold exactly, including when t/kDay rounds across a day edge.
+  const SimTime probes[] = {
+      0.0,
+      -0.0,
+      std::nextafter(kDay, 0.0),
+      kDay,
+      std::nextafter(kDay, 2.0 * kDay),
+      365.0 * kDay,
+      std::nextafter(365.0 * kDay, 0.0),
+      std::nextafter(365.0 * kDay, 366.0 * kDay),
+      -std::nextafter(kDay, 0.0),
+      1e12,
+      std::nextafter(1e12, 0.0),
+      -1e12,
+  };
+  for (const SimTime t : probes) {
+    const SimTime tod = TimeOfDay(t);
+    EXPECT_GE(tod, 0.0) << "t=" << t;
+    EXPECT_LT(tod, kDay) << "t=" << t;
+  }
+}
+
 }  // namespace
 }  // namespace sds
