@@ -76,7 +76,5 @@ int main(int argc, char** argv) {
               "statistical support of a long one (§3.4's envisioned\n"
               "mechanism).\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -59,7 +59,5 @@ int main(int argc, char** argv) {
               "dominates naive splits; eq. 1's prediction from the fitted\n"
               "exponential models lands close to the measured shield.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -77,7 +77,5 @@ int main(int argc, char** argv) {
               "raw P at the same threshold; sum-product promotes targets\n"
               "reachable along many chains (embedding-heavy pages).\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -68,7 +68,5 @@ int main(int argc, char** argv) {
   std::printf("ratios are vs plain service (no proxies, no speculation,\n"
               "same client caches) over the evaluation half of the trace.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

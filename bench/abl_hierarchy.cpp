@@ -98,7 +98,5 @@ int main(int argc, char** argv) {
               shielding.ToAlignedString().c_str());
   std::printf("%s\n", shield_stats.Summary().c_str());
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

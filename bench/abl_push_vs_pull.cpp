@@ -83,7 +83,5 @@ int main(int argc, char** argv) {
               "compulsory miss (full-path fetch) for every first access at\n"
               "each proxy and churns under tight budgets.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -83,7 +83,5 @@ int main(int argc, char** argv) {
               "request cut shrinks waiting time by more than the 33%% load\n"
               "cut itself as the server gets busier.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -67,7 +67,5 @@ int main(int argc, char** argv) {
               "at almost no bandwidth cost; frequent re-pushing is the\n"
               "expensive alternative.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -9,8 +9,12 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "obs/export.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace sds::bench {
 
@@ -25,26 +29,43 @@ inline void PrintHeader(const char* experiment, const char* paper_artifact) {
 /// Common bench command line: `--smoke` shrinks the workload/grid for CI,
 /// `--json` is accepted for symmetry with micro_kernels (every bench
 /// writes BENCH_<name>.json regardless). `--obs` turns the observability
-/// layer on (metrics land in the report's "metrics" section) and
-/// `--trace-out <file>` additionally dumps the stage-trace spans as JSON
-/// (implies `--obs`). Unknown flags are ignored.
+/// layer on (metrics land in the report's "metrics" section). The output
+/// flags each take a file path and imply `--obs`:
+///   --trace-out       stage-trace spans, legacy span JSON
+///   --chrome-trace-out  Chrome trace-event JSON (Perfetto-loadable)
+///   --timeseries-out  simulated-clock windowed counters, CSV
+///   --journeys-out    sampled per-request journeys, JSON
+///   --prom-out        metrics in Prometheus text exposition
+/// Unknown flags are ignored.
 struct BenchArgs {
   bool smoke = false;
   bool json = false;
   bool obs = false;
   std::string trace_out;
+  std::string chrome_trace_out;
+  std::string timeseries_out;
+  std::string journeys_out;
+  std::string prom_out;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
+  const auto path_flag = [&](int* i, const char* flag,
+                             std::string* out) -> bool {
+    if (std::strcmp(argv[*i], flag) != 0 || *i + 1 >= argc) return false;
+    *out = argv[++*i];
+    args.obs = true;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
     if (std::strcmp(argv[i], "--json") == 0) args.json = true;
     if (std::strcmp(argv[i], "--obs") == 0) args.obs = true;
-    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      args.trace_out = argv[++i];
-      args.obs = true;
-    }
+    path_flag(&i, "--trace-out", &args.trace_out) ||
+        path_flag(&i, "--chrome-trace-out", &args.chrome_trace_out) ||
+        path_flag(&i, "--timeseries-out", &args.timeseries_out) ||
+        path_flag(&i, "--journeys-out", &args.journeys_out) ||
+        path_flag(&i, "--prom-out", &args.prom_out);
   }
   if (args.obs) obs::SetEnabled(true);
   return args;
@@ -92,23 +113,30 @@ class BenchReport {
     return result;
   }
 
-  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  /// Writes BENCH_<name>.json; returns false (and reports the error) on
+  /// I/O failure.
   bool Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(out, "{\n  \"name\": \"%s\"", name_.c_str());
+    std::fprintf(out, "{\n  \"name\": \"%s\"",
+                 JsonEscape(name_).c_str());
     for (const auto& [key, value] : metrics_) {
-      std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
+      std::fprintf(out, ",\n  \"%s\": %.17g", JsonEscape(key).c_str(),
+                   value);
     }
     if (!obs_json_.empty()) {
       std::fprintf(out, ",\n  \"metrics\": %s", obs_json_.c_str());
     }
     std::fprintf(out, "\n}\n");
-    std::fclose(out);
+    const bool ok = std::ferror(out) == 0;
+    if (std::fclose(out) != 0 || !ok) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
     std::printf("wrote %s\n", path.c_str());
     return true;
   }
@@ -120,20 +148,53 @@ class BenchReport {
 };
 
 /// Call right before `report->Write()`: when `--obs` was passed, snapshots
-/// the metrics registry into the report's "metrics" section and, when
-/// `--trace-out <file>` was passed, dumps the stage-trace spans there.
-/// No-op (and no "metrics" key emitted) when observability is off.
-inline void FinishObsReport(BenchReport* report, const BenchArgs& args) {
-  if (!args.obs || !obs::Enabled()) return;
+/// the metrics registry into the report's "metrics" section and writes
+/// every requested observability output file (`--trace-out`,
+/// `--chrome-trace-out`, `--timeseries-out`, `--journeys-out`,
+/// `--prom-out`). No-op (and no "metrics" key emitted) when observability
+/// is off, including builds with the layer compiled out. Returns false if
+/// any requested file could not be written; each failure is reported on
+/// stderr.
+inline bool FinishObsReport(BenchReport* report, const BenchArgs& args) {
+  if (!args.obs || !obs::Enabled()) return true;
   report->ObsSnapshot(obs::SnapshotMetrics());
-  if (!args.trace_out.empty()) {
-    if (obs::WriteTrace(args.trace_out)) {
-      std::printf("wrote %s\n", args.trace_out.c_str());
+  bool ok = true;
+  const auto write_output = [&ok](const std::string& path, bool written) {
+    if (path.empty()) return;
+    if (written) {
+      std::printf("wrote %s\n", path.c_str());
     } else {
-      std::fprintf(stderr, "warning: cannot write %s\n",
-                   args.trace_out.c_str());
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      ok = false;
     }
+  };
+  if (!args.trace_out.empty()) {
+    write_output(args.trace_out, obs::WriteTrace(args.trace_out));
   }
+  if (!args.chrome_trace_out.empty()) {
+    write_output(args.chrome_trace_out,
+                 obs::WriteChromeTrace(args.chrome_trace_out));
+  }
+  if (!args.timeseries_out.empty()) {
+    write_output(args.timeseries_out,
+                 obs::WriteTimeSeriesCsv(args.timeseries_out));
+  }
+  if (!args.journeys_out.empty()) {
+    write_output(args.journeys_out, obs::WriteJourneys(args.journeys_out));
+  }
+  if (!args.prom_out.empty()) {
+    write_output(args.prom_out, obs::WritePrometheus(args.prom_out));
+  }
+  return ok;
+}
+
+/// Standard bench epilogue: attaches the observability outputs and writes
+/// the BENCH_<name>.json report. Returns the process exit code — non-zero
+/// when any requested output file failed to write.
+inline int FinishBench(BenchReport* report, const BenchArgs& args) {
+  const bool obs_ok = FinishObsReport(report, args);
+  const bool report_ok = report->Write();
+  return obs_ok && report_ok ? 0 : 1;
 }
 
 /// The shared paper-scale workload. Benches are separate processes, so each

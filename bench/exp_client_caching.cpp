@@ -33,7 +33,5 @@ int main(int argc, char** argv) {
   std::printf("paper: speculative gains survive without any long-term\n"
               "cache and shrink only slightly with an infinite cache.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -30,7 +30,5 @@ int main(int argc, char** argv) {
   std::printf("paper: cooperative clients waste less bandwidth for the\n"
               "same speculation level.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

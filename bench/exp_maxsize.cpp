@@ -29,7 +29,5 @@ int main(int argc, char** argv) {
   std::printf("paper: optimum MaxSize ~15 KB at ~3%% extra traffic, "
               "~29 KB at ~10%%.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -32,7 +32,5 @@ int main(int argc, char** argv) {
   std::printf("paper: client profiles help on revisits; server speculation\n"
               "covers newly traversed documents; hybrid combines both.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -33,7 +33,5 @@ int main(int argc, char** argv) {
   std::printf("B_j vs lambda_j/lambda_i (allocation in units of 1/lambda)\n%s\n",
               chart.Render().c_str());
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

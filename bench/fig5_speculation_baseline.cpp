@@ -45,7 +45,5 @@ int main(int argc, char** argv) {
   chart.AddSeries("miss rate ratio", tps, miss);
   std::printf("ratios vs Tp (x axis: Tp)\n%s\n", chart.Render().c_str());
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

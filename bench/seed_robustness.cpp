@@ -76,7 +76,5 @@ int main(int argc, char** argv) {
                 MeanSd(traffic_at_03)});
   std::printf("\n%s", table.ToAlignedString().c_str());
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

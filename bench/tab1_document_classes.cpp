@@ -32,7 +32,5 @@ int main(int argc, char** argv) {
               "global ~37%%\n");
   std::printf("paper update rates: local ~0.02/day, remote+global < 0.005/day\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

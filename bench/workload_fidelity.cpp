@@ -26,7 +26,5 @@ int main(int argc, char** argv) {
               "tests/integration/fidelity_test.cc; deviations are discussed\n"
               "in EXPERIMENTS.md.\n");
   bench_report.Metric("total_s", bench_total.Seconds());
-  bench::FinishObsReport(&bench_report, bench_args);
-  bench_report.Write();
-  return 0;
+  return bench::FinishBench(&bench_report, bench_args);
 }

@@ -8,6 +8,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -83,6 +84,10 @@ SweepStats RunSweep(size_t num_points, const SweepOptions& options,
     Rng rng = MakePointRng(options.seed, index);
     try {
       obs::ScopedPoint scoped_point(static_cast<int64_t>(index));
+      // Journey sampling is keyed on the same per-point seed as the
+      // simulation RNG, so the sampled set is a pure function of
+      // (base seed, point index, request index) — worker-count invariant.
+      obs::ScopedJourneySeed journey_seed(SweepPointSeed(options.seed, index));
       obs::SpanGuard point_span("sweep.point");
       fn(index, rng);
     } catch (...) {

@@ -8,13 +8,36 @@
 #include "dissem/proxy.h"
 #include "net/clientele_tree.h"
 #include "net/placement.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/sim_time.h"
 
 namespace sds::dissem {
 namespace {
+
+/// Stable string literal for the per-level proxy hit counter (level =
+/// depth of the serving proxy in the topology tree). The counter names
+/// must be literals (the registries key on pointer identity), hence the
+/// fixed table; deeper trees collapse into the last bucket.
+const char* ProxyHitLevelName(uint32_t depth) {
+  switch (depth) {
+    case 0:
+      return "dissem.proxy_hits.level0";
+    case 1:
+      return "dissem.proxy_hits.level1";
+    case 2:
+      return "dissem.proxy_hits.level2";
+    case 3:
+      return "dissem.proxy_hits.level3";
+    case 4:
+      return "dissem.proxy_hits.level4";
+    default:
+      return "dissem.proxy_hits.level5plus";
+  }
+}
 
 std::vector<bool> MarkMutable(const trace::Corpus& corpus,
                               const std::vector<trace::UpdateEvent>* updates,
@@ -163,6 +186,7 @@ DisseminationResult SimulateDissemination(
   SDS_CHECK(config.train_fraction == prepared.train_fraction)
       << "config/prepared training split mismatch";
   obs::SpanGuard run_span("dissem.simulate");
+  obs::JourneyRun journey("dissem");
   DisseminationResult result;
   const trace::Corpus& corpus = *prepared.corpus;
   const trace::Trace& trace = *prepared.trace;
@@ -323,6 +347,8 @@ DisseminationResult SimulateDissemination(
     const net::NodeId client_node = prepared.nodes[prepared.eval_node[k]];
     const RoutePlan& plan = plans[prepared.eval_node[k]];
     const double bytes = static_cast<double>(r.bytes);
+    obs::TsCount("dissem.eval_requests", r.time);
+    const bool sampled = journey.Sample(k);
 
     if (faulty) {
       // --- Baseline availability: a home-server-only client retrying the
@@ -369,6 +395,8 @@ DisseminationResult SimulateDissemination(
       SimTime when = r.time;
       size_t pos = 0;
       int served_at = -1;  ///< Chain position that served, -1 = none.
+      uint32_t request_retries = 0;
+      double request_backoff = 0.0;
       for (uint32_t attempts = 0; attempts < retry.max_attempts;) {
         const Candidate& cand = chain[pos];
         const bool up = cand.proxy < 0
@@ -380,42 +408,88 @@ DisseminationResult SimulateDissemination(
           break;
         }
         ++result.retry_attempts;
+        obs::TsCount("dissem.retry_attempts", when);
+        ++request_retries;
         if (attempts < retry.max_attempts) {
           const double wait =
               retry.timeout_s + retry.BackoffBeforeRetry(attempts - 1, rng);
           result.retry_wait_seconds += wait;
+          request_backoff += wait;
           when += wait;
         } else {
           result.retry_wait_seconds += retry.timeout_s;
+          request_backoff += retry.timeout_s;
         }
         pos = (pos + 1) % chain.size();
       }
 
       if (served_at < 0) {
         ++result.unavailable_requests;
+        obs::TsCount("dissem.unavailable_requests", r.time);
+        if (sampled) {
+          obs::JourneyRecord j;
+          j.request = k;
+          j.time_s = r.time;
+          j.client = r.client;
+          j.doc = r.doc;
+          j.served_by = obs::kServedByNone;
+          j.retries = request_retries;
+          j.backoff_s = request_backoff;
+          journey.Record(j);
+        }
         continue;
       }
       obs::Observe("dissem.failover_chain_depth",
                    static_cast<double>(served_at));
       const Candidate& winner = chain[served_at];
       result.with_proxies_bytes_hops += bytes * winner.hops;
+      obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
+                   bytes * winner.hops);
       if (served_at != 0) {
         ++result.failover_requests;
+        obs::TsCount("dissem.failover_requests", r.time);
         result.degraded_bytes_hops += bytes * winner.hops;
+        obs::TsCount("dissem.degraded_bytes_hops", r.time,
+                     bytes * winner.hops);
       }
       if (winner.proxy >= 0) {
         ++today_count[winner.proxy];
         ++result.proxy_requests[winner.proxy];
         ++proxy_served;
+        if (obs::Enabled()) {
+          const char* level =
+              ProxyHitLevelName(topology.depth(placement.proxies[winner.proxy]));
+          obs::Count(level);
+          obs::TsCount(level, r.time);
+          obs::TsCount("dissem.proxy_hits", r.time);
+        }
         if (last_update_day[r.doc] > dissemination_day) {
           ++result.stale_proxy_requests;
+          obs::TsCount("dissem.stale_proxy_requests", r.time);
         }
       } else if (capacity_blocked) {
         // Shielding overflow: the proxy copy existed but the daily budget
         // was spent, so the home server absorbed the request.
         ++result.shielding_overflow_requests;
+        obs::TsCount("dissem.shielding_overflow_requests", r.time);
       } else {
         ++result.server_requests;
+        obs::TsCount("dissem.server_requests", r.time);
+      }
+      if (sampled) {
+        obs::JourneyRecord j;
+        j.request = k;
+        j.time_s = r.time;
+        j.client = r.client;
+        j.doc = r.doc;
+        j.served_by =
+            winner.proxy >= 0 ? winner.proxy : obs::kServedByServer;
+        j.hops = winner.hops;
+        j.failover_depth = static_cast<uint32_t>(served_at);
+        j.retries = request_retries;
+        j.backoff_s = request_backoff;
+        j.response_bytes = bytes;
+        journey.Record(j);
       }
       continue;
     }
@@ -433,21 +507,49 @@ DisseminationResult SimulateDissemination(
       } else {
         overflowed = true;
         ++result.shielding_overflow_requests;
+        obs::TsCount("dissem.shielding_overflow_requests", r.time);
       }
     }
     if (served_by_proxy) {
       result.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
+      obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
+                   bytes * plan.hops_to_proxy);
       ++result.proxy_requests[plan.proxy_index];
       ++proxy_served;
+      if (obs::Enabled()) {
+        const char* level = ProxyHitLevelName(
+            topology.depth(placement.proxies[plan.proxy_index]));
+        obs::Count(level);
+        obs::TsCount(level, r.time);
+        obs::TsCount("dissem.proxy_hits", r.time);
+      }
       if (last_update_day[r.doc] > dissemination_day) {
         ++result.stale_proxy_requests;
+        obs::TsCount("dissem.stale_proxy_requests", r.time);
       }
     } else {
       // Served by the home server at full hop cost; overflowed requests
       // stay in shielding_overflow_requests (not server_requests), so
       // proxy + server + overflow == evaluated requests.
       result.with_proxies_bytes_hops += bytes * plan.hops_to_server;
-      if (!overflowed) ++result.server_requests;
+      obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
+                   bytes * plan.hops_to_server);
+      if (!overflowed) {
+        ++result.server_requests;
+        obs::TsCount("dissem.server_requests", r.time);
+      }
+    }
+    if (sampled) {
+      obs::JourneyRecord j;
+      j.request = k;
+      j.time_s = r.time;
+      j.client = r.client;
+      j.doc = r.doc;
+      j.served_by =
+          served_by_proxy ? plan.proxy_index : obs::kServedByServer;
+      j.hops = served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server;
+      j.response_bytes = bytes;
+      journey.Record(j);
     }
   }
 
@@ -495,6 +597,9 @@ DisseminationResult SimulateDissemination(
                static_cast<double>(result.retry_attempts));
     obs::Count("dissem.stale_proxy_requests",
                static_cast<double>(result.stale_proxy_requests));
+    obs::Count("dissem.proxy_hits", static_cast<double>(proxy_served));
+    obs::Count("dissem.with_proxies_bytes_hops",
+               result.with_proxies_bytes_hops);
     // Per-proxy hit distribution: one sample per proxy, weighted samples
     // would hide empty proxies, so the sample *value* is the hit count.
     for (const uint64_t n : result.proxy_requests) {

@@ -1,0 +1,80 @@
+#ifndef SDS_OBS_EXPORT_H_
+#define SDS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/journey.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace sds::obs {
+
+/// \brief Standard exporters over the observability snapshots: quantiles
+/// from the log2 distribution buckets, Prometheus text exposition, and
+/// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+///
+/// Everything here is a pure function of a snapshot, so the renderers are
+/// available in both build flavors; only the convenience writers that
+/// snapshot the live registries are compiled out under SDS_OBS_DISABLED.
+
+/// \brief Quantile `q` (in [0, 1]) of a recorded distribution.
+///
+/// The exact samples are gone — only the log2 buckets plus min/max/count
+/// survive — so the estimate interpolates linearly *within* the bucket
+/// containing the quantile rank q * count: v = lo + (rank - cum_below) /
+/// bucket_weight * (hi - lo), where [lo, hi) are the bucket edges. The
+/// lowest occupied bucket's lower edge is tightened to the observed min
+/// and the highest occupied bucket's upper edge to the observed max, and
+/// the result is clamped to [min, max]; hence the estimate is exact for
+/// single-valued distributions, monotone (non-decreasing) in q, q = 1
+/// returns exactly the max and q = 0 exactly the min. Returns 0 for an
+/// empty distribution.
+double DistQuantile(const DistData& dist, double q);
+
+/// \brief Renders a metrics snapshot in the Prometheus text exposition
+/// format (version 0.0.4).
+///
+/// Names are prefixed `sds_` and sanitised to [a-zA-Z0-9_:]. Counters
+/// become `<name>_total` families with a `point` label (`"all"` for the
+/// global rollup, the point index for per-point copies); gauges map to
+/// gauges; distributions become histograms whose `le` edges are the
+/// occupied log2 bucket upper bounds (cumulative, `+Inf` bucket == count).
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+/// Sanitises one metric name as MetricsToPrometheus does (without the
+/// `sds_` prefix or `_total` suffix). Exposed for tests.
+std::string PrometheusName(const std::string& name);
+
+/// \brief Renders the three recorders onto one Chrome trace-event JSON
+/// document (the "JSON Array Format" with a traceEvents wrapper).
+///
+/// Virtual process 0 carries the wall-clock stage spans (one track per
+/// recording thread), process 1 the simulated-time windowed counters
+/// (counter events at each window start), and process 2 the simulated-time
+/// journeys (one complete event per sampled request, tracked by client).
+/// Wall-clock and simulated timestamps share the microsecond axis at their
+/// own scales; Perfetto's process grouping keeps them apart visually.
+std::string ChromeTraceJson(const TraceSnapshot& trace,
+                            const TimeSeriesSnapshot& timeseries,
+                            const JourneySnapshot& journeys);
+
+#ifdef SDS_OBS_DISABLED
+
+inline bool WritePrometheus(const std::string&) { return false; }
+inline bool WriteChromeTrace(const std::string&) { return false; }
+
+#else  // SDS_OBS_DISABLED
+
+/// Writes MetricsToPrometheus(SnapshotMetrics()) to `path`; false on I/O
+/// error.
+bool WritePrometheus(const std::string& path);
+/// Writes ChromeTraceJson over snapshots of all three recorders to
+/// `path`; false on I/O error.
+bool WriteChromeTrace(const std::string& path);
+
+#endif  // SDS_OBS_DISABLED
+
+}  // namespace sds::obs
+
+#endif  // SDS_OBS_EXPORT_H_

@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/export.h"
+#include "util/string_util.h"
+
 namespace sds::obs {
 
 // ---------------------------------------------------------------------------
@@ -60,7 +63,9 @@ void AppendScalarMap(std::string* out, const std::map<std::string, double>& m,
   for (const auto& [name, value] : m) {
     *out += first ? "\n" : ",\n";
     first = false;
-    *out += pad + "  \"" + name + "\": ";
+    *out += pad + "  \"";
+    AppendJsonEscaped(out, name);
+    *out += "\": ";
     AppendNumber(out, value);
   }
   *out += first ? "}" : "\n" + pad + "}";
@@ -81,7 +86,9 @@ std::string MetricsSnapshot::ToJson(const std::string& indent) const {
     if (dist.count <= 0.0) continue;
     out += first ? "\n" : ",\n";
     first = false;
-    out += indent + "    \"" + name + "\": {\"count\": ";
+    out += indent + "    \"";
+    AppendJsonEscaped(&out, name);
+    out += "\": {\"count\": ";
     AppendNumber(&out, dist.count);
     out += ", \"sum\": ";
     AppendNumber(&out, dist.sum);
@@ -91,6 +98,12 @@ std::string MetricsSnapshot::ToJson(const std::string& indent) const {
     AppendNumber(&out, dist.max);
     out += ", \"mean\": ";
     AppendNumber(&out, dist.mean());
+    out += ", \"p50\": ";
+    AppendNumber(&out, DistQuantile(dist, 0.50));
+    out += ", \"p95\": ";
+    AppendNumber(&out, DistQuantile(dist, 0.95));
+    out += ", \"p99\": ";
+    AppendNumber(&out, DistQuantile(dist, 0.99));
     // Sparse buckets as [lower_edge, weight] pairs.
     out += ", \"buckets\": [";
     bool first_bucket = true;

@@ -1,0 +1,261 @@
+#include "obs/timeseries.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sds::obs {
+
+namespace {
+
+void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TimeSeriesSnapshot::ToJson(const std::string& indent) const {
+  std::string out = "{\n";
+  out += indent + "  \"window_s\": ";
+  AppendNumber(&out, window_s);
+
+  const auto append_series =
+      [&](const std::map<std::string, std::map<int64_t, double>>& series,
+          const std::string& pad) {
+        out += "{";
+        bool first = true;
+        for (const auto& [name, windows] : series) {
+          out += first ? "\n" : ",\n";
+          first = false;
+          out += pad + "  \"";
+          AppendJsonEscaped(&out, name);
+          out += "\": {";
+          bool first_window = true;
+          for (const auto& [window, value] : windows) {
+            if (!first_window) out += ", ";
+            first_window = false;
+            out += '"';
+            out += std::to_string(window);
+            out += "\": ";
+            AppendNumber(&out, value);
+          }
+          out += "}";
+        }
+        out += first ? "}" : "\n" + pad + "}";
+      };
+
+  out += ",\n" + indent + "  \"series\": ";
+  append_series(total, indent + "  ");
+  out += ",\n" + indent + "  \"points\": {";
+  bool first = true;
+  for (const auto& [point, series] : by_point) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += indent + "    \"" + std::to_string(point) + "\": ";
+    append_series(series, indent + "    ");
+  }
+  out += first ? "}" : "\n" + indent + "  }";
+  out += "\n" + indent + "}";
+  return out;
+}
+
+std::string TimeSeriesSnapshot::ToCsv() const {
+  std::string out = "series,point,window_start_s,value\n";
+  const auto append_rows =
+      [&](const std::map<std::string, std::map<int64_t, double>>& series,
+          const std::string& point) {
+        for (const auto& [name, windows] : series) {
+          for (const auto& [window, value] : windows) {
+            // Series names are literals in practice, but a comma or quote
+            // would corrupt the row, so quote any name that needs it.
+            if (name.find_first_of(",\"\n") != std::string::npos) {
+              out += '"';
+              for (const char c : name) {
+                if (c == '"') out += '"';
+                out += c;
+              }
+              out += '"';
+            } else {
+              out += name;
+            }
+            out += "," + point + ",";
+            AppendNumber(&out, static_cast<double>(window) * window_s);
+            out += ",";
+            AppendNumber(&out, value);
+            out += "\n";
+          }
+        }
+      };
+  append_rows(total, "");
+  for (const auto& [point, series] : by_point) {
+    append_rows(series, std::to_string(point));
+  }
+  return out;
+}
+
+#ifndef SDS_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Recording machinery (compiled out under SDS_OBS_DISABLED).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double WindowFromEnv() {
+  if (const char* env = std::getenv("SDS_OBS_WINDOW_S")) {
+    char* end = nullptr;
+    const double value = std::strtod(env, &end);
+    if (end != env && *end == '\0' && value > 0.0) return value;
+  }
+  return kDefaultTimeSeriesWindowS;
+}
+
+std::atomic<double> g_window_s{WindowFromEnv()};
+
+struct TsKey {
+  const char* name;
+  int64_t window;
+  int64_t point;
+  bool operator==(const TsKey& other) const {
+    return name == other.name && window == other.window &&
+           point == other.point;
+  }
+};
+
+struct TsKeyHash {
+  size_t operator()(const TsKey& key) const {
+    uint64_t x = reinterpret_cast<uintptr_t>(key.name) ^
+                 (static_cast<uint64_t>(key.window) * 0x9e3779b97f4a7c15ull) ^
+                 (static_cast<uint64_t>(key.point) * 0xff51afd7ed558ccdull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+struct TsShard {
+  std::unordered_map<TsKey, double, TsKeyHash> cells;
+  void Clear() { cells.clear(); }
+};
+
+void MergeTsShardInto(const TsShard& shard, TimeSeriesSnapshot* snapshot) {
+  for (const auto& [key, value] : shard.cells) {
+    snapshot->total[key.name][key.window] += value;
+    if (key.point != kNoPoint) {
+      snapshot->by_point[key.point][key.name][key.window] += value;
+    }
+  }
+}
+
+void MergeTsSnapshotInto(const TimeSeriesSnapshot& from,
+                         TimeSeriesSnapshot* into) {
+  for (const auto& [name, windows] : from.total) {
+    auto& dest = into->total[name];
+    for (const auto& [window, value] : windows) dest[window] += value;
+  }
+  for (const auto& [point, series] : from.by_point) {
+    auto& dest_series = into->by_point[point];
+    for (const auto& [name, windows] : series) {
+      auto& dest = dest_series[name];
+      for (const auto& [window, value] : windows) dest[window] += value;
+    }
+  }
+}
+
+struct TsRegistry {
+  std::mutex mutex;
+  std::vector<TsShard*> live;
+  TimeSeriesSnapshot retired;
+};
+
+/// Leaked on purpose, like the metrics registry: thread_local shard
+/// destructors must always find it alive.
+TsRegistry& GlobalTsRegistry() {
+  static TsRegistry* registry = new TsRegistry;
+  return *registry;
+}
+
+struct TsShardHandle {
+  TsShard shard;
+  TsShardHandle() {
+    TsRegistry& registry = GlobalTsRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.live.push_back(&shard);
+  }
+  ~TsShardHandle() {
+    TsRegistry& registry = GlobalTsRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    MergeTsShardInto(shard, &registry.retired);
+    for (auto it = registry.live.begin(); it != registry.live.end(); ++it) {
+      if (*it == &shard) {
+        registry.live.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+TsShard& LocalTsShard() {
+  thread_local TsShardHandle handle;
+  return handle.shard;
+}
+
+}  // namespace
+
+void TsCount(const char* name, double sim_time_s, double delta) {
+  if (!Enabled()) return;
+  const double window_s = g_window_s.load(std::memory_order_relaxed);
+  const int64_t window =
+      static_cast<int64_t>(std::floor(sim_time_s / window_s));
+  LocalTsShard().cells[TsKey{name, window, CurrentPoint()}] += delta;
+}
+
+void SetTimeSeriesWindow(double seconds) {
+  if (seconds > 0.0) g_window_s.store(seconds, std::memory_order_relaxed);
+}
+
+double TimeSeriesWindow() {
+  return g_window_s.load(std::memory_order_relaxed);
+}
+
+TimeSeriesSnapshot SnapshotTimeSeries() {
+  TsRegistry& registry = GlobalTsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  TimeSeriesSnapshot snapshot;
+  snapshot.window_s = g_window_s.load(std::memory_order_relaxed);
+  MergeTsSnapshotInto(registry.retired, &snapshot);
+  for (const TsShard* shard : registry.live) {
+    MergeTsShardInto(*shard, &snapshot);
+  }
+  return snapshot;
+}
+
+void ResetTimeSeries() {
+  TsRegistry& registry = GlobalTsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.retired = TimeSeriesSnapshot{};
+  for (TsShard* shard : registry.live) shard->Clear();
+}
+
+bool WriteTimeSeriesCsv(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << SnapshotTimeSeries().ToCsv();
+  return static_cast<bool>(out);
+}
+
+#endif  // !SDS_OBS_DISABLED
+
+}  // namespace sds::obs

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <mutex>
 
+#include "util/string_util.h"
+
 namespace sds::obs {
 
 namespace {
@@ -25,7 +27,7 @@ std::string TraceToJson(const TraceSnapshot& snapshot) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    {\"name\": \"";
-    out += span.name;
+    AppendJsonEscaped(&out, span.name);
     out += "\", \"start_s\": ";
     AppendNumber(&out, span.start_s);
     out += ", \"dur_s\": ";

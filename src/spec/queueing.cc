@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/journey.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -14,6 +17,7 @@ QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
   QueueStats stats;
   if (events.empty()) return stats;
 
+  obs::JourneyRun journey("queue");
   double server_free = 0.0;
   double busy = 0.0;
   RunningStats waits;
@@ -25,7 +29,8 @@ QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
   size_t max_depth = 0;
 
   double last_time = 0.0;
-  for (const auto& e : events) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
     SDS_CHECK(e.time >= last_time) << "events must be time-ordered";
     last_time = e.time;
     while (!in_system.empty() && in_system.front() <= e.time) {
@@ -42,6 +47,19 @@ QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
     server_free = done;
     in_system.push_back(done);
     max_depth = std::max(max_depth, in_system.size());
+    obs::TsCount("queue.requests", e.time);
+    obs::TsCount("queue.busy_s", e.time, service);
+    obs::Observe("queue.response_s", done - e.time);
+    if (journey.Sample(i)) {
+      obs::JourneyRecord j;
+      j.request = i;
+      j.time_s = e.time;
+      j.served_by = obs::kServedByServer;
+      j.response_bytes = e.response_bytes;
+      j.queue_s = start - e.time;
+      j.transfer_s = service;
+      journey.Record(j);
+    }
   }
 
   // Utilization is measured over the observed window: first arrival to
@@ -58,6 +76,12 @@ QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
       waits.mean() + busy / static_cast<double>(events.size());
   stats.p95_response_s = Quantile(responses, 0.95);
   stats.max_queue_depth = static_cast<double>(max_depth);
+  if (obs::Enabled()) {
+    obs::Count("queue.requests", static_cast<double>(stats.requests));
+    obs::Count("queue.busy_s", busy);
+    obs::GaugeMax("queue.max_depth", stats.max_queue_depth);
+    obs::GaugeMax("queue.utilization", stats.utilization);
+  }
   return stats;
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -150,6 +152,7 @@ void SpeculationSimulator::Prewarm(const DependencyConfig& config) {
 RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
                                     std::vector<ServerEvent>* server_events) {
   obs::SpanGuard run_span("spec.run");
+  obs::JourneyRun journey("spec");
   if (server_events != nullptr) server_events->clear();
   SDS_CHECK(config.update_cycle_days >= 1);
   SDS_CHECK(config.history_days >= 1);
@@ -235,22 +238,40 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     cache.Touch(now);
     const uint64_t size = pt.size_bytes[i];
     ++totals.client_requests;
+    obs::TsCount("spec.client_requests", now);
     totals.requested_bytes += static_cast<double>(size);
+    const bool sampled = journey.Sample(i);
 
     if (cache.Contains(doc)) {
-      if (cache.IsUnusedSpeculative(doc)) ++totals.speculative_hits;
+      if (cache.IsUnusedSpeculative(doc)) {
+        ++totals.speculative_hits;
+        obs::TsCount("spec.speculative_hits", now);
+      }
       cache.MarkUsed(doc);
+      if (sampled) {
+        obs::JourneyRecord j;
+        j.request = i;
+        j.time_s = now;
+        j.client = client;
+        j.doc = doc;
+        j.served_by = obs::kServedByCache;
+        journey.Record(j);
+      }
       continue;  // zero-latency cache hit, no server involvement
     }
 
     // Cache miss: the request tries to reach the server. During a server
     // outage the client retries with backoff; if every attempt finds the
     // server down, the request is lost (counted unavailable, never served).
+    uint32_t request_retries = 0;
+    double request_backoff = 0.0;
     if (faulty && config.faults->ServerDown(server, now)) {
       SimTime when = now;
       double waited = 0.0;
       bool reached = false;
       ++totals.retry_attempts;  // the initial attempt timed out
+      obs::TsCount("spec.retry_attempts", now);
+      ++request_retries;
       for (uint32_t attempt = 1; attempt < config.retry.max_attempts;
            ++attempt) {
         const double wait =
@@ -263,12 +284,27 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
           break;
         }
         ++totals.retry_attempts;
+        obs::TsCount("spec.retry_attempts", when);
+        ++request_retries;
       }
       if (!reached) waited += config.retry.timeout_s;
       totals.retry_wait_seconds += waited;
+      request_backoff = waited;
       if (!reached) {
         ++totals.unavailable_requests;
+        obs::TsCount("spec.unavailable_requests", now);
         totals.miss_bytes += static_cast<double>(size);
+        if (sampled) {
+          obs::JourneyRecord j;
+          j.request = i;
+          j.time_s = now;
+          j.client = client;
+          j.doc = doc;
+          j.served_by = obs::kServedByNone;
+          j.retries = request_retries;
+          j.backoff_s = request_backoff;
+          journey.Record(j);
+        }
         continue;
       }
     }
@@ -278,18 +314,23 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         faulty && config.faults->ServerDegraded(server, now);
 
     ++totals.server_requests;
+    obs::TsCount("spec.server_requests", now);
     totals.miss_bytes += static_cast<double>(size);
     double response_bytes = static_cast<double>(size);
+    uint32_t pushed_docs = 0;
 
     if (degraded && model_ready &&
         (server_speculates || server_hints)) {
       ++totals.brownout_responses;
       const SparseProbMatrix::RowView row =
           config.use_closure ? closure.Row(doc) : matrix.Row(doc);
-      totals.suppressed_speculative_docs +=
+      const size_t suppressed =
           SelectCandidates(row, *corpus_,
                            server_speculates ? push_policy : config.policy)
               .size();
+      totals.suppressed_speculative_docs += suppressed;
+      obs::TsCount("spec.suppressed_speculative_docs", now,
+                   static_cast<double>(suppressed));
     }
 
     if (server_speculates && model_ready && !degraded) {
@@ -305,6 +346,10 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         response_bytes += static_cast<double>(cand_size);
         totals.speculative_bytes += static_cast<double>(cand_size);
         ++totals.speculative_docs_sent;
+        obs::TsCount("spec.speculative_docs_sent", now);
+        obs::TsCount("spec.speculative_bytes", now,
+                     static_cast<double>(cand_size));
+        ++pushed_docs;
         if (cached) {
           // Blind duplicate push: pure waste.
           totals.wasted_speculative_bytes +=
@@ -325,10 +370,15 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         if (cache.Contains(cand.doc)) continue;
         const uint64_t cand_size = corpus_->doc(cand.doc).size_bytes;
         ++totals.server_requests;
+        obs::TsCount("spec.server_requests", now);
         ++totals.prefetch_requests;
         totals.bytes_sent += static_cast<double>(cand_size);
         totals.speculative_bytes += static_cast<double>(cand_size);
         ++totals.speculative_docs_sent;
+        obs::TsCount("spec.speculative_docs_sent", now);
+        obs::TsCount("spec.speculative_bytes", now,
+                     static_cast<double>(cand_size));
+        ++pushed_docs;
         cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
         if (server_events != nullptr) {
           server_events->push_back({now, static_cast<double>(cand_size)});
@@ -340,12 +390,28 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
       server_events->push_back({now, response_bytes});
     }
     totals.bytes_sent += response_bytes;
-    totals.total_latency +=
+    const double service_time =
         config.serv_cost +
         config.comm_cost * (config.charge_speculative_latency
                                 ? response_bytes
                                 : static_cast<double>(size));
+    totals.total_latency += service_time;
     cache.Insert(doc, size, /*speculative=*/false, now);
+
+    if (sampled) {
+      obs::JourneyRecord j;
+      j.request = i;
+      j.time_s = now;
+      j.client = client;
+      j.doc = doc;
+      j.served_by = obs::kServedByServer;
+      j.retries = request_retries;
+      j.backoff_s = request_backoff;
+      j.pushed_docs = pushed_docs;
+      j.response_bytes = response_bytes;
+      j.transfer_s = service_time;
+      journey.Record(j);
+    }
 
     if (client_prefetches && !degraded) {
       // The client consults its own profile and fetches likely successors
@@ -361,10 +427,14 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
           continue;
         }
         ++totals.server_requests;
+        obs::TsCount("spec.server_requests", now);
         ++totals.prefetch_requests;
         totals.bytes_sent += static_cast<double>(cand_size);
         totals.speculative_bytes += static_cast<double>(cand_size);
         ++totals.speculative_docs_sent;
+        obs::TsCount("spec.speculative_docs_sent", now);
+        obs::TsCount("spec.speculative_bytes", now,
+                     static_cast<double>(cand_size));
         cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
         if (server_events != nullptr) {
           server_events->push_back({now, static_cast<double>(cand_size)});

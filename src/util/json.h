@@ -1,0 +1,79 @@
+#ifndef SDS_UTIL_JSON_H_
+#define SDS_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sds {
+
+/// \brief Minimal recursive-descent JSON reader for the tool layer.
+///
+/// Parses the documents this repository itself emits (BENCH_*.json reports,
+/// metrics/trace snapshots, journey dumps) without an external dependency.
+/// It accepts standard JSON: objects, arrays, strings with escapes
+/// (including \uXXXX, encoded back to UTF-8), numbers, true/false/null.
+/// Object member order is not preserved (members are stored sorted by key);
+/// duplicate keys keep the last value, matching common parsers.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; return the fallback when the value has another kind.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Nested lookup: Find(a) then Find(b) ... ; nullptr when any hop fails.
+  const JsonValue* FindPath(std::initializer_list<const char*> keys) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> v);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). Errors carry a byte offset in the message.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses `path`; IoError when unreadable, ParseError when
+/// malformed.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace sds
+
+#endif  // SDS_UTIL_JSON_H_

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace sds {
@@ -84,6 +85,51 @@ std::string JoinStrings(const std::vector<std::string>& parts,
     if (i != 0) out += sep;
     out += parts[i];
   }
+  return out;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view input) {
+  for (const char c : input) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        continue;
+      case '\\':
+        *out += "\\\\";
+        continue;
+      case '\b':
+        *out += "\\b";
+        continue;
+      case '\f':
+        *out += "\\f";
+        continue;
+      case '\n':
+        *out += "\\n";
+        continue;
+      case '\r':
+        *out += "\\r";
+        continue;
+      case '\t':
+        *out += "\\t";
+        continue;
+      default:
+        break;
+    }
+    if (byte < 0x20 || byte >= 0x7F) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  AppendJsonEscaped(&out, input);
   return out;
 }
 

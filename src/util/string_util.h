@@ -34,6 +34,17 @@ Result<double> ParseDouble(std::string_view input);
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);
 
+/// \brief Appends `input` to `*out` as the body of a JSON string literal
+/// (quotes not included). `"` and `\` get their two-character escapes,
+/// control characters use the short forms (\n, \t, ...) or \u00XX, and
+/// bytes >= 0x7F are escaped byte-wise as \u00XX (Latin-1 interpretation),
+/// so the output is always pure-ASCII valid JSON even when the input is
+/// not valid UTF-8 (e.g. hostile bytes from a CLF log).
+void AppendJsonEscaped(std::string* out, std::string_view input);
+
+/// \brief Returns `input` escaped as by AppendJsonEscaped.
+std::string JsonEscape(std::string_view input);
+
 }  // namespace sds
 
 #endif  // SDS_UTIL_STRING_UTIL_H_

@@ -9,7 +9,11 @@
 #include "core/experiments.h"
 #include "core/sweep.h"
 #include "core/workload.h"
+#include "obs/export.h"
+#include "obs/journey.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "util/json.h"
 
 namespace sds::obs {
 namespace {
@@ -233,6 +237,48 @@ TEST_F(ObsTest, SpansAreSortedByStartAcrossThreads) {
 }
 
 // ---------------------------------------------------------------------------
+// Escaping regression: metric names are caller-supplied strings, and a name
+// containing a quote, backslash, or control character must not corrupt the
+// emitted JSON. Validated with the in-repo parser, which rejects raw
+// control characters and unbalanced quoting outright.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, MetricsJsonEscapesHostileNames) {
+  MetricsSnapshot snap;
+  const std::string hostile = "evil\"name\\with\ncontrol\tchars";
+  snap.counters[hostile] = 1.0;
+  snap.gauges[hostile] = 2.0;
+  snap.distributions[hostile].Add(3.0);
+  snap.point_counters[0][hostile] = 4.0;
+
+  const Result<JsonValue> parsed = ParseJson(snap.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counter = parsed.value().FindPath({"counters"});
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(counter->Find(hostile), nullptr);
+  EXPECT_DOUBLE_EQ(counter->Find(hostile)->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.value().FindPath({"gauges"})->Find(hostile)
+                       ->AsNumber(), 2.0);
+  EXPECT_NE(parsed.value().FindPath({"distributions"})->Find(hostile),
+            nullptr);
+  EXPECT_DOUBLE_EQ(parsed.value().FindPath({"points", "0"})->Find(hostile)
+                       ->AsNumber(), 4.0);
+}
+
+TEST_F(ObsTest, TraceJsonEscapesHostileSpanNames) {
+  TraceSnapshot snap;
+  snap.spans.push_back(
+      TraceSpan{"span\"with\\hostile\nname", 0.0, 1.0, 0.0, kNoPoint, 0});
+  const Result<JsonValue> parsed = ParseJson(TraceToJson(snap));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* spans = parsed.value().Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items().size(), 1u);
+  EXPECT_EQ(spans->items()[0].Find("name")->AsString(),
+            "span\"with\\hostile\nname");
+}
+
+// ---------------------------------------------------------------------------
 // The load-bearing contract: instrumentation must not perturb simulation
 // results. The golden Fig6 grid numbers below are the exact values pinned
 // by tests/core/sweep_test.cc with observability off; this fixture runs
@@ -300,6 +346,41 @@ TEST_F(ObsTest, CompiledOutLayerIsInert) {
   EXPECT_TRUE(SnapshotMetrics().empty());
   EXPECT_TRUE(SnapshotTrace().spans.empty());
   EXPECT_FALSE(WriteTrace("/tmp/never_written.json"));
+
+  // The second-layer recorders compile to the same inert stubs.
+  TsCount("test.noop", 0.0);
+  TsCount("test.noop", 3600.0, 5.0);
+  SetTimeSeriesWindow(60.0);
+  EXPECT_DOUBLE_EQ(TimeSeriesWindow(), kDefaultTimeSeriesWindowS);
+  EXPECT_TRUE(SnapshotTimeSeries().empty());
+  ResetTimeSeries();
+  EXPECT_FALSE(WriteTimeSeriesCsv("/tmp/never_written.csv"));
+
+  {
+    ScopedJourneySeed seed(42);
+    JourneyRun run("test.noop");
+    EXPECT_FALSE(run.active());
+    EXPECT_FALSE(run.Sample(0));
+    run.Record({});
+  }
+  SetJourneySamplePeriod(1);
+  EXPECT_EQ(JourneySamplePeriod(), kDefaultJourneySamplePeriod);
+  EXPECT_TRUE(SnapshotJourneys().journeys.empty());
+  ResetJourneys();
+  EXPECT_FALSE(WriteJourneys("/tmp/never_written.json"));
+
+  EXPECT_FALSE(WritePrometheus("/tmp/never_written.prom"));
+  EXPECT_FALSE(WriteChromeTrace("/tmp/never_written.trace.json"));
+
+  // The pure renderers stay available in this flavor (tools still link).
+  EXPECT_DOUBLE_EQ(DistQuantile(DistData{}, 0.5), 0.0);
+  MetricsSnapshot one_counter;
+  one_counter.counters["test.render"] = 1.0;
+  EXPECT_NE(MetricsToPrometheus(one_counter).find("sds_test_render_total"),
+            std::string::npos);
+  EXPECT_FALSE(ChromeTraceJson(TraceSnapshot{}, TimeSeriesSnapshot{},
+                               JourneySnapshot{})
+                   .empty());
 }
 
 #endif  // SDS_OBS_DISABLED

@@ -1,0 +1,137 @@
+#include "util/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace sds {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  Result<JsonValue> result = ParseJson(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.value() : JsonValue();
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null").is_null());
+  EXPECT_TRUE(Parse("true").AsBool());
+  EXPECT_FALSE(Parse("false").AsBool(true));
+  EXPECT_DOUBLE_EQ(Parse("42").AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-0.5").AsNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3").AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(Parse("2.5E-2").AsNumber(), 0.025);
+  EXPECT_EQ(Parse("\"hello\"").AsString(), "hello");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  const JsonValue array = Parse("[1, \"two\", [3], {\"k\": 4}, null]");
+  ASSERT_TRUE(array.is_array());
+  ASSERT_EQ(array.items().size(), 5u);
+  EXPECT_DOUBLE_EQ(array.items()[0].AsNumber(), 1.0);
+  EXPECT_EQ(array.items()[1].AsString(), "two");
+  EXPECT_DOUBLE_EQ(array.items()[2].items()[0].AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(array.items()[3].Find("k")->AsNumber(), 4.0);
+  EXPECT_TRUE(array.items()[4].is_null());
+
+  const JsonValue object = Parse("{\"a\": {\"b\": {\"c\": 7}}, \"d\": []}");
+  ASSERT_TRUE(object.is_object());
+  EXPECT_EQ(object.members().size(), 2u);
+  const JsonValue* c = object.FindPath({"a", "b", "c"});
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->AsNumber(), 7.0);
+  EXPECT_EQ(object.FindPath({"a", "missing", "c"}), nullptr);
+  EXPECT_EQ(object.Find("missing"), nullptr);
+  // Find on a non-object is a safe nullptr, not an error.
+  EXPECT_EQ(Parse("[1]").Find("a"), nullptr);
+}
+
+TEST(JsonTest, EmptyContainersAndWhitespace) {
+  EXPECT_TRUE(Parse(" \t\n{ } ").is_object());
+  EXPECT_TRUE(Parse("[]").is_array());
+  EXPECT_EQ(Parse("{}").members().size(), 0u);
+  EXPECT_EQ(Parse("[ ]").items().size(), 0u);
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  EXPECT_EQ(Parse("\"a\\\"b\\\\c\\/d\"").AsString(), "a\"b\\c/d");
+  EXPECT_EQ(Parse("\"\\b\\f\\n\\r\\t\"").AsString(), "\b\f\n\r\t");
+  EXPECT_EQ(Parse("\"\\u0041\\u00e9\"").AsString(), "A\xC3\xA9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(Parse("\"\\uD83D\\uDE00\"").AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, RoundTripsJsonEscape) {
+  // Whatever our own escaper emits, our parser must decode back. (Bytes
+  // >= 0x80 are escaped Latin-1-wise and decode to UTF-8, so only ASCII
+  // round-trips to the identical byte string.)
+  const std::string hostile = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  const std::string document = "{\"" + JsonEscape(hostile) + "\": 1}";
+  const JsonValue parsed = Parse(document);
+  ASSERT_TRUE(parsed.is_object());
+  ASSERT_EQ(parsed.members().size(), 1u);
+  EXPECT_EQ(parsed.members().begin()->first, hostile);
+}
+
+TEST(JsonTest, DuplicateKeysKeepLastValue) {
+  const JsonValue v = Parse("{\"k\": 1, \"k\": 2}");
+  EXPECT_DOUBLE_EQ(v.Find("k")->AsNumber(), 2.0);
+  EXPECT_EQ(v.members().size(), 1u);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",         "[1,]",     "{\"a\" 1}",  "{\"a\": }",
+      "tru",        "nul",       "\"unterminated", "\"bad\\q\"",
+      "\"\\u12\"",  "{\"a\": 1} extra", "[1] 2", "'single'",
+      "\"raw\ncontrol\"",
+  };
+  for (const char* text : bad) {
+    const Result<JsonValue> result = ParseJson(text);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << text;
+      // Errors locate the problem by byte offset.
+      EXPECT_NE(result.status().message().find("offset"), std::string::npos)
+          << text;
+    }
+  }
+}
+
+TEST(JsonTest, LoneSurrogateIsToleratedAsIs) {
+  // A lone high surrogate is not chained into a pair; the parser keeps it
+  // (encoded as a 3-byte sequence) instead of failing the document.
+  const Result<JsonValue> result = ParseJson("\"\\uD83Dx\"");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().AsString().back(), 'x');
+}
+
+TEST(JsonTest, ParseJsonFileReportsMissingFile) {
+  const Result<JsonValue> result =
+      ParseJsonFile("/nonexistent/sds_json_test.json");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("/nonexistent/sds_json_test.json"),
+            std::string::npos);
+}
+
+TEST(JsonTest, ParseJsonFileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/sds_json_test_roundtrip.json";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("{\"ok\": [true, 1.5]}", f);
+    fclose(f);
+  }
+  const Result<JsonValue> result = ParseJsonFile(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().FindPath({"ok"})->items()[0].AsBool());
+  remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sds
