@@ -172,8 +172,14 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
   DecayedCounts decayed(corpus_->size(), config.decay_per_day);
   const bool use_decay =
       config.estimator == SpeculationConfig::EstimatorKind::kExponentialDecay;
-  SparseProbMatrix matrix(corpus_->size());
-  ClosureCache closure(&matrix, config.closure);
+  // P and the lazily cached P* rows, maintained batch (full rebuild per
+  // update cycle) or incrementally (delta rebuild of drifted rows only).
+  // The decay estimator touches every counter daily, so it always
+  // rebuilds in full.
+  DeltaClosure model(config.closure);
+  const bool incremental = needs_model && !use_decay &&
+                           config.closure_mode == ClosureMode::kIncremental;
+  if (incremental) counts.EnableRowTracking();
 
   std::vector<ClientCache> caches;
   caches.reserve(trace_->num_clients);
@@ -226,9 +232,17 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         }
         if (current_day % config.update_cycle_days == 0 ||
             !model_ready) {
-          matrix = use_decay ? decayed.BuildMatrix(config.dependency)
-                             : counts.BuildMatrix(config.dependency);
-          closure.Reset(&matrix);
+          if (use_decay) {
+            model.Rebuild(decayed.BuildMatrix(config.dependency));
+          } else if (incremental && model_ready) {
+            model.ApplyDelta(&counts, config.dependency);
+          } else {
+            // First build (or batch mode): full rebuild. Draining the
+            // dirty set here makes the next ApplyDelta start from a
+            // clean slate that matches the matrix just built.
+            if (incremental) counts.DrainDirtyRows();
+            model.Rebuild(counts.BuildMatrix(config.dependency));
+          }
           model_ready = true;
         }
       }
@@ -323,7 +337,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         (server_speculates || server_hints)) {
       ++totals.brownout_responses;
       const SparseProbMatrix::RowView row =
-          config.use_closure ? closure.Row(doc) : matrix.Row(doc);
+          config.use_closure ? model.ClosureRow(doc) : model.PRow(doc);
       const size_t suppressed =
           SelectCandidates(row, *corpus_,
                            server_speculates ? push_policy : config.policy)
@@ -335,7 +349,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
 
     if (server_speculates && model_ready && !degraded) {
       const SparseProbMatrix::RowView row =
-          config.use_closure ? closure.Row(doc) : matrix.Row(doc);
+          config.use_closure ? model.ClosureRow(doc) : model.PRow(doc);
       for (const auto& cand :
            SelectCandidates(row, *corpus_, push_policy)) {
         const uint64_t cand_size = corpus_->doc(cand.doc).size_bytes;
@@ -364,7 +378,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
       // The hint list itself is negligible; the client fetches hinted
       // documents it lacks as background prefetches.
       const SparseProbMatrix::RowView row =
-          config.use_closure ? closure.Row(doc) : matrix.Row(doc);
+          config.use_closure ? model.ClosureRow(doc) : model.PRow(doc);
       for (const auto& cand :
            SelectCandidates(row, *corpus_, config.policy)) {
         if (cache.Contains(cand.doc)) continue;
@@ -469,6 +483,21 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
                static_cast<double>(totals.unavailable_requests));
     obs::Count("spec.retry_attempts",
                static_cast<double>(totals.retry_attempts));
+    const DeltaClosure::Stats& cs = model.stats();
+    obs::Count("spec.closure.full_rebuilds",
+               static_cast<double>(cs.full_rebuilds));
+    obs::Count("spec.closure.delta_cycles",
+               static_cast<double>(cs.delta_cycles));
+    obs::Count("spec.closure.rows_rebuilt",
+               static_cast<double>(cs.rows_rebuilt));
+    obs::Count("spec.closure.rows_changed",
+               static_cast<double>(cs.rows_changed));
+    obs::Count("spec.closure.rows_dropped",
+               static_cast<double>(cs.closure_rows_dropped));
+    obs::Count("spec.closure.rows_kept",
+               static_cast<double>(cs.closure_rows_kept));
+    obs::Count("spec.closure.rows_computed",
+               static_cast<double>(cs.closure_rows_computed));
     run_span.AddBytes(totals.bytes_sent);
   }
   return totals;

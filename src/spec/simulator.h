@@ -65,6 +65,11 @@ struct SpeculationConfig {
   ClosureConfig closure;
   /// If false, the policy consults the raw P instead of the closure P*.
   bool use_closure = true;
+  /// How P and the cached P* rows are maintained across update cycles.
+  /// kIncremental is observably bit-identical to kBatch (pinned by
+  /// tests/spec/incremental_equivalence_test.cc); it falls back to full
+  /// rebuilds under kExponentialDecay, where every counter changes daily.
+  ClosureMode closure_mode = ClosureMode::kBatch;
   /// How past observations are weighted when estimating P.
   enum class EstimatorKind : uint8_t {
     /// The paper's baseline: a sliding window of the last D' days.

@@ -366,6 +366,52 @@ TEST_F(SweepExperimentsTest, GoldenFig6Grid) {
   }
 }
 
+TEST_F(SweepExperimentsTest, GoldenFig6GridIncrementalClosure) {
+  // ClosureMode::kIncremental must reproduce the batch goldens above to
+  // the bit — same tolerance, same expected values.
+  const Fig5Result result =
+      RunFig5(*workload_, {1.0, 0.5, 0.2}, {.workers = 0},
+              spec::ClosureMode::kIncremental);
+  ASSERT_EQ(result.points.size(), 3u);
+  const struct {
+    double bw, load, time, miss;
+  } expected[] = {
+      {1.0041881918724975, 0.96365539934190847, 0.95258184119938183,
+       0.94146243872170432},
+      {1.0634609410122278, 0.69383787017648824, 0.64808137762783535,
+       0.60213545400809099},
+      {1.2877901684453081, 0.5937780436733473, 0.5725091738996323,
+       0.55115225138066248},
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.points[i].metrics.bandwidth_ratio, expected[i].bw, 1e-9)
+        << "tp point " << i;
+    EXPECT_NEAR(result.points[i].metrics.server_load_ratio, expected[i].load,
+                1e-9);
+    EXPECT_NEAR(result.points[i].metrics.service_time_ratio, expected[i].time,
+                1e-9);
+    EXPECT_NEAR(result.points[i].metrics.miss_rate_ratio, expected[i].miss,
+                1e-9);
+  }
+}
+
+TEST_F(SweepExperimentsTest, UpdateCycleTableIdenticalUnderIncremental) {
+  // RunExpUpdateCycle exercises every (D, D') combination of the §3.4
+  // stability grid; the rendered tables must agree byte-for-byte across
+  // closure modes.
+  const std::string batch =
+      RunExpUpdateCycle(*workload_, 0.25, {.workers = 2},
+                        spec::ClosureMode::kBatch)
+          .ToTable()
+          .ToAlignedString();
+  const std::string incremental =
+      RunExpUpdateCycle(*workload_, 0.25, {.workers = 2},
+                        spec::ClosureMode::kIncremental)
+          .ToTable()
+          .ToAlignedString();
+  EXPECT_EQ(batch, incremental);
+}
+
 TEST_F(SweepExperimentsTest, GoldenFig3Savings) {
   const Fig3Result result = RunFig3(*workload_, 4);
   ASSERT_EQ(result.saved_top10.size(), 4u);

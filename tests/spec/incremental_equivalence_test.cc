@@ -1,0 +1,367 @@
+// Differential-testing harness for ClosureMode::kIncremental: under every
+// randomized scenario the incrementally maintained P, the lazily cached
+// P* rows, and the downstream speculation decisions must be bit-identical
+// to a from-scratch batch rebuild. Scenarios are seeded; every assertion
+// carries the failing seed so a reported failure reproduces with a
+// one-line filter + the printed seed.
+
+#include <deque>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <vector>
+
+#include "core/experiments.h"
+#include "core/sweep.h"
+#include "core/workload.h"
+#include "spec/closure.h"
+#include "spec/dependency.h"
+#include "spec/simulator.h"
+#include "util/rng.h"
+
+namespace sds::spec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer 1: randomized day-count streams, matrix + closure equivalence
+// ---------------------------------------------------------------------------
+
+// How one synthetic day of pair/occurrence observations is skewed.
+enum class Scenario {
+  kPopularityChurn,   // hot set rotates slowly through the doc space
+  kFlashCrowd,        // some days concentrate most mass on one document
+  kInsertRetire,      // active doc range grows, then the oldest retire
+  kWindowSlide,       // steady stream; the window slide does the churning
+};
+
+const char* ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kPopularityChurn:
+      return "popularity-churn";
+    case Scenario::kFlashCrowd:
+      return "flash-crowd";
+    case Scenario::kInsertRetire:
+      return "insert-retire";
+    case Scenario::kWindowSlide:
+      return "window-slide";
+  }
+  return "?";
+}
+
+// One synthetic day: raw pair/occurrence observations, Normalize()d like
+// CountDailyDependencies output.
+DayCounts MakeDay(Scenario scenario, uint32_t day, size_t num_docs,
+                  Rng* rng) {
+  DayCounts out;
+  size_t lo = 0, hi = num_docs;
+  trace::DocumentId crowd_doc = 0;
+  bool crowd = false;
+  switch (scenario) {
+    case Scenario::kPopularityChurn:
+      // A window of ~1/4 of the doc space that advances a little each day.
+      lo = (day * 3) % num_docs;
+      hi = std::min(num_docs, lo + num_docs / 4 + 2);
+      break;
+    case Scenario::kFlashCrowd:
+      crowd = day % 5 == 2;  // every fifth day is a crowd day
+      crowd_doc = static_cast<trace::DocumentId>(
+          rng->NextBounded(num_docs));
+      break;
+    case Scenario::kInsertRetire:
+      // Docs "exist" in a moving band: new ids appear as days pass and
+      // the earliest ids stop being referenced entirely.
+      lo = std::min<size_t>(num_docs - 2, day / 2);
+      hi = std::min(num_docs, lo + num_docs / 3 + 2);
+      break;
+    case Scenario::kWindowSlide:
+      break;
+  }
+  const size_t span = hi - lo;
+  const size_t events = 20 + rng->NextBounded(60);
+  for (size_t e = 0; e < events; ++e) {
+    trace::DocumentId i =
+        static_cast<trace::DocumentId>(lo + rng->NextBounded(span));
+    trace::DocumentId j =
+        static_cast<trace::DocumentId>(lo + rng->NextBounded(span));
+    if (crowd && rng->NextBernoulli(0.7)) i = crowd_doc;
+    if (i == j) continue;
+    const uint32_t n = 1 + static_cast<uint32_t>(rng->NextBounded(4));
+    out.pair_counts.push_back({PairKey(i, j), n});
+    // Occurrences at least as large as the pair count keeps p <= 1 on
+    // most rows; occasionally skip them so the p = min(1, n/occ) clamp
+    // and the occ == 0 pruning both get exercised.
+    if (!rng->NextBernoulli(0.05)) {
+      out.occurrences.push_back({i, n + static_cast<uint32_t>(
+                                         rng->NextBounded(3))});
+    }
+  }
+  // A few occurrence-only docs (dirty rows with no pair support).
+  for (size_t e = 0; e < 4; ++e) {
+    out.occurrences.push_back(
+        {static_cast<trace::DocumentId>(rng->NextBounded(num_docs)), 1});
+  }
+  out.Normalize();
+  return out;
+}
+
+void ExpectMatrixEq(const SparseProbMatrix& batch,
+                    const SparseProbMatrix& inc, const std::string& ctx) {
+  ASSERT_EQ(batch.num_docs(), inc.num_docs()) << ctx;
+  ASSERT_EQ(batch.NumEntries(), inc.NumEntries()) << ctx;
+  for (trace::DocumentId i = 0; i < batch.num_docs(); ++i) {
+    const auto a = batch.Row(i);
+    const auto b = inc.Row(i);
+    ASSERT_EQ(a.size(), b.size()) << ctx << " row " << i;
+    for (size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k].doc, b[k].doc) << ctx << " row " << i << " entry " << k;
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(a[k].probability, b[k].probability)
+          << ctx << " row " << i << " entry " << k;
+    }
+  }
+}
+
+void RunScenario(Scenario scenario, uint64_t seed) {
+  std::ostringstream ctx_base;
+  ctx_base << ScenarioName(scenario) << " seed=" << seed;
+  Rng rng(seed);
+  const size_t num_docs = 24 + rng.NextBounded(40);
+  const uint32_t days = 30;
+  const uint32_t history = 6 + static_cast<uint32_t>(rng.NextBounded(6));
+
+  DependencyConfig dep;
+  dep.min_support = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+  dep.min_probability = 0.02;
+  ClosureConfig closure_cfg;
+  closure_cfg.min_probability = 0.02;
+  closure_cfg.max_depth = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+  if (rng.NextBernoulli(0.3)) {
+    closure_cfg.semantics = ClosureSemantics::kSumProductCapped;
+  }
+
+  WindowedCounts tracked(num_docs);
+  tracked.EnableRowTracking();
+  DeltaClosure delta(closure_cfg);
+  std::deque<DayCounts> window;
+  bool first = true;
+  ClosureScratch batch_scratch;
+
+  for (uint32_t day = 0; day < days; ++day) {
+    const std::string ctx = ctx_base.str() + " day=" + std::to_string(day);
+    const DayCounts dc = MakeDay(scenario, day, num_docs, &rng);
+    tracked.Add(dc);
+    window.push_back(dc);
+    if (window.size() > history) {
+      tracked.Remove(window.front());
+      window.pop_front();
+    }
+
+    // Touch some closure rows *before* the update so the invalidation
+    // logic has cached rows to keep or drop.
+    if (!first) {
+      for (size_t s = 0; s < 5; ++s) {
+        delta.ClosureRow(
+            static_cast<trace::DocumentId>(rng.NextBounded(num_docs)));
+      }
+    }
+
+    // Incremental update (mirrors the simulator's update-cycle path).
+    if (first) {
+      tracked.DrainDirtyRows();
+      delta.Rebuild(tracked.BuildMatrix(dep));
+      first = false;
+    } else {
+      delta.ApplyDelta(&tracked, dep);
+    }
+
+    // Batch reference: a fresh window aggregate, built from scratch.
+    WindowedCounts fresh(num_docs);
+    for (const DayCounts& d : window) fresh.Add(d);
+    const SparseProbMatrix batch = fresh.BuildMatrix(dep);
+    ExpectMatrixEq(batch, delta.matrix(), ctx);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Closure rows: every source, cached or fresh, must match a batch
+    // closure computation bit-for-bit.
+    for (trace::DocumentId s = 0; s < num_docs; ++s) {
+      const auto expect =
+          ComputeClosureRow(batch, s, closure_cfg, &batch_scratch);
+      const auto got = delta.ClosureRow(s);
+      ASSERT_EQ(expect.size(), got.size()) << ctx << " source " << s;
+      for (size_t k = 0; k < expect.size(); ++k) {
+        ASSERT_EQ(expect[k].doc, got[k].doc)
+            << ctx << " source " << s << " entry " << k;
+        ASSERT_EQ(expect[k].probability, got[k].probability)
+            << ctx << " source " << s << " entry " << k;
+      }
+    }
+  }
+  // The whole point: deltas must not degenerate to full rebuilds.
+  EXPECT_EQ(delta.stats().full_rebuilds, 1u) << ctx_base.str();
+  EXPECT_EQ(delta.stats().delta_cycles, days - 1) << ctx_base.str();
+}
+
+TEST(IncrementalEquivalence, PopularityChurn) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunScenario(Scenario::kPopularityChurn, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalEquivalence, FlashCrowd) {
+  for (uint64_t seed = 101; seed <= 108; ++seed) {
+    RunScenario(Scenario::kFlashCrowd, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalEquivalence, InsertRetire) {
+  for (uint64_t seed = 201; seed <= 208; ++seed) {
+    RunScenario(Scenario::kInsertRetire, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalEquivalence, WindowSlide) {
+  for (uint64_t seed = 301; seed <= 308; ++seed) {
+    RunScenario(Scenario::kWindowSlide, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: full simulator runs, batch vs incremental RunTotals
+// ---------------------------------------------------------------------------
+
+void ExpectTotalsEq(const RunTotals& a, const RunTotals& b,
+                    const std::string& ctx) {
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent) << ctx;
+  EXPECT_EQ(a.server_requests, b.server_requests) << ctx;
+  EXPECT_EQ(a.client_requests, b.client_requests) << ctx;
+  EXPECT_EQ(a.total_latency, b.total_latency) << ctx;
+  EXPECT_EQ(a.miss_bytes, b.miss_bytes) << ctx;
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes) << ctx;
+  EXPECT_EQ(a.speculative_docs_sent, b.speculative_docs_sent) << ctx;
+  EXPECT_EQ(a.speculative_bytes, b.speculative_bytes) << ctx;
+  EXPECT_EQ(a.speculative_hits, b.speculative_hits) << ctx;
+  EXPECT_EQ(a.wasted_speculative_bytes, b.wasted_speculative_bytes) << ctx;
+  EXPECT_EQ(a.prefetch_requests, b.prefetch_requests) << ctx;
+  EXPECT_EQ(a.unavailable_requests, b.unavailable_requests) << ctx;
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts) << ctx;
+  EXPECT_EQ(a.suppressed_speculative_docs, b.suppressed_speculative_docs)
+      << ctx;
+}
+
+class IncrementalSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new core::Workload(core::MakeWorkload(core::SmallConfig()));
+    sim_ = new SpeculationSimulator(&workload_->corpus(),
+                                    &workload_->clean());
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    delete workload_;
+    sim_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static void ExpectModesMatch(SpeculationConfig config,
+                               const std::string& ctx) {
+    config.closure_mode = ClosureMode::kBatch;
+    const RunTotals batch = sim_->Run(config);
+    config.closure_mode = ClosureMode::kIncremental;
+    const RunTotals inc = sim_->Run(config);
+    ExpectTotalsEq(batch, inc, ctx);
+  }
+
+  static core::Workload* workload_;
+  static SpeculationSimulator* sim_;
+};
+
+core::Workload* IncrementalSimTest::workload_ = nullptr;
+SpeculationSimulator* IncrementalSimTest::sim_ = nullptr;
+
+TEST_F(IncrementalSimTest, SpeculativePushDailyCycle) {
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  ExpectModesMatch(config, "push D=1");
+}
+
+TEST_F(IncrementalSimTest, SpeculativePushSlidingWindow) {
+  // Short history forces days to leave the window mid-run (removal path).
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  config.history_days = 5;
+  ExpectModesMatch(config, "push D'=5");
+}
+
+TEST_F(IncrementalSimTest, WeeklyUpdateCycle) {
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  config.update_cycle_days = 7;
+  ExpectModesMatch(config, "push D=7");
+}
+
+TEST_F(IncrementalSimTest, ServerHints) {
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  config.mode = ServiceMode::kServerHints;
+  ExpectModesMatch(config, "hints");
+}
+
+TEST_F(IncrementalSimTest, RawPWithoutClosure) {
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  config.use_closure = false;
+  ExpectModesMatch(config, "raw-P");
+}
+
+TEST_F(IncrementalSimTest, DecayEstimatorFallsBackToBatch) {
+  SpeculationConfig config = core::BaselineSpecConfig();
+  config.policy.threshold = 0.25;
+  config.estimator = SpeculationConfig::EstimatorKind::kExponentialDecay;
+  ExpectModesMatch(config, "decay");
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: sweep-level equivalence across 1 / 2 / hardware workers
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalSimTest, SweepWorkersAndModesAgree) {
+  const std::vector<double> tps = {0.5, 0.25};
+  core::SweepOptions serial;
+  serial.workers = 1;
+  const core::Fig5Result batch =
+      core::RunFig5(*workload_, tps, serial, ClosureMode::kBatch);
+  for (const uint32_t workers : {1u, 2u, 0u}) {  // 0 = hardware
+    core::SweepOptions options;
+    options.workers = workers;
+    const core::Fig5Result inc =
+        core::RunFig5(*workload_, tps, options, ClosureMode::kIncremental);
+    ASSERT_EQ(batch.points.size(), inc.points.size());
+    for (size_t k = 0; k < batch.points.size(); ++k) {
+      const std::string ctx = "workers=" + std::to_string(workers) +
+                              " tp=" + std::to_string(tps[k]);
+      EXPECT_EQ(batch.points[k].tp, inc.points[k].tp) << ctx;
+      ExpectTotalsEq(batch.points[k].metrics.with_speculation,
+                     inc.points[k].metrics.with_speculation, ctx);
+      ExpectTotalsEq(batch.points[k].metrics.without_speculation,
+                     inc.points[k].metrics.without_speculation, ctx);
+      EXPECT_EQ(batch.points[k].metrics.bandwidth_ratio,
+                inc.points[k].metrics.bandwidth_ratio)
+          << ctx;
+      EXPECT_EQ(batch.points[k].metrics.server_load_ratio,
+                inc.points[k].metrics.server_load_ratio)
+          << ctx;
+      EXPECT_EQ(batch.points[k].metrics.service_time_ratio,
+                inc.points[k].metrics.service_time_ratio)
+          << ctx;
+      EXPECT_EQ(batch.points[k].metrics.miss_rate_ratio,
+                inc.points[k].metrics.miss_rate_ratio)
+          << ctx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sds::spec

@@ -197,5 +197,138 @@ TEST_F(ClfRoundTripTest, LenientFileReadReportsPerFileSkipCount) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Fuzz-style round-trip: randomized corruptions with exact accounting
+// ---------------------------------------------------------------------------
+
+// Applies one guaranteed-unparseable corruption; the type selects which
+// ParseClfLine/ClientFromHost failure path it must hit.
+std::string CorruptLine(const std::string& line, uint64_t type) {
+  std::string out = line;
+  switch (type % 6) {
+    case 0: {  // no timestamp: strip the brackets
+      for (char& c : out) {
+        if (c == '[' || c == ']') c = ' ';
+      }
+      return out;
+    }
+    case 1: {  // no request field: strip the quotes
+      std::string stripped;
+      for (const char c : out) {
+        if (c != '"') stripped.push_back(c);
+      }
+      return stripped;
+    }
+    case 2: {  // bad CLF time: garble the month name
+      const size_t lb = out.find('[');
+      const size_t slash = out.find('/', lb);
+      out.replace(slash + 1, 3, "Xyz");
+      return out;
+    }
+    case 3: {  // non-numeric status
+      const size_t q2 = out.rfind('"');
+      return out.substr(0, q2 + 1) + " xx -";
+    }
+    case 4: {  // host that ClientFromHost rejects
+      return "bad-host" + out.substr(out.find(' '));
+    }
+    case 5:
+    default: {  // truncation before the timestamp
+      return out.substr(0, out.find('['));
+    }
+  }
+}
+
+// Garbles the request path with non-ASCII bytes: still a well-formed CLF
+// line, so it must parse (and resolve to kNotFound), never be skipped.
+std::string GarblePath(const std::string& line) {
+  const size_t q1 = line.find('"');
+  const size_t path_begin = line.find(' ', q1) + 1;
+  const size_t path_end = line.find(' ', path_begin);
+  return line.substr(0, path_begin) + "/fuzz/\xc3\x28\xff\x01.html" +
+         line.substr(path_end);
+}
+
+size_t CountNotFound(const Trace& trace) {
+  size_t n = 0;
+  for (const auto& r : trace.requests) {
+    if (r.kind == RequestKind::kNotFound) ++n;
+  }
+  return n;
+}
+
+TEST_F(ClfRoundTripTest, FuzzedLenientReadCountsEverySkipExactly) {
+  const std::vector<std::string> pristine = TraceToClf(trace_, corpus_);
+  ASSERT_GE(pristine.size(), 60u);
+  const size_t baseline_notfound = [&] {
+    ClfReadOptions options;
+    options.lenient = true;
+    const auto round = ClfToTrace(pristine, corpus_, options);
+    return CountNotFound(round.value());
+  }();
+
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    std::vector<std::string> lines = pristine;
+    // Pick distinct victims: a prefix of a seeded shuffle.
+    std::vector<size_t> order(lines.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (size_t i = order.size() - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+    const size_t num_corrupt = 20 + rng.NextBounded(10);
+    const size_t num_garbled = 5 + rng.NextBounded(5);
+    for (size_t k = 0; k < num_corrupt; ++k) {
+      lines[order[k]] = CorruptLine(lines[order[k]], rng.Next());
+    }
+    for (size_t k = num_corrupt; k < num_corrupt + num_garbled; ++k) {
+      lines[order[k]] = GarblePath(lines[order[k]]);
+    }
+    // Sprinkle blank lines (never counted, never skipped).
+    const size_t num_blank = 3 + rng.NextBounded(5);
+    for (size_t k = 0; k < num_blank; ++k) {
+      lines.insert(lines.begin() + rng.NextBounded(lines.size() + 1),
+                   k % 2 == 0 ? "" : "   ");
+    }
+
+    ClfReadOptions options;
+    options.lenient = true;
+    ClfReadStats stats;
+    const auto round = ClfToTrace(lines, corpus_, options, &stats);
+    ASSERT_TRUE(round.ok());
+    // Exact accounting: every non-blank line is either a record or a
+    // counted skip — nothing crashes, nothing disappears silently.
+    EXPECT_EQ(stats.lines, pristine.size());
+    EXPECT_EQ(stats.skipped_lines, num_corrupt);
+    EXPECT_EQ(round.value().size(), pristine.size() - num_corrupt);
+    // Garbled-path lines surface as kNotFound records, not as skips.
+    EXPECT_GE(CountNotFound(round.value()), baseline_notfound);
+  }
+}
+
+TEST_F(ClfRoundTripTest, FuzzedStrictReadNamesTheExactLine) {
+  const std::vector<std::string> pristine = TraceToClf(trace_, corpus_);
+  ASSERT_GE(pristine.size(), 20u);
+  for (const uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    std::vector<std::string> lines = pristine;
+    const size_t victim = rng.NextBounded(lines.size());
+    lines[victim] = CorruptLine(lines[victim], rng.Next());
+    // A leading blank shifts the 1-based numbering: blanks are skipped by
+    // the parser but still occupy a line number.
+    const bool leading_blank = rng.NextBernoulli(0.5);
+    if (leading_blank) lines.insert(lines.begin(), "");
+    const auto strict = ClfToTrace(lines, corpus_);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kParseError);
+    const std::string expected =
+        "line " + std::to_string(victim + (leading_blank ? 2 : 1)) + ":";
+    EXPECT_NE(strict.status().message().find(expected), std::string::npos)
+        << strict.status().message();
+  }
+}
+
 }  // namespace
 }  // namespace sds::trace
