@@ -24,6 +24,7 @@
 #include "dissem/allocation.h"
 #include "dissem/popularity.h"
 #include "dissem/simulator.h"
+#include "net/faults.h"
 #include "net/placement.h"
 #include "spec/closure.h"
 #include "spec/dependency.h"
@@ -285,6 +286,68 @@ void BM_RoutePlanHashLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutePlanHashLookup);
+
+/// Fault-interval data shared by the Covers pair: one node with many
+/// overlapping outages over a year, queried across the whole horizon.
+struct FaultCoversFixture {
+  net::FaultSchedule schedule;
+  std::vector<std::pair<SimTime, SimTime>> raw;  ///< as-added, unmerged
+  std::vector<SimTime> queries;
+};
+
+const FaultCoversFixture& SharedFaultCovers() {
+  static const FaultCoversFixture& fixture = *[] {
+    auto* f = new FaultCoversFixture;
+    Rng rng(7);
+    const double horizon = 365.0 * kDay;
+    for (int i = 0; i < 2000; ++i) {
+      const SimTime start = rng.NextDouble() * horizon;
+      const SimTime end = start + (0.5 + rng.NextDouble()) * 3600.0;
+      f->schedule.Add({net::FaultKind::kNodeOutage, 17, start, end});
+      f->raw.emplace_back(start, end);
+    }
+    for (int i = 0; i < 4096; ++i) {
+      f->queries.push_back(rng.NextDouble() * horizon);
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+/// Point-in-set query via the merged, sorted interval list (the current
+/// binary-search NodeDown path).
+void BM_FaultCoversBinary(benchmark::State& state) {
+  const auto& fixture = SharedFaultCovers();
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    for (const SimTime t : fixture.queries) {
+      hits += fixture.schedule.NodeDown(17, t) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_FaultCoversBinary);
+
+/// The pre-rewrite query: a linear scan over the unmerged as-added
+/// interval list.
+void BM_FaultCoversLegacyLinear(benchmark::State& state) {
+  const auto& fixture = SharedFaultCovers();
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    for (const SimTime t : fixture.queries) {
+      bool down = false;
+      for (const auto& [start, end] : fixture.raw) {
+        if (start <= t && t < end) {
+          down = true;
+          break;
+        }
+      }
+      hits += down ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_FaultCoversLegacyLinear);
 
 }  // namespace
 

@@ -373,6 +373,16 @@ Fig7Result RunFig7(const Workload& workload,
   // disjoint from the per-point streams below.
   const uint64_t schedule_seed = Rng::Mix(options.seed ^ 0xfa177au);
 
+  net::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.timeout_s = 5.0;
+  retry.base_backoff_s = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_s = 60.0;
+  retry.jitter = 0.1;
+  const Status retry_status = retry.Validate();
+  SDS_CHECK(retry_status.ok()) << retry_status.ToString();
+
   const dissem::PreparedDissemination prepared =
       dissem::PrepareDissemination(workload.corpus(), workload.clean(),
                                    workload.topology(), 0,
@@ -398,12 +408,7 @@ Fig7Result RunFig7(const Workload& workload,
         config.num_proxies = result.num_proxies[index % cols];
         config.dissemination_fraction = 0.10;
         config.faults = &schedule;
-        config.retry.max_attempts = 6;
-        config.retry.timeout_s = 5.0;
-        config.retry.base_backoff_s = 1.0;
-        config.retry.backoff_multiplier = 2.0;
-        config.retry.max_backoff_s = 60.0;
-        config.retry.jitter = 0.1;
+        config.retry = retry;
         return SimulateDissemination(prepared, config, &rng,
                                      &workload.generated().updates);
       },
@@ -429,6 +434,193 @@ Table Fig7Result::ToTable() const {
                     std::to_string(c.failover_requests),
                     std::to_string(c.retry_attempts),
                     FormatPercent(degraded_share, 1)});
+    }
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — resilience under cascading failures
+// ---------------------------------------------------------------------------
+
+const char* Fig8ProtectionToString(Fig8Protection level) {
+  switch (level) {
+    case Fig8Protection::kOff:
+      return "off";
+    case Fig8Protection::kBreakers:
+      return "breakers";
+    case Fig8Protection::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+// The protection stack of one fig8 column. Load tracking is armed in every
+// arm — the cascade engine is part of the simulated world, not a defense —
+// so the arms differ only in breakers / budget / admission.
+net::ProtectionConfig Fig8ProtectionStack(Fig8Protection level,
+                                          const net::LoadTrackerConfig& load) {
+  net::ProtectionConfig protection;
+  protection.track_load = true;
+  protection.load = load;
+  if (level == Fig8Protection::kBreakers || level == Fig8Protection::kFull) {
+    protection.circuit_breakers = true;
+    protection.breaker.failure_threshold = 3;
+    // Short cooldown: a recovered target is re-admitted within minutes of
+    // its first post-recovery probe, so fail-fast never costs more than a
+    // sliver of availability relative to the retry-everything arm.
+    protection.breaker.cooldown_s = 900.0;
+  }
+  if (level == Fig8Protection::kFull) {
+    protection.retry_budget = true;
+    // Generous enough to cover legitimate failover (one or two retries per
+    // affected request) while still capping a six-attempt storm; a tighter
+    // ratio suppresses the first failover hop of sparse traffic and turns
+    // servable requests into failures.
+    protection.budget.window_s = 3600.0;
+    protection.budget.max_retry_ratio = 3.0;
+    protection.budget.min_retries_per_window = 20;
+    protection.admission_control = true;
+  }
+  return protection;
+}
+
+}  // namespace
+
+Fig8Result RunFig8(const Workload& workload,
+                   const std::vector<double>& failure_rates,
+                   const SweepOptions& options) {
+  Fig8Result result;
+  result.failure_rates = failure_rates;
+  if (result.failure_rates.empty()) {
+    result.failure_rates = {0.0, 0.05, 0.10, 0.20};
+  }
+  result.levels = {Fig8Protection::kOff, Fig8Protection::kBreakers,
+                   Fig8Protection::kFull};
+
+  const double horizon_days = workload.clean().Span() / kDay + 1.0;
+  const size_t cols = result.levels.size();
+  // Row-keyed schedule stream, as in fig7: every protection stack of one
+  // row replays the same (zone-correlated) outages, so the arms are
+  // directly comparable.
+  const uint64_t schedule_seed = Rng::Mix(options.seed ^ 0xf188e5u);
+
+  net::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.timeout_s = 5.0;
+  retry.base_backoff_s = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_s = 60.0;
+  // No jitter: the arms of one row must differ only through their
+  // protection stacks, not through per-arm backoff luck — with jitter on,
+  // a request can straddle an outage edge in one arm and not another,
+  // which drowns the per-rate availability ordering in noise.
+  retry.jitter = 0.0;
+  const Status retry_status = retry.Validate();
+  SDS_CHECK(retry_status.ok()) << retry_status.ToString();
+
+  const dissem::PreparedDissemination prepared =
+      dissem::PrepareDissemination(workload.corpus(), workload.clean(),
+                                   workload.topology(), 0,
+                                   dissem::DisseminationConfig{}.train_fraction);
+
+  // Capacity calibration: per-request service cost is set so the home
+  // server *alone* would run at kSoloLoad x capacity over the evaluation
+  // window. Healthy operation with proxies splits that load and stays
+  // below the brownout threshold, but a dead or browned-out entity's
+  // redirected share plus retry-storm overhead can push its failover
+  // targets over it — the cascade fig8 measures.
+  const double eval_span = std::max(1.0, prepared.span - prepared.split);
+  const size_t eval_requests = std::max<size_t>(1, prepared.eval_index.size());
+  double eval_bytes = 0.0;
+  for (const uint32_t idx : prepared.eval_index) {
+    eval_bytes +=
+        static_cast<double>(workload.clean().requests[idx].bytes);
+  }
+  constexpr double kSoloLoad = 1.25;
+  net::LoadTrackerConfig load;
+  load.window_s = 12.0 * 3600.0;
+  load.brownout_duration_s = 4.0 * 3600.0;
+  load.utilization_threshold = 0.75;
+  load.admission_threshold = 0.55;
+  // ~85% of the solo load is per-request connection overhead (what retry
+  // storms amplify), the rest is byte transfer.
+  load.service_overhead_s =
+      0.85 * kSoloLoad * eval_span / static_cast<double>(eval_requests);
+  load.service_rate_bytes_per_s =
+      eval_bytes <= 0.0 ? 1.5e6 : eval_bytes / (0.15 * kSoloLoad * eval_span);
+
+  result.cells = SweepMap(
+      result.failure_rates.size() * cols, options,
+      [&](size_t index, Rng& rng) {
+        const size_t row = index / cols;
+        const double rate = result.failure_rates[row];
+
+        net::FaultInjectionConfig fault_config;
+        fault_config.horizon_days = horizon_days;
+        fault_config.node_failure_rate_per_day = rate;
+        fault_config.link_failure_rate_per_day = rate / 2.0;
+        fault_config.server_failure_rate_per_day = rate;
+        fault_config.mean_outage_days = 1.0;
+        fault_config.min_outage_days = 2.0 / 24.0;
+        fault_config.zone_failure_probability = 0.3;
+        Rng schedule_rng = MakePointRng(schedule_seed, row);
+        const net::FaultSchedule schedule = net::GenerateFaultSchedule(
+            workload.topology(), fault_config, &schedule_rng);
+
+        dissem::DisseminationConfig config;
+        config.num_proxies = 8;
+        config.dissemination_fraction = 0.10;
+        config.faults = schedule.empty() ? nullptr : &schedule;
+        config.retry = retry;
+        config.protection =
+            Fig8ProtectionStack(result.levels[index % cols], load);
+        config.collect_service_times = true;
+
+        Fig8Result::Cell cell;
+        cell.sim = SimulateDissemination(prepared, config, &rng,
+                                         &workload.generated().updates);
+        cell.scheduled_events = schedule.size();
+        cell.availability = 1.0 - cell.sim.unavailable_fraction;
+        cell.retry_amplification =
+            1.0 + static_cast<double>(cell.sim.retry_attempts) /
+                      static_cast<double>(eval_requests);
+        // Emergent brownouts per scheduled fault — how much failure the
+        // system manufactured beyond what was injected. Degenerate with no
+        // injected faults (any background brownouts are visible in the
+        // emergent column), so report 0 there rather than a huge ratio.
+        cell.cascade_depth =
+            cell.scheduled_events == 0
+                ? 0.0
+                : static_cast<double>(cell.sim.emergent_brownouts) /
+                      static_cast<double>(cell.scheduled_events);
+        cell.goodput_bytes_per_s = cell.sim.served_bytes / eval_span;
+        return cell;
+      },
+      &result.sweep);
+  return result;
+}
+
+Table Fig8Result::ToTable() const {
+  Table table({"fail rate/day", "protections", "availability", "retry amp",
+               "cascade depth", "emergent", "breaker opens", "suppressed",
+               "shed", "goodput B/s", "p99 service s"});
+  for (size_t row = 0; row < failure_rates.size(); ++row) {
+    for (size_t col = 0; col < levels.size(); ++col) {
+      const Cell& c = cell(row, col);
+      table.AddRow({FormatDouble(failure_rates[row], 3),
+                    Fig8ProtectionToString(levels[col]),
+                    FormatPercent(c.availability, 2),
+                    FormatDouble(c.retry_amplification, 3),
+                    FormatDouble(c.cascade_depth, 2),
+                    std::to_string(c.sim.emergent_brownouts),
+                    std::to_string(c.sim.breaker_open_transitions),
+                    std::to_string(c.sim.retries_suppressed_by_budget),
+                    std::to_string(c.sim.shed_replica_requests),
+                    FormatDouble(c.goodput_bytes_per_s, 0),
+                    FormatDouble(c.sim.p99_service_s, 3)});
     }
   }
   return table;

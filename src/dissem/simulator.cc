@@ -306,6 +306,15 @@ DisseminationResult SimulateDissemination(
   uint64_t proxy_served = 0;
 
   const bool faulty = config.faults != nullptr && !config.faults->empty();
+  // The dynamic path (failover chain, retries, protections) also runs with
+  // an empty schedule when any protection is armed, so emergent brownouts
+  // can arise from load alone; with everything off it is never entered and
+  // the replay below is bit-identical to the pre-protection simulator.
+  const net::ProtectionConfig& protection = config.protection;
+  const bool dynamic = faulty || protection.AnyArmed();
+  static const net::FaultSchedule kNoFaults;
+  const net::FaultSchedule& faults =
+      config.faults != nullptr ? *config.faults : kNoFaults;
   const net::RetryPolicy& retry = config.retry;
   const net::NodeId server_node = prepared.server_node;
   const net::Topology& topology = *prepared.topology;
@@ -313,16 +322,52 @@ DisseminationResult SimulateDissemination(
   // the client's route to it is intact.
   const auto server_reachable = [&](net::NodeId client_node,
                                     SimTime when) -> bool {
-    return !config.faults->ServerDown(prepared.server, when) &&
-           !config.faults->NodeDown(server_node, when) &&
-           config.faults->PathUp(topology, client_node, server_node, when);
+    return !faults.ServerDown(prepared.server, when) &&
+           !faults.NodeDown(server_node, when) &&
+           faults.PathUp(topology, client_node, server_node, when);
   };
   const auto proxy_reachable = [&](net::NodeId client_node, int p,
                                    SimTime when) -> bool {
     const net::NodeId node = placement.proxies[p];
-    return !config.faults->NodeDown(node, when) &&
-           config.faults->PathUp(topology, client_node, node, when);
+    return !faults.NodeDown(node, when) &&
+           faults.PathUp(topology, client_node, node, when);
   };
+
+  // --- Per-run protection state (never shared across sweep points: each
+  // run constructs its own trackers, preserving parallel == serial
+  // bit-identity). Entity ids: proxy p in [0, num_proxies), the home
+  // server at index num_proxies. ---
+  const size_t server_entity = num_proxies;
+  const bool track_load = protection.track_load;
+  const bool breakers_armed = protection.circuit_breakers;
+  const bool budget_armed = protection.retry_budget;
+  const bool admission_armed = protection.admission_control && track_load;
+  net::LoadTracker tracker(track_load ? num_proxies + 1 : 0, protection.load);
+  // Breakers are per (client attachment node, target): an attempt can fail
+  // because the *route* from that subnet is cut, not because the target is
+  // sick, so a shared per-target breaker would let a black-holed subtree
+  // open the healthy population's path to the server. Keying by attachment
+  // node keeps the fail-fast local to the clients actually failing.
+  const size_t num_entities = num_proxies + 1;
+  std::vector<net::CircuitBreaker> breakers;
+  if (breakers_armed) {
+    breakers.assign(prepared.nodes.size() * num_entities,
+                    net::CircuitBreaker(protection.breaker));
+  }
+  net::RetryBudget retry_budget(protection.budget);
+  // Service time of a served request: client-side waits plus service
+  // overhead, transfer at the service rate, and per-hop propagation.
+  constexpr double kHopLatencyS = 0.01;
+  const auto service_time_s = [&](double waits, double bytes,
+                                  uint32_t hops) -> double {
+    return waits + protection.load.service_overhead_s +
+           bytes / protection.load.service_rate_bytes_per_s +
+           kHopLatencyS * static_cast<double>(hops);
+  };
+  std::vector<double> service_times;
+  if (config.collect_service_times) {
+    service_times.reserve(prepared.eval_index.size());
+  }
 
   for (size_t k = 0; k < prepared.eval_index.size(); ++k) {
     const auto& r = trace.requests[prepared.eval_index[k]];
@@ -346,11 +391,12 @@ DisseminationResult SimulateDissemination(
     }
     const net::NodeId client_node = prepared.nodes[prepared.eval_node[k]];
     const RoutePlan& plan = plans[prepared.eval_node[k]];
+    const size_t breaker_base = prepared.eval_node[k] * num_entities;
     const double bytes = static_cast<double>(r.bytes);
     obs::TsCount("dissem.eval_requests", r.time);
     const bool sampled = journey.Sample(k);
 
-    if (faulty) {
+    if (dynamic) {
       // --- Baseline availability: a home-server-only client retrying the
       // server with the same policy. ---
       {
@@ -376,41 +422,127 @@ DisseminationResult SimulateDissemination(
       struct Candidate {
         int proxy = -1;  ///< -1 = home server.
         uint32_t hops = 0;
+        bool off_route = false;
       };
       std::vector<Candidate> chain;
       bool capacity_blocked = false;
-      const auto consider_proxy = [&](int p, uint32_t hops) {
+      const auto consider_proxy = [&](int p, uint32_t hops, bool off_route) {
         if (!stores[p].Contains(r.doc)) return;
         if (config.proxy_daily_request_capacity > 0 &&
             today_count[p] >= config.proxy_daily_request_capacity) {
           capacity_blocked = true;
           return;
         }
-        chain.push_back({p, hops});
+        chain.push_back({p, hops, off_route});
       };
-      for (const auto& [p, hops] : plan.on_route) consider_proxy(p, hops);
-      chain.push_back({-1, plan.hops_to_server});
-      for (const auto& [p, hops] : plan.off_route) consider_proxy(p, hops);
+      for (const auto& [p, hops] : plan.on_route) {
+        consider_proxy(p, hops, false);
+      }
+      chain.push_back({-1, plan.hops_to_server, false});
+      for (const auto& [p, hops] : plan.off_route) {
+        consider_proxy(p, hops, true);
+      }
+      const auto entity_of = [&](const Candidate& c) -> size_t {
+        return c.proxy < 0 ? server_entity : static_cast<size_t>(c.proxy);
+      };
+
+      if (budget_armed) retry_budget.RecordRequest(r.time);
 
       SimTime when = r.time;
       size_t pos = 0;
       int served_at = -1;  ///< Chain position that served, -1 = none.
       uint32_t request_retries = 0;
       double request_backoff = 0.0;
+      bool fast_failed = false;
       for (uint32_t attempts = 0; attempts < retry.max_attempts;) {
+        if (breakers_armed || admission_armed) {
+          // Open breakers and admission-shed candidates reject instantly:
+          // the client skips them without burning a timeout and — the
+          // point of the defense — without charging overhead to the
+          // struggling target. Shedding only diverts work that has
+          // somewhere else to go: if every breaker-admissible candidate
+          // shed this request, the nearest of them serves it as a last
+          // resort instead of failing a client whose only remaining option
+          // it is. A request with every candidate breaker-blocked fails
+          // fast.
+          size_t scanned = 0;
+          size_t shed_skips = 0;
+          int first_shed = -1;
+          while (scanned < chain.size()) {
+            const Candidate& c = chain[pos];
+            const size_t entity = entity_of(c);
+            if (breakers_armed &&
+                !breakers[breaker_base + entity].AllowRequest(when)) {
+              ++scanned;
+              pos = (pos + 1) % chain.size();
+              continue;
+            }
+            if (admission_armed && c.off_route &&
+                tracker.UnderPressure(entity, when)) {
+              if (first_shed < 0) first_shed = static_cast<int>(pos);
+              ++shed_skips;
+              ++scanned;
+              pos = (pos + 1) % chain.size();
+              continue;
+            }
+            break;
+          }
+          if (scanned == chain.size()) {
+            if (first_shed < 0) {
+              // Every candidate breaker-blocked. A request with no
+              // alternative probes its first candidate once — an open
+              // breaker must not hide a recovered target from a client
+              // with nowhere else to go — and fails fast from the second
+              // attempt on.
+              if (attempts > 0) {
+                fast_failed = true;
+                break;
+              }
+            } else {
+              pos = static_cast<size_t>(first_shed);
+            }
+          } else if (shed_skips > 0) {
+            result.shed_replica_requests += shed_skips;
+            obs::TsCount("dissem.shed_replica_requests", when,
+                         static_cast<double>(shed_skips));
+          }
+        }
         const Candidate& cand = chain[pos];
-        const bool up = cand.proxy < 0
-                            ? server_reachable(client_node, when)
-                            : proxy_reachable(client_node, cand.proxy, when);
+        const size_t entity = entity_of(cand);
+        const bool reachable =
+            cand.proxy < 0
+                ? server_reachable(client_node, when)
+                : proxy_reachable(client_node, cand.proxy, when);
+        // An entity in emergent brownout is alive but sheds everything:
+        // attempts against it fail yet still cost it connection overhead,
+        // which is exactly how retry storms pin a struggling target down.
+        const bool overloaded =
+            track_load && tracker.Overloaded(entity, when);
+        const bool up = reachable && !overloaded;
         ++attempts;
         if (up) {
+          if (breakers_armed) breakers[breaker_base + entity].RecordSuccess();
           served_at = static_cast<int>(pos);
           break;
         }
+        if (track_load && reachable) tracker.RecordOverhead(entity, when);
+        if (breakers_armed) breakers[breaker_base + entity].RecordFailure(when);
         ++result.retry_attempts;
         obs::TsCount("dissem.retry_attempts", when);
         ++request_retries;
         if (attempts < retry.max_attempts) {
+          // The budget caps the tail of the backoff ladder, never a
+          // request's first failover hop: retry #1 is what reaches the
+          // second candidate, and suppressing it turns servable requests
+          // into failures.
+          if (budget_armed && request_retries > 1 &&
+              !retry_budget.TryRetry(when)) {
+            ++result.retries_suppressed_by_budget;
+            obs::TsCount("dissem.retries_suppressed_by_budget", when);
+            result.retry_wait_seconds += retry.timeout_s;
+            request_backoff += retry.timeout_s;
+            break;
+          }
           const double wait =
               retry.timeout_s + retry.BackoffBeforeRetry(attempts - 1, rng);
           result.retry_wait_seconds += wait;
@@ -424,6 +556,7 @@ DisseminationResult SimulateDissemination(
       }
 
       if (served_at < 0) {
+        if (fast_failed) ++result.fast_failed_requests;
         ++result.unavailable_requests;
         obs::TsCount("dissem.unavailable_requests", r.time);
         if (sampled) {
@@ -442,6 +575,14 @@ DisseminationResult SimulateDissemination(
       obs::Observe("dissem.failover_chain_depth",
                    static_cast<double>(served_at));
       const Candidate& winner = chain[served_at];
+      if (track_load) {
+        tracker.RecordService(entity_of(winner), when, bytes);
+      }
+      result.served_bytes += bytes;
+      if (config.collect_service_times) {
+        service_times.push_back(
+            service_time_s(request_backoff, bytes, winner.hops));
+      }
       result.with_proxies_bytes_hops += bytes * winner.hops;
       obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
                    bytes * winner.hops);
@@ -509,6 +650,12 @@ DisseminationResult SimulateDissemination(
         ++result.shielding_overflow_requests;
         obs::TsCount("dissem.shielding_overflow_requests", r.time);
       }
+    }
+    result.served_bytes += bytes;
+    if (config.collect_service_times) {
+      service_times.push_back(service_time_s(
+          0.0, bytes,
+          served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server));
     }
     if (served_by_proxy) {
       result.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
@@ -581,6 +728,24 @@ DisseminationResult SimulateDissemination(
       result.baseline_bytes_hops <= 0.0
           ? 0.0
           : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
+  if (track_load) result.emergent_brownouts = tracker.emergent_brownouts();
+  for (const net::CircuitBreaker& b : breakers) {
+    result.breaker_open_transitions += b.open_transitions();
+  }
+  if (config.collect_service_times && !service_times.empty()) {
+    double sum = 0.0;
+    for (const double s : service_times) sum += s;
+    result.mean_service_s = sum / static_cast<double>(service_times.size());
+    const auto quantile = [&](double q) {
+      const size_t idx = static_cast<size_t>(
+          q * static_cast<double>(service_times.size() - 1));
+      std::nth_element(service_times.begin(), service_times.begin() + idx,
+                       service_times.end());
+      return service_times[idx];
+    };
+    result.p50_service_s = quantile(0.5);
+    result.p99_service_s = quantile(0.99);
+  }
   if (obs::Enabled()) {
     obs::Count("dissem.runs");
     obs::Count("dissem.eval_requests", static_cast<double>(eval_requests));
@@ -595,6 +760,14 @@ DisseminationResult SimulateDissemination(
                static_cast<double>(result.unavailable_requests));
     obs::Count("dissem.retry_attempts",
                static_cast<double>(result.retry_attempts));
+    obs::Count("dissem.emergent_brownouts",
+               static_cast<double>(result.emergent_brownouts));
+    obs::Count("dissem.breaker_open_transitions",
+               static_cast<double>(result.breaker_open_transitions));
+    obs::Count("dissem.retries_suppressed_by_budget",
+               static_cast<double>(result.retries_suppressed_by_budget));
+    obs::Count("dissem.shed_replica_requests",
+               static_cast<double>(result.shed_replica_requests));
     obs::Count("dissem.stale_proxy_requests",
                static_cast<double>(result.stale_proxy_requests));
     obs::Count("dissem.proxy_hits", static_cast<double>(proxy_served));

@@ -63,6 +63,17 @@ struct DisseminationConfig {
   /// home server, any other live replica) with one attempt per candidate,
   /// cycling until max_attempts is spent, backing off between attempts.
   net::RetryPolicy retry;
+  /// Self-protection stack (docs/FAULTS.md "Cascades and self-protection"):
+  /// `protection.track_load` arms the cascade engine (emergent, load-coupled
+  /// brownouts of proxies and the server, where redirected failover and
+  /// retry traffic counts toward the target's load); circuit breakers,
+  /// retry budgets and admission control defend against the cascade. All
+  /// off by default, leaving every existing replay bit-identical.
+  net::ProtectionConfig protection;
+  /// Collect per-served-request service times (waits + transfer) and fill
+  /// the mean/p50/p99 summary fields of the result. Off by default: the
+  /// collection allocates per run.
+  bool collect_service_times = false;
 };
 
 /// \brief Outcome of one dissemination simulation.
@@ -108,6 +119,29 @@ struct DisseminationResult {
   /// they cost clients.
   uint64_t retry_attempts = 0;
   double retry_wait_seconds = 0.0;
+
+  // --- Self-protection / cascade dynamics (all zero when unarmed). ---
+  /// Load-triggered brownout transitions across proxies and the server
+  /// (the cascade depth numerator).
+  uint64_t emergent_brownouts = 0;
+  /// Circuit-breaker transitions into the open state.
+  uint64_t breaker_open_transitions = 0;
+  /// Retries the budget refused (the client gave up instead of retrying).
+  uint64_t retries_suppressed_by_budget = 0;
+  /// Off-route replica requests rejected by admission control while the
+  /// proxy was under load pressure.
+  uint64_t shed_replica_requests = 0;
+  /// Requests that failed fast because every failover candidate was
+  /// breaker-open or admission-shed (subset of unavailable_requests).
+  uint64_t fast_failed_requests = 0;
+  /// Bytes of successfully served evaluated requests (goodput numerator).
+  double served_bytes = 0.0;
+
+  // --- Service-time summary over served requests; only filled when
+  // config.collect_service_times. ---
+  double mean_service_s = 0.0;
+  double p50_service_s = 0.0;
+  double p99_service_s = 0.0;
 };
 
 /// \brief Routing of one client attachment node relative to a proxy set:

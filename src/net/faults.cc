@@ -39,17 +39,44 @@ void FaultSchedule::Add(const FaultEvent& event) {
       target = &server_degraded_;
       break;
   }
-  (*target)[event.id].emplace_back(event.start, event.end);
+  Insert(target, event.id, event.start, event.end);
+}
+
+void FaultSchedule::Insert(Intervals* intervals, uint32_t id, SimTime start,
+                           SimTime end) {
+  // Membership in the union of half-open intervals is all Covers answers,
+  // so overlapping and touching intervals ([a,b) + [b,c) = [a,c)) coalesce
+  // into one entry. The list stays sorted and pairwise disjoint.
+  auto& list = (*intervals)[id];
+  auto first = std::lower_bound(
+      list.begin(), list.end(), start,
+      [](const std::pair<SimTime, SimTime>& iv, SimTime s) {
+        return iv.second < s;
+      });
+  auto last = first;
+  while (last != list.end() && last->first <= end) {
+    start = std::min(start, last->first);
+    end = std::max(end, last->second);
+    ++last;
+  }
+  first = list.erase(first, last);
+  list.insert(first, {start, end});
 }
 
 bool FaultSchedule::Covers(const Intervals& intervals, uint32_t id,
                            SimTime t) {
   const auto it = intervals.find(id);
   if (it == intervals.end()) return false;
-  for (const auto& [start, end] : it->second) {
-    if (start <= t && t < end) return true;
-  }
-  return false;
+  const auto& list = it->second;
+  // First interval whose start is > t; its predecessor is the only
+  // candidate that can cover t in a sorted disjoint list.
+  auto after = std::upper_bound(
+      list.begin(), list.end(), t,
+      [](SimTime x, const std::pair<SimTime, SimTime>& iv) {
+        return x < iv.first;
+      });
+  if (after == list.begin()) return false;
+  return t < std::prev(after)->second;
 }
 
 bool FaultSchedule::NodeDown(NodeId node, SimTime t) const {
@@ -95,9 +122,13 @@ double DrawOutageDays(const FaultInjectionConfig& config, Rng* rng) {
 
 /// Draws daily outages for one entity. Every Bernoulli draw is made
 /// unconditionally (the duration draw only when it fires), in increasing
-/// day order, keeping the stream layout simple and documented.
+/// day order, keeping the stream layout simple and documented. When
+/// `descendants` is non-null (node outages with zone failures armed), a
+/// correlation Bernoulli is drawn per fired outage; a hit replicates the
+/// interval onto every descendant, in increasing id order.
 void DrawEntityOutages(FaultKind kind, uint32_t id, double rate_per_day,
-                       const FaultInjectionConfig& config, Rng* rng,
+                       const FaultInjectionConfig& config,
+                       const std::vector<NodeId>* descendants, Rng* rng,
                        FaultSchedule* schedule) {
   const long days = static_cast<long>(std::ceil(config.horizon_days));
   for (long day = 0; day < days; ++day) {
@@ -106,7 +137,28 @@ void DrawEntityOutages(FaultKind kind, uint32_t id, double rate_per_day,
         static_cast<double>(day) * kDay + rng->NextDouble() * kDay;
     const double duration = DrawOutageDays(config, rng) * kDay;
     schedule->Add({kind, id, start, start + duration});
+    if (descendants != nullptr &&
+        rng->NextBernoulli(config.zone_failure_probability)) {
+      for (const NodeId member : *descendants) {
+        schedule->Add({kind, member, start, start + duration});
+      }
+    }
   }
+}
+
+/// All strict descendants of `node`, sorted by id.
+std::vector<NodeId> Subtree(const Topology& topology, NodeId node) {
+  std::vector<NodeId> out;
+  for (NodeId other = 1; other < topology.num_nodes(); ++other) {
+    for (NodeId up = topology.parent(other); ; up = topology.parent(up)) {
+      if (up == node) {
+        out.push_back(other);
+        break;
+      }
+      if (up == topology.root()) break;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -117,28 +169,31 @@ FaultSchedule GenerateFaultSchedule(const Topology& topology,
   SDS_CHECK(rng != nullptr);
   FaultSchedule schedule;
   if (config.horizon_days <= 0.0) return schedule;
+  const bool zones = config.zone_failure_probability > 0.0;
   // Node 0 is the backbone root and never fails; every other node can.
   if (config.node_failure_rate_per_day > 0.0) {
     for (NodeId node = 1; node < topology.num_nodes(); ++node) {
+      std::vector<NodeId> descendants;
+      if (zones) descendants = Subtree(topology, node);
       DrawEntityOutages(FaultKind::kNodeOutage, node,
-                        config.node_failure_rate_per_day, config, rng,
-                        &schedule);
+                        config.node_failure_rate_per_day, config,
+                        zones ? &descendants : nullptr, rng, &schedule);
     }
   }
   // Each non-root node identifies the edge to its parent.
   if (config.link_failure_rate_per_day > 0.0) {
     for (NodeId node = 1; node < topology.num_nodes(); ++node) {
       DrawEntityOutages(FaultKind::kLinkOutage, node,
-                        config.link_failure_rate_per_day, config, rng,
-                        &schedule);
+                        config.link_failure_rate_per_day, config, nullptr,
+                        rng, &schedule);
     }
   }
   if (config.server_failure_rate_per_day > 0.0) {
     for (trace::ServerId server = 0; server < topology.num_servers();
          ++server) {
       DrawEntityOutages(FaultKind::kServerOutage, server,
-                        config.server_failure_rate_per_day, config, rng,
-                        &schedule);
+                        config.server_failure_rate_per_day, config, nullptr,
+                        rng, &schedule);
     }
   }
   return schedule;
@@ -177,6 +232,31 @@ uint32_t AddLoadBrownouts(const trace::Trace& trace, trace::ServerId server,
   return tripped;
 }
 
+Status RetryPolicy::Validate() const {
+  if (max_attempts == 0) {
+    return Status::InvalidArgument(
+        "RetryPolicy.max_attempts must be >= 1 (it counts the first "
+        "attempt)");
+  }
+  if (!(jitter >= 0.0 && jitter <= 1.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy.jitter must be in [0, 1]");
+  }
+  if (!(timeout_s >= 0.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy.timeout_s must be non-negative");
+  }
+  if (!(base_backoff_s >= 0.0) || !(max_backoff_s >= 0.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy backoff bounds must be non-negative");
+  }
+  if (!(backoff_multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy.backoff_multiplier must be >= 1");
+  }
+  return Status::OK();
+}
+
 double RetryPolicy::BackoffBeforeRetry(uint32_t retry_index, Rng* rng) const {
   double backoff = base_backoff_s;
   for (uint32_t i = 0; i < retry_index && backoff < max_backoff_s; ++i) {
@@ -188,6 +268,131 @@ double RetryPolicy::BackoffBeforeRetry(uint32_t retry_index, Rng* rng) const {
     backoff *= 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
   }
   return backoff;
+}
+
+LoadTracker::LoadTracker(size_t num_entities, const LoadTrackerConfig& config)
+    : config_(config), entities_(num_entities) {
+  SDS_CHECK(config.window_s > 0.0);
+  SDS_CHECK(config.service_rate_bytes_per_s > 0.0);
+}
+
+void LoadTracker::Charge(size_t entity, SimTime now, double busy_s) {
+  SDS_CHECK(entity < entities_.size());
+  Entity& e = entities_[entity];
+  // Retry attempts can advance a request's local clock past the next
+  // arrival's timestamp, so charges may arrive slightly out of order;
+  // anything earlier than the current window lands in it rather than
+  // rolling backwards. Rolling forward starts a fresh window.
+  if (now >= e.window_start + config_.window_s) {
+    e.window_start = std::floor(now / config_.window_s) * config_.window_s;
+    e.busy_s = 0.0;
+  }
+  e.busy_s += busy_s;
+  if (e.busy_s / config_.window_s > config_.utilization_threshold &&
+      now >= e.brownout_until) {
+    e.brownout_until = now + config_.brownout_duration_s;
+    ++emergent_brownouts_;
+  }
+}
+
+void LoadTracker::RecordService(size_t entity, SimTime now, double bytes) {
+  Charge(entity, now,
+         config_.service_overhead_s + bytes / config_.service_rate_bytes_per_s);
+}
+
+void LoadTracker::RecordOverhead(size_t entity, SimTime now) {
+  Charge(entity, now, config_.service_overhead_s);
+}
+
+double LoadTracker::WindowUtilization(const Entity& e, SimTime now) const {
+  if (now >= e.window_start + config_.window_s) return 0.0;
+  return e.busy_s / config_.window_s;
+}
+
+bool LoadTracker::Overloaded(size_t entity, SimTime now) const {
+  SDS_CHECK(entity < entities_.size());
+  return now < entities_[entity].brownout_until;
+}
+
+bool LoadTracker::UnderPressure(size_t entity, SimTime now) const {
+  SDS_CHECK(entity < entities_.size());
+  const Entity& e = entities_[entity];
+  if (now < e.brownout_until) return true;
+  return WindowUtilization(e, now) > config_.admission_threshold;
+}
+
+double LoadTracker::Utilization(size_t entity, SimTime now) const {
+  SDS_CHECK(entity < entities_.size());
+  return WindowUtilization(entities_[entity], now);
+}
+
+void CircuitBreaker::Open(SimTime now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  ++open_transitions_;
+}
+
+bool CircuitBreaker::AllowRequest(SimTime now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now >= opened_at_ + config_.cooldown_s) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open for another cooldown.
+    Open(now);
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    Open(now);
+  }
+}
+
+void RetryBudget::Roll(SimTime now) {
+  if (now >= window_start_ + config_.window_s) {
+    window_start_ = std::floor(now / config_.window_s) * config_.window_s;
+    window_requests_ = 0;
+    window_retries_ = 0;
+  }
+}
+
+void RetryBudget::RecordRequest(SimTime now) {
+  Roll(now);
+  ++window_requests_;
+}
+
+bool RetryBudget::TryRetry(SimTime now) {
+  Roll(now);
+  const double earned =
+      config_.max_retry_ratio * static_cast<double>(window_requests_);
+  const uint64_t allowed =
+      std::max<uint64_t>(config_.min_retries_per_window,
+                         static_cast<uint64_t>(earned));
+  if (window_retries_ >= allowed) {
+    ++suppressed_;
+    return false;
+  }
+  ++window_retries_;
+  return true;
 }
 
 }  // namespace sds::net

@@ -9,6 +9,7 @@
 #include "trace/request.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
+#include "util/status.h"
 
 namespace sds::net {
 
@@ -69,8 +70,14 @@ class FaultSchedule {
               SimTime t) const;
 
  private:
+  // Per-entity interval sets kept sorted and coalesced at insertion time
+  // (overlapping/adjacent intervals are merged into one), so every query is
+  // a single binary search and const queries stay safe to share across
+  // threads with no lazy mutation.
   using Intervals =
       std::unordered_map<uint32_t, std::vector<std::pair<SimTime, SimTime>>>;
+  static void Insert(Intervals* intervals, uint32_t id, SimTime start,
+                     SimTime end);
   static bool Covers(const Intervals& intervals, uint32_t id, SimTime t);
 
   std::vector<FaultEvent> events_;
@@ -93,6 +100,12 @@ struct FaultInjectionConfig {
   /// back).
   double mean_outage_days = 0.25;
   double min_outage_days = 1.0 / 24.0;
+  /// Probability that a drawn node outage is a *zone failure* that takes
+  /// the node's whole subtree down for the same interval (the paper's
+  /// hierarchical clusters — a region or organisation — failing as a
+  /// unit). The correlation draw is only made when this is > 0, so the
+  /// default leaves the legacy Rng stream layout untouched.
+  double zone_failure_probability = 0.0;
 };
 
 /// \brief Draws node, link and server outages from `rng`.
@@ -145,9 +158,183 @@ struct RetryPolicy {
   /// Relative jitter; must be in [0, 1].
   double jitter = 0.0;
 
+  /// Rejects out-of-range fields (jitter outside [0, 1], zero attempts,
+  /// negative times, multiplier < 1) with kInvalidArgument. Call where a
+  /// policy enters the system (experiment setup, bench flags).
+  Status Validate() const;
+
   /// Backoff waited before retry `retry_index` (0 = first retry). `rng`
   /// may be null when jitter == 0.
   double BackoffBeforeRetry(uint32_t retry_index, Rng* rng) const;
+};
+
+/// \brief Queueing constants and thresholds for LoadTracker. The service
+/// constants mirror BrownoutConfig / spec::QueueConfig so scheduled and
+/// emergent brownouts share one capacity model.
+struct LoadTrackerConfig {
+  double service_overhead_s = 0.05;
+  double service_rate_bytes_per_s = 1.5e6;
+  /// Accounting window; offered utilization is busy seconds per window.
+  double window_s = 3600.0;
+  /// Utilization above which an entity trips into an emergent brownout.
+  double utilization_threshold = 0.75;
+  /// Utilization above which admission control starts shedding
+  /// low-priority work (speculative pushes, off-route replica service).
+  double admission_threshold = 0.55;
+  /// How long a tripped entity stays browned out before it may serve
+  /// again (its window must also have drained below the threshold).
+  double brownout_duration_s = 1800.0;
+};
+
+/// \brief Rolling offered-utilization tracker — the cascade engine.
+///
+/// Tracks per-entity (proxy or server) busy time accumulated in fixed
+/// sim-time windows *during* a replay. Redirected failover and retry
+/// traffic is charged to whichever entity absorbs it, so a dead proxy's
+/// load can push its failover targets over the threshold and trigger an
+/// **emergent** brownout mid-run — unlike the precomputed schedule, the
+/// failure here is caused by the simulated dynamics themselves.
+///
+/// Deterministic and RNG-free; state is per-run (construct one per sweep
+/// point, never share across points) to keep parallel == serial
+/// bit-identity.
+class LoadTracker {
+ public:
+  LoadTracker(size_t num_entities, const LoadTrackerConfig& config);
+
+  /// Charges a successfully served request of `bytes` at `now`.
+  void RecordService(size_t entity, SimTime now, double bytes);
+  /// Charges the connection overhead of a failed or shed attempt against
+  /// an entity that is alive but not serving — the retry-storm amplifier.
+  void RecordOverhead(size_t entity, SimTime now);
+
+  /// True while an emergent brownout is active for `entity`.
+  bool Overloaded(size_t entity, SimTime now) const;
+  /// True when the entity is above the admission threshold (or browned
+  /// out): the signal admission control sheds low-priority work on.
+  bool UnderPressure(size_t entity, SimTime now) const;
+  /// Offered utilization of the window containing `now` (0 if the entity
+  /// has been idle since its last recorded window).
+  double Utilization(size_t entity, SimTime now) const;
+
+  /// Number of transitions into emergent brownout across all entities.
+  uint64_t emergent_brownouts() const { return emergent_brownouts_; }
+
+ private:
+  struct Entity {
+    double window_start = 0.0;
+    double busy_s = 0.0;
+    SimTime brownout_until = -1.0;
+  };
+  void Charge(size_t entity, SimTime now, double busy_s);
+  double WindowUtilization(const Entity& e, SimTime now) const;
+
+  LoadTrackerConfig config_;
+  std::vector<Entity> entities_;
+  uint64_t emergent_brownouts_ = 0;
+};
+
+/// \brief Circuit breaker parameters.
+struct CircuitBreakerConfig {
+  /// Consecutive failures that open the breaker.
+  uint32_t failure_threshold = 3;
+  /// Time the breaker stays open before allowing a half-open probe.
+  double cooldown_s = 30.0;
+};
+
+/// \brief Per-target client-side circuit breaker: closed → open after k
+/// consecutive failures, half-open probe after a cooldown. Open means the
+/// client fails fast without burning a timeout — and, crucially for
+/// cascade containment, without charging connection overhead to the
+/// struggling target, which lets its load window drain. Deterministic: no
+/// RNG draws, state is a pure function of the call sequence.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(const CircuitBreakerConfig& config)
+      : config_(config) {}
+
+  /// True when a request may be attempted at `now`. An open breaker past
+  /// its cooldown transitions to half-open and admits the one probe.
+  bool AllowRequest(SimTime now);
+  void RecordSuccess();
+  void RecordFailure(SimTime now);
+
+  State state() const { return state_; }
+  /// Transitions into the open state (first open and every re-open).
+  uint32_t open_transitions() const { return open_transitions_; }
+
+ private:
+  void Open(SimTime now);
+
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  SimTime opened_at_ = 0.0;
+  uint32_t open_transitions_ = 0;
+};
+
+/// \brief Retry-budget parameters: at most
+/// max(min_retries_per_window, max_retry_ratio x requests-in-window)
+/// retries are admitted per accounting window.
+struct RetryBudgetConfig {
+  double window_s = 3600.0;
+  double max_retry_ratio = 0.5;
+  /// Floor so that low-traffic windows can still retry at all.
+  uint32_t min_retries_per_window = 5;
+};
+
+/// \brief Caps the retry-to-request ratio per window to stop retry storms
+/// from amplifying an outage into a cascade. Deterministic and RNG-free;
+/// one budget per run (client population), never shared across sweep
+/// points.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetConfig& config) : config_(config) {}
+
+  /// Every demand arrival earns budget.
+  void RecordRequest(SimTime now);
+  /// True when a retry is admitted at `now` (and charges it); false means
+  /// the retry is suppressed and the caller should give up.
+  bool TryRetry(SimTime now);
+
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  void Roll(SimTime now);
+
+  RetryBudgetConfig config_;
+  double window_start_ = 0.0;
+  uint64_t window_requests_ = 0;
+  uint64_t window_retries_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+/// \brief Bundle of self-protection mechanisms threaded through the
+/// simulators. Everything defaults to off, which keeps every pre-existing
+/// replay bit-identical; `track_load` arms the cascade engine (emergent
+/// brownouts) and is required for admission control to have a signal.
+struct ProtectionConfig {
+  /// Arms the LoadTracker: offered load — including redirected failover
+  /// and retry traffic — is tracked per entity during the run, and
+  /// crossing the threshold triggers an emergent brownout.
+  bool track_load = false;
+  LoadTrackerConfig load;
+  /// Per-target circuit breakers on the failover/retry path.
+  bool circuit_breakers = false;
+  CircuitBreakerConfig breaker;
+  /// Cap on the retry-to-request ratio.
+  bool retry_budget = false;
+  RetryBudgetConfig budget;
+  /// Shed low-priority work (speculative pushes first, then off-route
+  /// replica service) when the tracker reports pressure.
+  bool admission_control = false;
+
+  bool AnyArmed() const {
+    return track_load || circuit_breakers || retry_budget || admission_control;
+  }
 };
 
 }  // namespace sds::net

@@ -40,8 +40,22 @@ struct RunTotals {
   double retry_wait_seconds = 0.0;
   /// Responses served during a brownout, with speculation shed.
   uint64_t brownout_responses = 0;
-  /// Speculative/hinted/prefetch transfers suppressed by brownouts.
+  /// Speculative/hinted/prefetch transfers suppressed by *scheduled*
+  /// brownouts (kServerBrownout events).
   uint64_t suppressed_speculative_docs = 0;
+
+  // --- Self-protection / cascade dynamics (all zero when unarmed). ---
+  /// Load-triggered emergent brownout transitions of the server.
+  uint64_t emergent_brownouts = 0;
+  /// Circuit-breaker transitions into the open state.
+  uint64_t breaker_open_transitions = 0;
+  /// Retries the budget refused (the miss gave up instead of retrying).
+  uint64_t retries_suppressed_by_budget = 0;
+  /// Speculative transfers shed by admission control or emergent overload
+  /// (load-driven, as opposed to schedule-driven suppression above).
+  uint64_t shed_speculative_docs = 0;
+  /// Misses failed fast on an open breaker, without burning timeouts.
+  uint64_t breaker_fast_fails = 0;
 
   double MeanLatency() const {
     return client_requests == 0

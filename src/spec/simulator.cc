@@ -202,6 +202,24 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
   const bool faulty = config.faults != nullptr && !config.faults->empty();
   Rng retry_rng(config.retry_jitter_seed);
 
+  // Per-run protection state (never shared across sweep points). Entities
+  // are servers; demand service stays up during emergent overload (the
+  // kServerBrownout semantics) but speculative work is shed, misses fail
+  // fast on open breakers, and storm retries are capped by the budget.
+  const net::ProtectionConfig& protection = config.protection;
+  const bool track_load = protection.track_load;
+  const bool breakers_armed = protection.circuit_breakers;
+  const bool budget_armed = protection.retry_budget;
+  const bool admission_armed = protection.admission_control && track_load;
+  net::LoadTracker tracker(track_load ? trace_->num_servers : 0,
+                           protection.load);
+  std::vector<net::CircuitBreaker> breakers;
+  if (breakers_armed) {
+    breakers.assign(trace_->num_servers,
+                    net::CircuitBreaker(protection.breaker));
+  }
+  net::RetryBudget retry_budget(protection.budget);
+
   // Replay the prepared flat arrays (kDocument/kAlias requests only, with
   // sizes and day indices resolved at construction).
   const PreparedSpecTrace& pt = prepared_;
@@ -279,6 +297,25 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     // server down, the request is lost (counted unavailable, never served).
     uint32_t request_retries = 0;
     double request_backoff = 0.0;
+    if (budget_armed) retry_budget.RecordRequest(now);
+    if (breakers_armed && !breakers[server].AllowRequest(now)) {
+      // Open breaker: the miss fails fast without burning a timeout, and
+      // the struggling server sees no traffic at all from it.
+      ++totals.breaker_fast_fails;
+      ++totals.unavailable_requests;
+      obs::TsCount("spec.unavailable_requests", now);
+      totals.miss_bytes += static_cast<double>(size);
+      if (sampled) {
+        obs::JourneyRecord j;
+        j.request = i;
+        j.time_s = now;
+        j.client = client;
+        j.doc = doc;
+        j.served_by = obs::kServedByNone;
+        journey.Record(j);
+      }
+      continue;
+    }
     if (faulty && config.faults->ServerDown(server, now)) {
       SimTime when = now;
       double waited = 0.0;
@@ -286,8 +323,14 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
       ++totals.retry_attempts;  // the initial attempt timed out
       obs::TsCount("spec.retry_attempts", now);
       ++request_retries;
+      if (breakers_armed) breakers[server].RecordFailure(now);
       for (uint32_t attempt = 1; attempt < config.retry.max_attempts;
            ++attempt) {
+        if (budget_armed && !retry_budget.TryRetry(when)) {
+          ++totals.retries_suppressed_by_budget;
+          obs::TsCount("spec.retries_suppressed_by_budget", when);
+          break;
+        }
         const double wait =
             config.retry.timeout_s +
             config.retry.BackoffBeforeRetry(attempt - 1, &retry_rng);
@@ -300,6 +343,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         ++totals.retry_attempts;
         obs::TsCount("spec.retry_attempts", when);
         ++request_retries;
+        if (breakers_armed) breakers[server].RecordFailure(when);
       }
       if (!reached) waited += config.retry.timeout_s;
       totals.retry_wait_seconds += waited;
@@ -322,10 +366,18 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         continue;
       }
     }
+    if (breakers_armed) breakers[server].RecordSuccess();
     // Brownout (overload, §2.3's shielding pressure): demand service stays
     // up but every speculative transfer is shed until the load drains.
-    const bool degraded =
+    const bool scheduled_degraded =
         faulty && config.faults->ServerDegraded(server, now);
+    // Emergent counterpart: the live utilization window crossed the
+    // brownout threshold, or admission control is shedding early under
+    // pressure (speculative pushes are the first work dropped).
+    const bool load_shed =
+        (track_load && tracker.Overloaded(server, now)) ||
+        (admission_armed && tracker.UnderPressure(server, now));
+    const bool degraded = scheduled_degraded || load_shed;
 
     ++totals.server_requests;
     obs::TsCount("spec.server_requests", now);
@@ -342,9 +394,15 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
           SelectCandidates(row, *corpus_,
                            server_speculates ? push_policy : config.policy)
               .size();
-      totals.suppressed_speculative_docs += suppressed;
-      obs::TsCount("spec.suppressed_speculative_docs", now,
-                   static_cast<double>(suppressed));
+      if (scheduled_degraded) {
+        totals.suppressed_speculative_docs += suppressed;
+        obs::TsCount("spec.suppressed_speculative_docs", now,
+                     static_cast<double>(suppressed));
+      } else {
+        totals.shed_speculative_docs += suppressed;
+        obs::TsCount("spec.shed_speculative_docs", now,
+                     static_cast<double>(suppressed));
+      }
     }
 
     if (server_speculates && model_ready && !degraded) {
@@ -394,6 +452,9 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
                      static_cast<double>(cand_size));
         ++pushed_docs;
         cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
+        if (track_load) {
+          tracker.RecordService(server, now, static_cast<double>(cand_size));
+        }
         if (server_events != nullptr) {
           server_events->push_back({now, static_cast<double>(cand_size)});
         }
@@ -403,6 +464,7 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
     if (server_events != nullptr) {
       server_events->push_back({now, response_bytes});
     }
+    if (track_load) tracker.RecordService(server, now, response_bytes);
     totals.bytes_sent += response_bytes;
     const double service_time =
         config.serv_cost +
@@ -450,6 +512,9 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
         obs::TsCount("spec.speculative_bytes", now,
                      static_cast<double>(cand_size));
         cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
+        if (track_load) {
+          tracker.RecordService(server, now, static_cast<double>(cand_size));
+        }
         if (server_events != nullptr) {
           server_events->push_back({now, static_cast<double>(cand_size)});
         }
@@ -463,6 +528,10 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
   for (const auto& cache : caches) {
     totals.wasted_speculative_bytes +=
         static_cast<double>(cache.wasted_speculative_bytes());
+  }
+  if (track_load) totals.emergent_brownouts = tracker.emergent_brownouts();
+  for (const net::CircuitBreaker& b : breakers) {
+    totals.breaker_open_transitions += b.open_transitions();
   }
   if (obs::Enabled()) {
     obs::Count("spec.runs");
@@ -483,6 +552,16 @@ RunTotals SpeculationSimulator::Run(const SpeculationConfig& config,
                static_cast<double>(totals.unavailable_requests));
     obs::Count("spec.retry_attempts",
                static_cast<double>(totals.retry_attempts));
+    obs::Count("spec.emergent_brownouts",
+               static_cast<double>(totals.emergent_brownouts));
+    obs::Count("spec.breaker_open_transitions",
+               static_cast<double>(totals.breaker_open_transitions));
+    obs::Count("spec.retries_suppressed_by_budget",
+               static_cast<double>(totals.retries_suppressed_by_budget));
+    obs::Count("spec.shed_speculative_docs",
+               static_cast<double>(totals.shed_speculative_docs));
+    obs::Count("spec.breaker_fast_fails",
+               static_cast<double>(totals.breaker_fast_fails));
     const DeltaClosure::Stats& cs = model.stats();
     obs::Count("spec.closure.full_rebuilds",
                static_cast<double>(cs.full_rebuilds));

@@ -115,6 +115,13 @@ struct SpeculationConfig {
   /// parameter; sweeps derive this from their per-point stream to keep
   /// parallel == serial bit-identity). Unused when jitter == 0.
   uint64_t retry_jitter_seed = 0;
+  /// Self-protection stack (docs/FAULTS.md "Cascades and self-protection").
+  /// With `track_load` armed, every request the server absorbs counts
+  /// toward a rolling utilization window and crossing the threshold sheds
+  /// speculative work mid-run (an emergent brownout); circuit breakers
+  /// fail misses fast during outages and retry budgets cap storm retries.
+  /// All off by default, leaving existing replays bit-identical.
+  net::ProtectionConfig protection;
 };
 
 /// \brief Immutable flat view of the replayable requests of a trace

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <set>
@@ -302,6 +303,84 @@ TEST_F(SweepExperimentsTest, Fig7FaultInjectionIsIdenticalForAnyWorkerCount) {
                 serial.cell(row, col - 1).unavailable_fraction)
           << "rate " << rates[row] << " proxies " << proxies[col];
     }
+  }
+}
+
+TEST_F(SweepExperimentsTest, Fig8ResilienceIsIdenticalForAnyWorkerCount) {
+  // The resilience sweep layers the protection stacks on top of fault
+  // injection; schedules, brownouts, breakers, and budgets must all stay
+  // on per-point streams.
+  const Fig8Result serial = RunFig8(*workload_, {}, {.workers = 1});
+  const std::string serial_table = serial.ToTable().ToAlignedString();
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const uint32_t workers : {2u, hw}) {
+    const Fig8Result parallel = RunFig8(*workload_, {}, {.workers = workers});
+    EXPECT_EQ(serial_table, parallel.ToTable().ToAlignedString())
+        << "workers=" << workers;
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+      EXPECT_EQ(serial.cells[i].sim.unavailable_requests,
+                parallel.cells[i].sim.unavailable_requests) << i;
+      EXPECT_EQ(serial.cells[i].sim.retry_attempts,
+                parallel.cells[i].sim.retry_attempts) << i;
+      EXPECT_EQ(serial.cells[i].sim.emergent_brownouts,
+                parallel.cells[i].sim.emergent_brownouts) << i;
+      EXPECT_EQ(serial.cells[i].sim.breaker_open_transitions,
+                parallel.cells[i].sim.breaker_open_transitions) << i;
+      EXPECT_EQ(serial.cells[i].sim.retries_suppressed_by_budget,
+                parallel.cells[i].sim.retries_suppressed_by_budget) << i;
+      EXPECT_EQ(serial.cells[i].sim.with_proxies_bytes_hops,
+                parallel.cells[i].sim.with_proxies_bytes_hops) << i;
+      EXPECT_EQ(serial.cells[i].scheduled_events,
+                parallel.cells[i].scheduled_events) << i;
+    }
+  }
+
+  const auto level_index = [&](Fig8Protection level) {
+    const auto it =
+        std::find(serial.levels.begin(), serial.levels.end(), level);
+    return static_cast<size_t>(it - serial.levels.begin());
+  };
+  const size_t off = level_index(Fig8Protection::kOff);
+  const size_t brk = level_index(Fig8Protection::kBreakers);
+  const size_t full = level_index(Fig8Protection::kFull);
+
+  bool saw_off_retries = false;
+  bool saw_breaker_opens = false;
+  for (size_t row = 0; row < serial.failure_rates.size(); ++row) {
+    const auto& c_off = serial.cell(row, off);
+    const auto& c_brk = serial.cell(row, brk);
+    const auto& c_full = serial.cell(row, full);
+    // Every arm of a row replays the same shared fault schedule.
+    EXPECT_EQ(c_off.scheduled_events, c_brk.scheduled_events) << row;
+    EXPECT_EQ(c_off.scheduled_events, c_full.scheduled_events) << row;
+    // Self-protection never costs availability at any swept rate...
+    EXPECT_GE(c_brk.availability, c_off.availability) << row;
+    EXPECT_GE(c_full.availability, c_off.availability) << row;
+    // ...and never manufactures more emergent failure than no defense.
+    EXPECT_LE(c_full.sim.emergent_brownouts, c_off.sim.emergent_brownouts)
+        << row;
+    // Wherever the unprotected arm retried at all, the budgeted stack's
+    // retry amplification is strictly lower.
+    if (c_off.sim.retry_attempts > 0) {
+      saw_off_retries = true;
+      EXPECT_LT(c_full.retry_amplification, c_off.retry_amplification)
+          << row;
+      EXPECT_LT(c_brk.retry_amplification, c_off.retry_amplification)
+          << row;
+    }
+    EXPECT_EQ(c_off.sim.breaker_open_transitions, 0u) << row;
+    saw_breaker_opens |= c_brk.sim.breaker_open_transitions > 0;
+  }
+  EXPECT_TRUE(saw_off_retries);
+  EXPECT_TRUE(saw_breaker_opens);
+
+  // The zero-rate row injects nothing: full availability in every arm.
+  for (const size_t col : {off, brk, full}) {
+    const auto& cell = serial.cell(0, col);
+    EXPECT_EQ(cell.scheduled_events, 0u);
+    EXPECT_EQ(cell.sim.unavailable_requests, 0u);
+    EXPECT_EQ(cell.availability, 1.0);
   }
 }
 

@@ -205,5 +205,219 @@ TEST_F(FailoverTest, FaultReplayIsDeterministicInSeed) {
   EXPECT_EQ(a.proxy_requests, b.proxy_requests);
 }
 
+// --- Self-protection stack and cascade dynamics -----------------------------
+
+class ProtectionTest : public FailoverTest {
+ protected:
+  /// A load-tracker calibration knob: serving the full request stream
+  /// through a single target costs `solo_load` busy-seconds per wall
+  /// second. The replay only covers the evaluation half of the trace split
+  /// across all targets, so per-entity utilization is a fraction of
+  /// `solo_load`; raise it until the busiest windows cross the brownout
+  /// threshold.
+  net::LoadTrackerConfig TightLoad(double solo_load = 1.25) const {
+    const double span = workload_->clean().Span();
+    const double n = static_cast<double>(workload_->clean().size());
+    net::LoadTrackerConfig load;
+    load.window_s = 12.0 * 3600.0;
+    load.brownout_duration_s = 4.0 * 3600.0;
+    load.utilization_threshold = 0.75;
+    load.admission_threshold = 0.55;
+    load.service_overhead_s = solo_load * span / n;
+    load.service_rate_bytes_per_s = 1e12;  // bytes negligible here
+    return load;
+  }
+};
+
+TEST_F(ProtectionTest, UnarmedProtectionIsBitIdenticalUnderFaults) {
+  // A default ProtectionConfig must not change the faulted replay at all:
+  // same control flow, same RNG consumption, same numbers.
+  net::FaultSchedule schedule;
+  const auto [start, end] = FullSpan();
+  schedule.Add({net::FaultKind::kServerOutage, 0, end * 0.2, end * 0.4});
+  schedule.Add({net::FaultKind::kLinkOutage, 2, end * 0.5, end * 0.6});
+
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.faults = &schedule;
+  config.retry.jitter = 0.2;
+  const auto a = Run(config, 11);
+  DisseminationConfig with_protection = config;
+  with_protection.protection = net::ProtectionConfig{};
+  const auto b = Run(with_protection, 11);
+
+  EXPECT_EQ(a.unavailable_requests, b.unavailable_requests);
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+  EXPECT_DOUBLE_EQ(a.retry_wait_seconds, b.retry_wait_seconds);
+  EXPECT_DOUBLE_EQ(a.with_proxies_bytes_hops, b.with_proxies_bytes_hops);
+  EXPECT_EQ(a.proxy_requests, b.proxy_requests);
+  EXPECT_EQ(b.emergent_brownouts, 0u);
+  EXPECT_EQ(b.breaker_open_transitions, 0u);
+  EXPECT_EQ(b.retries_suppressed_by_budget, 0u);
+  EXPECT_EQ(b.shed_replica_requests, 0u);
+}
+
+TEST_F(ProtectionTest, CoolTrackerLeavesFaultFreeReplayUnchanged) {
+  // Armed but generously provisioned: the tracker observes the whole
+  // fault-free replay without tripping, and every pre-existing metric is
+  // bit-identical to the plain run.
+  DisseminationConfig plain;
+  plain.num_proxies = 4;
+  const auto a = Run(plain);
+
+  DisseminationConfig tracked = plain;
+  tracked.protection.track_load = true;
+  tracked.protection.load.service_overhead_s = 1e-9;
+  tracked.protection.load.service_rate_bytes_per_s = 1e15;
+  const auto b = Run(tracked);
+
+  EXPECT_DOUBLE_EQ(a.with_proxies_bytes_hops, b.with_proxies_bytes_hops);
+  EXPECT_DOUBLE_EQ(a.saved_fraction, b.saved_fraction);
+  EXPECT_EQ(a.server_requests, b.server_requests);
+  EXPECT_EQ(a.proxy_requests, b.proxy_requests);
+  EXPECT_EQ(b.unavailable_requests, 0u);
+  EXPECT_EQ(b.emergent_brownouts, 0u);
+}
+
+TEST_F(ProtectionTest, RetryStormPinsServerAndProtectionsContainIt) {
+  // Calibrate the home server close to — but under — the brownout
+  // threshold; a bursty window tips it over. No scheduled fault exists: the
+  // overload is emergent. From then on the unprotected population's retries
+  // charge overhead against the browned-out server faster than a window
+  // can drain, so the brownout re-arms indefinitely and every server-only
+  // document becomes unavailable. The protected population opens its
+  // breakers instead of hammering, the server cools down between episodes,
+  // and service resumes.
+  DisseminationConfig unprotected;
+  unprotected.num_proxies = 2;
+  unprotected.retry.max_attempts = 6;
+  unprotected.protection.track_load = true;
+  unprotected.protection.load = TightLoad(8.0);
+  const auto off = Run(unprotected);
+  ASSERT_GT(off.emergent_brownouts, 0u);
+  ASSERT_GT(off.unavailable_requests, 0u);
+
+  DisseminationConfig protected_config = unprotected;
+  protected_config.protection.circuit_breakers = true;
+  protected_config.protection.breaker.failure_threshold = 3;
+  // Cooldown long enough that half-open probes from every client subnet
+  // cannot by themselves keep a 12h window above the trip threshold.
+  protected_config.protection.breaker.cooldown_s = 6.0 * 3600.0;
+  protected_config.protection.retry_budget = true;
+  protected_config.protection.admission_control = true;
+  const auto on = Run(protected_config);
+
+  // The full stack contains the cascade: strictly better availability,
+  // strictly fewer retry attempts (storms are cut off), and no more
+  // brownout episodes than the unprotected run.
+  EXPECT_LT(on.unavailable_requests, off.unavailable_requests);
+  EXPECT_LT(on.retry_attempts, off.retry_attempts);
+  EXPECT_LE(on.emergent_brownouts, off.emergent_brownouts);
+  EXPECT_GT(on.breaker_open_transitions, 0u);
+  EXPECT_EQ(TotalAccounted(on), TotalAccounted(off));
+}
+
+TEST_F(ProtectionTest, AdmissionControlShedsOffRouteReplicaService) {
+  // With the home server down for the whole trace, non-disseminated
+  // traffic leans on off-route replicas; an admission threshold of zero
+  // sheds all of that low-priority service once a target has any load.
+  const auto [start, end] = FullSpan();
+  net::FaultSchedule schedule;
+  schedule.Add({net::FaultKind::kServerOutage, 0, start, end});
+
+  DisseminationConfig config;
+  config.num_proxies = 8;
+  config.faults = &schedule;
+  config.retry.max_attempts = 6;
+  config.protection.track_load = true;
+  config.protection.load.service_overhead_s = 1e-9;
+  config.protection.load.service_rate_bytes_per_s = 1e15;
+  config.protection.load.admission_threshold = 0.0;
+  config.protection.admission_control = true;
+  const auto shed = Run(config);
+  EXPECT_GT(shed.shed_replica_requests, 0u);
+
+  DisseminationConfig no_admission = config;
+  no_admission.protection.admission_control = false;
+  const auto open = Run(no_admission);
+  EXPECT_EQ(open.shed_replica_requests, 0u);
+  // Shedding off-route service trades availability for proxy headroom.
+  EXPECT_GE(shed.unavailable_requests, open.unavailable_requests);
+}
+
+TEST_F(ProtectionTest, RetryBudgetSuppressesStormRetries) {
+  const auto [start, end] = FullSpan();
+  net::FaultSchedule schedule;
+  schedule.Add({net::FaultKind::kServerOutage, 0, end * 0.25, end * 0.75});
+
+  DisseminationConfig config;
+  config.num_proxies = 2;
+  config.faults = &schedule;
+  config.retry.max_attempts = 6;
+  const auto unbudgeted = Run(config);
+  ASSERT_GT(unbudgeted.retry_attempts, 0u);
+
+  DisseminationConfig budgeted = config;
+  budgeted.protection.retry_budget = true;
+  budgeted.protection.budget.max_retry_ratio = 0.0;
+  budgeted.protection.budget.min_retries_per_window = 0;
+  const auto result = Run(budgeted);
+
+  // A zero budget suppresses every retry: each failed request costs one
+  // attempt instead of a storm.
+  EXPECT_GT(result.retries_suppressed_by_budget, 0u);
+  EXPECT_LT(result.retry_attempts, unbudgeted.retry_attempts);
+  EXPECT_EQ(result.emergent_brownouts, 0u);  // tracker not armed
+}
+
+TEST_F(ProtectionTest, OpenBreakersFailFastWithoutBurningTimeouts) {
+  const auto [start, end] = FullSpan();
+  net::FaultSchedule schedule;
+  schedule.Add({net::FaultKind::kServerOutage, 0, start, end});
+  const auto& topo = workload_->topology();
+  for (net::NodeId n = 1; n < topo.num_nodes(); ++n) {
+    schedule.Add({net::FaultKind::kNodeOutage, n, start, end});
+  }
+
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  config.faults = &schedule;
+  config.retry.max_attempts = 6;
+  const auto raw = Run(config);
+  ASSERT_DOUBLE_EQ(raw.unavailable_fraction, 1.0);
+
+  DisseminationConfig braked = config;
+  braked.protection.circuit_breakers = true;
+  braked.protection.breaker.failure_threshold = 1;
+  braked.protection.breaker.cooldown_s = 1e12;  // never probes again
+  const auto result = Run(braked);
+
+  // Everything is still unavailable, but after the breakers open the
+  // chain is skipped outright: far fewer attempts and wait seconds.
+  EXPECT_DOUBLE_EQ(result.unavailable_fraction, 1.0);
+  EXPECT_GT(result.fast_failed_requests, 0u);
+  EXPECT_GT(result.breaker_open_transitions, 0u);
+  EXPECT_LT(result.retry_attempts, raw.retry_attempts);
+  EXPECT_LT(result.retry_wait_seconds, raw.retry_wait_seconds);
+}
+
+TEST_F(ProtectionTest, ServiceTimeSummaryOnlyWhenCollected) {
+  DisseminationConfig config;
+  config.num_proxies = 4;
+  const auto off = Run(config);
+  EXPECT_DOUBLE_EQ(off.mean_service_s, 0.0);
+  EXPECT_DOUBLE_EQ(off.p99_service_s, 0.0);
+
+  config.collect_service_times = true;
+  const auto on = Run(config);
+  EXPECT_GT(on.mean_service_s, 0.0);
+  EXPECT_GT(on.p50_service_s, 0.0);
+  EXPECT_GE(on.p99_service_s, on.p50_service_s);
+  EXPECT_GT(on.served_bytes, 0.0);
+  // Collection must not perturb the replay itself.
+  EXPECT_DOUBLE_EQ(on.with_proxies_bytes_hops, off.with_proxies_bytes_hops);
+  EXPECT_EQ(on.proxy_requests, off.proxy_requests);
+}
+
 }  // namespace
 }  // namespace sds::dissem

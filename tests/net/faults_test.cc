@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "net/route_table.h"
 #include "net/topology.h"
 #include "trace/request.h"
 #include "util/rng.h"
@@ -210,6 +216,300 @@ TEST(AddLoadBrownoutsTest, TripsOnlyOverloadedDays) {
   FaultSchedule other;
   EXPECT_EQ(AddLoadBrownouts(trace, 1, config, &other), 0u);
   EXPECT_TRUE(other.empty());
+}
+
+TEST(FaultScheduleTest, CoversMatchesBruteForceOnMessyIntervals) {
+  // Overlapping, nested, duplicated, adjacent and exactly-touching
+  // intervals: the merged binary-search answer must equal a linear scan of
+  // the raw event list at every probe, in particular on the boundaries.
+  FaultSchedule schedule;
+  const std::pair<SimTime, SimTime> raw[] = {
+      {10.0, 20.0}, {15.0, 25.0},  // overlap
+      {25.0, 30.0},                // touches [10, 25) exactly at 25
+      {40.0, 50.0}, {50.0, 60.0},  // adjacent halves
+      {40.0, 50.0},                // duplicate
+      {41.0, 43.0},                // nested
+      {5.0, 12.0},                 // overlaps the merged front
+      {70.0, 70.0},                // empty interval covers nothing
+  };
+  for (const auto& [start, end] : raw) {
+    schedule.Add({FaultKind::kNodeOutage, 3, start, end});
+  }
+  // The event log keeps every Add verbatim.
+  ASSERT_EQ(schedule.size(), std::size(raw));
+
+  std::vector<SimTime> probes;
+  for (double t = 0.0; t <= 75.0; t += 0.5) probes.push_back(t);
+  for (const FaultEvent& e : schedule.events()) {
+    probes.push_back(e.start);
+    probes.push_back(e.end);
+    probes.push_back(e.start - 1e-9);
+    probes.push_back(e.end - 1e-9);
+  }
+  for (const SimTime t : probes) {
+    bool brute = false;
+    for (const FaultEvent& e : schedule.events()) {
+      brute = brute || (e.start <= t && t < e.end);
+    }
+    EXPECT_EQ(schedule.NodeDown(3, t), brute) << "t=" << t;
+  }
+}
+
+TEST(GenerateFaultScheduleTest, ZoneFailureTakesDownWholeSubtree) {
+  const Topology topo = MakeTopology();
+  FaultInjectionConfig config;
+  config.horizon_days = 20.0;
+  config.node_failure_rate_per_day = 0.05;
+  config.zone_failure_probability = 1.0;
+  Rng rng(13);
+  const FaultSchedule schedule = GenerateFaultSchedule(topo, config, &rng);
+  ASSERT_FALSE(schedule.empty());
+  // Every drawn node outage is a zone failure: all strict descendants of
+  // the node share the exact interval. Replicated descendant events are
+  // themselves node outages whose own subtrees were replicated too, so the
+  // check holds for every event in the log.
+  bool saw_interior = false;
+  for (const FaultEvent& e : schedule.events()) {
+    ASSERT_EQ(e.kind, FaultKind::kNodeOutage);
+    const SimTime mid = 0.5 * (e.start + e.end);
+    for (NodeId other = 1; other < topo.num_nodes(); ++other) {
+      bool descendant = false;
+      for (NodeId up = topo.parent(other); ; up = topo.parent(up)) {
+        if (up == e.id) {
+          descendant = true;
+          break;
+        }
+        if (up == topo.root()) break;
+      }
+      if (descendant) {
+        saw_interior = true;
+        EXPECT_TRUE(schedule.NodeDown(other, mid))
+            << "descendant " << other << " of " << e.id << " not down";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_interior);  // at least one non-leaf outage fired
+
+  // Same seed, same config: the zone draws are part of the deterministic
+  // stream.
+  Rng rng_b(13);
+  const FaultSchedule b = GenerateFaultSchedule(topo, config, &rng_b);
+  ASSERT_EQ(b.size(), schedule.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.events()[i].id, schedule.events()[i].id);
+    EXPECT_EQ(b.events()[i].start, schedule.events()[i].start);
+  }
+}
+
+TEST(FaultScheduleTest, PathUpEqualsRouteConjunctionOnRandomSchedules) {
+  // Property (random topologies and schedules): PathUp(from, to, t) is
+  // exactly the conjunction of !NodeDown / !LinkDown over the explicit
+  // route, with nodes checked excluding `from` and each edge keyed by its
+  // deeper endpoint — evaluated here over RouteTable's precomputed routes.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Topology topo = MakeTopology(40 + 7 * seed, 2, seed);
+    const NodeId server = topo.server_node(0);
+    const RouteTable routes(topo, server);
+
+    FaultInjectionConfig config;
+    config.horizon_days = 15.0;
+    config.node_failure_rate_per_day = 0.10;
+    config.link_failure_rate_per_day = 0.08;
+    config.zone_failure_probability = seed % 2 == 0 ? 0.5 : 0.0;
+    Rng rng(seed * 1000 + 17);
+    const FaultSchedule schedule = GenerateFaultSchedule(topo, config, &rng);
+
+    Rng probe_rng(seed);
+    for (int probe = 0; probe < 200; ++probe) {
+      const NodeId from = 1 + static_cast<NodeId>(probe_rng.NextDouble() *
+                                                  (topo.num_nodes() - 1));
+      const SimTime t = probe_rng.NextDouble() * config.horizon_days * kDay;
+      // RouteTable stores server -> from; PathUp walks from -> server.
+      // The conjunction is direction-independent.
+      const std::vector<NodeId>& route = routes.route(from);
+      bool expected = true;
+      for (size_t i = 0; i + 1 < route.size(); ++i) {
+        const NodeId a = route[i];
+        const NodeId b = route[i + 1];
+        if (a != from && schedule.NodeDown(a, t)) expected = false;
+        if (b != from && schedule.NodeDown(b, t)) expected = false;
+        const NodeId child = topo.depth(b) > topo.depth(a) ? b : a;
+        if (schedule.LinkDown(child, t)) expected = false;
+      }
+      EXPECT_EQ(schedule.PathUp(topo, from, server, t), expected)
+          << "seed=" << seed << " from=" << from << " t=" << t;
+    }
+  }
+}
+
+TEST(RetryPolicyTest, ValidateAcceptsDefaultsAndCatchesEachField) {
+  EXPECT_TRUE(RetryPolicy{}.Validate().ok());
+
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+
+  p = RetryPolicy{};
+  p.jitter = 1.5;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p.jitter = -0.1;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p.jitter = 1.0;
+  EXPECT_TRUE(p.Validate().ok());
+
+  p = RetryPolicy{};
+  p.timeout_s = -1.0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+
+  p = RetryPolicy{};
+  p.base_backoff_s = -1.0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+
+  p = RetryPolicy{};
+  p.max_backoff_s = -1.0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+
+  p = RetryPolicy{};
+  p.backoff_multiplier = 0.5;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+
+  // NaN never validates.
+  p = RetryPolicy{};
+  p.jitter = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoadTrackerTest, TripsAtThresholdAndCountsBrownouts) {
+  LoadTrackerConfig config;
+  config.service_overhead_s = 10.0;
+  config.service_rate_bytes_per_s = 1e12;  // bytes negligible
+  config.window_s = 100.0;
+  config.utilization_threshold = 0.5;
+  config.admission_threshold = 0.3;
+  config.brownout_duration_s = 50.0;
+  LoadTracker tracker(2, config);
+
+  // Four requests: 40 busy seconds, utilization 0.4 — under pressure but
+  // not overloaded.
+  for (int i = 0; i < 4; ++i) tracker.RecordService(0, 10.0 + i, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.Utilization(0, 20.0), 0.4);
+  EXPECT_FALSE(tracker.Overloaded(0, 20.0));
+  EXPECT_TRUE(tracker.UnderPressure(0, 20.0));
+  EXPECT_EQ(tracker.emergent_brownouts(), 0u);
+
+  // Two more pushes past the 0.5 threshold: exactly one transition.
+  tracker.RecordOverhead(0, 20.0);
+  tracker.RecordOverhead(0, 21.0);
+  EXPECT_TRUE(tracker.Overloaded(0, 22.0));
+  EXPECT_EQ(tracker.emergent_brownouts(), 1u);
+  // More load while browned out does not re-count the transition.
+  tracker.RecordOverhead(0, 25.0);
+  EXPECT_EQ(tracker.emergent_brownouts(), 1u);
+
+  // The brownout expires after its duration (21 + 50).
+  EXPECT_TRUE(tracker.Overloaded(0, 70.0));
+  EXPECT_FALSE(tracker.Overloaded(0, 71.5));
+
+  // The other entity is independent, and a fresh window starts clean.
+  EXPECT_FALSE(tracker.UnderPressure(1, 20.0));
+  EXPECT_DOUBLE_EQ(tracker.Utilization(0, 500.0), 0.0);
+  tracker.RecordService(0, 500.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.Utilization(0, 500.0), 0.1);
+  EXPECT_FALSE(tracker.UnderPressure(0, 500.0));
+}
+
+TEST(LoadTrackerTest, BytesCountTowardUtilization) {
+  LoadTrackerConfig config;
+  config.service_overhead_s = 0.0;
+  config.service_rate_bytes_per_s = 100.0;
+  config.window_s = 100.0;
+  LoadTracker tracker(1, config);
+  tracker.RecordService(0, 0.0, 2000.0);  // 20 busy seconds
+  EXPECT_DOUBLE_EQ(tracker.Utilization(0, 1.0), 0.2);
+}
+
+TEST(LoadTrackerTest, OutOfOrderChargesNeverRollBackwards) {
+  LoadTrackerConfig config;
+  config.service_overhead_s = 1.0;
+  config.window_s = 100.0;
+  LoadTracker tracker(1, config);
+  tracker.RecordOverhead(0, 250.0);  // window [200, 300)
+  tracker.RecordOverhead(0, 150.0);  // late charge lands in the window
+  EXPECT_DOUBLE_EQ(tracker.Utilization(0, 250.0), 0.02);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndProbes) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_s = 30.0;
+  CircuitBreaker breaker(config);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+  breaker.RecordFailure(1.0);
+  breaker.RecordFailure(2.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // A success resets the consecutive count.
+  breaker.RecordSuccess();
+  breaker.RecordFailure(3.0);
+  breaker.RecordFailure(4.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(5.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 1u);
+
+  // Open: fail fast until the cooldown elapses.
+  EXPECT_FALSE(breaker.AllowRequest(10.0));
+  EXPECT_FALSE(breaker.AllowRequest(34.999));
+  // Cooldown over: one half-open probe is admitted.
+  EXPECT_TRUE(breaker.AllowRequest(35.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // Probe fails: straight back to open, counted as a transition.
+  breaker.RecordFailure(35.5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest(36.0));
+
+  // Next probe succeeds: closed again, and it takes the full threshold of
+  // fresh failures to re-open.
+  EXPECT_TRUE(breaker.AllowRequest(35.5 + 30.0));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(70.0);
+  breaker.RecordFailure(71.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(72.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 3u);
+}
+
+TEST(RetryBudgetTest, CapsRetryRatioWithFloor) {
+  RetryBudgetConfig config;
+  config.window_s = 100.0;
+  config.max_retry_ratio = 0.5;
+  config.min_retries_per_window = 2;
+  RetryBudget budget(config);
+
+  // No requests yet: the floor still admits two retries.
+  EXPECT_TRUE(budget.TryRetry(0.0));
+  EXPECT_TRUE(budget.TryRetry(1.0));
+  EXPECT_FALSE(budget.TryRetry(2.0));
+  EXPECT_EQ(budget.suppressed(), 1u);
+
+  // Requests earn budget: 8 requests -> 4 retries allowed; 2 are already
+  // spent this window.
+  for (int i = 0; i < 8; ++i) budget.RecordRequest(10.0 + i);
+  EXPECT_TRUE(budget.TryRetry(20.0));
+  EXPECT_TRUE(budget.TryRetry(21.0));
+  EXPECT_FALSE(budget.TryRetry(22.0));
+  EXPECT_EQ(budget.suppressed(), 2u);
+
+  // A new window resets both counters.
+  EXPECT_TRUE(budget.TryRetry(150.0));
+  EXPECT_TRUE(budget.TryRetry(151.0));
+  EXPECT_FALSE(budget.TryRetry(152.0));
+  EXPECT_EQ(budget.suppressed(), 3u);
 }
 
 }  // namespace

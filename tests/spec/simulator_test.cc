@@ -212,6 +212,111 @@ TEST_F(SpecSimTest, MetricsRatiosConsistent) {
   EXPECT_NEAR(m.extra_traffic, m.bandwidth_ratio - 1.0, 1e-12);
 }
 
+// --- Self-protection stack (docs/FAULTS.md "Cascades and self-protection").
+
+// A capacity model tight enough that the eval-window request rate alone
+// trips the admission threshold: `solo_load` busy-seconds of service per
+// wall second if the whole clean stream hit the server.
+net::LoadTrackerConfig TightSpecLoad(const core::Workload& workload,
+                                     double solo_load) {
+  net::LoadTrackerConfig load;
+  load.window_s = 12.0 * 3600.0;
+  load.brownout_duration_s = 4.0 * 3600.0;
+  load.service_overhead_s = solo_load * workload.clean().Span() /
+                            static_cast<double>(workload.clean().size());
+  load.service_rate_bytes_per_s = 1e12;
+  return load;
+}
+
+net::FaultSchedule ServerOutageSchedule(const core::Workload& workload) {
+  net::FaultInjectionConfig fault_config;
+  fault_config.horizon_days = workload.clean().Span() / kDay + 1.0;
+  fault_config.server_failure_rate_per_day = 0.5;
+  fault_config.mean_outage_days = 0.5;
+  Rng rng(271828);
+  return net::GenerateFaultSchedule(workload.topology(), fault_config, &rng);
+}
+
+TEST_F(SpecSimTest, ArmedButCoolProtectionsAreBitIdentical) {
+  // With ample capacity, no faults, and breakers that never see a failure,
+  // the armed stack must be a pure observer: every total matches the plain
+  // run exactly (this is what lets fig8 arm track_load in all arms).
+  const RunTotals plain = sim_->Run(Baseline(0.3));
+  SpeculationConfig armed = Baseline(0.3);
+  armed.protection.track_load = true;
+  armed.protection.load = TightSpecLoad(*workload_, 1e-6);
+  armed.protection.circuit_breakers = true;
+  armed.protection.retry_budget = true;
+  armed.protection.admission_control = true;
+  const RunTotals cool = sim_->Run(armed);
+  EXPECT_EQ(plain.server_requests, cool.server_requests);
+  EXPECT_EQ(plain.speculative_docs_sent, cool.speculative_docs_sent);
+  EXPECT_DOUBLE_EQ(plain.bytes_sent, cool.bytes_sent);
+  EXPECT_DOUBLE_EQ(plain.total_latency, cool.total_latency);
+  EXPECT_EQ(cool.emergent_brownouts, 0u);
+  EXPECT_EQ(cool.breaker_open_transitions, 0u);
+  EXPECT_EQ(cool.shed_speculative_docs, 0u);
+  EXPECT_EQ(cool.breaker_fast_fails, 0u);
+}
+
+TEST_F(SpecSimTest, AdmissionControlShedsSpeculationUnderPressure) {
+  const RunTotals healthy = sim_->Run(Baseline(0.25));
+  ASSERT_GT(healthy.speculative_docs_sent, 0u);
+  SpeculationConfig tight = Baseline(0.25);
+  tight.protection.track_load = true;
+  tight.protection.load = TightSpecLoad(*workload_, 1.5);
+  tight.protection.admission_control = true;
+  const RunTotals shed = sim_->Run(tight);
+  // Speculative pushes are shed first; demand service never is.
+  EXPECT_GT(shed.shed_speculative_docs, 0u);
+  EXPECT_LT(shed.speculative_docs_sent, healthy.speculative_docs_sent);
+  EXPECT_EQ(shed.client_requests, healthy.client_requests);
+  EXPECT_EQ(shed.unavailable_requests, 0u);
+  // A colder cache (shed pushes never land) can only add misses.
+  EXPECT_GE(shed.server_requests, healthy.server_requests);
+}
+
+TEST_F(SpecSimTest, RetryBudgetCapsOutageRetryStorm) {
+  const net::FaultSchedule schedule = ServerOutageSchedule(*workload_);
+  ASSERT_FALSE(schedule.events().empty());
+  SpeculationConfig stormy = Baseline(0.25);
+  stormy.faults = &schedule;
+  stormy.retry.max_attempts = 4;
+  stormy.retry_jitter_seed = 314159;
+  const RunTotals unbudgeted = sim_->Run(stormy);
+  ASSERT_GT(unbudgeted.retry_attempts, 0u);
+  SpeculationConfig budgeted = stormy;
+  budgeted.protection.retry_budget = true;
+  budgeted.protection.budget.max_retry_ratio = 0.05;
+  budgeted.protection.budget.min_retries_per_window = 1;
+  const RunTotals capped = sim_->Run(budgeted);
+  EXPECT_GT(capped.retries_suppressed_by_budget, 0u);
+  EXPECT_LT(capped.retry_attempts, unbudgeted.retry_attempts);
+  // Suppressed retries were futile (the server is down schedule-wide for
+  // the whole outage), so availability is unchanged.
+  EXPECT_EQ(capped.unavailable_requests, unbudgeted.unavailable_requests);
+}
+
+TEST_F(SpecSimTest, BreakersFailFastDuringOutages) {
+  const net::FaultSchedule schedule = ServerOutageSchedule(*workload_);
+  ASSERT_FALSE(schedule.events().empty());
+  SpeculationConfig stormy = Baseline(0.25);
+  stormy.faults = &schedule;
+  stormy.retry.max_attempts = 4;
+  stormy.retry_jitter_seed = 314159;
+  const RunTotals off = sim_->Run(stormy);
+  SpeculationConfig guarded = stormy;
+  guarded.protection.circuit_breakers = true;
+  guarded.protection.breaker.failure_threshold = 3;
+  guarded.protection.breaker.cooldown_s = 900.0;
+  const RunTotals on = sim_->Run(guarded);
+  EXPECT_GT(on.breaker_open_transitions, 0u);
+  EXPECT_GT(on.breaker_fast_fails, 0u);
+  // Fast-failed misses skip the timeout ladder entirely.
+  EXPECT_LT(on.retry_attempts, off.retry_attempts);
+  EXPECT_LT(on.retry_wait_seconds, off.retry_wait_seconds);
+}
+
 TEST(SpecMetricsTest, DegenerateBaselinesYieldUnitRatios) {
   const RunTotals empty_a, empty_b;
   const SpeculationMetrics m = ComputeMetrics(empty_a, empty_b);
