@@ -30,6 +30,7 @@ sds_add_bench(tab1_document_classes)
 sds_add_bench(tab2_symmetric_cluster)
 sds_add_bench(workload_fidelity)
 sds_add_bench(seed_robustness)
+sds_add_bench(scale_stream)
 sds_add_bench(exp_update_cycle)
 sds_add_bench(exp_maxsize)
 sds_add_bench(exp_client_caching)

@@ -71,6 +71,35 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   return args;
 }
 
+/// Peak resident set size (VmHWM) of this process in bytes, read from
+/// /proc/self/status. Returns 0 where the proc interface is unavailable.
+/// This is the high-water mark: monotone over the process lifetime, so
+/// scale sweeps measure their smallest configuration first.
+inline uint64_t PeakRssBytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb * 1024;
+}
+
+/// Resets the VmHWM high-water mark to the current resident set (Linux
+/// /proc/self/clear_refs). Returns false where unsupported; callers must
+/// then treat PeakRssBytes() as monotone over the process lifetime.
+inline bool ResetPeakRss() {
+  std::FILE* clear_refs = std::fopen("/proc/self/clear_refs", "w");
+  if (clear_refs == nullptr) return false;
+  const bool ok = std::fputs("5", clear_refs) >= 0;
+  return std::fclose(clear_refs) == 0 && ok;
+}
+
 /// Wall-clock stopwatch for the stage timings below.
 class Stopwatch {
  public:
@@ -97,6 +126,11 @@ class BenchReport {
   void Metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);
   }
+
+  /// Declares how many simulated requests the bench replayed end to end
+  /// (summed across sweep points / simulation runs). Write() derives
+  /// `throughput_rps` from it and the report's lifetime.
+  void RequestsProcessed(double requests) { requests_ += requests; }
 
   /// Attaches an observability snapshot; Write() emits it as a nested
   /// "metrics" object after the flat timing keys.
@@ -128,6 +162,14 @@ class BenchReport {
       std::fprintf(out, ",\n  \"%s\": %.17g", JsonEscape(key).c_str(),
                    value);
     }
+    // Uniform footprint/throughput keys, present in every report: CI's
+    // perf-smoke job and the cross-commit diffs key on them.
+    const double elapsed = lifetime_.Seconds();
+    std::fprintf(out, ",\n  \"requests_replayed\": %.17g", requests_);
+    std::fprintf(out, ",\n  \"throughput_rps\": %.17g",
+                 elapsed > 0.0 ? requests_ / elapsed : 0.0);
+    std::fprintf(out, ",\n  \"peak_rss_bytes\": %.17g",
+                 static_cast<double>(PeakRssBytes()));
     if (!obs_json_.empty()) {
       std::fprintf(out, ",\n  \"metrics\": %s", obs_json_.c_str());
     }
@@ -143,6 +185,8 @@ class BenchReport {
 
  private:
   std::string name_;
+  Stopwatch lifetime_;
+  double requests_ = 0.0;
   std::vector<std::pair<std::string, double>> metrics_;
   std::string obs_json_;
 };

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
   chart.AddSeries("cumulative bandwidth saved", xs, bytes);
   std::printf("coverage vs blocks of decreasing popularity\n%s\n",
               chart.Render().c_str());
+  bench_report.RequestsProcessed(
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

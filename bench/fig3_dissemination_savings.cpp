@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
                   result.saved_top10_tailored);
   std::printf("saved fraction vs number of proxies\n%s\n",
               chart.Render().c_str());
+  bench_report.RequestsProcessed(
+      16.0 * 3.0 * static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
     hist.Add(result.bin_lo[i] + 1e-6, result.bin_count[i]);
   }
   std::printf("%s\n", hist.Render(56).c_str());
+  bench_report.RequestsProcessed(
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
   chart.AddSeries("service time ratio", tps, time);
   chart.AddSeries("miss rate ratio", tps, miss);
   std::printf("ratios vs Tp (x axis: Tp)\n%s\n", chart.Render().c_str());
+  bench_report.RequestsProcessed(
+      static_cast<double>(result.points.size() + 1) *
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

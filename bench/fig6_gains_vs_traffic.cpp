@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   chart.AddSeries("miss rate reduction", traffic, miss);
   std::printf("reductions vs extra traffic fraction\n%s\n",
               chart.Render().c_str());
+  bench_report.RequestsProcessed(
+      static_cast<double>(sweep.points.size() + 1) *
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

@@ -125,6 +125,9 @@ int main(int argc, char** argv) {
       "misses retried with backoff during outages\n%s\n",
       brownout_days, brownouts.utilization_threshold,
       spec_table.ToAlignedString().c_str());
+  bench_report.RequestsProcessed(
+      static_cast<double>(result.cells.size()) *
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

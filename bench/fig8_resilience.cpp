@@ -155,6 +155,9 @@ int main(int argc, char** argv) {
       "spec_breaker_fast_fails",
       static_cast<double>(stormy.with_speculation.breaker_fast_fails));
 
+  bench_report.RequestsProcessed(
+      static_cast<double>(result.cells.size()) *
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

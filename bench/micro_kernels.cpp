@@ -19,8 +19,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/experiments.h"
 #include "core/workload.h"
+#include "trace/clf.h"
+#include "trace/cursor.h"
 #include "dissem/allocation.h"
 #include "dissem/popularity.h"
 #include "dissem/simulator.h"
@@ -348,6 +352,59 @@ void BM_FaultCoversLegacyLinear(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultCoversLegacyLinear);
+
+// --- CLF line scanning: allocating getline reader vs mmap cursor --------
+//
+// The before/after pair of the streaming-pipeline work: ReadClfFile is the
+// materializing reader (std::getline into per-line strings, whole trace in
+// memory), ClfCursor maps the file and parses string_views in place with a
+// bounded reorder heap. Same grammar, same acceptance, same output order.
+
+const std::string& ClfScanFixture() {
+  static const std::string* path = [] {
+    const auto file =
+        std::filesystem::temp_directory_path() / "sds_micro_clf_scan.log";
+    const core::Workload& w = SharedWorkload();
+    const Status status =
+        trace::WriteClfFile(file.string(), w.generated().trace, w.corpus());
+    SDS_CHECK(status.ok()) << status.ToString();
+    return new std::string(file.string());
+  }();
+  return *path;
+}
+
+void BM_ClfScanGetline(benchmark::State& state) {
+  const std::string& path = ClfScanFixture();
+  const core::Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    auto result = trace::ReadClfFile(path, w.corpus());
+    benchmark::DoNotOptimize(result.ok());
+    benchmark::DoNotOptimize(result.value().requests.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(w.generated().trace.requests.size()));
+}
+BENCHMARK(BM_ClfScanGetline)->Unit(benchmark::kMillisecond);
+
+void BM_ClfScanMmap(benchmark::State& state) {
+  const std::string& path = ClfScanFixture();
+  const core::Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    trace::ClfCursor cursor(path, &w.corpus());
+    size_t n = 0;
+    for (auto chunk = cursor.NextChunk(); !chunk.empty();
+         chunk = cursor.NextChunk()) {
+      n += chunk.size();
+    }
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(cursor.status().ok());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(w.generated().trace.requests.size()));
+}
+BENCHMARK(BM_ClfScanMmap)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   std::printf("paper shares of accessed docs: remote ~10%%, local ~52%%, "
               "global ~37%%\n");
   std::printf("paper update rates: local ~0.02/day, remote+global < 0.005/day\n");
+  bench_report.RequestsProcessed(
+      static_cast<double>(workload.clean().size()));
   bench_report.Metric("total_s", bench_total.Seconds());
   return bench::FinishBench(&bench_report, bench_args);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
+#include <memory>
 
 #include "dissem/allocation.h"
 #include "dissem/popularity.h"
@@ -182,11 +183,23 @@ Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies,
   Fig3Result result;
   // The training-side derivations (popularity, clientele tree, routes,
   // eval filter) do not depend on the sweep point; build them once and
-  // share read-only across workers.
-  const dissem::PreparedDissemination prepared =
-      dissem::PrepareDissemination(workload.corpus(), workload.clean(),
-                                   workload.topology(), 0,
-                                   dissem::DisseminationConfig{}.train_fraction);
+  // share read-only across workers. In streaming mode the context is
+  // prepared from one pass over a clean cursor and each point replays the
+  // evaluation window from its own cursor, so no materialized trace is
+  // ever needed.
+  const bool streaming = workload.streaming();
+  dissem::PreparedDissemination prepared;
+  if (streaming) {
+    const auto cursor = workload.NewCleanCursor();
+    prepared = dissem::PrepareDisseminationStream(
+        workload.corpus(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction, workload.clean_span(),
+        cursor.get());
+  } else {
+    prepared = dissem::PrepareDissemination(
+        workload.corpus(), workload.clean(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction);
+  }
   const auto points = SweepMap(
       max_proxies, options,
       [&](size_t index, Rng& rng) {
@@ -194,17 +207,25 @@ Fig3Result RunFig3(const Workload& workload, uint32_t max_proxies,
         config.num_proxies = static_cast<uint32_t>(index) + 1;
         config.placement = dissem::PlacementStrategy::kGreedy;
 
+        const auto cursor =
+            streaming ? workload.NewCleanCursor() : nullptr;
+        const auto simulate = [&](const dissem::DisseminationConfig& c,
+                                  Rng* rng_ptr) {
+          return streaming
+                     ? SimulateDisseminationStream(prepared, c, rng_ptr,
+                                                   &workload.updates(),
+                                                   cursor.get())
+                     : SimulateDissemination(prepared, c, rng_ptr,
+                                             &workload.updates());
+        };
         Point point;
         config.dissemination_fraction = 0.10;
-        point.top10 = SimulateDissemination(prepared, config, &rng,
-                                            &workload.generated().updates);
+        point.top10 = simulate(config, &rng);
         config.dissemination_fraction = 0.04;
-        point.top4 = SimulateDissemination(prepared, config, &rng,
-                                           &workload.generated().updates);
+        point.top4 = simulate(config, &rng);
         config.dissemination_fraction = 0.10;
         config.tailored_per_proxy = true;
-        point.tailored = SimulateDissemination(prepared, config, &rng,
-                                               &workload.generated().updates);
+        point.tailored = simulate(config, &rng);
         return point;
       },
       &result.sweep);
@@ -292,8 +313,44 @@ Fig5Result RunFig5(const Workload& workload, const std::vector<double>& tps,
   if (grid.empty()) {
     grid = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05};
   }
-  spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
   const spec::SpeculationConfig base = BaselineSpecConfig();
+
+  if (workload.streaming()) {
+    // Streaming path: the kNone baseline needs no dependency model, so it
+    // runs once up front from a lone replay cursor; each sweep point then
+    // replays from its own pair of fresh cursors (dependency counting is
+    // pumped just ahead of the replay day, so resident state stays
+    // O(history window) instead of O(trace)).
+    Fig5Result result;
+    const spec::RunTotals baseline = [&] {
+      spec::SpeculationConfig b = base;
+      b.mode = spec::ServiceMode::kNone;
+      const auto replay = workload.NewCleanCursor();
+      spec::StreamingSpeculationSimulator sim(&workload.corpus(),
+                                              replay.get(), nullptr);
+      return sim.Run(b);
+    }();
+    result.points = SweepMap(
+        grid.size(), options,
+        [&](size_t index, Rng&) {
+          spec::SpeculationConfig config = base;
+          config.policy.threshold = grid[index];
+          config.closure_mode = closure_mode;
+          config.closure.min_probability = std::min(0.02, grid[index]);
+          const auto replay = workload.NewCleanCursor();
+          const auto deps = workload.NewCleanCursor();
+          spec::StreamingSpeculationSimulator sim(&workload.corpus(),
+                                                  replay.get(), deps.get());
+          SpecSweepPoint point;
+          point.tp = grid[index];
+          point.metrics = spec::ComputeMetrics(sim.Run(config), baseline);
+          return point;
+        },
+        &result.sweep);
+    return result;
+  }
+
+  spec::SpeculationSimulator sim(&workload.corpus(), &workload.clean());
   sim.Prewarm(base.dependency);
 
   Fig5Result result;
@@ -366,7 +423,7 @@ Fig7Result RunFig7(const Workload& workload,
   result.num_proxies = proxies;
   if (result.num_proxies.empty()) result.num_proxies = {1, 2, 4, 8};
 
-  const double horizon_days = workload.clean().Span() / kDay + 1.0;
+  const double horizon_days = workload.clean_span() / kDay + 1.0;
   const size_t cols = result.num_proxies.size();
   // The schedule stream is keyed by the row (rate) only, so every proxy
   // count of one row replays the same outages; the offset keeps it
@@ -383,10 +440,19 @@ Fig7Result RunFig7(const Workload& workload,
   const Status retry_status = retry.Validate();
   SDS_CHECK(retry_status.ok()) << retry_status.ToString();
 
-  const dissem::PreparedDissemination prepared =
-      dissem::PrepareDissemination(workload.corpus(), workload.clean(),
-                                   workload.topology(), 0,
-                                   dissem::DisseminationConfig{}.train_fraction);
+  const bool streaming = workload.streaming();
+  dissem::PreparedDissemination prepared;
+  if (streaming) {
+    const auto cursor = workload.NewCleanCursor();
+    prepared = dissem::PrepareDisseminationStream(
+        workload.corpus(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction, workload.clean_span(),
+        cursor.get());
+  } else {
+    prepared = dissem::PrepareDissemination(
+        workload.corpus(), workload.clean(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction);
+  }
   result.cells = SweepMap(
       result.failure_rates.size() * cols, options,
       [&](size_t index, Rng& rng) {
@@ -409,8 +475,14 @@ Fig7Result RunFig7(const Workload& workload,
         config.dissemination_fraction = 0.10;
         config.faults = &schedule;
         config.retry = retry;
+        if (streaming) {
+          const auto cursor = workload.NewCleanCursor();
+          return SimulateDisseminationStream(prepared, config, &rng,
+                                             &workload.updates(),
+                                             cursor.get());
+        }
         return SimulateDissemination(prepared, config, &rng,
-                                     &workload.generated().updates);
+                                     &workload.updates());
       },
       &result.sweep);
   return result;
@@ -500,7 +572,7 @@ Fig8Result RunFig8(const Workload& workload,
   result.levels = {Fig8Protection::kOff, Fig8Protection::kBreakers,
                    Fig8Protection::kFull};
 
-  const double horizon_days = workload.clean().Span() / kDay + 1.0;
+  const double horizon_days = workload.clean_span() / kDay + 1.0;
   const size_t cols = result.levels.size();
   // Row-keyed schedule stream, as in fig7: every protection stack of one
   // row replays the same (zone-correlated) outages, so the arms are
@@ -521,10 +593,19 @@ Fig8Result RunFig8(const Workload& workload,
   const Status retry_status = retry.Validate();
   SDS_CHECK(retry_status.ok()) << retry_status.ToString();
 
-  const dissem::PreparedDissemination prepared =
-      dissem::PrepareDissemination(workload.corpus(), workload.clean(),
-                                   workload.topology(), 0,
-                                   dissem::DisseminationConfig{}.train_fraction);
+  const bool streaming = workload.streaming();
+  dissem::PreparedDissemination prepared;
+  if (streaming) {
+    const auto cursor = workload.NewCleanCursor();
+    prepared = dissem::PrepareDisseminationStream(
+        workload.corpus(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction, workload.clean_span(),
+        cursor.get());
+  } else {
+    prepared = dissem::PrepareDissemination(
+        workload.corpus(), workload.clean(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction);
+  }
 
   // Capacity calibration: per-request service cost is set so the home
   // server *alone* would run at kSoloLoad x capacity over the evaluation
@@ -533,12 +614,9 @@ Fig8Result RunFig8(const Workload& workload,
   // redirected share plus retry-storm overhead can push its failover
   // targets over it — the cascade fig8 measures.
   const double eval_span = std::max(1.0, prepared.span - prepared.split);
-  const size_t eval_requests = std::max<size_t>(1, prepared.eval_index.size());
-  double eval_bytes = 0.0;
-  for (const uint32_t idx : prepared.eval_index) {
-    eval_bytes +=
-        static_cast<double>(workload.clean().requests[idx].bytes);
-  }
+  const size_t eval_requests =
+      std::max<size_t>(1, static_cast<size_t>(prepared.eval_requests));
+  const double eval_bytes = prepared.eval_bytes;
   constexpr double kSoloLoad = 1.25;
   net::LoadTrackerConfig load;
   load.window_s = 12.0 * 3600.0;
@@ -580,8 +658,15 @@ Fig8Result RunFig8(const Workload& workload,
         config.collect_service_times = true;
 
         Fig8Result::Cell cell;
-        cell.sim = SimulateDissemination(prepared, config, &rng,
-                                         &workload.generated().updates);
+        if (streaming) {
+          const auto cursor = workload.NewCleanCursor();
+          cell.sim = SimulateDisseminationStream(prepared, config, &rng,
+                                                 &workload.updates(),
+                                                 cursor.get());
+        } else {
+          cell.sim = SimulateDissemination(prepared, config, &rng,
+                                           &workload.updates());
+        }
         cell.scheduled_events = schedule.size();
         cell.availability = 1.0 - cell.sim.unavailable_fraction;
         cell.retry_amplification =

@@ -3,9 +3,68 @@
 #include <cmath>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace sds::core {
+
+const trace::LinkGraph& Workload::graph() const {
+  SDS_CHECK(!streaming_) << "graph() is unavailable in streaming mode";
+  return *graph_;
+}
+
+const trace::GeneratedTrace& Workload::generated() const {
+  SDS_CHECK(!streaming_) << "generated() is unavailable in streaming mode";
+  return *generated_;
+}
+
+const trace::Trace& Workload::clean() const {
+  SDS_CHECK(!streaming_) << "clean() is unavailable in streaming mode";
+  return *clean_;
+}
+
+const std::vector<trace::UpdateEvent>& Workload::updates() const {
+  return streaming_ ? updates_ : generated_->updates;
+}
+
+const std::vector<bool>& Workload::client_is_remote() const {
+  return streaming_ ? client_is_remote_ : generated_->client_is_remote;
+}
+
+uint64_t Workload::num_sessions() const {
+  return streaming_ ? num_sessions_ : generated_->num_sessions;
+}
+
+SimTime Workload::clean_span() const {
+  return streaming_ ? clean_span_ : clean_->Span();
+}
+
+uint32_t Workload::num_clients() const {
+  return streaming_ ? num_clients_ : clean_->num_clients;
+}
+
+uint32_t Workload::num_servers() const {
+  return streaming_ ? num_servers_ : clean_->num_servers;
+}
+
+std::unique_ptr<trace::RequestCursor> Workload::NewRawCursor() const {
+  if (!streaming_) {
+    return std::make_unique<trace::VectorCursor>(&generated_->trace);
+  }
+  // Each cursor rebuilds the link graph from the captured fork point, so
+  // its drift during generation replays identically on every pass.
+  auto factory = [corpus = corpus_.get(), links = links_,
+                  rng = graph_rng_]() {
+    Rng graph_rng = rng;
+    return trace::LinkGraph(corpus, links, &graph_rng);
+  };
+  return std::make_unique<trace::GeneratorCursor>(
+      tracegen_, std::move(factory), trace_rng_);
+}
+
+std::unique_ptr<trace::RequestCursor> Workload::NewCleanCursor() const {
+  return std::make_unique<trace::FilteringCursor>(NewRawCursor());
+}
 
 Workload MakeWorkload(const WorkloadConfig& config) {
   Rng rng(config.seed);
@@ -17,6 +76,51 @@ Workload MakeWorkload(const WorkloadConfig& config) {
   Workload w;
   w.corpus_ = std::make_unique<trace::Corpus>(
       GenerateCorpus(config.corpus, &corpus_rng));
+
+  if (config.streaming) {
+    w.streaming_ = true;
+    w.tracegen_ = config.tracegen;
+    w.links_ = config.links;
+    w.graph_rng_ = graph_rng;
+    w.trace_rng_ = trace_rng;
+    // One construction drain pass: generate the stream once (never
+    // materialising it) to collect the update events, remote flags,
+    // session count, clean span and the FilterTrace accounting.
+    auto raw = w.NewRawCursor();
+    auto* gen = static_cast<trace::GeneratorCursor*>(raw.get());
+    for (auto chunk = raw->NextChunk(); !chunk.empty();
+         chunk = raw->NextChunk()) {
+      for (const auto& r : chunk) {
+        switch (r.kind) {
+          case trace::RequestKind::kNotFound:
+            ++w.filter_stats_.dropped_not_found;
+            break;
+          case trace::RequestKind::kScript:
+            ++w.filter_stats_.dropped_script;
+            break;
+          case trace::RequestKind::kAlias:
+            ++w.filter_stats_.canonicalized_alias;
+            ++w.filter_stats_.kept;
+            w.clean_span_ = r.time;
+            break;
+          case trace::RequestKind::kDocument:
+            ++w.filter_stats_.kept;
+            w.clean_span_ = r.time;
+            break;
+        }
+      }
+    }
+    w.updates_ = gen->updates();
+    w.client_is_remote_ = gen->client_is_remote();
+    w.num_sessions_ = gen->num_sessions();
+    w.num_clients_ = gen->num_clients();
+    w.num_servers_ = gen->num_servers();
+    w.topology_ = std::make_unique<net::Topology>(net::Topology::Generate(
+        config.topology, config.tracegen.num_clients, w.client_is_remote_,
+        config.corpus.num_servers, &topo_rng));
+    return w;
+  }
+
   w.graph_ = std::make_unique<trace::LinkGraph>(w.corpus_.get(),
                                                 config.links, &graph_rng);
   w.generated_ = std::make_unique<trace::GeneratedTrace>(

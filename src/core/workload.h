@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "net/topology.h"
 #include "trace/corpus.h"
+#include "trace/cursor.h"
 #include "trace/filter.h"
 #include "trace/generator.h"
 #include "trace/link_graph.h"
+#include "util/rng.h"
 
 namespace sds::core {
 
@@ -20,21 +23,62 @@ struct WorkloadConfig {
   trace::TraceGeneratorConfig tracegen;
   net::TopologyConfig topology;
   uint64_t seed = 42;
+  /// Streaming mode: the generated and filtered traces are never
+  /// materialised (no per-request storage); consumers pull fresh cursors
+  /// from NewRawCursor()/NewCleanCursor() instead, and the trace-derived
+  /// metadata (updates, remote flags, session count, clean span, filter
+  /// accounting) is collected in one construction drain pass. The request
+  /// stream, RNG draw order and topology are bit-identical to batch mode.
+  bool streaming = false;
 };
 
 /// \brief A fully materialised workload. Components live on the heap so
 /// that internal cross-references (the link graph points at the corpus)
 /// survive moves of the Workload itself. The link graph is in its
 /// end-of-trace state (it drifts daily during generation).
+///
+/// In streaming mode (WorkloadConfig::streaming) the trace members are
+/// never built: generated(), clean() and graph() are unavailable, and the
+/// cursor factories plus the unified metadata accessors below are the only
+/// way at the request stream.
 class Workload {
  public:
   const trace::Corpus& corpus() const { return *corpus_; }
-  const trace::LinkGraph& graph() const { return *graph_; }
-  const trace::GeneratedTrace& generated() const { return *generated_; }
-  /// Preprocessed trace (FilterTrace applied): what analyses consume.
-  const trace::Trace& clean() const { return *clean_; }
+  /// End-of-trace link graph (batch mode only).
+  const trace::LinkGraph& graph() const;
+  /// Raw generated trace (batch mode only).
+  const trace::GeneratedTrace& generated() const;
+  /// Preprocessed trace (FilterTrace applied): what analyses consume
+  /// (batch mode only).
+  const trace::Trace& clean() const;
   const net::Topology& topology() const { return *topology_; }
   const trace::FilterStats& filter_stats() const { return filter_stats_; }
+
+  bool streaming() const { return streaming_; }
+
+  // --- Unified trace metadata, valid in both modes --------------------
+  /// Document update events (matches generated().updates).
+  const std::vector<trace::UpdateEvent>& updates() const;
+  /// Per-client remote flag (matches generated().client_is_remote).
+  const std::vector<bool>& client_is_remote() const;
+  /// Sessions generated (matches generated().num_sessions).
+  uint64_t num_sessions() const;
+  /// Time of the last request of the filtered trace (matches
+  /// clean().Span()).
+  SimTime clean_span() const;
+  /// Matches clean().num_clients / num_servers.
+  uint32_t num_clients() const;
+  uint32_t num_servers() const;
+
+  // --- Cursor factories -----------------------------------------------
+  /// Fresh single-pass cursor over the raw generated request stream. In
+  /// batch mode this borrows the materialised trace (the workload must
+  /// outlive the cursor); in streaming mode it generates on the fly with
+  /// the identical RNG draw sequence. Cursors are independent: parallel
+  /// sweep workers each create their own.
+  std::unique_ptr<trace::RequestCursor> NewRawCursor() const;
+  /// Fresh cursor over the filtered (clean) stream.
+  std::unique_ptr<trace::RequestCursor> NewCleanCursor() const;
 
  private:
   friend Workload MakeWorkload(const WorkloadConfig& config);
@@ -45,6 +89,21 @@ class Workload {
   std::unique_ptr<trace::Trace> clean_;
   std::unique_ptr<net::Topology> topology_;
   trace::FilterStats filter_stats_;
+
+  // Streaming-mode state: the generator parameters plus the captured fork
+  // points of the graph and trace RNG streams (so every cursor replays the
+  // exact batch draw sequence), and the metadata from the drain pass.
+  bool streaming_ = false;
+  trace::TraceGeneratorConfig tracegen_;
+  trace::LinkGraphConfig links_;
+  Rng graph_rng_{0};
+  Rng trace_rng_{0};
+  std::vector<trace::UpdateEvent> updates_;
+  std::vector<bool> client_is_remote_;
+  uint64_t num_sessions_ = 0;
+  SimTime clean_span_ = 0.0;
+  uint32_t num_clients_ = 0;
+  uint32_t num_servers_ = 0;
 };
 
 /// \brief Generates a workload; bit-for-bit deterministic given the config.

@@ -49,44 +49,46 @@ double ServerPopularity::EmpiricalByteCoverage(
   return covered_traffic / static_cast<double>(total_remote_bytes);
 }
 
-ServerPopularity AnalyzeServer(const trace::Corpus& corpus,
-                               const trace::Trace& trace,
-                               trace::ServerId server, double t_begin,
-                               double t_end) {
-  ServerPopularity pop;
-  pop.server = server;
-  pop.stats.assign(corpus.size(), DocumentAccessStats{});
+ServerPopularityBuilder::ServerPopularityBuilder(const trace::Corpus& corpus,
+                                                 trace::ServerId server,
+                                                 double t_begin, double t_end)
+    : corpus_(&corpus), t_begin_(t_begin), t_end_(t_end) {
+  pop_.server = server;
+  pop_.stats.assign(corpus.size(), DocumentAccessStats{});
+}
 
-  double last_time = 0.0;
-  double first_time = 1e300;
-  for (const auto& r : trace.requests) {
-    if (r.time < t_begin || r.time >= t_end) continue;
-    if (r.kind == trace::RequestKind::kNotFound ||
-        r.kind == trace::RequestKind::kScript) {
-      continue;
-    }
-    if (r.server != server) continue;
-    auto& s = pop.stats[r.doc];
-    if (r.remote_client) {
-      s.remote_requests += 1;
-      s.remote_bytes += r.bytes;
-      pop.total_remote_requests += 1;
-      pop.total_remote_bytes += r.bytes;
-    } else {
-      s.local_requests += 1;
-      s.local_bytes += r.bytes;
-    }
-    last_time = std::max(last_time, r.time);
-    first_time = std::min(first_time, r.time);
+void ServerPopularityBuilder::OnRequest(const trace::Request& r) {
+  if (r.time < t_begin_ || r.time >= t_end_) return;
+  if (r.kind == trace::RequestKind::kNotFound ||
+      r.kind == trace::RequestKind::kScript) {
+    return;
   }
+  if (r.server != pop_.server) return;
+  auto& s = pop_.stats[r.doc];
+  if (r.remote_client) {
+    s.remote_requests += 1;
+    s.remote_bytes += r.bytes;
+    pop_.total_remote_requests += 1;
+    pop_.total_remote_bytes += r.bytes;
+  } else {
+    s.local_requests += 1;
+    s.local_bytes += r.bytes;
+  }
+  last_time_ = std::max(last_time_, r.time);
+  first_time_ = std::min(first_time_, r.time);
+}
 
+ServerPopularity ServerPopularityBuilder::Finish() {
+  const trace::Corpus& corpus = *corpus_;
+  ServerPopularity pop = std::move(pop_);
   const double span_days =
-      first_time > last_time ? 1.0
-                             : std::max(1.0, (last_time - first_time) / kDay);
+      first_time_ > last_time_
+          ? 1.0
+          : std::max(1.0, (last_time_ - first_time_) / kDay);
   pop.remote_bytes_per_day =
       static_cast<double>(pop.total_remote_bytes) / span_days;
 
-  pop.by_popularity = corpus.server_docs(server);
+  pop.by_popularity = corpus.server_docs(pop.server);
   for (const trace::DocumentId id : pop.by_popularity) {
     if (pop.stats[id].total_requests() > 0) ++pop.accessed_docs;
   }
@@ -102,6 +104,15 @@ ServerPopularity AnalyzeServer(const trace::Corpus& corpus,
               return a < b;
             });
   return pop;
+}
+
+ServerPopularity AnalyzeServer(const trace::Corpus& corpus,
+                               const trace::Trace& trace,
+                               trace::ServerId server, double t_begin,
+                               double t_end) {
+  ServerPopularityBuilder builder(corpus, server, t_begin, t_end);
+  for (const auto& r : trace.requests) builder.OnRequest(r);
+  return builder.Finish();
 }
 
 std::vector<ServerPopularity> AnalyzeAllServers(const trace::Corpus& corpus,

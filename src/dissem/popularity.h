@@ -54,6 +54,32 @@ struct ServerPopularity {
   double EmpiricalByteCoverage(double bytes, const trace::Corpus& corpus) const;
 };
 
+/// \brief Streaming form of AnalyzeServer: feed requests one at a time
+/// (any order), then Finish(). AnalyzeServer is implemented on this class,
+/// so a builder fed from a request cursor produces the identical profile
+/// without materializing the trace.
+class ServerPopularityBuilder {
+ public:
+  ServerPopularityBuilder(const trace::Corpus& corpus, trace::ServerId server,
+                          double t_begin = 0.0, double t_end = 1e300);
+
+  /// Accumulates one request (requests outside the window, of other
+  /// servers, or of noise kinds are ignored, as in AnalyzeServer).
+  void OnRequest(const trace::Request& r);
+
+  /// Sorts the popularity order and fills the derived fields. The builder
+  /// is spent afterwards.
+  ServerPopularity Finish();
+
+ private:
+  const trace::Corpus* corpus_;
+  double t_begin_;
+  double t_end_;
+  double last_time_ = 0.0;
+  double first_time_ = 1e300;
+  ServerPopularity pop_;
+};
+
 /// \brief Analyzes remote/local accesses of one server over a trace
 /// restricted to [t_begin, t_end) (pass 0, +inf for the whole trace).
 ServerPopularity AnalyzeServer(const trace::Corpus& corpus,

@@ -1,7 +1,6 @@
 #include "dissem/simulator.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "dissem/allocation.h"
 #include "dissem/popularity.h"
@@ -67,73 +66,131 @@ void FillProxy(const trace::Corpus& corpus,
   }
 }
 
+const net::FaultSchedule kNoFaults;
+
+/// True when a request belongs to the prepared evaluation window: the
+/// filter behind eval_index, applied per record on the streaming path.
+bool IsEvalRequest(const PreparedDissemination& prepared,
+                   const trace::Request& r) {
+  if (r.time < prepared.split) return false;
+  if (r.server != prepared.server || !r.remote_client) return false;
+  return r.kind != trace::RequestKind::kNotFound &&
+         r.kind != trace::RequestKind::kScript;
+}
+
 }  // namespace
+
+DisseminationPreparer::DisseminationPreparer(const trace::Corpus& corpus,
+                                             const net::Topology& topology,
+                                             trace::ServerId server,
+                                             double train_fraction,
+                                             double span)
+    : pop_builder_(corpus, server, 0.0, span * train_fraction),
+      tree_builder_(topology, server) {
+  SDS_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  prepared_.corpus = &corpus;
+  prepared_.topology = &topology;
+  prepared_.server = server;
+  prepared_.train_fraction = train_fraction;
+  prepared_.span = span;
+  prepared_.split = span * train_fraction;
+}
+
+void DisseminationPreparer::OnRequest(const trace::Request& r) {
+  pop_builder_.OnRequest(r);
+  if (r.server != prepared_.server || !r.remote_client) return;
+  if (r.kind == trace::RequestKind::kNotFound ||
+      r.kind == trace::RequestKind::kScript) {
+    return;
+  }
+  // Intern the attachment node; a time-ordered feed reproduces the batch
+  // first-seen order (training requests first, then evaluation requests).
+  const net::NodeId node = prepared_.topology->client_node(r.client);
+  auto [it, inserted] = prepared_.node_index.emplace(
+      node, static_cast<uint32_t>(prepared_.nodes.size()));
+  if (inserted) prepared_.nodes.push_back(node);
+  const uint32_t idx = it->second;
+  if (r.time < prepared_.split) {
+    tree_builder_.OnRequest(r);
+    ++tailored_[(static_cast<uint64_t>(idx) << 32) | r.doc];
+  } else {
+    ++prepared_.eval_requests;
+    prepared_.eval_bytes += static_cast<double>(r.bytes);
+  }
+}
+
+PreparedDissemination DisseminationPreparer::Finish() {
+  PreparedDissemination prepared = std::move(prepared_);
+  prepared.pop = pop_builder_.Finish();
+  if (prepared.pop.total_remote_requests == 0) {
+    // Match the batch early exit: without remote training traffic there is
+    // no tree, no routes, and no evaluation context.
+    prepared.nodes.clear();
+    prepared.node_index.clear();
+    prepared.eval_requests = 0;
+    prepared.eval_bytes = 0.0;
+    return prepared;
+  }
+  prepared.tree = tree_builder_.Finish();
+  prepared.server_node = prepared.topology->server_node(prepared.server);
+  prepared.routes = net::RouteTable(*prepared.topology, prepared.server_node);
+  prepared.tailored_counts.reserve(tailored_.size());
+  for (const auto& [key, count] : tailored_) {
+    prepared.tailored_counts.push_back(
+        {static_cast<uint32_t>(key >> 32),
+         static_cast<trace::DocumentId>(key & 0xffffffffu), count});
+  }
+  // The replay sums the counts into dense per-proxy arrays, so any order
+  // works; sort for a deterministic context.
+  std::sort(prepared.tailored_counts.begin(), prepared.tailored_counts.end(),
+            [](const PreparedDissemination::TailoredCount& a,
+               const PreparedDissemination::TailoredCount& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.doc < b.doc;
+            });
+  return prepared;
+}
 
 PreparedDissemination PrepareDissemination(const trace::Corpus& corpus,
                                            const trace::Trace& trace,
                                            const net::Topology& topology,
                                            trace::ServerId server,
                                            double train_fraction) {
-  SDS_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
-  PreparedDissemination prepared;
-  prepared.corpus = &corpus;
+  DisseminationPreparer preparer(corpus, topology, server, train_fraction,
+                                 trace.Span());
+  for (const auto& r : trace.requests) preparer.OnRequest(r);
+  PreparedDissemination prepared = preparer.Finish();
   prepared.trace = &trace;
-  prepared.topology = &topology;
-  prepared.server = server;
-  prepared.train_fraction = train_fraction;
-  prepared.span = trace.Span();
-  prepared.split = prepared.span * train_fraction;
-  const double split = prepared.split;
-
-  prepared.pop = AnalyzeServer(corpus, trace, server, 0.0, split);
   if (prepared.pop.total_remote_requests == 0) return prepared;
 
-  prepared.train.num_clients = trace.num_clients;
-  prepared.train.num_servers = trace.num_servers;
-  size_t train_count = 0;
-  for (const auto& r : trace.requests) {
-    if (r.time < split) ++train_count;
-  }
-  prepared.train.requests.reserve(train_count);
-  for (const auto& r : trace.requests) {
-    if (r.time < split) prepared.train.requests.push_back(r);
-  }
-  prepared.tree = net::BuildClienteleTree(topology, prepared.train, server);
-  prepared.server_node = topology.server_node(server);
-  prepared.routes = net::RouteTable(topology, prepared.server_node);
-
-  // Index the distinct attachment nodes of this server's remote
-  // requesters; per-request plan lookups become array indexing.
-  std::unordered_map<net::NodeId, uint32_t> node_index;
-  const auto index_of = [&](net::NodeId node) -> uint32_t {
-    auto [it, inserted] =
-        node_index.emplace(node, static_cast<uint32_t>(prepared.nodes.size()));
-    if (inserted) prepared.nodes.push_back(node);
-    return it->second;
-  };
-
-  for (const auto& r : prepared.train.requests) {
-    if (r.server != server || !r.remote_client ||
-        r.doc == trace::kInvalidDocument) {
-      continue;
-    }
-    prepared.tailored_obs.push_back(
-        {index_of(topology.client_node(r.client)), r.doc});
-  }
-
+  // Batch replays index into the materialized trace; pre-filter the
+  // evaluation window once.
+  prepared.eval_index.reserve(prepared.eval_requests);
+  prepared.eval_node.reserve(prepared.eval_requests);
+  prepared.eval_day.reserve(prepared.eval_requests);
   for (uint32_t idx = 0; idx < trace.requests.size(); ++idx) {
     const auto& r = trace.requests[idx];
-    if (r.time < split) continue;
-    if (r.server != server || !r.remote_client) continue;
-    if (r.kind == trace::RequestKind::kNotFound ||
-        r.kind == trace::RequestKind::kScript) {
-      continue;
-    }
+    if (!IsEvalRequest(prepared, r)) continue;
     prepared.eval_index.push_back(idx);
-    prepared.eval_node.push_back(index_of(topology.client_node(r.client)));
+    prepared.eval_node.push_back(
+        prepared.node_index.at(topology.client_node(r.client)));
     prepared.eval_day.push_back(static_cast<uint32_t>(DayOfTime(r.time)));
   }
   return prepared;
+}
+
+PreparedDissemination PrepareDisseminationStream(
+    const trace::Corpus& corpus, const net::Topology& topology,
+    trace::ServerId server, double train_fraction, double span,
+    trace::RequestCursor* cursor) {
+  cursor->Rewind();
+  DisseminationPreparer preparer(corpus, topology, server, train_fraction,
+                                 span);
+  for (auto chunk = cursor->NextChunk(); !chunk.empty();
+       chunk = cursor->NextChunk()) {
+    for (const auto& r : chunk) preparer.OnRequest(r);
+  }
+  return preparer.Finish();
 }
 
 std::vector<RoutePlan> BuildRoutePlans(
@@ -180,25 +237,28 @@ std::vector<RoutePlan> BuildRoutePlans(
   return plans;
 }
 
-DisseminationResult SimulateDissemination(
+DisseminationReplay::DisseminationReplay(
     const PreparedDissemination& prepared, const DisseminationConfig& config,
-    Rng* rng, const std::vector<trace::UpdateEvent>* updates) {
+    Rng* rng, const std::vector<trace::UpdateEvent>* updates)
+    : run_span_("dissem.simulate"),
+      journey_("dissem"),
+      prepared_(prepared),
+      config_(config),
+      rng_(rng),
+      tracker_(0, config.protection.load),
+      retry_budget_(config.protection.budget) {
   SDS_CHECK(config.train_fraction == prepared.train_fraction)
       << "config/prepared training split mismatch";
-  obs::SpanGuard run_span("dissem.simulate");
-  obs::JourneyRun journey("dissem");
-  DisseminationResult result;
   const trace::Corpus& corpus = *prepared.corpus;
-  const trace::Trace& trace = *prepared.trace;
   const double span = prepared.span;
   const double split = prepared.split;
 
-  if (prepared.pop.total_remote_requests == 0) return result;
+  if (prepared.pop.total_remote_requests == 0) return;
+  active_ = true;
 
-  net::PlacementResult placement;
   switch (config.placement) {
     case PlacementStrategy::kGreedy:
-      placement =
+      placement_ =
           config.placement_depths.empty()
               ? net::GreedyPlacement(prepared.tree, config.num_proxies, 1.0)
               : net::GreedyPlacementAtDepths(*prepared.topology, prepared.tree,
@@ -206,50 +266,47 @@ DisseminationResult SimulateDissemination(
                                              config.placement_depths);
       break;
     case PlacementStrategy::kRegional:
-      placement = net::RegionalPlacement(*prepared.topology, prepared.tree,
-                                         config.num_proxies, 1.0);
+      placement_ = net::RegionalPlacement(*prepared.topology, prepared.tree,
+                                          config.num_proxies, 1.0);
       break;
     case PlacementStrategy::kRandom:
-      placement =
+      placement_ =
           net::RandomPlacement(prepared.tree, config.num_proxies, 1.0, rng);
       break;
   }
-  result.proxy_nodes = placement.proxies;
-  const size_t num_proxies = placement.proxies.size();
+  result_.proxy_nodes = placement_.proxies;
+  const size_t num_proxies = placement_.proxies.size();
 
-  const std::vector<bool> is_mutable =
-      MarkMutable(corpus, updates, span / kDay,
-                  config.mutable_threshold_per_day);
+  is_mutable_ = MarkMutable(corpus, updates, span / kDay,
+                            config.mutable_threshold_per_day);
 
   const double budget =
       config.dissemination_fraction *
       static_cast<double>(corpus.ServerBytes(prepared.server));
-  std::vector<ProxyStore> stores;
-  stores.reserve(num_proxies);
+  stores_.reserve(num_proxies);
   for (size_t p = 0; p < num_proxies; ++p) {
-    stores.emplace_back(static_cast<uint64_t>(budget) + 1);
+    stores_.emplace_back(static_cast<uint64_t>(budget) + 1);
   }
 
   // --- Route plans: one flat array indexed like prepared.nodes; the
-  // per-request lookup below is plans[prepared.eval_node[k]]. ---
-  const std::vector<RoutePlan> plans =
-      BuildRoutePlans(prepared, placement.proxies);
+  // per-request lookup is plans_[record.node]. ---
+  plans_ = BuildRoutePlans(prepared, placement_.proxies);
 
   // --- Dissemination contents. ---
   if (!config.tailored_per_proxy || num_proxies == 0) {
-    for (auto& store : stores) {
+    for (auto& store : stores_) {
       FillProxy(corpus, prepared.pop.by_popularity, budget,
-                config.exclude_mutable, is_mutable, &store);
+                config.exclude_mutable, is_mutable_, &store);
     }
   } else {
     // Geographic tailoring (footnote 5): rank documents per proxy by the
     // training-window requests of the clients that proxy would intercept.
-    // Dense per-proxy count arrays, filled from the prepared observations.
+    // Dense per-proxy count arrays, filled from the prepared counts.
     std::vector<std::vector<uint64_t>> counts(
         num_proxies, std::vector<uint64_t>(corpus.size(), 0));
-    for (const auto& [node, doc] : prepared.tailored_obs) {
-      const int proxy = plans[node].proxy_index;
-      if (proxy >= 0) counts[proxy][doc] += 1;
+    for (const auto& tc : prepared.tailored_counts) {
+      const int proxy = plans_[tc.node].proxy_index;
+      if (proxy >= 0) counts[proxy][tc.doc] += tc.count;
     }
     for (size_t p = 0; p < num_proxies; ++p) {
       std::vector<trace::DocumentId> order;
@@ -267,424 +324,354 @@ DisseminationResult SimulateDissemination(
                   if (da != db) return da > db;
                   return a < b;
                 });
-      FillProxy(corpus, order, budget, config.exclude_mutable, is_mutable,
-                &stores[p]);
+      FillProxy(corpus, order, budget, config.exclude_mutable, is_mutable_,
+                &stores_[p]);
     }
   }
-  for (const auto& store : stores) {
-    result.storage_per_proxy_bytes =
-        std::max(result.storage_per_proxy_bytes, store.used_bytes());
-    result.total_storage_bytes += store.used_bytes();
+  for (const auto& store : stores_) {
+    result_.storage_per_proxy_bytes =
+        std::max(result_.storage_per_proxy_bytes, store.used_bytes());
+    result_.total_storage_bytes += store.used_bytes();
   }
 
-  // --- Evaluation replay. ---
-  result.proxy_requests.assign(num_proxies, 0);
-  std::vector<uint64_t> today_count(num_proxies, 0);
-  long today = -1;
+  // --- Evaluation replay state. ---
+  result_.proxy_requests.assign(num_proxies, 0);
+  today_count_.assign(num_proxies, 0);
 
   // Staleness tracking: per-document day of the latest update applied so
   // far, against the day the proxy copies were last pushed.
-  std::vector<std::vector<trace::DocumentId>> updates_by_day;
   if (updates != nullptr) {
     for (const auto& u : *updates) {
-      if (u.day >= updates_by_day.size()) updates_by_day.resize(u.day + 1);
-      updates_by_day[u.day].push_back(u.doc);
+      if (u.day >= updates_by_day_.size()) updates_by_day_.resize(u.day + 1);
+      updates_by_day_[u.day].push_back(u.doc);
     }
   }
-  std::vector<long> last_update_day(corpus.size(), -1);
-  long dissemination_day = static_cast<long>(split / kDay);
-  long applied_day = 0;
+  last_update_day_.assign(corpus.size(), -1);
+  dissemination_day_ = static_cast<long>(split / kDay);
   // Updates up to the dissemination day are already in the pushed copies.
-  while (applied_day <= dissemination_day) {
-    if (static_cast<size_t>(applied_day) < updates_by_day.size()) {
-      for (const trace::DocumentId doc : updates_by_day[applied_day]) {
-        last_update_day[doc] = applied_day;
+  while (applied_day_ <= dissemination_day_) {
+    if (static_cast<size_t>(applied_day_) < updates_by_day_.size()) {
+      for (const trace::DocumentId doc : updates_by_day_[applied_day_]) {
+        last_update_day_[doc] = applied_day_;
       }
     }
-    ++applied_day;
+    ++applied_day_;
   }
-  uint64_t proxy_served = 0;
 
   const bool faulty = config.faults != nullptr && !config.faults->empty();
   // The dynamic path (failover chain, retries, protections) also runs with
   // an empty schedule when any protection is armed, so emergent brownouts
   // can arise from load alone; with everything off it is never entered and
-  // the replay below is bit-identical to the pre-protection simulator.
+  // the replay is bit-identical to the pre-protection simulator.
   const net::ProtectionConfig& protection = config.protection;
-  const bool dynamic = faulty || protection.AnyArmed();
-  static const net::FaultSchedule kNoFaults;
-  const net::FaultSchedule& faults =
-      config.faults != nullptr ? *config.faults : kNoFaults;
-  const net::RetryPolicy& retry = config.retry;
-  const net::NodeId server_node = prepared.server_node;
-  const net::Topology& topology = *prepared.topology;
-  // A candidate is reachable when its node is up and every node/link on
-  // the client's route to it is intact.
-  const auto server_reachable = [&](net::NodeId client_node,
-                                    SimTime when) -> bool {
-    return !faults.ServerDown(prepared.server, when) &&
-           !faults.NodeDown(server_node, when) &&
-           faults.PathUp(topology, client_node, server_node, when);
-  };
-  const auto proxy_reachable = [&](net::NodeId client_node, int p,
-                                   SimTime when) -> bool {
-    const net::NodeId node = placement.proxies[p];
-    return !faults.NodeDown(node, when) &&
-           faults.PathUp(topology, client_node, node, when);
-  };
+  dynamic_ = faulty || protection.AnyArmed();
+  faults_ = config.faults != nullptr ? config.faults : &kNoFaults;
 
   // --- Per-run protection state (never shared across sweep points: each
   // run constructs its own trackers, preserving parallel == serial
   // bit-identity). Entity ids: proxy p in [0, num_proxies), the home
   // server at index num_proxies. ---
-  const size_t server_entity = num_proxies;
-  const bool track_load = protection.track_load;
-  const bool breakers_armed = protection.circuit_breakers;
-  const bool budget_armed = protection.retry_budget;
-  const bool admission_armed = protection.admission_control && track_load;
-  net::LoadTracker tracker(track_load ? num_proxies + 1 : 0, protection.load);
+  server_entity_ = num_proxies;
+  tracker_ = net::LoadTracker(protection.track_load ? num_proxies + 1 : 0,
+                              protection.load);
   // Breakers are per (client attachment node, target): an attempt can fail
   // because the *route* from that subnet is cut, not because the target is
   // sick, so a shared per-target breaker would let a black-holed subtree
   // open the healthy population's path to the server. Keying by attachment
   // node keeps the fail-fast local to the clients actually failing.
-  const size_t num_entities = num_proxies + 1;
-  std::vector<net::CircuitBreaker> breakers;
-  if (breakers_armed) {
-    breakers.assign(prepared.nodes.size() * num_entities,
-                    net::CircuitBreaker(protection.breaker));
+  if (protection.circuit_breakers) {
+    breakers_.assign(prepared.nodes.size() * (num_proxies + 1),
+                     net::CircuitBreaker(protection.breaker));
   }
-  net::RetryBudget retry_budget(protection.budget);
+  if (config.collect_service_times) {
+    service_times_.reserve(prepared.eval_requests);
+  }
+}
+
+bool DisseminationReplay::ServerReachable(net::NodeId client_node,
+                                          SimTime when) const {
+  // A candidate is reachable when its node is up and every node/link on
+  // the client's route to it is intact.
+  return !faults_->ServerDown(prepared_.server, when) &&
+         !faults_->NodeDown(prepared_.server_node, when) &&
+         faults_->PathUp(*prepared_.topology, client_node,
+                         prepared_.server_node, when);
+}
+
+bool DisseminationReplay::ProxyReachable(net::NodeId client_node, int p,
+                                         SimTime when) const {
+  const net::NodeId node = placement_.proxies[p];
+  return !faults_->NodeDown(node, when) &&
+         faults_->PathUp(*prepared_.topology, client_node, node, when);
+}
+
+double DisseminationReplay::ServiceTimeS(double waits, double bytes,
+                                         uint32_t hops) const {
   // Service time of a served request: client-side waits plus service
   // overhead, transfer at the service rate, and per-hop propagation.
   constexpr double kHopLatencyS = 0.01;
-  const auto service_time_s = [&](double waits, double bytes,
-                                  uint32_t hops) -> double {
-    return waits + protection.load.service_overhead_s +
-           bytes / protection.load.service_rate_bytes_per_s +
-           kHopLatencyS * static_cast<double>(hops);
-  };
-  std::vector<double> service_times;
-  if (config.collect_service_times) {
-    service_times.reserve(prepared.eval_index.size());
+  return waits + config_.protection.load.service_overhead_s +
+         bytes / config_.protection.load.service_rate_bytes_per_s +
+         kHopLatencyS * static_cast<double>(hops);
+}
+
+void DisseminationReplay::ApplyUpdatesThrough(long day) {
+  while (applied_day_ <= day) {
+    if (static_cast<size_t>(applied_day_) < updates_by_day_.size()) {
+      for (const trace::DocumentId doc : updates_by_day_[applied_day_]) {
+        last_update_day_[doc] = applied_day_;
+      }
+    }
+    if (config_.redisseminate_every_days > 0 &&
+        (applied_day_ - dissemination_day_) >=
+            static_cast<long>(config_.redisseminate_every_days)) {
+      dissemination_day_ = applied_day_;  // copies refreshed
+    }
+    ++applied_day_;
   }
+}
 
-  for (size_t k = 0; k < prepared.eval_index.size(); ++k) {
-    const auto& r = trace.requests[prepared.eval_index[k]];
-    const long day = static_cast<long>(prepared.eval_day[k]);
-    while (applied_day <= day) {
-      if (static_cast<size_t>(applied_day) < updates_by_day.size()) {
-        for (const trace::DocumentId doc : updates_by_day[applied_day]) {
-          last_update_day[doc] = applied_day;
-        }
-      }
-      if (config.redisseminate_every_days > 0 &&
-          (applied_day - dissemination_day) >=
-              static_cast<long>(config.redisseminate_every_days)) {
-        dissemination_day = applied_day;  // copies refreshed
-      }
-      ++applied_day;
-    }
-    if (config.proxy_daily_request_capacity > 0 && day != today) {
-      today = day;
-      std::fill(today_count.begin(), today_count.end(), 0);
-    }
-    const net::NodeId client_node = prepared.nodes[prepared.eval_node[k]];
-    const RoutePlan& plan = plans[prepared.eval_node[k]];
-    const size_t breaker_base = prepared.eval_node[k] * num_entities;
-    const double bytes = static_cast<double>(r.bytes);
-    obs::TsCount("dissem.eval_requests", r.time);
-    const bool sampled = journey.Sample(k);
+void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
+  if (!active_) return;
+  const net::Topology& topology = *prepared_.topology;
+  const net::ProtectionConfig& protection = config_.protection;
+  const net::RetryPolicy& retry = config_.retry;
+  const size_t num_proxies = placement_.proxies.size();
+  const bool track_load = protection.track_load;
+  const bool breakers_armed = protection.circuit_breakers;
+  const bool budget_armed = protection.retry_budget;
+  const bool admission_armed = protection.admission_control && track_load;
+  const size_t num_entities = num_proxies + 1;
 
-    if (dynamic) {
-      // --- Baseline availability: a home-server-only client retrying the
-      // server with the same policy. ---
-      {
-        SimTime when = r.time;
-        bool served = server_reachable(client_node, when);
-        for (uint32_t attempt = 1;
-             !served && attempt < retry.max_attempts; ++attempt) {
-          when += retry.timeout_s +
-                  retry.BackoffBeforeRetry(attempt - 1, rng);
-          served = server_reachable(client_node, when);
-        }
-        if (served) {
-          result.baseline_bytes_hops += bytes * plan.hops_to_server;
-        } else {
-          ++result.baseline_unavailable_requests;
-        }
-      }
+  const long day = static_cast<long>(r.day);
+  ApplyUpdatesThrough(day);
+  if (config_.proxy_daily_request_capacity > 0 && day != today_) {
+    today_ = day;
+    std::fill(today_count_.begin(), today_count_.end(), 0);
+  }
+  const net::NodeId client_node = prepared_.nodes[r.node];
+  const RoutePlan& plan = plans_[r.node];
+  const size_t breaker_base = r.node * num_entities;
+  const double bytes = static_cast<double>(r.bytes);
+  obs::TsCount("dissem.eval_requests", r.time);
+  const bool sampled = journey_.Sample(k);
 
-      // --- With proxies: walk the failover chain with retries. ---
-      // Chain: on-route proxies holding the document (nearest first), the
-      // home server, then any other live replica by distance. A proxy past
-      // its daily capacity is shielded out of the chain.
-      struct Candidate {
-        int proxy = -1;  ///< -1 = home server.
-        uint32_t hops = 0;
-        bool off_route = false;
-      };
-      std::vector<Candidate> chain;
-      bool capacity_blocked = false;
-      const auto consider_proxy = [&](int p, uint32_t hops, bool off_route) {
-        if (!stores[p].Contains(r.doc)) return;
-        if (config.proxy_daily_request_capacity > 0 &&
-            today_count[p] >= config.proxy_daily_request_capacity) {
-          capacity_blocked = true;
-          return;
-        }
-        chain.push_back({p, hops, off_route});
-      };
-      for (const auto& [p, hops] : plan.on_route) {
-        consider_proxy(p, hops, false);
-      }
-      chain.push_back({-1, plan.hops_to_server, false});
-      for (const auto& [p, hops] : plan.off_route) {
-        consider_proxy(p, hops, true);
-      }
-      const auto entity_of = [&](const Candidate& c) -> size_t {
-        return c.proxy < 0 ? server_entity : static_cast<size_t>(c.proxy);
-      };
-
-      if (budget_armed) retry_budget.RecordRequest(r.time);
-
+  if (dynamic_) {
+    // --- Baseline availability: a home-server-only client retrying the
+    // server with the same policy. ---
+    {
       SimTime when = r.time;
-      size_t pos = 0;
-      int served_at = -1;  ///< Chain position that served, -1 = none.
-      uint32_t request_retries = 0;
-      double request_backoff = 0.0;
-      bool fast_failed = false;
-      for (uint32_t attempts = 0; attempts < retry.max_attempts;) {
-        if (breakers_armed || admission_armed) {
-          // Open breakers and admission-shed candidates reject instantly:
-          // the client skips them without burning a timeout and — the
-          // point of the defense — without charging overhead to the
-          // struggling target. Shedding only diverts work that has
-          // somewhere else to go: if every breaker-admissible candidate
-          // shed this request, the nearest of them serves it as a last
-          // resort instead of failing a client whose only remaining option
-          // it is. A request with every candidate breaker-blocked fails
-          // fast.
-          size_t scanned = 0;
-          size_t shed_skips = 0;
-          int first_shed = -1;
-          while (scanned < chain.size()) {
-            const Candidate& c = chain[pos];
-            const size_t entity = entity_of(c);
-            if (breakers_armed &&
-                !breakers[breaker_base + entity].AllowRequest(when)) {
-              ++scanned;
-              pos = (pos + 1) % chain.size();
-              continue;
-            }
-            if (admission_armed && c.off_route &&
-                tracker.UnderPressure(entity, when)) {
-              if (first_shed < 0) first_shed = static_cast<int>(pos);
-              ++shed_skips;
-              ++scanned;
-              pos = (pos + 1) % chain.size();
-              continue;
-            }
-            break;
+      bool served = ServerReachable(client_node, when);
+      for (uint32_t attempt = 1; !served && attempt < retry.max_attempts;
+           ++attempt) {
+        when += retry.timeout_s + retry.BackoffBeforeRetry(attempt - 1, rng_);
+        served = ServerReachable(client_node, when);
+      }
+      if (served) {
+        result_.baseline_bytes_hops += bytes * plan.hops_to_server;
+      } else {
+        ++result_.baseline_unavailable_requests;
+      }
+    }
+
+    // --- With proxies: walk the failover chain with retries. ---
+    // Chain: on-route proxies holding the document (nearest first), the
+    // home server, then any other live replica by distance. A proxy past
+    // its daily capacity is shielded out of the chain.
+    struct Candidate {
+      int proxy = -1;  ///< -1 = home server.
+      uint32_t hops = 0;
+      bool off_route = false;
+    };
+    std::vector<Candidate> chain;
+    bool capacity_blocked = false;
+    const auto consider_proxy = [&](int p, uint32_t hops, bool off_route) {
+      if (!stores_[p].Contains(r.doc)) return;
+      if (config_.proxy_daily_request_capacity > 0 &&
+          today_count_[p] >= config_.proxy_daily_request_capacity) {
+        capacity_blocked = true;
+        return;
+      }
+      chain.push_back({p, hops, off_route});
+    };
+    for (const auto& [p, hops] : plan.on_route) {
+      consider_proxy(p, hops, false);
+    }
+    chain.push_back({-1, plan.hops_to_server, false});
+    for (const auto& [p, hops] : plan.off_route) {
+      consider_proxy(p, hops, true);
+    }
+    const auto entity_of = [&](const Candidate& c) -> size_t {
+      return c.proxy < 0 ? server_entity_ : static_cast<size_t>(c.proxy);
+    };
+
+    if (budget_armed) retry_budget_.RecordRequest(r.time);
+
+    SimTime when = r.time;
+    size_t pos = 0;
+    int served_at = -1;  ///< Chain position that served, -1 = none.
+    uint32_t request_retries = 0;
+    double request_backoff = 0.0;
+    bool fast_failed = false;
+    for (uint32_t attempts = 0; attempts < retry.max_attempts;) {
+      if (breakers_armed || admission_armed) {
+        // Open breakers and admission-shed candidates reject instantly:
+        // the client skips them without burning a timeout and — the
+        // point of the defense — without charging overhead to the
+        // struggling target. Shedding only diverts work that has
+        // somewhere else to go: if every breaker-admissible candidate
+        // shed this request, the nearest of them serves it as a last
+        // resort instead of failing a client whose only remaining option
+        // it is. A request with every candidate breaker-blocked fails
+        // fast.
+        size_t scanned = 0;
+        size_t shed_skips = 0;
+        int first_shed = -1;
+        while (scanned < chain.size()) {
+          const Candidate& c = chain[pos];
+          const size_t entity = entity_of(c);
+          if (breakers_armed &&
+              !breakers_[breaker_base + entity].AllowRequest(when)) {
+            ++scanned;
+            pos = (pos + 1) % chain.size();
+            continue;
           }
-          if (scanned == chain.size()) {
-            if (first_shed < 0) {
-              // Every candidate breaker-blocked. A request with no
-              // alternative probes its first candidate once — an open
-              // breaker must not hide a recovered target from a client
-              // with nowhere else to go — and fails fast from the second
-              // attempt on.
-              if (attempts > 0) {
-                fast_failed = true;
-                break;
-              }
-            } else {
-              pos = static_cast<size_t>(first_shed);
-            }
-          } else if (shed_skips > 0) {
-            result.shed_replica_requests += shed_skips;
-            obs::TsCount("dissem.shed_replica_requests", when,
-                         static_cast<double>(shed_skips));
+          if (admission_armed && c.off_route &&
+              tracker_.UnderPressure(entity, when)) {
+            if (first_shed < 0) first_shed = static_cast<int>(pos);
+            ++shed_skips;
+            ++scanned;
+            pos = (pos + 1) % chain.size();
+            continue;
           }
-        }
-        const Candidate& cand = chain[pos];
-        const size_t entity = entity_of(cand);
-        const bool reachable =
-            cand.proxy < 0
-                ? server_reachable(client_node, when)
-                : proxy_reachable(client_node, cand.proxy, when);
-        // An entity in emergent brownout is alive but sheds everything:
-        // attempts against it fail yet still cost it connection overhead,
-        // which is exactly how retry storms pin a struggling target down.
-        const bool overloaded =
-            track_load && tracker.Overloaded(entity, when);
-        const bool up = reachable && !overloaded;
-        ++attempts;
-        if (up) {
-          if (breakers_armed) breakers[breaker_base + entity].RecordSuccess();
-          served_at = static_cast<int>(pos);
           break;
         }
-        if (track_load && reachable) tracker.RecordOverhead(entity, when);
-        if (breakers_armed) breakers[breaker_base + entity].RecordFailure(when);
-        ++result.retry_attempts;
-        obs::TsCount("dissem.retry_attempts", when);
-        ++request_retries;
-        if (attempts < retry.max_attempts) {
-          // The budget caps the tail of the backoff ladder, never a
-          // request's first failover hop: retry #1 is what reaches the
-          // second candidate, and suppressing it turns servable requests
-          // into failures.
-          if (budget_armed && request_retries > 1 &&
-              !retry_budget.TryRetry(when)) {
-            ++result.retries_suppressed_by_budget;
-            obs::TsCount("dissem.retries_suppressed_by_budget", when);
-            result.retry_wait_seconds += retry.timeout_s;
-            request_backoff += retry.timeout_s;
-            break;
+        if (scanned == chain.size()) {
+          if (first_shed < 0) {
+            // Every candidate breaker-blocked. A request with no
+            // alternative probes its first candidate once — an open
+            // breaker must not hide a recovered target from a client
+            // with nowhere else to go — and fails fast from the second
+            // attempt on.
+            if (attempts > 0) {
+              fast_failed = true;
+              break;
+            }
+          } else {
+            pos = static_cast<size_t>(first_shed);
           }
-          const double wait =
-              retry.timeout_s + retry.BackoffBeforeRetry(attempts - 1, rng);
-          result.retry_wait_seconds += wait;
-          request_backoff += wait;
-          when += wait;
-        } else {
-          result.retry_wait_seconds += retry.timeout_s;
+        } else if (shed_skips > 0) {
+          result_.shed_replica_requests += shed_skips;
+          obs::TsCount("dissem.shed_replica_requests", when,
+                       static_cast<double>(shed_skips));
+        }
+      }
+      const Candidate& cand = chain[pos];
+      const size_t entity = entity_of(cand);
+      const bool reachable =
+          cand.proxy < 0 ? ServerReachable(client_node, when)
+                         : ProxyReachable(client_node, cand.proxy, when);
+      // An entity in emergent brownout is alive but sheds everything:
+      // attempts against it fail yet still cost it connection overhead,
+      // which is exactly how retry storms pin a struggling target down.
+      const bool overloaded = track_load && tracker_.Overloaded(entity, when);
+      const bool up = reachable && !overloaded;
+      ++attempts;
+      if (up) {
+        if (breakers_armed) breakers_[breaker_base + entity].RecordSuccess();
+        served_at = static_cast<int>(pos);
+        break;
+      }
+      if (track_load && reachable) tracker_.RecordOverhead(entity, when);
+      if (breakers_armed) breakers_[breaker_base + entity].RecordFailure(when);
+      ++result_.retry_attempts;
+      obs::TsCount("dissem.retry_attempts", when);
+      ++request_retries;
+      if (attempts < retry.max_attempts) {
+        // The budget caps the tail of the backoff ladder, never a
+        // request's first failover hop: retry #1 is what reaches the
+        // second candidate, and suppressing it turns servable requests
+        // into failures.
+        if (budget_armed && request_retries > 1 &&
+            !retry_budget_.TryRetry(when)) {
+          ++result_.retries_suppressed_by_budget;
+          obs::TsCount("dissem.retries_suppressed_by_budget", when);
+          result_.retry_wait_seconds += retry.timeout_s;
           request_backoff += retry.timeout_s;
+          break;
         }
-        pos = (pos + 1) % chain.size();
-      }
-
-      if (served_at < 0) {
-        if (fast_failed) ++result.fast_failed_requests;
-        ++result.unavailable_requests;
-        obs::TsCount("dissem.unavailable_requests", r.time);
-        if (sampled) {
-          obs::JourneyRecord j;
-          j.request = k;
-          j.time_s = r.time;
-          j.client = r.client;
-          j.doc = r.doc;
-          j.served_by = obs::kServedByNone;
-          j.retries = request_retries;
-          j.backoff_s = request_backoff;
-          journey.Record(j);
-        }
-        continue;
-      }
-      obs::Observe("dissem.failover_chain_depth",
-                   static_cast<double>(served_at));
-      const Candidate& winner = chain[served_at];
-      if (track_load) {
-        tracker.RecordService(entity_of(winner), when, bytes);
-      }
-      result.served_bytes += bytes;
-      if (config.collect_service_times) {
-        service_times.push_back(
-            service_time_s(request_backoff, bytes, winner.hops));
-      }
-      result.with_proxies_bytes_hops += bytes * winner.hops;
-      obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
-                   bytes * winner.hops);
-      if (served_at != 0) {
-        ++result.failover_requests;
-        obs::TsCount("dissem.failover_requests", r.time);
-        result.degraded_bytes_hops += bytes * winner.hops;
-        obs::TsCount("dissem.degraded_bytes_hops", r.time,
-                     bytes * winner.hops);
-      }
-      if (winner.proxy >= 0) {
-        ++today_count[winner.proxy];
-        ++result.proxy_requests[winner.proxy];
-        ++proxy_served;
-        if (obs::Enabled()) {
-          const char* level =
-              ProxyHitLevelName(topology.depth(placement.proxies[winner.proxy]));
-          obs::Count(level);
-          obs::TsCount(level, r.time);
-          obs::TsCount("dissem.proxy_hits", r.time);
-        }
-        if (last_update_day[r.doc] > dissemination_day) {
-          ++result.stale_proxy_requests;
-          obs::TsCount("dissem.stale_proxy_requests", r.time);
-        }
-      } else if (capacity_blocked) {
-        // Shielding overflow: the proxy copy existed but the daily budget
-        // was spent, so the home server absorbed the request.
-        ++result.shielding_overflow_requests;
-        obs::TsCount("dissem.shielding_overflow_requests", r.time);
+        const double wait =
+            retry.timeout_s + retry.BackoffBeforeRetry(attempts - 1, rng_);
+        result_.retry_wait_seconds += wait;
+        request_backoff += wait;
+        when += wait;
       } else {
-        ++result.server_requests;
-        obs::TsCount("dissem.server_requests", r.time);
+        result_.retry_wait_seconds += retry.timeout_s;
+        request_backoff += retry.timeout_s;
       }
+      pos = (pos + 1) % chain.size();
+    }
+
+    if (served_at < 0) {
+      if (fast_failed) ++result_.fast_failed_requests;
+      ++result_.unavailable_requests;
+      obs::TsCount("dissem.unavailable_requests", r.time);
       if (sampled) {
         obs::JourneyRecord j;
         j.request = k;
         j.time_s = r.time;
         j.client = r.client;
         j.doc = r.doc;
-        j.served_by =
-            winner.proxy >= 0 ? winner.proxy : obs::kServedByServer;
-        j.hops = winner.hops;
-        j.failover_depth = static_cast<uint32_t>(served_at);
+        j.served_by = obs::kServedByNone;
         j.retries = request_retries;
         j.backoff_s = request_backoff;
-        j.response_bytes = bytes;
-        journey.Record(j);
+        journey_.Record(j);
       }
-      continue;
+      return;
     }
-
-    result.baseline_bytes_hops += bytes * plan.hops_to_server;
-
-    bool served_by_proxy = false;
-    bool overflowed = false;
-    if (plan.proxy_index >= 0 && stores[plan.proxy_index].Contains(r.doc)) {
-      if (config.proxy_daily_request_capacity == 0 ||
-          today_count[plan.proxy_index] <
-              config.proxy_daily_request_capacity) {
-        served_by_proxy = true;
-        ++today_count[plan.proxy_index];
-      } else {
-        overflowed = true;
-        ++result.shielding_overflow_requests;
-        obs::TsCount("dissem.shielding_overflow_requests", r.time);
-      }
+    obs::Observe("dissem.failover_chain_depth",
+                 static_cast<double>(served_at));
+    const Candidate& winner = chain[served_at];
+    if (track_load) {
+      tracker_.RecordService(entity_of(winner), when, bytes);
     }
-    result.served_bytes += bytes;
-    if (config.collect_service_times) {
-      service_times.push_back(service_time_s(
-          0.0, bytes,
-          served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server));
+    result_.served_bytes += bytes;
+    if (config_.collect_service_times) {
+      service_times_.push_back(
+          ServiceTimeS(request_backoff, bytes, winner.hops));
     }
-    if (served_by_proxy) {
-      result.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
-      obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
-                   bytes * plan.hops_to_proxy);
-      ++result.proxy_requests[plan.proxy_index];
-      ++proxy_served;
+    result_.with_proxies_bytes_hops += bytes * winner.hops;
+    obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
+                 bytes * winner.hops);
+    if (served_at != 0) {
+      ++result_.failover_requests;
+      obs::TsCount("dissem.failover_requests", r.time);
+      result_.degraded_bytes_hops += bytes * winner.hops;
+      obs::TsCount("dissem.degraded_bytes_hops", r.time, bytes * winner.hops);
+    }
+    if (winner.proxy >= 0) {
+      ++today_count_[winner.proxy];
+      ++result_.proxy_requests[winner.proxy];
+      ++proxy_served_;
       if (obs::Enabled()) {
         const char* level = ProxyHitLevelName(
-            topology.depth(placement.proxies[plan.proxy_index]));
+            topology.depth(placement_.proxies[winner.proxy]));
         obs::Count(level);
         obs::TsCount(level, r.time);
         obs::TsCount("dissem.proxy_hits", r.time);
       }
-      if (last_update_day[r.doc] > dissemination_day) {
-        ++result.stale_proxy_requests;
+      if (last_update_day_[r.doc] > dissemination_day_) {
+        ++result_.stale_proxy_requests;
         obs::TsCount("dissem.stale_proxy_requests", r.time);
       }
+    } else if (capacity_blocked) {
+      // Shielding overflow: the proxy copy existed but the daily budget
+      // was spent, so the home server absorbed the request.
+      ++result_.shielding_overflow_requests;
+      obs::TsCount("dissem.shielding_overflow_requests", r.time);
     } else {
-      // Served by the home server at full hop cost; overflowed requests
-      // stay in shielding_overflow_requests (not server_requests), so
-      // proxy + server + overflow == evaluated requests.
-      result.with_proxies_bytes_hops += bytes * plan.hops_to_server;
-      obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
-                   bytes * plan.hops_to_server);
-      if (!overflowed) {
-        ++result.server_requests;
-        obs::TsCount("dissem.server_requests", r.time);
-      }
+      ++result_.server_requests;
+      obs::TsCount("dissem.server_requests", r.time);
     }
     if (sampled) {
       obs::JourneyRecord j;
@@ -692,23 +679,92 @@ DisseminationResult SimulateDissemination(
       j.time_s = r.time;
       j.client = r.client;
       j.doc = r.doc;
-      j.served_by =
-          served_by_proxy ? plan.proxy_index : obs::kServedByServer;
-      j.hops = served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server;
+      j.served_by = winner.proxy >= 0 ? winner.proxy : obs::kServedByServer;
+      j.hops = winner.hops;
+      j.failover_depth = static_cast<uint32_t>(served_at);
+      j.retries = request_retries;
+      j.backoff_s = request_backoff;
       j.response_bytes = bytes;
-      journey.Record(j);
+      journey_.Record(j);
     }
+    return;
   }
 
+  result_.baseline_bytes_hops += bytes * plan.hops_to_server;
+
+  bool served_by_proxy = false;
+  bool overflowed = false;
+  if (plan.proxy_index >= 0 && stores_[plan.proxy_index].Contains(r.doc)) {
+    if (config_.proxy_daily_request_capacity == 0 ||
+        today_count_[plan.proxy_index] <
+            config_.proxy_daily_request_capacity) {
+      served_by_proxy = true;
+      ++today_count_[plan.proxy_index];
+    } else {
+      overflowed = true;
+      ++result_.shielding_overflow_requests;
+      obs::TsCount("dissem.shielding_overflow_requests", r.time);
+    }
+  }
+  result_.served_bytes += bytes;
+  if (config_.collect_service_times) {
+    service_times_.push_back(ServiceTimeS(
+        0.0, bytes,
+        served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server));
+  }
+  if (served_by_proxy) {
+    result_.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
+    obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
+                 bytes * plan.hops_to_proxy);
+    ++result_.proxy_requests[plan.proxy_index];
+    ++proxy_served_;
+    if (obs::Enabled()) {
+      const char* level = ProxyHitLevelName(
+          topology.depth(placement_.proxies[plan.proxy_index]));
+      obs::Count(level);
+      obs::TsCount(level, r.time);
+      obs::TsCount("dissem.proxy_hits", r.time);
+    }
+    if (last_update_day_[r.doc] > dissemination_day_) {
+      ++result_.stale_proxy_requests;
+      obs::TsCount("dissem.stale_proxy_requests", r.time);
+    }
+  } else {
+    // Served by the home server at full hop cost; overflowed requests
+    // stay in shielding_overflow_requests (not server_requests), so
+    // proxy + server + overflow == evaluated requests.
+    result_.with_proxies_bytes_hops += bytes * plan.hops_to_server;
+    obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
+                 bytes * plan.hops_to_server);
+    if (!overflowed) {
+      ++result_.server_requests;
+      obs::TsCount("dissem.server_requests", r.time);
+    }
+  }
+  if (sampled) {
+    obs::JourneyRecord j;
+    j.request = k;
+    j.time_s = r.time;
+    j.client = r.client;
+    j.doc = r.doc;
+    j.served_by = served_by_proxy ? plan.proxy_index : obs::kServedByServer;
+    j.hops = served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server;
+    j.response_bytes = bytes;
+    journey_.Record(j);
+  }
+}
+
+DisseminationResult DisseminationReplay::Finish() {
+  DisseminationResult result = std::move(result_);
+  if (!active_) return result;
   uint64_t eval_requests = result.server_requests +
                            result.shielding_overflow_requests +
                            result.unavailable_requests;
   for (const uint64_t n : result.proxy_requests) eval_requests += n;
   result.proxy_hit_fraction =
-      eval_requests == 0
-          ? 0.0
-          : static_cast<double>(proxy_served) /
-                static_cast<double>(eval_requests);
+      eval_requests == 0 ? 0.0
+                         : static_cast<double>(proxy_served_) /
+                               static_cast<double>(eval_requests);
   result.unavailable_fraction =
       eval_requests == 0
           ? 0.0
@@ -720,28 +776,30 @@ DisseminationResult SimulateDissemination(
           : static_cast<double>(result.baseline_unavailable_requests) /
                 static_cast<double>(eval_requests);
   result.stale_fraction =
-      proxy_served == 0
+      proxy_served_ == 0
           ? 0.0
           : static_cast<double>(result.stale_proxy_requests) /
-                static_cast<double>(proxy_served);
+                static_cast<double>(proxy_served_);
   result.saved_fraction =
       result.baseline_bytes_hops <= 0.0
           ? 0.0
           : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
-  if (track_load) result.emergent_brownouts = tracker.emergent_brownouts();
-  for (const net::CircuitBreaker& b : breakers) {
+  if (config_.protection.track_load) {
+    result.emergent_brownouts = tracker_.emergent_brownouts();
+  }
+  for (const net::CircuitBreaker& b : breakers_) {
     result.breaker_open_transitions += b.open_transitions();
   }
-  if (config.collect_service_times && !service_times.empty()) {
+  if (config_.collect_service_times && !service_times_.empty()) {
     double sum = 0.0;
-    for (const double s : service_times) sum += s;
-    result.mean_service_s = sum / static_cast<double>(service_times.size());
+    for (const double s : service_times_) sum += s;
+    result.mean_service_s = sum / static_cast<double>(service_times_.size());
     const auto quantile = [&](double q) {
       const size_t idx = static_cast<size_t>(
-          q * static_cast<double>(service_times.size() - 1));
-      std::nth_element(service_times.begin(), service_times.begin() + idx,
-                       service_times.end());
-      return service_times[idx];
+          q * static_cast<double>(service_times_.size() - 1));
+      std::nth_element(service_times_.begin(), service_times_.begin() + idx,
+                       service_times_.end());
+      return service_times_[idx];
     };
     result.p50_service_s = quantile(0.5);
     result.p99_service_s = quantile(0.99);
@@ -770,7 +828,7 @@ DisseminationResult SimulateDissemination(
                static_cast<double>(result.shed_replica_requests));
     obs::Count("dissem.stale_proxy_requests",
                static_cast<double>(result.stale_proxy_requests));
-    obs::Count("dissem.proxy_hits", static_cast<double>(proxy_served));
+    obs::Count("dissem.proxy_hits", static_cast<double>(proxy_served_));
     obs::Count("dissem.with_proxies_bytes_hops",
                result.with_proxies_bytes_hops);
     // Per-proxy hit distribution: one sample per proxy, weighted samples
@@ -778,9 +836,45 @@ DisseminationResult SimulateDissemination(
     for (const uint64_t n : result.proxy_requests) {
       obs::Observe("dissem.proxy_requests", static_cast<double>(n));
     }
-    run_span.AddBytes(result.with_proxies_bytes_hops);
+    run_span_.AddBytes(result.with_proxies_bytes_hops);
   }
   return result;
+}
+
+DisseminationResult SimulateDissemination(
+    const PreparedDissemination& prepared, const DisseminationConfig& config,
+    Rng* rng, const std::vector<trace::UpdateEvent>* updates) {
+  DisseminationReplay replay(prepared, config, rng, updates);
+  const trace::Trace& trace = *prepared.trace;
+  for (size_t k = 0; k < prepared.eval_index.size(); ++k) {
+    const auto& r = trace.requests[prepared.eval_index[k]];
+    replay.OnRequest(k, DisseminationReplay::EvalRecord{
+                            r.time, r.client, r.doc, r.bytes,
+                            prepared.eval_node[k], prepared.eval_day[k]});
+  }
+  return replay.Finish();
+}
+
+DisseminationResult SimulateDisseminationStream(
+    const PreparedDissemination& prepared, const DisseminationConfig& config,
+    Rng* rng, const std::vector<trace::UpdateEvent>* updates,
+    trace::RequestCursor* cursor) {
+  cursor->Rewind();
+  DisseminationReplay replay(prepared, config, rng, updates);
+  size_t k = 0;
+  for (auto chunk = cursor->NextChunk(); !chunk.empty();
+       chunk = cursor->NextChunk()) {
+    for (const auto& r : chunk) {
+      if (!IsEvalRequest(prepared, r)) continue;
+      const uint32_t node =
+          prepared.node_index.at(prepared.topology->client_node(r.client));
+      replay.OnRequest(
+          k++, DisseminationReplay::EvalRecord{
+                   r.time, r.client, r.doc, r.bytes, node,
+                   static_cast<uint32_t>(DayOfTime(r.time))});
+    }
+  }
+  return replay.Finish();
 }
 
 DisseminationResult SimulateDissemination(

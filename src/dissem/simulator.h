@@ -2,15 +2,21 @@
 #define SDS_DISSEM_SIMULATOR_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "dissem/popularity.h"
+#include "dissem/proxy.h"
 #include "net/clientele_tree.h"
 #include "net/faults.h"
+#include "net/placement.h"
 #include "net/route_table.h"
 #include "net/topology.h"
+#include "obs/journey.h"
+#include "obs/trace.h"
 #include "trace/corpus.h"
+#include "trace/cursor.h"
 #include "trace/request.h"
 #include "util/rng.h"
 
@@ -167,16 +173,16 @@ struct RoutePlan {
 /// the clientele tree, routes and the eval-request filter each time.
 struct PreparedDissemination {
   const trace::Corpus* corpus = nullptr;
+  /// The materialized trace (batch path); null when the context was
+  /// prepared from a request cursor (streaming path).
   const trace::Trace* trace = nullptr;
   const net::Topology* topology = nullptr;
   trace::ServerId server = 0;
   /// Training split this context was prepared for (configs must match).
   double train_fraction = 0.0;
-  double span = 0.0;   ///< trace->Span()
+  double span = 0.0;   ///< trace span (last request time)
   double split = 0.0;  ///< span * train_fraction
   ServerPopularity pop;
-  /// Training-window slice of the trace (requests with time < split).
-  trace::Trace train;
   net::ClienteleTree tree;
   net::NodeId server_node = net::kInvalidNode;
   /// Precomputed routes from the server's node to every topology node.
@@ -184,15 +190,29 @@ struct PreparedDissemination {
   /// Distinct client attachment nodes of this server's remote requesters,
   /// in first-seen trace order. RoutePlans are built per node.
   std::vector<net::NodeId> nodes;
-  /// Tailored-dissemination training observations: (node index into
-  /// `nodes`, doc) per qualifying training request.
-  std::vector<std::pair<uint32_t, trace::DocumentId>> tailored_obs;
+  /// Attachment-node interning map behind `nodes` (node -> index); kept so
+  /// streaming replays can map clients to plan indices.
+  std::unordered_map<net::NodeId, uint32_t> node_index;
+  /// Tailored-dissemination training observations, aggregated per (node
+  /// index into `nodes`, doc): how many qualifying training requests that
+  /// attachment node issued for the document.
+  struct TailoredCount {
+    uint32_t node = 0;
+    trace::DocumentId doc = 0;
+    uint64_t count = 0;
+  };
+  std::vector<TailoredCount> tailored_counts;
   /// Evaluation replay, pre-filtered (time >= split, this server, remote
-  /// client, document kinds): request index, plan index into `nodes`, and
-  /// day, one entry per replayed request.
+  /// client, document kinds): request index into `trace`, plan index into
+  /// `nodes`, and day, one entry per replayed request. Only filled on the
+  /// batch path; streaming replays re-derive the stream per pass.
   std::vector<uint32_t> eval_index;
   std::vector<uint32_t> eval_node;
   std::vector<uint32_t> eval_day;
+  /// Evaluation-window totals (filled on both paths; what the capacity
+  /// calibrations need without touching eval_index).
+  uint64_t eval_requests = 0;
+  double eval_bytes = 0.0;
 };
 
 /// \brief Builds the shared context for SimulateDissemination runs over
@@ -202,6 +222,40 @@ PreparedDissemination PrepareDissemination(const trace::Corpus& corpus,
                                            const net::Topology& topology,
                                            trace::ServerId server,
                                            double train_fraction);
+
+/// \brief Streaming form of PrepareDissemination: feed the whole trace one
+/// request at a time (in time order, as a cursor yields it), then Finish().
+/// `span` is the trace span (known up front on the streaming path, e.g.
+/// from the workload's construction pass); resident state is O(corpus +
+/// attachment nodes), independent of the trace length. PrepareDissemination
+/// is implemented on this class, so both paths produce the identical
+/// context (minus trace/eval_index, which only the batch path retains).
+class DisseminationPreparer {
+ public:
+  DisseminationPreparer(const trace::Corpus& corpus,
+                        const net::Topology& topology, trace::ServerId server,
+                        double train_fraction, double span);
+
+  void OnRequest(const trace::Request& r);
+
+  /// Finalizes popularity, the clientele tree, routes and the tailored
+  /// counts. The preparer is spent afterwards.
+  PreparedDissemination Finish();
+
+ private:
+  PreparedDissemination prepared_;
+  ServerPopularityBuilder pop_builder_;
+  net::ClienteleTreeBuilder tree_builder_;
+  /// (node index << 32 | doc) -> training request count.
+  std::unordered_map<uint64_t, uint64_t> tailored_;
+};
+
+/// \brief One-pass streaming prepare: rewinds and drains the cursor
+/// through a DisseminationPreparer.
+PreparedDissemination PrepareDisseminationStream(
+    const trace::Corpus& corpus, const net::Topology& topology,
+    trace::ServerId server, double train_fraction, double span,
+    trace::RequestCursor* cursor);
 
 /// \brief Route plans for every prepared attachment node against a concrete
 /// proxy placement, indexed like `prepared.nodes`.
@@ -226,6 +280,86 @@ DisseminationResult SimulateDissemination(
 DisseminationResult SimulateDissemination(
     const PreparedDissemination& prepared, const DisseminationConfig& config,
     Rng* rng, const std::vector<trace::UpdateEvent>* updates = nullptr);
+
+/// \brief The evaluation replay of SimulateDissemination as an incremental
+/// event consumer: construction does the placement, dissemination and
+/// route planning; OnRequest() replays one evaluated request; Finish()
+/// aggregates the result. SimulateDissemination is implemented on this
+/// class, so feeding the identical evaluation stream (batch eval_index or
+/// a cursor pass) produces bit-identical results. Resident state is
+/// O(proxies x corpus + attachment nodes), independent of trace length —
+/// several replays (different configs) can consume one streamed pass.
+class DisseminationReplay {
+ public:
+  /// One evaluated request (the streaming form of the batch
+  /// eval_index/eval_node/eval_day entry).
+  struct EvalRecord {
+    SimTime time = 0.0;
+    trace::ClientId client = 0;
+    trace::DocumentId doc = 0;
+    uint32_t bytes = 0;
+    uint32_t node = 0;  ///< Plan index into prepared.nodes.
+    uint32_t day = 0;   ///< DayOfTime(time).
+  };
+
+  /// `prepared`, `config`, `rng` and `updates` must outlive the replay.
+  DisseminationReplay(const PreparedDissemination& prepared,
+                      const DisseminationConfig& config, Rng* rng,
+                      const std::vector<trace::UpdateEvent>* updates);
+  DisseminationReplay(const DisseminationReplay&) = delete;
+  DisseminationReplay& operator=(const DisseminationReplay&) = delete;
+
+  /// Replays evaluated request `k` (0-based ordinal in the evaluation
+  /// stream). No-op when the prepared context saw no remote training
+  /// traffic.
+  void OnRequest(size_t k, const EvalRecord& r);
+
+  /// Aggregates fractions/percentiles and emits run counters. The replay
+  /// is spent afterwards.
+  DisseminationResult Finish();
+
+ private:
+  bool ServerReachable(net::NodeId client_node, SimTime when) const;
+  bool ProxyReachable(net::NodeId client_node, int p, SimTime when) const;
+  double ServiceTimeS(double waits, double bytes, uint32_t hops) const;
+  void ApplyUpdatesThrough(long day);
+
+  obs::SpanGuard run_span_;
+  obs::JourneyRun journey_;
+  const PreparedDissemination& prepared_;
+  const DisseminationConfig& config_;
+  Rng* rng_;
+  bool active_ = false;
+  DisseminationResult result_;
+  net::PlacementResult placement_;
+  std::vector<bool> is_mutable_;
+  std::vector<ProxyStore> stores_;
+  std::vector<RoutePlan> plans_;
+  std::vector<uint64_t> today_count_;
+  long today_ = -1;
+  std::vector<std::vector<trace::DocumentId>> updates_by_day_;
+  std::vector<long> last_update_day_;
+  long dissemination_day_ = 0;
+  long applied_day_ = 0;
+  uint64_t proxy_served_ = 0;
+  const net::FaultSchedule* faults_ = nullptr;
+  bool dynamic_ = false;
+  size_t server_entity_ = 0;
+  net::LoadTracker tracker_;
+  std::vector<net::CircuitBreaker> breakers_;
+  net::RetryBudget retry_budget_;
+  std::vector<double> service_times_;
+};
+
+/// \brief One-pass streaming simulation: rewinds the cursor and replays
+/// its evaluation-window requests (same filter as the prepared eval index)
+/// through a DisseminationReplay. `prepared` may come from either prepare
+/// path; results are bit-identical to the batch simulation when the cursor
+/// streams the trace the context was prepared from.
+DisseminationResult SimulateDisseminationStream(
+    const PreparedDissemination& prepared, const DisseminationConfig& config,
+    Rng* rng, const std::vector<trace::UpdateEvent>* updates,
+    trace::RequestCursor* cursor);
 
 }  // namespace sds::dissem
 

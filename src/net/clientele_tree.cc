@@ -1,51 +1,56 @@
 #include "net/clientele_tree.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 namespace sds::net {
 
-ClienteleTree BuildClienteleTree(const Topology& topology,
-                                 const trace::Trace& trace,
-                                 trace::ServerId server) {
-  ClienteleTree tree;
-  tree.server = server;
-  const NodeId server_node = topology.server_node(server);
+ClienteleTreeBuilder::ClienteleTreeBuilder(const Topology& topology,
+                                           trace::ServerId server)
+    : topology_(&topology), server_node_(topology.server_node(server)) {
+  tree_.server = server;
+}
 
-  // Aggregate remote traffic by client attachment node.
-  std::unordered_map<NodeId, size_t> leaf_index;
-  for (const auto& r : trace.requests) {
-    if (r.server != server || !r.remote_client) continue;
-    if (r.kind == trace::RequestKind::kNotFound ||
-        r.kind == trace::RequestKind::kScript) {
-      continue;
-    }
-    const NodeId node = topology.client_node(r.client);
-    auto [it, inserted] = leaf_index.emplace(node, tree.leaves.size());
-    if (inserted) {
-      ClienteleTree::Leaf leaf;
-      leaf.node = node;
-      leaf.path_from_server = topology.Route(server_node, node);
-      tree.leaves.push_back(std::move(leaf));
-    }
-    auto& leaf = tree.leaves[it->second];
-    leaf.bytes += r.bytes;
-    leaf.requests += 1;
+void ClienteleTreeBuilder::OnRequest(const trace::Request& r) {
+  if (r.server != tree_.server || !r.remote_client) return;
+  if (r.kind == trace::RequestKind::kNotFound ||
+      r.kind == trace::RequestKind::kScript) {
+    return;
   }
+  const NodeId node = topology_->client_node(r.client);
+  auto [it, inserted] = leaf_index_.emplace(node, tree_.leaves.size());
+  if (inserted) {
+    ClienteleTree::Leaf leaf;
+    leaf.node = node;
+    leaf.path_from_server = topology_->Route(server_node_, node);
+    tree_.leaves.push_back(std::move(leaf));
+  }
+  auto& leaf = tree_.leaves[it->second];
+  leaf.bytes += r.bytes;
+  leaf.requests += 1;
+}
 
+ClienteleTree ClienteleTreeBuilder::Finish() {
+  ClienteleTree tree = std::move(tree_);
   std::unordered_set<NodeId> interior;
   for (const auto& leaf : tree.leaves) {
     tree.total_bytes += leaf.bytes;
-    tree.total_bytes_hops +=
-        leaf.bytes * (leaf.path_from_server.size() - 1);
+    tree.total_bytes_hops += leaf.bytes * (leaf.path_from_server.size() - 1);
     for (const NodeId node : leaf.path_from_server) {
-      if (node != server_node) interior.insert(node);
+      if (node != server_node_) interior.insert(node);
     }
   }
   tree.interior_nodes.assign(interior.begin(), interior.end());
   std::sort(tree.interior_nodes.begin(), tree.interior_nodes.end());
   return tree;
+}
+
+ClienteleTree BuildClienteleTree(const Topology& topology,
+                                 const trace::Trace& trace,
+                                 trace::ServerId server) {
+  ClienteleTreeBuilder builder(topology, server);
+  for (const auto& r : trace.requests) builder.OnRequest(r);
+  return builder.Finish();
 }
 
 }  // namespace sds::net

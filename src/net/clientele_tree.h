@@ -2,6 +2,7 @@
 #define SDS_NET_CLIENTELE_TREE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/topology.h"
@@ -38,6 +39,30 @@ struct ClienteleTree {
   /// Distinct topology nodes appearing on any route (candidate proxy
   /// sites), excluding the server's own node.
   std::vector<NodeId> interior_nodes;
+};
+
+/// \brief Streaming form of BuildClienteleTree: feed requests one at a
+/// time, then Finish(). Leaves appear in first-seen order, exactly as the
+/// batch builder produces them; BuildClienteleTree is implemented on this
+/// class, so a builder fed from a request cursor yields the identical tree
+/// without materializing the trace.
+class ClienteleTreeBuilder {
+ public:
+  ClienteleTreeBuilder(const Topology& topology, trace::ServerId server);
+
+  /// Accumulates one request (other servers, local clients, and noise
+  /// kinds are ignored, as in BuildClienteleTree).
+  void OnRequest(const trace::Request& r);
+
+  /// Computes the totals and interior-node set. The builder is spent
+  /// afterwards.
+  ClienteleTree Finish();
+
+ private:
+  const Topology* topology_;
+  NodeId server_node_;
+  ClienteleTree tree_;
+  std::unordered_map<NodeId, size_t> leaf_index_;
 };
 
 /// \brief Builds the clientele tree of `server` from the remote accesses in

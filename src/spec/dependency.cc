@@ -214,6 +214,97 @@ std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
   return out;
 }
 
+DailyDependencyAccumulator::DailyDependencyAccumulator(
+    const DependencyConfig& config, uint32_t num_clients)
+    : config_(config), clients_(num_clients) {}
+
+void DailyDependencyAccumulator::OnRequest(const trace::Request& r) {
+  SDS_CHECK(r.time >= last_time_) << "dependency stream not time-ordered";
+  last_time_ = r.time;
+  if (r.kind != trace::RequestKind::kDocument &&
+      r.kind != trace::RequestKind::kAlias) {
+    return;
+  }
+  SDS_CHECK(r.client < clients_.size()) << "client id out of range";
+  ClientState& cs = clients_[r.client];
+  // Stride break: the batch scan stops pairing every active leader at the
+  // first consecutive gap >= StrideTimeout, and that gap is shared by all
+  // of them, so the whole buffer clears at once.
+  if (!cs.leaders.empty() && r.time - cs.last >= config_.stride_timeout) {
+    cs.leaders.clear();
+  }
+  // Window eviction: leaders are in ascending time order, so expired ones
+  // form a prefix.
+  size_t expired = 0;
+  while (expired < cs.leaders.size() &&
+         r.time - cs.leaders[expired].time > config_.window) {
+    ++expired;
+  }
+  if (expired > 0) {
+    cs.leaders.erase(cs.leaders.begin(), cs.leaders.begin() + expired);
+  }
+  const uint32_t day_now = static_cast<uint32_t>(DayOfTime(r.time));
+  for (Leader& a : cs.leaders) {
+    if (a.doc == r.doc) continue;
+    if (std::find(a.seen.begin(), a.seen.end(), r.doc) != a.seen.end()) {
+      continue;
+    }
+    a.seen.push_back(r.doc);
+    ++Open(a.day).pairs[PairKey(a.doc, r.doc)];
+  }
+  ++Open(day_now).occurrences[r.doc];
+  cs.leaders.push_back({r.time, day_now, r.doc, {}});
+  cs.last = r.time;
+}
+
+void DailyDependencyAccumulator::FinishStream() { finished_ = true; }
+
+const DayCounts* DailyDependencyAccumulator::Counts(uint32_t day) {
+  SDS_CHECK(DayFinal(day)) << "day " << day << " not final yet";
+  auto fit = final_.find(day);
+  if (fit != final_.end()) return &fit->second;
+  auto oit = open_.find(day);
+  if (oit == open_.end()) {
+    static const DayCounts kEmpty;
+    return &kEmpty;
+  }
+  DayCounts counts;
+  counts.pair_counts.assign(oit->second.pairs.begin(),
+                            oit->second.pairs.end());
+  counts.occurrences.assign(oit->second.occurrences.begin(),
+                            oit->second.occurrences.end());
+  std::sort(counts.pair_counts.begin(), counts.pair_counts.end());
+  std::sort(counts.occurrences.begin(), counts.occurrences.end());
+  open_.erase(oit);
+  return &final_.emplace(day, std::move(counts)).first->second;
+}
+
+void DailyDependencyAccumulator::DropBefore(uint32_t day) {
+  final_.erase(final_.begin(), final_.lower_bound(day));
+  open_.erase(open_.begin(), open_.lower_bound(day));
+}
+
+std::vector<DayCounts> CountDailyDependenciesStream(
+    trace::RequestCursor* cursor, const DependencyConfig& config) {
+  DailyDependencyAccumulator acc(config, cursor->num_clients());
+  SimTime span = 0.0;
+  bool any = false;
+  for (auto chunk = cursor->NextChunk(); !chunk.empty();
+       chunk = cursor->NextChunk()) {
+    for (const auto& r : chunk) {
+      acc.OnRequest(r);
+      span = r.time;
+      any = true;
+    }
+  }
+  acc.FinishStream();
+  const uint32_t days =
+      any ? static_cast<uint32_t>(DayOfTime(span)) + 1 : 1;
+  std::vector<DayCounts> out(days);
+  for (uint32_t d = 0; d < days; ++d) out[d] = *acc.Counts(d);
+  return out;
+}
+
 void WindowedCounts::Add(const DayCounts& day) {
   for (const auto& [key, n] : day.pair_counts) {
     RecordPair(static_cast<trace::DocumentId>(key >> 32), key, n);

@@ -3,10 +3,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "spec/pair_table.h"
+#include "trace/cursor.h"
 #include "trace/request.h"
 #include "trace/sessionizer.h"
 #include "util/sim_time.h"
@@ -174,6 +177,82 @@ void ScanDependencies(const trace::Trace& trace,
 /// covers [d * kDay, (d+1) * kDay). Only kDocument/kAlias accesses count.
 std::vector<DayCounts> CountDailyDependencies(const trace::Trace& trace,
                                               const DependencyConfig& config);
+
+/// \brief Streaming counterpart of CountDailyDependencies: feed the
+/// globally time-ordered request stream once and read each day's counts as
+/// soon as it is final, with only O(active clients + retained days)
+/// resident state instead of the whole trace.
+///
+/// A pair is attributed to the day of its *leading* request, so day d can
+/// still gain pairs from followers up to T_w seconds past the day
+/// boundary; DayFinal(d) becomes true once the ingested stream has moved
+/// past (d + 1) * kDay + T_w (or the stream ended). The per-day counts a
+/// finalised day yields are the same key -> count multiset the batch scan
+/// produces for that day (runs here are sorted by key; batch runs are in
+/// first-seen order — every consumer of DayCounts is order-independent).
+class DailyDependencyAccumulator {
+ public:
+  DailyDependencyAccumulator(const DependencyConfig& config,
+                             uint32_t num_clients);
+
+  /// Ingests one request (any kind; non-kDocument/kAlias records only
+  /// advance the finality clock). Requests must arrive in time order.
+  void OnRequest(const trace::Request& r);
+
+  /// Marks the stream exhausted: every day becomes final.
+  void FinishStream();
+
+  /// True once day `d` can no longer gain counts.
+  bool DayFinal(uint32_t day) const {
+    return finished_ ||
+           last_time_ >= (static_cast<SimTime>(day) + 1.0) * kDay +
+                             config_.window;
+  }
+
+  /// The finalised counts of `day` (an empty DayCounts if the day saw no
+  /// qualifying traffic). Requires DayFinal(day). The returned pointer
+  /// stays valid until DropBefore() passes the day.
+  const DayCounts* Counts(uint32_t day);
+
+  /// Releases every retained day strictly before `day`.
+  void DropBefore(uint32_t day);
+
+ private:
+  /// An in-window request still collecting followers.
+  struct Leader {
+    SimTime time = 0.0;
+    uint32_t day = 0;
+    trace::DocumentId doc = trace::kInvalidDocument;
+    /// Distinct followers already paired with this leader.
+    std::vector<trace::DocumentId> seen;
+  };
+  struct ClientState {
+    SimTime last = 0.0;
+    std::vector<Leader> leaders;
+  };
+  /// Aggregation of a day still inside the finality horizon.
+  struct OpenDay {
+    std::unordered_map<uint64_t, uint32_t> pairs;
+    std::unordered_map<trace::DocumentId, uint32_t> occurrences;
+  };
+
+  OpenDay& Open(uint32_t day) { return open_[day]; }
+
+  DependencyConfig config_;
+  std::vector<ClientState> clients_;
+  SimTime last_time_ = 0.0;
+  bool finished_ = false;
+  std::map<uint32_t, OpenDay> open_;
+  std::map<uint32_t, DayCounts> final_;
+};
+
+/// \brief Drives a DailyDependencyAccumulator over a whole cursor and
+/// returns the per-day counts, shaped like CountDailyDependencies (same
+/// day indexing; runs sorted by key). Convenience for tests and one-shot
+/// estimation; the streaming simulator pumps the accumulator lazily
+/// instead.
+std::vector<DayCounts> CountDailyDependenciesStream(
+    trace::RequestCursor* cursor, const DependencyConfig& config);
 
 /// \brief Aggregates day counts over a sliding window and materialises P.
 ///

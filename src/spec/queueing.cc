@@ -1,9 +1,7 @@
 #include "spec/queueing.h"
 
 #include <algorithm>
-#include <deque>
 
-#include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "util/logging.h"
@@ -11,78 +9,78 @@
 
 namespace sds::spec {
 
-QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
-                             const QueueConfig& config) {
+QueueSimulator::QueueSimulator(const QueueConfig& config) : config_(config) {
   SDS_CHECK(config.service_rate_bytes_per_s > 0.0);
-  QueueStats stats;
-  if (events.empty()) return stats;
+}
 
-  obs::JourneyRun journey("queue");
-  double server_free = 0.0;
-  double busy = 0.0;
-  RunningStats waits;
-  std::vector<double> responses;
-  responses.reserve(events.size());
-
-  // Track queue depth via the completion times of queued requests.
-  std::deque<double> in_system;  // completion times, ascending
-  size_t max_depth = 0;
-
-  double last_time = 0.0;
-  for (size_t i = 0; i < events.size(); ++i) {
-    const auto& e = events[i];
-    SDS_CHECK(e.time >= last_time) << "events must be time-ordered";
-    last_time = e.time;
-    while (!in_system.empty() && in_system.front() <= e.time) {
-      in_system.pop_front();
-    }
-    const double start = std::max(e.time, server_free);
-    const double service =
-        config.service_overhead_s +
-        e.response_bytes / config.service_rate_bytes_per_s;
-    const double done = start + service;
-    waits.Add(start - e.time);
-    responses.push_back(done - e.time);
-    busy += service;
-    server_free = done;
-    in_system.push_back(done);
-    max_depth = std::max(max_depth, in_system.size());
-    obs::TsCount("queue.requests", e.time);
-    obs::TsCount("queue.busy_s", e.time, service);
-    obs::Observe("queue.response_s", done - e.time);
-    if (journey.Sample(i)) {
-      obs::JourneyRecord j;
-      j.request = i;
-      j.time_s = e.time;
-      j.served_by = obs::kServedByServer;
-      j.response_bytes = e.response_bytes;
-      j.queue_s = start - e.time;
-      j.transfer_s = service;
-      journey.Record(j);
-    }
+void QueueSimulator::Push(const ServerEvent& e) {
+  if (count_ == 0) {
+    journey_.emplace("queue");
+    first_time_ = e.time;
   }
+  const size_t i = count_++;
+  SDS_CHECK(e.time >= last_time_) << "events must be time-ordered";
+  last_time_ = e.time;
+  while (!in_system_.empty() && in_system_.front() <= e.time) {
+    in_system_.pop_front();
+  }
+  const double start = std::max(e.time, server_free_);
+  const double service = config_.service_overhead_s +
+                         e.response_bytes / config_.service_rate_bytes_per_s;
+  const double done = start + service;
+  waits_.Add(start - e.time);
+  responses_.push_back(done - e.time);
+  busy_ += service;
+  server_free_ = done;
+  in_system_.push_back(done);
+  max_depth_ = std::max(max_depth_, in_system_.size());
+  obs::TsCount("queue.requests", e.time);
+  obs::TsCount("queue.busy_s", e.time, service);
+  obs::Observe("queue.response_s", done - e.time);
+  if (journey_->Sample(i)) {
+    obs::JourneyRecord j;
+    j.request = i;
+    j.time_s = e.time;
+    j.served_by = obs::kServedByServer;
+    j.response_bytes = e.response_bytes;
+    j.queue_s = start - e.time;
+    j.transfer_s = service;
+    journey_->Record(j);
+  }
+}
+
+QueueStats QueueSimulator::Finish() {
+  QueueStats stats;
+  if (count_ == 0) return stats;
 
   // Utilization is measured over the observed window: first arrival to
   // last completion. Anchoring at t = 0 would dilute utilization toward
   // zero for streams with a large start timestamp (e.g. replaying an
   // eval split cut from the tail of a trace). server_free ends as the
-  // last completion, which is >= events.back().time, so span >= busy and
+  // last completion, which is >= the last arrival, so span >= busy and
   // a zero span implies zero busy time.
-  const double span = server_free - events.front().time;
-  stats.requests = events.size();
-  stats.utilization = span > 0.0 ? std::min(1.0, busy / span) : 0.0;
-  stats.mean_wait_s = waits.mean();
+  const double span = server_free_ - first_time_;
+  stats.requests = count_;
+  stats.utilization = span > 0.0 ? std::min(1.0, busy_ / span) : 0.0;
+  stats.mean_wait_s = waits_.mean();
   stats.mean_response_s =
-      waits.mean() + busy / static_cast<double>(events.size());
-  stats.p95_response_s = Quantile(responses, 0.95);
-  stats.max_queue_depth = static_cast<double>(max_depth);
+      waits_.mean() + busy_ / static_cast<double>(count_);
+  stats.p95_response_s = Quantile(responses_, 0.95);
+  stats.max_queue_depth = static_cast<double>(max_depth_);
   if (obs::Enabled()) {
     obs::Count("queue.requests", static_cast<double>(stats.requests));
-    obs::Count("queue.busy_s", busy);
+    obs::Count("queue.busy_s", busy_);
     obs::GaugeMax("queue.max_depth", stats.max_queue_depth);
     obs::GaugeMax("queue.utilization", stats.utilization);
   }
   return stats;
+}
+
+QueueStats ComputeQueueStats(const std::vector<ServerEvent>& events,
+                             const QueueConfig& config) {
+  QueueSimulator sim(config);
+  for (const auto& e : events) sim.Push(e);
+  return sim.Finish();
 }
 
 }  // namespace sds::spec

@@ -2,9 +2,13 @@
 #define SDS_SPEC_QUEUEING_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <vector>
 
+#include "obs/journey.h"
 #include "util/sim_time.h"
+#include "util/stats.h"
 
 namespace sds::spec {
 
@@ -38,6 +42,40 @@ struct QueueStats {
   double mean_response_s = 0.0;   ///< wait + service.
   double p95_response_s = 0.0;
   double max_queue_depth = 0.0;   ///< largest number waiting at once.
+};
+
+/// \brief Incremental form of ComputeQueueStats: Push() time-ordered
+/// events one at a time, then Finish(). Streaming pipelines feed the queue
+/// as server events are produced instead of buffering the whole event
+/// vector; ComputeQueueStats is implemented on this class, so both paths
+/// produce identical statistics. Only the response-time sample vector (for
+/// the exact p95) grows with the event count.
+class QueueSimulator {
+ public:
+  explicit QueueSimulator(const QueueConfig& config);
+
+  /// Admits one arrival; events must be pushed in time order.
+  void Push(const ServerEvent& e);
+
+  /// Closes the stream and computes the statistics. The simulator is
+  /// spent afterwards.
+  QueueStats Finish();
+
+ private:
+  QueueConfig config_;
+  /// Constructed on the first Push so an empty stream leaves no journey
+  /// behind, exactly like the batch function's early return.
+  std::optional<obs::JourneyRun> journey_;
+  double server_free_ = 0.0;
+  double busy_ = 0.0;
+  RunningStats waits_;
+  std::vector<double> responses_;
+  /// Completion times of queued requests, ascending.
+  std::deque<double> in_system_;
+  size_t max_depth_ = 0;
+  double last_time_ = 0.0;
+  double first_time_ = 0.0;
+  uint64_t count_ = 0;
 };
 
 /// \brief Replays time-ordered server events through the FCFS queue.

@@ -4,12 +4,17 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "net/faults.h"
+#include "obs/journey.h"
+#include "obs/trace.h"
 #include "spec/aging.h"
 #include "spec/client_cache.h"
 #include "spec/closure.h"
@@ -18,7 +23,9 @@
 #include "spec/policy.h"
 #include "spec/queueing.h"
 #include "trace/corpus.h"
+#include "trace/cursor.h"
 #include "trace/request.h"
+#include "util/rng.h"
 
 namespace sds::spec {
 
@@ -142,6 +149,113 @@ struct PreparedSpecTrace {
   size_t size() const { return time.size(); }
 };
 
+namespace internal {
+
+/// Per-client access profile for client-initiated prefetching: the same
+/// pair statistics as the server's P, but restricted to this user's own
+/// history and learned online (only the past is ever consulted).
+struct UserProfile {
+  std::unordered_map<uint64_t, uint32_t> pair_counts;
+  std::unordered_map<trace::DocumentId, uint32_t> occurrences;
+  /// Recent requests within the dependency window.
+  std::deque<std::pair<SimTime, trace::DocumentId>> recent;
+
+  void Observe(trace::DocumentId doc, SimTime now,
+               const DependencyConfig& config);
+  double Probability(trace::DocumentId i, trace::DocumentId j,
+                     uint32_t min_support) const;
+  /// Documents this user historically requests after `doc`, with
+  /// probability above the threshold.
+  std::vector<CandidateDoc> Successors(trace::DocumentId doc,
+                                       double threshold,
+                                       uint32_t min_support) const;
+};
+
+}  // namespace internal
+
+/// \brief Source of finished per-day dependency counts for the replay's
+/// day-roll. Called with a day index >= 0; returns nullptr when the day is
+/// outside the counted range (equivalent to an empty day). The batch path
+/// wraps the cached CountDailyDependencies vector; the streaming path pumps
+/// a DailyDependencyAccumulator just far enough to finalise the day.
+using DayCountsSource = std::function<const DayCounts*(long day)>;
+
+/// \brief The speculation replay loop, one request at a time.
+///
+/// Holds every piece of per-run state (model counters, client caches,
+/// protection stack, totals) so a run needs only O(clients + model)
+/// resident memory regardless of trace length. SpeculationSimulator::Run
+/// feeds it from the prepared flat arrays; the streaming path feeds it
+/// straight from a request cursor. Both produce bit-identical RunTotals
+/// because this class *is* the former Run loop body, verbatim.
+class SpeculationReplay {
+ public:
+  /// `corpus`, `config` and `deltas` must outlive the replay. `deltas` may
+  /// be empty only when the mode needs no model. `server_events`, if
+  /// non-null, is cleared and then receives one time-ordered entry per
+  /// request that reached the server.
+  SpeculationReplay(const trace::Corpus* corpus, uint32_t num_clients,
+                    uint32_t num_servers, const SpeculationConfig& config,
+                    DayCountsSource deltas,
+                    std::vector<ServerEvent>* server_events);
+
+  /// One replayable (kDocument/kAlias) request, with its corpus size and
+  /// day index resolved. `i` is the global ordinal of the request among
+  /// eligible requests (drives journey sampling).
+  struct Record {
+    SimTime time = 0.0;
+    trace::ClientId client = 0;
+    trace::ServerId server = 0;
+    trace::DocumentId doc = trace::kInvalidDocument;
+    uint64_t size_bytes = 0;
+    uint32_t day = 0;
+  };
+
+  void OnRequest(size_t i, const Record& rec);
+
+  /// Folds per-cache waste and protection counters into the totals and
+  /// emits the run's observability block. The replay is spent afterwards.
+  RunTotals Finish();
+
+ private:
+  void RollDay(uint32_t day);
+
+  obs::SpanGuard run_span_;
+  obs::JourneyRun journey_;
+  const trace::Corpus* corpus_;
+  const SpeculationConfig* config_;
+  DayCountsSource deltas_;
+  std::vector<ServerEvent>* server_events_;
+
+  bool server_speculates_ = false;
+  bool server_hints_ = false;
+  bool client_prefetches_ = false;
+  bool needs_model_ = false;
+  bool use_decay_ = false;
+  bool incremental_ = false;
+  bool faulty_ = false;
+  bool track_load_ = false;
+  bool breakers_armed_ = false;
+  bool budget_armed_ = false;
+  bool admission_armed_ = false;
+
+  WindowedCounts counts_;
+  DecayedCounts decayed_;
+  DeltaClosure model_;
+  bool model_ready_ = false;
+  long current_day_ = 0;
+
+  std::vector<ClientCache> caches_;
+  std::vector<internal::UserProfile> profiles_;
+  PolicyConfig push_policy_;
+  RunTotals totals_;
+  Rng retry_rng_;
+
+  net::LoadTracker tracker_;
+  std::vector<net::CircuitBreaker> breakers_;
+  net::RetryBudget retry_budget_;
+};
+
 /// \brief Trace-driven simulator of speculative service.
 ///
 /// Construct once per (corpus, trace); Run replays the trace under a
@@ -209,6 +323,37 @@ class SpeculationSimulator {
   /// references stay valid.
   std::map<DeltaKey, std::vector<DayCounts>> delta_cache_;
   std::mutex delta_mutex_;
+};
+
+/// \brief Streaming counterpart of SpeculationSimulator: replays a
+/// time-ordered request cursor with O(clients + model + lookahead)
+/// resident state instead of materializing the trace.
+///
+/// Two independent cursors over the same stream are required: `replay`
+/// drives the simulation; `deps` is pumped at most one dependency window
+/// past each finished day boundary to finalise that day's pair counts
+/// before the day-roll consumes them. Results are bit-identical to the
+/// batch simulator on the materialized trace (pinned by
+/// tests/spec/streaming_equivalence_test.cc).
+class StreamingSpeculationSimulator {
+ public:
+  /// `corpus` and the cursors must outlive the simulator. `deps` may be
+  /// null when every run's mode is kNone (no model is ever built). Both
+  /// cursors are Rewind()-ed at the start of each run.
+  StreamingSpeculationSimulator(const trace::Corpus* corpus,
+                                trace::RequestCursor* replay,
+                                trace::RequestCursor* deps);
+
+  RunTotals Run(const SpeculationConfig& config,
+                std::vector<ServerEvent>* server_events = nullptr);
+
+  /// Runs `config` and its mode-kNone twin and computes the four ratios.
+  SpeculationMetrics Evaluate(const SpeculationConfig& config);
+
+ private:
+  const trace::Corpus* corpus_;
+  trace::RequestCursor* replay_;
+  trace::RequestCursor* deps_;
 };
 
 }  // namespace sds::spec

@@ -40,11 +40,29 @@ void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
 
 const int64_t kEpochDays = DaysFromCivil(kTraceEpochYear, 1, 1);
 
-Result<int> MonthFromName(const std::string& name) {
+Result<int> MonthFromName(std::string_view name) {
   for (int i = 0; i < 12; ++i) {
     if (name == kMonthNames[i]) return i + 1;
   }
-  return Status::ParseError("bad month name: " + name);
+  return Status::ParseError("bad month name: " + std::string(name));
+}
+
+/// Splits `input` on `delim` into exactly `n` fields (empty fields kept,
+/// as SplitString does) without allocating; false if the field count
+/// differs.
+bool SplitExact(std::string_view input, char delim, std::string_view* out,
+                size_t n) {
+  size_t field = 0;
+  while (true) {
+    const size_t pos = input.find(delim);
+    if (field == n) return false;  // more fields than requested
+    if (pos == std::string_view::npos) {
+      out[field++] = input;
+      return field == n;
+    }
+    out[field++] = input.substr(0, pos);
+    input.remove_prefix(pos + 1);
+  }
 }
 
 std::string HostName(ClientId client, bool remote) {
@@ -58,9 +76,42 @@ std::string HostName(ClientId client, bool remote) {
   return buf;
 }
 
-Result<ClientId> ClientFromHost(const std::string& host, bool* remote) {
+/// View core of ParseClfTime; `field` is the bracketed timestamp.
+Result<SimTime> ParseClfTimeView(std::string_view field) {
+  // [dd/Mon/yyyy:hh:mm:ss +zzzz]
+  if (field.size() < 22 || field.front() != '[' || field.back() != ']') {
+    return Status::ParseError("bad CLF time: " + std::string(field));
+  }
+  const std::string_view body = field.substr(1, field.size() - 2);
+  const auto space = body.find(' ');
+  const std::string_view datetime =
+      space == std::string_view::npos ? body : body.substr(0, space);
+  std::string_view parts[4];
+  if (!SplitExact(datetime, ':', parts, 4)) {
+    return Status::ParseError("bad CLF time: " + std::string(field));
+  }
+  std::string_view date[3];
+  if (!SplitExact(parts[0], '/', date, 3)) {
+    return Status::ParseError("bad CLF date: " + std::string(field));
+  }
+  SDS_ASSIGN_OR_RETURN(const int64_t day, ParseInt64(date[0]));
+  SDS_ASSIGN_OR_RETURN(const int month, MonthFromName(date[1]));
+  SDS_ASSIGN_OR_RETURN(const int64_t year, ParseInt64(date[2]));
+  SDS_ASSIGN_OR_RETURN(const int64_t hh, ParseInt64(parts[1]));
+  SDS_ASSIGN_OR_RETURN(const int64_t mm, ParseInt64(parts[2]));
+  SDS_ASSIGN_OR_RETURN(const int64_t ss, ParseInt64(parts[3]));
+  const int64_t days =
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day)) -
+      kEpochDays;
+  return static_cast<SimTime>(days * 86400 + hh * 3600 + mm * 60 + ss);
+}
+
+}  // namespace
+
+Result<ClientId> ClfClientFromHost(std::string_view host, bool* remote) {
   if (host.size() < 2 || host[0] != 'h') {
-    return Status::ParseError("unrecognized host: " + host);
+    return Status::ParseError("unrecognized host: " + std::string(host));
   }
   size_t pos = 1;
   uint64_t id = 0;
@@ -68,12 +119,12 @@ Result<ClientId> ClientFromHost(const std::string& host, bool* remote) {
     id = id * 10 + static_cast<uint64_t>(host[pos] - '0');
     ++pos;
   }
-  if (pos == 1) return Status::ParseError("unrecognized host: " + host);
+  if (pos == 1) {
+    return Status::ParseError("unrecognized host: " + std::string(host));
+  }
   *remote = !EndsWith(host, ".cs.bu.edu");
   return static_cast<ClientId>(id);
 }
-
-}  // namespace
 
 std::string FormatClfTime(SimTime t) {
   const int64_t total_seconds = static_cast<int64_t>(t);
@@ -92,29 +143,7 @@ std::string FormatClfTime(SimTime t) {
 }
 
 Result<SimTime> ParseClfTime(const std::string& field) {
-  // [dd/Mon/yyyy:hh:mm:ss +zzzz]
-  if (field.size() < 22 || field.front() != '[' || field.back() != ']') {
-    return Status::ParseError("bad CLF time: " + field);
-  }
-  const std::string body = field.substr(1, field.size() - 2);
-  const auto space = body.find(' ');
-  const std::string datetime =
-      space == std::string::npos ? body : body.substr(0, space);
-  const auto parts = SplitString(datetime, ':');
-  if (parts.size() != 4) return Status::ParseError("bad CLF time: " + field);
-  const auto date = SplitString(parts[0], '/');
-  if (date.size() != 3) return Status::ParseError("bad CLF date: " + field);
-  SDS_ASSIGN_OR_RETURN(const int64_t day, ParseInt64(date[0]));
-  SDS_ASSIGN_OR_RETURN(const int month, MonthFromName(date[1]));
-  SDS_ASSIGN_OR_RETURN(const int64_t year, ParseInt64(date[2]));
-  SDS_ASSIGN_OR_RETURN(const int64_t hh, ParseInt64(parts[1]));
-  SDS_ASSIGN_OR_RETURN(const int64_t mm, ParseInt64(parts[2]));
-  SDS_ASSIGN_OR_RETURN(const int64_t ss, ParseInt64(parts[3]));
-  const int64_t days =
-      DaysFromCivil(year, static_cast<unsigned>(month),
-                    static_cast<unsigned>(day)) -
-      kEpochDays;
-  return static_cast<SimTime>(days * 86400 + hh * 3600 + mm * 60 + ss);
+  return ParseClfTimeView(field);
 }
 
 std::string FormatClfLine(const ClfRecord& record) {
@@ -126,45 +155,80 @@ std::string FormatClfLine(const ClfRecord& record) {
   return buf;
 }
 
-Result<ClfRecord> ParseClfLine(const std::string& line) {
-  ClfRecord record;
+Status ParseClfLineView(std::string_view line, ClfRecordView* out) {
+  ClfRecordView record;
   // host ident user [date] "request" status bytes
   const auto sp1 = line.find(' ');
-  if (sp1 == std::string::npos) return Status::ParseError("short CLF line");
+  if (sp1 == std::string_view::npos) {
+    return Status::ParseError("short CLF line");
+  }
   record.host = line.substr(0, sp1);
 
   const auto lb = line.find('[', sp1);
   const auto rb = line.find(']', lb);
-  if (lb == std::string::npos || rb == std::string::npos) {
-    return Status::ParseError("no timestamp in CLF line: " + line);
+  if (lb == std::string_view::npos || rb == std::string_view::npos) {
+    return Status::ParseError("no timestamp in CLF line: " +
+                              std::string(line));
   }
-  SDS_ASSIGN_OR_RETURN(record.time,
-                       ParseClfTime(line.substr(lb, rb - lb + 1)));
+  {
+    Result<SimTime> time = ParseClfTimeView(line.substr(lb, rb - lb + 1));
+    if (!time.ok()) return time.status();
+    record.time = time.value();
+  }
 
   const auto q1 = line.find('"', rb);
   const auto q2 = line.find('"', q1 + 1);
-  if (q1 == std::string::npos || q2 == std::string::npos) {
-    return Status::ParseError("no request field in CLF line: " + line);
+  if (q1 == std::string_view::npos || q2 == std::string_view::npos) {
+    return Status::ParseError("no request field in CLF line: " +
+                              std::string(line));
   }
-  const std::string request = line.substr(q1 + 1, q2 - q1 - 1);
-  const auto req_parts = SplitString(request, ' ');
-  if (req_parts.size() < 2) {
-    return Status::ParseError("bad request field: " + request);
+  const std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
+  // SplitString(request, ' ') >= 2 fields: method is everything up to the
+  // first space, the path the (possibly empty) second field.
+  const auto req_sp = request.find(' ');
+  if (req_sp == std::string_view::npos) {
+    return Status::ParseError("bad request field: " + std::string(request));
   }
-  record.method = req_parts[0];
-  record.path = req_parts[1];
+  record.method = request.substr(0, req_sp);
+  const std::string_view req_tail = request.substr(req_sp + 1);
+  record.path = req_tail.substr(0, req_tail.find(' '));
 
-  const auto rest = SplitString(
-      std::string(StripWhitespace(line.substr(q2 + 1))), ' ');
-  if (rest.size() < 2) return Status::ParseError("no status/bytes: " + line);
-  SDS_ASSIGN_OR_RETURN(const int64_t status, ParseInt64(rest[0]));
-  record.status = static_cast<int>(status);
-  if (rest[1] == "-") {
+  const std::string_view rest = StripWhitespace(line.substr(q2 + 1));
+  const auto rest_sp = rest.find(' ');
+  if (rest_sp == std::string_view::npos) {
+    return Status::ParseError("no status/bytes: " + std::string(line));
+  }
+  const std::string_view status_field = rest.substr(0, rest_sp);
+  const std::string_view rest_tail = rest.substr(rest_sp + 1);
+  const std::string_view bytes_field =
+      rest_tail.substr(0, rest_tail.find(' '));
+  {
+    Result<int64_t> status = ParseInt64(status_field);
+    if (!status.ok()) return status.status();
+    record.status = static_cast<int>(status.value());
+  }
+  if (bytes_field == "-") {
     record.bytes = 0;
   } else {
-    SDS_ASSIGN_OR_RETURN(const int64_t bytes, ParseInt64(rest[1]));
-    record.bytes = static_cast<uint64_t>(bytes);
+    Result<int64_t> bytes = ParseInt64(bytes_field);
+    if (!bytes.ok()) return bytes.status();
+    record.bytes = static_cast<uint64_t>(bytes.value());
   }
+  *out = record;
+  return Status::OK();
+}
+
+Result<ClfRecord> ParseClfLine(const std::string& line) {
+  ClfRecordView view;
+  const Status status = ParseClfLineView(line, &view);
+  if (!status.ok()) return status;
+  ClfRecord record;
+  record.host = std::string(view.host);
+  record.time = view.time;
+  record.method = std::string(view.method);
+  record.path = std::string(view.path);
+  record.status = view.status;
+  record.bytes = view.bytes;
   return record;
 }
 
@@ -201,6 +265,37 @@ std::vector<std::string> TraceToClf(const Trace& trace, const Corpus& corpus) {
   return lines;
 }
 
+Request ClfRecordToRequest(const ClfRecordView& record, ClientId client,
+                           bool remote, const Corpus& corpus,
+                           std::string* path_scratch) {
+  Request r;
+  r.client = client;
+  r.remote_client = remote;
+  r.time = record.time;
+  r.bytes = static_cast<uint32_t>(record.bytes);
+  if (record.status == 404) {
+    r.kind = RequestKind::kNotFound;
+  } else if (StartsWith(record.path, "/cgi-bin/")) {
+    r.kind = RequestKind::kScript;
+  } else {
+    std::string_view path = record.path;
+    r.kind = RequestKind::kDocument;
+    if (StartsWith(path, "/alias/")) {
+      path = path.substr(6);  // strip "/alias"
+      r.kind = RequestKind::kAlias;
+    }
+    path_scratch->assign(path);
+    const auto doc = corpus.FindByPath(/*server=*/0, *path_scratch);
+    if (doc.ok()) {
+      r.doc = doc.value();
+      r.server = corpus.doc(r.doc).server;
+    } else {
+      r.kind = RequestKind::kNotFound;
+    }
+  }
+  return r;
+}
+
 Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
                          const Corpus& corpus, const ClfReadOptions& options,
                          ClfReadStats* stats) {
@@ -211,6 +306,7 @@ Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
   ClfReadStats local_stats;
   ClfReadStats& st = stats != nullptr ? *stats : local_stats;
   st = ClfReadStats{};
+  std::string path_scratch;
   // Records a skip (lenient) or surfaces the parse error with its 1-based
   // line number (strict); callers `continue` on OK.
   const auto fail = [&](size_t line_number, const Status& status) -> Status {
@@ -225,44 +321,21 @@ Result<Trace> ClfToTrace(const std::vector<std::string>& lines,
     const std::string& line = lines[i];
     if (StripWhitespace(line).empty()) continue;
     ++st.lines;
-    const Result<ClfRecord> parsed = ParseClfLine(line);
+    ClfRecordView rec;
+    const Status parsed = ParseClfLineView(line, &rec);
     if (!parsed.ok()) {
-      SDS_RETURN_IF_ERROR(fail(i + 1, parsed.status()));
+      SDS_RETURN_IF_ERROR(fail(i + 1, parsed));
       continue;
     }
-    const ClfRecord& rec = parsed.value();
-    Request r;
     bool remote = false;
-    const Result<ClientId> client = ClientFromHost(rec.host, &remote);
+    const Result<ClientId> client = ClfClientFromHost(rec.host, &remote);
     if (!client.ok()) {
       SDS_RETURN_IF_ERROR(fail(i + 1, client.status()));
       continue;
     }
-    r.client = client.value();
-    r.remote_client = remote;
-    r.time = rec.time;
-    r.bytes = static_cast<uint32_t>(rec.bytes);
-    max_client = std::max(max_client, r.client + 1);
-    if (rec.status == 404) {
-      r.kind = RequestKind::kNotFound;
-    } else if (StartsWith(rec.path, "/cgi-bin/")) {
-      r.kind = RequestKind::kScript;
-    } else {
-      std::string path = rec.path;
-      r.kind = RequestKind::kDocument;
-      if (StartsWith(path, "/alias/")) {
-        path = path.substr(6);  // strip "/alias"
-        r.kind = RequestKind::kAlias;
-      }
-      const auto doc = corpus.FindByPath(/*server=*/0, path);
-      if (doc.ok()) {
-        r.doc = doc.value();
-        r.server = corpus.doc(r.doc).server;
-      } else {
-        r.kind = RequestKind::kNotFound;
-      }
-    }
-    trace.requests.push_back(r);
+    max_client = std::max(max_client, client.value() + 1);
+    trace.requests.push_back(ClfRecordToRequest(rec, client.value(), remote,
+                                                corpus, &path_scratch));
   }
   trace.num_clients = max_client;
   trace.num_servers = corpus.num_servers();

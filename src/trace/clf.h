@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/corpus.h"
@@ -42,6 +43,36 @@ std::string FormatClfLine(const ClfRecord& record);
 
 /// \brief Parses one CLF line.
 Result<ClfRecord> ParseClfLine(const std::string& line);
+
+/// \brief Zero-copy form of ClfRecord: the string fields are views into
+/// the parsed line and live only as long as it does.
+struct ClfRecordView {
+  std::string_view host;
+  SimTime time = 0.0;
+  std::string_view method;
+  std::string_view path;
+  int status = 0;
+  uint64_t bytes = 0;
+};
+
+/// \brief Zero-copy core of ParseClfLine: one grammar shared by the
+/// allocating parser and the mmap cursor, with identical acceptance and
+/// identical error messages. `out->host` etc. reference `line`.
+Status ParseClfLineView(std::string_view line, ClfRecordView* out);
+
+/// \brief Parses a synthetic-trace hostname (`hN.<domain>`) into a client
+/// id; `*remote` is set from the `.cs.bu.edu` suffix. Shared by ClfToTrace
+/// and ClfCursor.
+Result<ClientId> ClfClientFromHost(std::string_view host, bool* remote);
+
+/// \brief Converts a successfully parsed record into a Request exactly as
+/// ClfToTrace does: status 404 becomes kNotFound, `/cgi-bin/` paths become
+/// kScript, `/alias/` paths are canonicalized to the aliased document, and
+/// unresolvable paths degrade to kNotFound. `path_scratch` is reused
+/// storage for the corpus path lookup.
+Request ClfRecordToRequest(const ClfRecordView& record, ClientId client,
+                           bool remote, const Corpus& corpus,
+                           std::string* path_scratch);
 
 /// \brief Renders a trace as CLF lines. Hostnames encode the client id and
 /// locality: remote clients are `hN.orgM.example.com`, local clients

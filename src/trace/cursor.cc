@@ -1,0 +1,358 @@
+#include "trace/cursor.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace sds::trace {
+namespace {
+
+constexpr double kDaySeconds = 86400.0;
+/// Target requests handed out per NextChunk() call.
+constexpr size_t kChunkSize = 65536;
+
+}  // namespace
+
+const Status& RequestCursor::status() const {
+  static const Status kOk = Status::OK();
+  return kOk;
+}
+
+// ---------------------------------------------------------------------------
+// VectorCursor
+
+VectorCursor::VectorCursor(const Trace* trace) : trace_(trace) {}
+
+VectorCursor::VectorCursor(Trace trace)
+    : owned_(std::move(trace)), trace_(&*owned_) {}
+
+std::span<const Request> VectorCursor::NextChunk() {
+  if (done_) return {};
+  done_ = true;
+  return trace_->requests;
+}
+
+void VectorCursor::Rewind() { done_ = false; }
+
+uint32_t VectorCursor::num_clients() const { return trace_->num_clients; }
+
+uint32_t VectorCursor::num_servers() const { return trace_->num_servers; }
+
+// ---------------------------------------------------------------------------
+// GeneratorCursor
+
+GeneratorCursor::GeneratorCursor(const TraceGeneratorConfig& config,
+                                 std::function<LinkGraph()> graph_factory,
+                                 Rng rng)
+    : config_(config),
+      graph_factory_(std::move(graph_factory)),
+      initial_rng_(rng),
+      rng_(rng) {
+  Start();
+}
+
+void GeneratorCursor::Start() {
+  generator_.reset();  // References graph_ / rng_; drop it first.
+  graph_.reset();
+  graph_.emplace(graph_factory_());
+  rng_ = initial_rng_;
+  generator_.emplace(config_, &*graph_, &rng_);
+  pending_.clear();
+  emit_pos_ = 0;
+  emit_end_ = 0;
+  next_index_ = 0;
+  exhausted_ = false;
+}
+
+std::span<const Request> GeneratorCursor::NextChunk() {
+  while (emit_pos_ == emit_end_) {
+    if (exhausted_) return {};
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(emit_pos_));
+    emit_pos_ = 0;
+    emit_end_ = 0;
+    day_buffer_.clear();
+    if (generator_->NextDay(&day_buffer_)) {
+      pending_.reserve(pending_.size() + day_buffer_.size());
+      for (const Request& r : day_buffer_) {
+        pending_.push_back(Pending{r, next_index_++});
+      }
+      // Batch order is a stable sort by time over the emission sequence,
+      // i.e. order by (time, emission index). Keys are unique, so a plain
+      // sort reproduces it.
+      std::sort(pending_.begin(), pending_.end(),
+                [](const Pending& a, const Pending& b) {
+                  return std::tie(a.request.time, a.index) <
+                         std::tie(b.request.time, b.index);
+                });
+      // Everything before the next day's start is final: future emissions
+      // have both a later time (sessions only overhang forward) and a
+      // larger emission index.
+      const double boundary =
+          static_cast<double>(generator_->day()) * kDaySeconds;
+      emit_end_ = static_cast<size_t>(
+          std::lower_bound(pending_.begin(), pending_.end(), boundary,
+                           [](const Pending& p, double t) {
+                             return p.request.time < t;
+                           }) -
+          pending_.begin());
+    } else {
+      exhausted_ = true;
+      emit_end_ = pending_.size();
+    }
+  }
+  const size_t n = std::min(kChunkSize, emit_end_ - emit_pos_);
+  chunk_.clear();
+  chunk_.reserve(n);
+  for (size_t i = emit_pos_; i < emit_pos_ + n; ++i) {
+    chunk_.push_back(pending_[i].request);
+  }
+  emit_pos_ += n;
+  return chunk_;
+}
+
+void GeneratorCursor::Rewind() {
+  chunk_.clear();
+  Start();
+}
+
+uint32_t GeneratorCursor::num_clients() const { return config_.num_clients; }
+
+uint32_t GeneratorCursor::num_servers() const {
+  return generator_->num_servers();
+}
+
+const std::vector<bool>& GeneratorCursor::client_is_remote() const {
+  return generator_->client_is_remote();
+}
+
+const std::vector<UpdateEvent>& GeneratorCursor::updates() const {
+  return generator_->updates();
+}
+
+uint64_t GeneratorCursor::num_sessions() const {
+  return generator_->num_sessions();
+}
+
+// ---------------------------------------------------------------------------
+// ClfCursor
+
+ClfCursor::ClfCursor(const std::string& path, const Corpus* corpus,
+                     const ClfReadOptions& options, size_t reorder_window)
+    : path_(path),
+      corpus_(corpus),
+      options_(options),
+      reorder_window_(std::max<size_t>(reorder_window, 1)) {
+  open_status_ = MapFile();
+  status_ = open_status_;
+}
+
+ClfCursor::~ClfCursor() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+Status ClfCursor::MapFile() {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path_);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot open " + path_);
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      ::close(fd);
+      size_ = 0;
+      return Status::IoError("cannot map " + path_);
+    }
+    data_ = static_cast<const char*>(mapped);
+    ::madvise(const_cast<char*>(data_), size_, MADV_SEQUENTIAL);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+void ClfCursor::Fail(const Status& error) {
+  if (options_.lenient) {
+    ++stats_.skipped_lines;
+    return;
+  }
+  // Message-identical to ReadClfFile: "path: line N: msg".
+  status_ = Status::ParseError(path_ + ": line " +
+                               std::to_string(line_number_) + ": " +
+                               error.message());
+}
+
+void ClfCursor::ProcessLine(std::string_view line) {
+  if (StripWhitespace(line).empty()) return;  // Blank lines are not counted.
+  ++stats_.lines;
+  ClfRecordView record;
+  const Status parsed = ParseClfLineView(line, &record);
+  if (!parsed.ok()) {
+    Fail(parsed);
+    return;
+  }
+  bool remote = false;
+  const Result<ClientId> client = ClfClientFromHost(record.host, &remote);
+  if (!client.ok()) {
+    Fail(client.status());
+    return;
+  }
+  max_client_ = std::max(max_client_, client.value() + 1);
+  PushRecord(ClfRecordToRequest(record, client.value(), remote, *corpus_,
+                                &path_scratch_));
+}
+
+void ClfCursor::PushRecord(const Request& request) {
+  heap_.push_back(HeapEntry{request, next_index_++});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return std::tie(b.request.time, b.index) <
+                          std::tie(a.request.time, a.index);
+                 });
+}
+
+void ClfCursor::PopInto(std::vector<Request>* out) {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const HeapEntry& a, const HeapEntry& b) {
+                  return std::tie(b.request.time, b.index) <
+                         std::tie(a.request.time, a.index);
+                });
+  out->push_back(heap_.back().request);
+  heap_.pop_back();
+}
+
+std::span<const Request> ClfCursor::NextChunk() {
+  chunk_.clear();
+  if (!status_.ok() || exhausted_) return {};
+  while (chunk_.size() < kChunkSize) {
+    if (!scan_done_ && heap_.size() < reorder_window_) {
+      if (offset_ >= size_) {
+        scan_done_ = true;
+        if (obs::Enabled()) {
+          obs::Count("trace.clf_lines", static_cast<double>(stats_.lines));
+          obs::Count("trace.clf_skipped_lines",
+                     static_cast<double>(stats_.skipped_lines));
+          obs::Count("trace.clf_requests",
+                     static_cast<double>(next_index_));
+        }
+        continue;
+      }
+      const char* start = data_ + offset_;
+      const char* newline = static_cast<const char*>(
+          std::memchr(start, '\n', size_ - offset_));
+      const size_t length =
+          newline != nullptr ? static_cast<size_t>(newline - start)
+                             : size_ - offset_;
+      offset_ += length + (newline != nullptr ? 1 : 0);
+      ++line_number_;
+      ProcessLine(std::string_view(start, length));
+      if (!status_.ok()) {
+        chunk_.clear();
+        return {};
+      }
+      continue;
+    }
+    if (heap_.empty()) break;
+    PopInto(&chunk_);
+  }
+  if (chunk_.empty()) {
+    exhausted_ = true;
+    return {};
+  }
+  return chunk_;
+}
+
+void ClfCursor::Rewind() {
+  offset_ = 0;
+  line_number_ = 0;
+  heap_.clear();
+  next_index_ = 0;
+  chunk_.clear();
+  path_scratch_.clear();
+  stats_ = ClfReadStats{};
+  status_ = open_status_;
+  max_client_ = 0;
+  scan_done_ = false;
+  exhausted_ = false;
+}
+
+uint32_t ClfCursor::num_clients() const { return max_client_; }
+
+uint32_t ClfCursor::num_servers() const { return corpus_->num_servers(); }
+
+const Status& ClfCursor::status() const { return status_; }
+
+// ---------------------------------------------------------------------------
+// FilteringCursor
+
+FilteringCursor::FilteringCursor(std::unique_ptr<RequestCursor> inner)
+    : inner_(std::move(inner)) {}
+
+std::span<const Request> FilteringCursor::NextChunk() {
+  while (true) {
+    const std::span<const Request> in = inner_->NextChunk();
+    if (in.empty()) return {};
+    chunk_.clear();
+    for (const Request& r : in) {
+      switch (r.kind) {
+        case RequestKind::kNotFound:
+        case RequestKind::kScript:
+          continue;
+        case RequestKind::kAlias: {
+          Request canonical = r;
+          canonical.kind = RequestKind::kDocument;
+          chunk_.push_back(canonical);
+          continue;
+        }
+        case RequestKind::kDocument:
+          chunk_.push_back(r);
+          continue;
+      }
+    }
+    if (!chunk_.empty()) return chunk_;
+  }
+}
+
+void FilteringCursor::Rewind() {
+  chunk_.clear();
+  inner_->Rewind();
+}
+
+uint32_t FilteringCursor::num_clients() const {
+  return inner_->num_clients();
+}
+
+uint32_t FilteringCursor::num_servers() const {
+  return inner_->num_servers();
+}
+
+const Status& FilteringCursor::status() const { return inner_->status(); }
+
+// ---------------------------------------------------------------------------
+
+Trace Materialize(RequestCursor* cursor) {
+  Trace out;
+  for (std::span<const Request> chunk = cursor->NextChunk(); !chunk.empty();
+       chunk = cursor->NextChunk()) {
+    out.requests.insert(out.requests.end(), chunk.begin(), chunk.end());
+  }
+  out.num_clients = cursor->num_clients();
+  out.num_servers = cursor->num_servers();
+  return out;
+}
+
+}  // namespace sds::trace

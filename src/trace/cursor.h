@@ -1,0 +1,236 @@
+#ifndef SDS_TRACE_CURSOR_H_
+#define SDS_TRACE_CURSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/clf.h"
+#include "trace/corpus.h"
+#include "trace/generator.h"
+#include "trace/link_graph.h"
+#include "trace/request.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sds::trace {
+
+/// \brief Pull-based, bounded-lookahead iterator over a time-ordered
+/// request stream.
+///
+/// This is the streaming counterpart of `Trace`: consumers that only need
+/// a single forward pass (the dissemination and speculation replays, the
+/// queueing model, the sessionizer) can run off a cursor with O(lookahead)
+/// resident state instead of materializing the whole trace. Every backend
+/// yields *exactly* the request sequence of its batch counterpart —
+/// GeneratorCursor matches GenerateTrace + SortByTime bit-for-bit,
+/// ClfCursor matches ReadClfFile — so batch and streaming simulations
+/// produce identical results.
+///
+/// Cursors are single-threaded; parallel sweeps hand each worker its own
+/// cursor (see the cursor factories on core::Workload).
+class RequestCursor {
+ public:
+  virtual ~RequestCursor() = default;
+
+  /// Returns the next chunk of requests in the stream order (nondecreasing
+  /// time). An empty span signals end of stream and every later call stays
+  /// empty until Rewind(). The storage behind the span is owned by the
+  /// cursor and is invalidated by the next NextChunk() or Rewind() call.
+  virtual std::span<const Request> NextChunk() = 0;
+
+  /// Restarts the stream from the beginning.
+  virtual void Rewind() = 0;
+
+  /// Stream metadata, mirroring Trace::num_clients / num_servers. Backends
+  /// that know the counts up front (generator, vector) report them
+  /// immediately; the CLF backend reports the counts observed so far and
+  /// is only authoritative once the stream is exhausted.
+  virtual uint32_t num_clients() const = 0;
+  virtual uint32_t num_servers() const = 0;
+
+  /// Error state. A cursor that hits an unrecoverable error (CLF strict
+  /// mode) ends its stream early with a non-OK status; error-free backends
+  /// always return OK.
+  virtual const Status& status() const;
+};
+
+/// \brief In-memory adapter: streams an existing `Trace` (or request
+/// vector) as one chunk. Either borrows (the trace must outlive the
+/// cursor) or owns a copy.
+class VectorCursor : public RequestCursor {
+ public:
+  /// Borrows `trace`; it must outlive the cursor.
+  explicit VectorCursor(const Trace* trace);
+  /// Takes ownership of `trace`.
+  explicit VectorCursor(Trace trace);
+
+  std::span<const Request> NextChunk() override;
+  void Rewind() override;
+  uint32_t num_clients() const override;
+  uint32_t num_servers() const override;
+
+ private:
+  std::optional<Trace> owned_;
+  const Trace* trace_;
+  bool done_ = false;
+};
+
+/// \brief Generate-on-the-fly backend: produces the trace of
+/// `GenerateTrace(config, graph, rng)` lazily, day by day, with the
+/// identical RNG draw sequence and the identical global time order.
+///
+/// The batch generator emits per-day request bursts and then stable-sorts
+/// the whole trace by time; its output order is therefore (time, emission
+/// index). The cursor reproduces that order with bounded state: after
+/// generating day d it sorts the pending requests by (time, emission
+/// index) and releases those with time < (d+1) days — every future
+/// emission has a later time (sessions only overhang forward) *and* a
+/// larger emission index, so the released prefix is final. Sessions that
+/// straddle midnight stay pending into the next day. Resident state is
+/// one day of requests plus the overhang, independent of `config.days`.
+///
+/// Rewind() rebuilds the link graph via `graph_factory` and restarts from
+/// the initial RNG state, so each pass is identical.
+class GeneratorCursor : public RequestCursor {
+ public:
+  /// `graph_factory` must return a freshly built link graph (same corpus,
+  /// same construction RNG state) on every call; `rng` is the trace
+  /// stream's RNG state, captured by value.
+  GeneratorCursor(const TraceGeneratorConfig& config,
+                  std::function<LinkGraph()> graph_factory, Rng rng);
+
+  std::span<const Request> NextChunk() override;
+  void Rewind() override;
+  uint32_t num_clients() const override;
+  uint32_t num_servers() const override;
+
+  const std::vector<bool>& client_is_remote() const;
+  /// Update events of the days generated so far; complete once the stream
+  /// is exhausted (matches GeneratedTrace::updates).
+  const std::vector<UpdateEvent>& updates() const;
+  /// Sessions generated so far (matches GeneratedTrace::num_sessions once
+  /// exhausted).
+  uint64_t num_sessions() const;
+
+ private:
+  void Start();
+
+  TraceGeneratorConfig config_;
+  std::function<LinkGraph()> graph_factory_;
+  Rng initial_rng_;
+
+  std::optional<LinkGraph> graph_;
+  Rng rng_;
+  std::optional<TraceDayGenerator> generator_;
+  struct Pending {
+    Request request;
+    uint64_t index;  ///< Global emission index (stable-sort tiebreak).
+  };
+  std::vector<Pending> pending_;
+  size_t emit_pos_ = 0;  ///< Released prefix of pending_: [emit_pos_,
+  size_t emit_end_ = 0;  ///< emit_end_) is ready to hand out.
+  uint64_t next_index_ = 0;
+  std::vector<Request> day_buffer_;
+  std::vector<Request> chunk_;
+  bool exhausted_ = false;
+};
+
+/// \brief Chunked CLF file backend: mmap + zero-copy line scanning with
+/// the lenient/strict semantics of ReadClfFile.
+///
+/// Parsing is line-at-a-time over the mapped file (no per-line string
+/// allocation); records are re-ordered into global time order through a
+/// bounded (time, line index) min-heap of `reorder_window` entries, which
+/// reproduces ReadClfFile's stable sort exactly whenever no record is
+/// preceded by more than `reorder_window` later-timestamped records —
+/// always true for time-sorted files (WriteClfFile output has zero
+/// disorder). Stats/accounting (`stats()`) and strict-mode errors
+/// (`status()`, message-identical to ReadClfFile including the 1-based
+/// line number) match the batch reader; a truncated final line is parsed
+/// like any other line, as std::getline would. num_clients() is the max
+/// client id observed so far + 1, authoritative after exhaustion.
+class ClfCursor : public RequestCursor {
+ public:
+  ClfCursor(const std::string& path, const Corpus* corpus,
+            const ClfReadOptions& options = {},
+            size_t reorder_window = 65536);
+  ~ClfCursor() override;
+
+  ClfCursor(const ClfCursor&) = delete;
+  ClfCursor& operator=(const ClfCursor&) = delete;
+
+  std::span<const Request> NextChunk() override;
+  void Rewind() override;
+  uint32_t num_clients() const override;
+  uint32_t num_servers() const override;
+  const Status& status() const override;
+
+  /// Line accounting so far (complete after exhaustion).
+  const ClfReadStats& stats() const { return stats_; }
+
+ private:
+  Status MapFile();
+  void ProcessLine(std::string_view line);
+  void Fail(const Status& error);
+  void PushRecord(const Request& request);
+  void PopInto(std::vector<Request>* out);
+
+  std::string path_;
+  const Corpus* corpus_;
+  ClfReadOptions options_;
+  size_t reorder_window_;
+
+  const char* data_ = nullptr;  ///< mmap'ed file contents (may be null).
+  size_t size_ = 0;
+  size_t offset_ = 0;     ///< Scan position in the mapped file.
+  size_t line_number_ = 0;  ///< 1-based number of the last line read.
+  struct HeapEntry {
+    Request request;
+    uint64_t index;  ///< Accepted-record ordinal (stable-sort tiebreak).
+  };
+  std::vector<HeapEntry> heap_;  ///< Min-heap on (time, index).
+  uint64_t next_index_ = 0;
+  std::vector<Request> chunk_;
+  std::string path_scratch_;
+  ClfReadStats stats_;
+  Status open_status_;  ///< Result of the initial mmap (reported by Rewind).
+  Status status_;
+  uint32_t max_client_ = 0;
+  bool scan_done_ = false;
+  bool exhausted_ = false;
+};
+
+/// \brief Streaming FilterTrace: forwards the inner cursor's stream with
+/// kNotFound/kScript records dropped and kAlias canonicalized to
+/// kDocument (identical record transformation and order as FilterTrace).
+class FilteringCursor : public RequestCursor {
+ public:
+  explicit FilteringCursor(std::unique_ptr<RequestCursor> inner);
+
+  std::span<const Request> NextChunk() override;
+  void Rewind() override;
+  uint32_t num_clients() const override;
+  uint32_t num_servers() const override;
+  const Status& status() const override;
+
+  RequestCursor* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<RequestCursor> inner_;
+  std::vector<Request> chunk_;
+};
+
+/// \brief Drains a cursor into a materialized Trace (num_clients /
+/// num_servers from the exhausted cursor). Callers should check
+/// `cursor->status()` afterwards when the backend can fail.
+Trace Materialize(RequestCursor* cursor);
+
+}  // namespace sds::trace
+
+#endif  // SDS_TRACE_CURSOR_H_

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <list>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/distributions.h"
 #include "util/logging.h"
@@ -35,120 +35,134 @@ uint64_t SamplePoisson(double mean, Rng* rng) {
 }
 
 /// Per-client LRU browser cache (document ids with byte accounting). Only
-/// membership matters to the generator, so this is a lean map + list.
+/// membership and eviction order matter to the generator, and a cache holds
+/// at most a few dozen documents, so a flat recency-ordered vector (front =
+/// most recent) beats a map + list: 8 bytes per entry, no node allocations,
+/// and the linear scan fits in one cache line fetch for typical sizes. With
+/// millions of clients the per-entry footprint of this structure is what
+/// keeps the generator's resident set flat as simulated days grow.
 class BrowserCache {
  public:
   void SetCapacity(uint64_t bytes) { capacity_ = bytes; }
 
-  bool Contains(DocumentId doc) const { return entries_.count(doc) > 0; }
+  bool Contains(DocumentId doc) const {
+    for (const Entry& e : entries_) {
+      if (e.doc == doc) return true;
+    }
+    return false;
+  }
 
   void Insert(DocumentId doc, uint64_t size) {
     if (capacity_ == 0 || size > capacity_) return;
-    auto it = entries_.find(doc);
-    if (it != entries_.end()) {
-      lru_.erase(it->second.pos);
-      lru_.push_front(doc);
-      it->second.pos = lru_.begin();
-      return;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].doc == doc) {
+        // Move to front; the stored size is immutable per document.
+        std::rotate(entries_.begin(), entries_.begin() + i,
+                    entries_.begin() + i + 1);
+        return;
+      }
     }
-    lru_.push_front(doc);
-    entries_.emplace(doc, Entry{size, lru_.begin()});
+    entries_.insert(entries_.begin(),
+                    Entry{doc, static_cast<uint32_t>(size)});
     used_ += size;
-    while (used_ > capacity_ && !lru_.empty()) {
-      const DocumentId victim = lru_.back();
-      lru_.pop_back();
-      auto vit = entries_.find(victim);
-      used_ -= vit->second.size;
-      entries_.erase(vit);
+    while (used_ > capacity_ && !entries_.empty()) {
+      used_ -= entries_.back().size;
+      entries_.pop_back();
     }
   }
 
   void Clear() {
     entries_.clear();
-    lru_.clear();
     used_ = 0;
   }
 
  private:
   struct Entry {
-    uint64_t size;
-    std::list<DocumentId>::iterator pos;
+    DocumentId doc;
+    uint32_t size;
   };
   uint64_t capacity_ = 0;
   uint64_t used_ = 0;
-  std::unordered_map<DocumentId, Entry> entries_;
-  std::list<DocumentId> lru_;
+  std::vector<Entry> entries_;
 };
 
 }  // namespace
 
-GeneratedTrace GenerateTrace(const TraceGeneratorConfig& config,
-                             LinkGraph* graph, Rng* rng) {
-  SDS_CHECK(graph != nullptr);
-  SDS_CHECK(config.num_clients >= 1);
-  SDS_CHECK(config.days >= 1);
-  const Corpus& corpus = graph->corpus();
-  const uint32_t num_servers = corpus.num_servers();
-
-  GeneratedTrace out;
-  out.trace.num_clients = config.num_clients;
-  out.trace.num_servers = num_servers;
-
-  // Client locality and activity skew.
-  out.client_is_remote.resize(config.num_clients);
-  for (uint32_t c = 0; c < config.num_clients; ++c) {
-    out.client_is_remote[c] = rng->NextBernoulli(config.remote_client_fraction);
+struct TraceDayGenerator::Impl {
+  Impl(const TraceGeneratorConfig& cfg, LinkGraph* g, Rng* r)
+      : config(cfg),
+        graph(g),
+        rng(r),
+        corpus(&g->corpus()),
+        num_servers(corpus->num_servers()),
+        client_is_remote([&] {
+          // Client locality and activity skew. These are the first draws of
+          // the batch generator, in the same order.
+          std::vector<bool> remote(cfg.num_clients);
+          for (uint32_t c = 0; c < cfg.num_clients; ++c) {
+            remote[c] = r->NextBernoulli(cfg.remote_client_fraction);
+          }
+          return remote;
+        }()),
+        client_sampler([&] {
+          // Per-client activity: Zipf-skewed, with local clients browsing
+          // more.
+          const ZipfDistribution activity_rank(cfg.num_clients,
+                                               cfg.client_activity_zipf_s);
+          std::vector<double> activity_weights(cfg.num_clients);
+          for (uint32_t c = 0; c < cfg.num_clients; ++c) {
+            activity_weights[c] =
+                activity_rank.Pmf(c) *
+                (client_is_remote[c] ? 1.0 : cfg.local_activity_multiplier);
+          }
+          return DiscreteSampler(activity_weights);
+        }()),
+        server_sampler([&] {
+          std::vector<double> server_weights = cfg.server_weights;
+          if (server_weights.empty()) server_weights.assign(num_servers, 1.0);
+          SDS_CHECK(server_weights.size() == num_servers)
+              << "server_weights size must match corpus servers";
+          return DiscreteSampler(server_weights);
+        }()),
+        hour_sampler([&] {
+          std::vector<double> hour_weights(24, 1.0);
+          if (cfg.diurnal) {
+            hour_weights.assign(std::begin(kHourWeights),
+                                std::end(kHourWeights));
+          }
+          return DiscreteSampler(hour_weights);
+        }()),
+        think_time(std::log(cfg.think_time_log_median),
+                   cfg.think_time_log_sigma),
+        remote_continue_prob(
+            1.0 - 1.0 / std::max(1.0, cfg.mean_pages_per_session)),
+        local_continue_prob(
+            1.0 - 1.0 / std::max(1.0, cfg.local_mean_pages_per_session)),
+        last_entry(static_cast<size_t>(cfg.num_clients) * num_servers,
+                   kInvalidDocument),
+        sessions_per_day(cfg.sessions_per_client_per_day * cfg.num_clients) {
+    // Browser caches: accesses they absorb never appear in the trace. With
+    // the model disabled the caches are pure no-ops, so skip the
+    // per-client allocation entirely (it dominates resident memory at
+    // millions of clients).
+    if (cfg.browser_cache_bytes > 0) {
+      browsers.resize(cfg.num_clients);
+      for (auto& b : browsers) b.SetCapacity(cfg.browser_cache_bytes);
+    }
   }
-  // Per-client activity: Zipf-skewed, with local clients browsing more.
-  const ZipfDistribution activity_rank(config.num_clients,
-                                       config.client_activity_zipf_s);
-  std::vector<double> activity_weights(config.num_clients);
-  for (uint32_t c = 0; c < config.num_clients; ++c) {
-    activity_weights[c] =
-        activity_rank.Pmf(c) *
-        (out.client_is_remote[c] ? 1.0 : config.local_activity_multiplier);
-  }
-  const DiscreteSampler client_sampler(activity_weights);
-
-  // Server choice distribution.
-  std::vector<double> server_weights = config.server_weights;
-  if (server_weights.empty()) server_weights.assign(num_servers, 1.0);
-  SDS_CHECK(server_weights.size() == num_servers)
-      << "server_weights size must match corpus servers";
-  const DiscreteSampler server_sampler(server_weights);
-
-  // Diurnal hour sampler.
-  std::vector<double> hour_weights(24, 1.0);
-  if (config.diurnal) {
-    hour_weights.assign(std::begin(kHourWeights), std::end(kHourWeights));
-  }
-  const DiscreteSampler hour_sampler(hour_weights);
-
-  const LognormalDistribution think_time(
-      std::log(config.think_time_log_median), config.think_time_log_sigma);
-  const double remote_continue_prob =
-      1.0 - 1.0 / std::max(1.0, config.mean_pages_per_session);
-  const double local_continue_prob =
-      1.0 - 1.0 / std::max(1.0, config.local_mean_pages_per_session);
-
-  // Per-client, per-server last entry page (for revisit behaviour).
-  std::vector<DocumentId> last_entry(
-      static_cast<size_t>(config.num_clients) * num_servers,
-      kInvalidDocument);
-
-  // Browser caches: accesses they absorb never appear in the trace.
-  std::vector<BrowserCache> browsers(config.num_clients);
-  for (auto& b : browsers) b.SetCapacity(config.browser_cache_bytes);
 
   // Emits a request unless the client's browser cache absorbs it.
-  auto emit = [&](ClientId client, bool remote, ServerId server,
-                  DocumentId doc, SimTime t, RequestKind kind) {
-    BrowserCache& browser = browsers[client];
-    const uint64_t size = corpus.doc(doc).size_bytes;
+  void Emit(std::vector<Request>* out, ClientId client, bool remote,
+            ServerId server, DocumentId doc, SimTime t, RequestKind kind) {
+    const uint64_t size = corpus->doc(doc).size_bytes;
     const bool reload = rng->NextBernoulli(config.forced_reload_rate);
-    if (config.browser_cache_bytes > 0 && !reload && browser.Contains(doc)) {
-      browser.Insert(doc, size);  // refresh LRU position
-      return;
+    if (config.browser_cache_bytes > 0) {
+      BrowserCache& browser = browsers[client];
+      if (!reload && browser.Contains(doc)) {
+        browser.Insert(doc, size);  // refresh LRU position
+        return;
+      }
+      browser.Insert(doc, size);
     }
     Request r;
     r.time = t;
@@ -158,115 +172,179 @@ GeneratedTrace GenerateTrace(const TraceGeneratorConfig& config,
     r.bytes = static_cast<uint32_t>(size);
     r.kind = kind;
     r.remote_client = remote;
-    out.trace.requests.push_back(r);
-    browser.Insert(doc, size);
-  };
+    out->push_back(r);
+  }
 
-  const double sessions_per_day =
-      config.sessions_per_client_per_day * config.num_clients;
+  TraceGeneratorConfig config;
+  LinkGraph* graph;
+  Rng* rng;
+  const Corpus* corpus;
+  uint32_t num_servers;
+  std::vector<bool> client_is_remote;
+  DiscreteSampler client_sampler;
+  DiscreteSampler server_sampler;
+  DiscreteSampler hour_sampler;
+  LognormalDistribution think_time;
+  double remote_continue_prob;
+  double local_continue_prob;
+  // Per-client, per-server last entry page (for revisit behaviour).
+  std::vector<DocumentId> last_entry;
+  std::vector<BrowserCache> browsers;
+  double sessions_per_day;
+  uint32_t day = 0;
+  std::vector<UpdateEvent> update_events;
+  uint64_t sessions = 0;
+};
 
-  for (uint32_t day = 0; day < config.days; ++day) {
-    if (day > 0) graph->AdvanceDay(rng);
+TraceDayGenerator::TraceDayGenerator(const TraceGeneratorConfig& config,
+                                     LinkGraph* graph, Rng* rng) {
+  SDS_CHECK(graph != nullptr);
+  SDS_CHECK(config.num_clients >= 1);
+  SDS_CHECK(config.days >= 1);
+  impl_ = std::make_unique<Impl>(config, graph, rng);
+}
 
-    // Document updates for the mutability study.
-    for (const auto& d : corpus.docs()) {
-      if (rng->NextBernoulli(d.update_probability_per_day)) {
-        out.updates.push_back({day, d.id});
-      }
-    }
+TraceDayGenerator::~TraceDayGenerator() = default;
+TraceDayGenerator::TraceDayGenerator(TraceDayGenerator&&) noexcept = default;
+TraceDayGenerator& TraceDayGenerator::operator=(TraceDayGenerator&&) noexcept =
+    default;
 
-    const uint64_t num_sessions = SamplePoisson(sessions_per_day, rng);
-    for (uint64_t s = 0; s < num_sessions; ++s) {
-      ++out.num_sessions;
-      // Active clients are Zipf-skewed: rank -> client id via a fixed
-      // mapping (identity is fine; client ids carry no other meaning).
-      const ClientId client =
-          static_cast<ClientId>(client_sampler.Sample(rng));
-      const bool remote = out.client_is_remote[client];
-      const double continue_prob =
-          remote ? remote_continue_prob : local_continue_prob;
-      const ServerId server =
-          static_cast<ServerId>(server_sampler.Sample(rng));
+uint32_t TraceDayGenerator::day() const { return impl_->day; }
+uint32_t TraceDayGenerator::num_days() const { return impl_->config.days; }
+uint32_t TraceDayGenerator::num_clients() const {
+  return impl_->config.num_clients;
+}
+uint32_t TraceDayGenerator::num_servers() const { return impl_->num_servers; }
+const std::vector<bool>& TraceDayGenerator::client_is_remote() const {
+  return impl_->client_is_remote;
+}
+const std::vector<UpdateEvent>& TraceDayGenerator::updates() const {
+  return impl_->update_events;
+}
+uint64_t TraceDayGenerator::num_sessions() const { return impl_->sessions; }
 
-      SimTime t = static_cast<double>(day) * kDay +
-                  static_cast<double>(hour_sampler.Sample(rng)) * kHour +
-                  rng->NextDouble() * kHour;
+bool TraceDayGenerator::NextDay(std::vector<Request>* out) {
+  Impl& im = *impl_;
+  if (im.day >= im.config.days) return false;
+  const uint32_t day = im.day;
+  const TraceGeneratorConfig& config = im.config;
+  LinkGraph* graph = im.graph;
+  Rng* rng = im.rng;
+  const Corpus& corpus = *im.corpus;
+  const uint32_t num_servers = im.num_servers;
 
-      // Entry page: revisit or fresh sample.
-      DocumentId page = kInvalidDocument;
-      const size_t entry_slot =
-          static_cast<size_t>(client) * num_servers + server;
-      if (last_entry[entry_slot] != kInvalidDocument &&
-          rng->NextBernoulli(config.revisit_bias)) {
-        page = last_entry[entry_slot];
-      } else {
-        page = graph->SampleEntryPage(server, remote, rng);
-      }
-      last_entry[entry_slot] = page;
+  if (day > 0) graph->AdvanceDay(rng);
 
-      // Browser restarts clear the local cache before the session.
-      if (rng->NextBernoulli(config.browser_restart_probability)) {
-        browsers[client].Clear();
-      }
-
-      // Random walk over the link graph.
-      while (page != kInvalidDocument) {
-        const RequestKind page_kind = rng->NextBernoulli(config.alias_rate)
-                                          ? RequestKind::kAlias
-                                          : RequestKind::kDocument;
-        emit(client, remote, server, page, t, page_kind);
-
-        // Inline objects follow the page almost immediately (those the
-        // browser cache does not absorb), unless the view is aborted.
-        if (!rng->NextBernoulli(config.abort_rate)) {
-          for (DocumentId img : graph->Embedded(page)) {
-            emit(client, remote, server, img,
-                 t + 0.05 + rng->NextDouble() * config.embedded_spread_seconds,
-                 RequestKind::kDocument);
-          }
-        }
-
-        // Log noise (not subject to the browser cache).
-        if (rng->NextBernoulli(config.not_found_rate)) {
-          Request n;
-          n.time = t + rng->NextDouble() * 2.0;
-          n.client = client;
-          n.doc = kInvalidDocument;
-          n.server = server;
-          n.bytes = 0;
-          n.kind = RequestKind::kNotFound;
-          n.remote_client = remote;
-          out.trace.requests.push_back(n);
-        }
-        if (rng->NextBernoulli(config.script_rate)) {
-          Request n;
-          n.time = t + rng->NextDouble() * 2.0;
-          n.client = client;
-          n.doc = kInvalidDocument;
-          n.server = server;
-          n.bytes = 512;
-          n.kind = RequestKind::kScript;
-          n.remote_client = remote;
-          out.trace.requests.push_back(n);
-        }
-
-        // Follow links until we land on another page (archive targets are
-        // leaf fetches: request them and keep browsing from this page).
-        DocumentId next = kInvalidDocument;
-        while (true) {
-          if (!rng->NextBernoulli(continue_prob)) break;
-          next = graph->SampleOutLink(page, rng);
-          if (next == kInvalidDocument) break;
-          t += std::max(0.5, think_time.Sample(rng));
-          if (corpus.doc(next).kind == DocumentKind::kPage) break;
-          emit(client, remote, server, next, t, RequestKind::kDocument);
-          next = kInvalidDocument;
-        }
-        page = next;
-      }
+  // Document updates for the mutability study.
+  for (const auto& d : corpus.docs()) {
+    if (rng->NextBernoulli(d.update_probability_per_day)) {
+      im.update_events.push_back({day, d.id});
     }
   }
 
+  const uint64_t num_sessions = SamplePoisson(im.sessions_per_day, rng);
+  for (uint64_t s = 0; s < num_sessions; ++s) {
+    ++im.sessions;
+    // Active clients are Zipf-skewed: rank -> client id via a fixed
+    // mapping (identity is fine; client ids carry no other meaning).
+    const ClientId client = static_cast<ClientId>(im.client_sampler.Sample(rng));
+    const bool remote = im.client_is_remote[client];
+    const double continue_prob =
+        remote ? im.remote_continue_prob : im.local_continue_prob;
+    const ServerId server = static_cast<ServerId>(im.server_sampler.Sample(rng));
+
+    SimTime t = static_cast<double>(day) * kDay +
+                static_cast<double>(im.hour_sampler.Sample(rng)) * kHour +
+                rng->NextDouble() * kHour;
+
+    // Entry page: revisit or fresh sample.
+    DocumentId page = kInvalidDocument;
+    const size_t entry_slot = static_cast<size_t>(client) * num_servers + server;
+    if (im.last_entry[entry_slot] != kInvalidDocument &&
+        rng->NextBernoulli(config.revisit_bias)) {
+      page = im.last_entry[entry_slot];
+    } else {
+      page = graph->SampleEntryPage(server, remote, rng);
+    }
+    im.last_entry[entry_slot] = page;
+
+    // Browser restarts clear the local cache before the session.
+    if (rng->NextBernoulli(config.browser_restart_probability)) {
+      if (!im.browsers.empty()) im.browsers[client].Clear();
+    }
+
+    // Random walk over the link graph.
+    while (page != kInvalidDocument) {
+      const RequestKind page_kind = rng->NextBernoulli(config.alias_rate)
+                                        ? RequestKind::kAlias
+                                        : RequestKind::kDocument;
+      im.Emit(out, client, remote, server, page, t, page_kind);
+
+      // Inline objects follow the page almost immediately (those the
+      // browser cache does not absorb), unless the view is aborted.
+      if (!rng->NextBernoulli(config.abort_rate)) {
+        for (DocumentId img : graph->Embedded(page)) {
+          im.Emit(out, client, remote, server, img,
+                  t + 0.05 + rng->NextDouble() * config.embedded_spread_seconds,
+                  RequestKind::kDocument);
+        }
+      }
+
+      // Log noise (not subject to the browser cache).
+      if (rng->NextBernoulli(config.not_found_rate)) {
+        Request n;
+        n.time = t + rng->NextDouble() * 2.0;
+        n.client = client;
+        n.doc = kInvalidDocument;
+        n.server = server;
+        n.bytes = 0;
+        n.kind = RequestKind::kNotFound;
+        n.remote_client = remote;
+        out->push_back(n);
+      }
+      if (rng->NextBernoulli(config.script_rate)) {
+        Request n;
+        n.time = t + rng->NextDouble() * 2.0;
+        n.client = client;
+        n.doc = kInvalidDocument;
+        n.server = server;
+        n.bytes = 512;
+        n.kind = RequestKind::kScript;
+        n.remote_client = remote;
+        out->push_back(n);
+      }
+
+      // Follow links until we land on another page (archive targets are
+      // leaf fetches: request them and keep browsing from this page).
+      DocumentId next = kInvalidDocument;
+      while (true) {
+        if (!rng->NextBernoulli(continue_prob)) break;
+        next = graph->SampleOutLink(page, rng);
+        if (next == kInvalidDocument) break;
+        t += std::max(0.5, im.think_time.Sample(rng));
+        if (corpus.doc(next).kind == DocumentKind::kPage) break;
+        im.Emit(out, client, remote, server, next, t, RequestKind::kDocument);
+        next = kInvalidDocument;
+      }
+      page = next;
+    }
+  }
+
+  ++im.day;
+  return true;
+}
+
+GeneratedTrace GenerateTrace(const TraceGeneratorConfig& config,
+                             LinkGraph* graph, Rng* rng) {
+  TraceDayGenerator generator(config, graph, rng);
+  GeneratedTrace out;
+  out.trace.num_clients = config.num_clients;
+  out.trace.num_servers = generator.num_servers();
+  while (generator.NextDay(&out.trace.requests)) {
+  }
+  out.updates = generator.updates();
+  out.client_is_remote = generator.client_is_remote();
+  out.num_sessions = generator.num_sessions();
   out.trace.SortByTime();
   return out;
 }

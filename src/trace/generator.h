@@ -2,6 +2,7 @@
 #define SDS_TRACE_GENERATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/corpus.h"
@@ -85,6 +86,48 @@ struct GeneratedTrace {
   std::vector<bool> client_is_remote;
   /// Number of sessions generated.
   uint64_t num_sessions = 0;
+};
+
+/// \brief Resumable day-by-day form of the trace generator.
+///
+/// Construction draws the per-client locality flags and builds the
+/// activity/server/hour samplers; each NextDay() call then appends one
+/// day's requests (in emission order, unsorted) to the caller's buffer.
+/// The RNG draw sequence is exactly that of the batch generator, so
+/// consuming every day and sorting by time reproduces GenerateTrace()
+/// bit-for-bit — GenerateTrace() is in fact implemented on this class.
+/// Resident state is O(num_clients), independent of the trace length,
+/// which is what lets GeneratorCursor stream hundred-million-request
+/// traces at near-flat RSS (when `browser_cache_bytes == 0` the per-client
+/// browser caches are not allocated at all).
+class TraceDayGenerator {
+ public:
+  /// `graph` and `rng` must outlive the generator.
+  TraceDayGenerator(const TraceGeneratorConfig& config, LinkGraph* graph,
+                    Rng* rng);
+  ~TraceDayGenerator();
+  TraceDayGenerator(TraceDayGenerator&&) noexcept;
+  TraceDayGenerator& operator=(TraceDayGenerator&&) noexcept;
+
+  /// Generates the next day and appends its requests (emission order, not
+  /// time-sorted; sessions may overhang past the day boundary) to `*out`.
+  /// Returns false — appending nothing — once all days are done.
+  bool NextDay(std::vector<Request>* out);
+
+  /// The next day NextDay() would generate (== days generated so far).
+  uint32_t day() const;
+  uint32_t num_days() const;
+  uint32_t num_clients() const;
+  uint32_t num_servers() const;
+  const std::vector<bool>& client_is_remote() const;
+  /// Update events of the days generated so far.
+  const std::vector<UpdateEvent>& updates() const;
+  /// Sessions generated so far.
+  uint64_t num_sessions() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// \brief Generates `config.days` days of accesses against the corpus/link

@@ -45,4 +45,27 @@ uint64_t CountSegments(const Trace& trace, SimTime timeout) {
   return total;
 }
 
+uint64_t CountSegments(RequestCursor* cursor, SimTime timeout) {
+  std::vector<SimTime> last(cursor->num_clients(), 0.0);
+  std::vector<uint8_t> seen(cursor->num_clients(), 0);
+  uint64_t total = 0;
+  for (auto chunk = cursor->NextChunk(); !chunk.empty();
+       chunk = cursor->NextChunk()) {
+    for (const Request& r : chunk) {
+      if (r.client >= last.size()) {
+        last.resize(r.client + 1, 0.0);
+        seen.resize(r.client + 1, 0);
+      }
+      if (!seen[r.client]) {
+        seen[r.client] = 1;
+        ++total;  // the client's first segment
+      } else if (!(r.time - last[r.client] < timeout)) {
+        ++total;  // gap boundary starts a new segment
+      }
+      last[r.client] = r.time;
+    }
+  }
+  return total;
+}
+
 }  // namespace sds::trace

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/cursor.h"
 #include "trace/request.h"
 #include "util/sim_time.h"
 
@@ -35,6 +36,13 @@ std::vector<Segment> SplitByGap(const Trace& trace,
 /// \brief Counts segments across all clients for a given timeout (e.g. the
 /// "20,000 sessions" statistic the paper reports for its trace).
 uint64_t CountSegments(const Trace& trace, SimTime timeout);
+
+/// \brief Streaming form of CountSegments: a single pass over a
+/// time-ordered cursor with one (last-time, seen) slot per client instead
+/// of materialized per-client index lists. A client's segment count is one
+/// (its first request) plus one per qualifying gap, which is exactly what
+/// SplitByGap produces, so both overloads agree on every stream.
+uint64_t CountSegments(RequestCursor* cursor, SimTime timeout);
 
 }  // namespace sds::trace
 

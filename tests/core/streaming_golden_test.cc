@@ -1,0 +1,173 @@
+// Golden-grid equivalence for the streaming event pipeline: every figure
+// sweep must produce bit-identical numbers whether the workload
+// materializes its trace (batch) or regenerates it per cursor (streaming),
+// and regardless of the sweep worker count. The two workloads share one
+// WorkloadConfig, so any drift in the generator replay, the filter, the
+// streaming prepare pass or the cursor-fed simulators shows up as a
+// numeric mismatch here.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiments.h"
+#include "core/sweep.h"
+#include "core/workload.h"
+#include "dissem/simulator.h"
+#include "spec/metrics.h"
+
+namespace sds::core {
+namespace {
+
+const Workload& BatchWorkload() {
+  static const Workload* w = new Workload(MakeWorkload(SmallConfig()));
+  return *w;
+}
+
+const Workload& StreamingWorkload() {
+  static const Workload* w = [] {
+    WorkloadConfig config = SmallConfig();
+    config.streaming = true;
+    return new Workload(MakeWorkload(config));
+  }();
+  return *w;
+}
+
+// Worker counts the streaming side is swept with (batch reference always
+// runs single-threaded). 0 = auto (hardware concurrency).
+const std::vector<uint32_t> kWorkerGrid = {1, 2, 0};
+
+SweepOptions Workers(uint32_t workers) {
+  SweepOptions options;
+  options.workers = workers;
+  return options;
+}
+
+void ExpectDissemEq(const dissem::DisseminationResult& a,
+                    const dissem::DisseminationResult& b) {
+  EXPECT_EQ(a.baseline_bytes_hops, b.baseline_bytes_hops);
+  EXPECT_EQ(a.with_proxies_bytes_hops, b.with_proxies_bytes_hops);
+  EXPECT_EQ(a.saved_fraction, b.saved_fraction);
+  EXPECT_EQ(a.proxy_hit_fraction, b.proxy_hit_fraction);
+  EXPECT_EQ(a.storage_per_proxy_bytes, b.storage_per_proxy_bytes);
+  EXPECT_EQ(a.total_storage_bytes, b.total_storage_bytes);
+  EXPECT_EQ(a.proxy_requests, b.proxy_requests);
+  EXPECT_EQ(a.server_requests, b.server_requests);
+  EXPECT_EQ(a.shielding_overflow_requests, b.shielding_overflow_requests);
+  EXPECT_EQ(a.stale_proxy_requests, b.stale_proxy_requests);
+  EXPECT_EQ(a.stale_fraction, b.stale_fraction);
+  EXPECT_EQ(a.proxy_nodes, b.proxy_nodes);
+  EXPECT_EQ(a.unavailable_requests, b.unavailable_requests);
+  EXPECT_EQ(a.unavailable_fraction, b.unavailable_fraction);
+  EXPECT_EQ(a.baseline_unavailable_requests,
+            b.baseline_unavailable_requests);
+  EXPECT_EQ(a.baseline_unavailable_fraction,
+            b.baseline_unavailable_fraction);
+  EXPECT_EQ(a.failover_requests, b.failover_requests);
+  EXPECT_EQ(a.degraded_bytes_hops, b.degraded_bytes_hops);
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+}
+
+void ExpectMetricsEq(const spec::SpeculationMetrics& a,
+                     const spec::SpeculationMetrics& b) {
+  EXPECT_EQ(a.bandwidth_ratio, b.bandwidth_ratio);
+  EXPECT_EQ(a.server_load_ratio, b.server_load_ratio);
+  EXPECT_EQ(a.service_time_ratio, b.service_time_ratio);
+  EXPECT_EQ(a.miss_rate_ratio, b.miss_rate_ratio);
+  EXPECT_EQ(a.extra_traffic, b.extra_traffic);
+  EXPECT_EQ(a.unavailable_request_fraction, b.unavailable_request_fraction);
+}
+
+// Streaming and batch workloads must agree on the trace-derived metadata
+// before any figure can.
+TEST(StreamingGoldenTest, WorkloadMetadataMatches) {
+  const Workload& batch = BatchWorkload();
+  const Workload& stream = StreamingWorkload();
+  ASSERT_TRUE(stream.streaming());
+  EXPECT_EQ(batch.num_clients(), stream.num_clients());
+  EXPECT_EQ(batch.num_servers(), stream.num_servers());
+  EXPECT_EQ(batch.num_sessions(), stream.num_sessions());
+  EXPECT_EQ(batch.clean_span(), stream.clean_span());
+  EXPECT_EQ(batch.client_is_remote(), stream.client_is_remote());
+  ASSERT_EQ(batch.updates().size(), stream.updates().size());
+  for (size_t i = 0; i < batch.updates().size(); ++i) {
+    EXPECT_EQ(batch.updates()[i].day, stream.updates()[i].day) << i;
+    EXPECT_EQ(batch.updates()[i].doc, stream.updates()[i].doc) << i;
+  }
+  EXPECT_EQ(batch.filter_stats().kept, stream.filter_stats().kept);
+  EXPECT_EQ(batch.filter_stats().dropped_not_found,
+            stream.filter_stats().dropped_not_found);
+  EXPECT_EQ(batch.filter_stats().dropped_script,
+            stream.filter_stats().dropped_script);
+  EXPECT_EQ(batch.filter_stats().canonicalized_alias,
+            stream.filter_stats().canonicalized_alias);
+}
+
+TEST(StreamingGoldenTest, Fig3Matches) {
+  constexpr uint32_t kProxies = 4;
+  const Fig3Result batch =
+      RunFig3(BatchWorkload(), kProxies, Workers(1));
+  for (const uint32_t workers : kWorkerGrid) {
+    const Fig3Result stream =
+        RunFig3(StreamingWorkload(), kProxies, Workers(workers));
+    EXPECT_EQ(batch.saved_top10, stream.saved_top10) << workers;
+    EXPECT_EQ(batch.saved_top4, stream.saved_top4) << workers;
+    EXPECT_EQ(batch.storage_top10, stream.storage_top10) << workers;
+    EXPECT_EQ(batch.storage_top4, stream.storage_top4) << workers;
+    EXPECT_EQ(batch.saved_top10_tailored, stream.saved_top10_tailored)
+        << workers;
+  }
+}
+
+TEST(StreamingGoldenTest, Fig5Matches) {
+  const std::vector<double> grid = {1.0, 0.4, 0.1};
+  const Fig5Result batch = RunFig5(BatchWorkload(), grid, Workers(1));
+  for (const uint32_t workers : kWorkerGrid) {
+    const Fig5Result stream =
+        RunFig5(StreamingWorkload(), grid, Workers(workers));
+    ASSERT_EQ(batch.points.size(), stream.points.size());
+    for (size_t i = 0; i < batch.points.size(); ++i) {
+      EXPECT_EQ(batch.points[i].tp, stream.points[i].tp);
+      ExpectMetricsEq(batch.points[i].metrics, stream.points[i].metrics);
+    }
+  }
+}
+
+TEST(StreamingGoldenTest, Fig7Matches) {
+  const std::vector<double> rates = {0.0, 0.05};
+  const std::vector<uint32_t> proxies = {1, 4};
+  const Fig7Result batch =
+      RunFig7(BatchWorkload(), rates, proxies, Workers(1));
+  for (const uint32_t workers : kWorkerGrid) {
+    const Fig7Result stream =
+        RunFig7(StreamingWorkload(), rates, proxies, Workers(workers));
+    ASSERT_EQ(batch.cells.size(), stream.cells.size());
+    for (size_t i = 0; i < batch.cells.size(); ++i) {
+      ExpectDissemEq(batch.cells[i], stream.cells[i]);
+    }
+  }
+}
+
+TEST(StreamingGoldenTest, Fig8Matches) {
+  const std::vector<double> rates = {0.0, 0.10};
+  const Fig8Result batch = RunFig8(BatchWorkload(), rates, Workers(1));
+  for (const uint32_t workers : kWorkerGrid) {
+    const Fig8Result stream =
+        RunFig8(StreamingWorkload(), rates, Workers(workers));
+    ASSERT_EQ(batch.cells.size(), stream.cells.size());
+    for (size_t i = 0; i < batch.cells.size(); ++i) {
+      ExpectDissemEq(batch.cells[i].sim, stream.cells[i].sim);
+      EXPECT_EQ(batch.cells[i].scheduled_events,
+                stream.cells[i].scheduled_events);
+      EXPECT_EQ(batch.cells[i].availability, stream.cells[i].availability);
+      EXPECT_EQ(batch.cells[i].retry_amplification,
+                stream.cells[i].retry_amplification);
+      EXPECT_EQ(batch.cells[i].cascade_depth, stream.cells[i].cascade_depth);
+      EXPECT_EQ(batch.cells[i].goodput_bytes_per_s,
+                stream.cells[i].goodput_bytes_per_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sds::core

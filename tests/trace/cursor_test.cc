@@ -1,0 +1,341 @@
+#include "trace/cursor.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/clf.h"
+#include "trace/corpus.h"
+#include "trace/filter.h"
+#include "trace/generator.h"
+#include "trace/link_graph.h"
+#include "util/rng.h"
+
+namespace sds::trace {
+namespace {
+
+// Exact (bit-identical) request equality: the streaming backends promise
+// the *same* sequence as their batch counterparts, not an approximation.
+void ExpectSameRequests(const std::vector<Request>& a,
+                        const std::vector<Request>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].time, b[i].time) << i;
+    ASSERT_EQ(a[i].client, b[i].client) << i;
+    ASSERT_EQ(a[i].doc, b[i].doc) << i;
+    ASSERT_EQ(a[i].server, b[i].server) << i;
+    ASSERT_EQ(a[i].bytes, b[i].bytes) << i;
+    ASSERT_EQ(a[i].kind, b[i].kind) << i;
+    ASSERT_EQ(a[i].remote_client, b[i].remote_client) << i;
+  }
+}
+
+void ExpectSameTrace(const Trace& a, const Trace& b) {
+  EXPECT_EQ(a.num_clients, b.num_clients);
+  EXPECT_EQ(a.num_servers, b.num_servers);
+  ExpectSameRequests(a.requests, b.requests);
+}
+
+// ---------------------------------------------------------------------------
+// GeneratorCursor vs GenerateTrace
+
+struct GenFixture {
+  explicit GenFixture(uint64_t seed, TraceGeneratorConfig cfg) : config(cfg) {
+    CorpusConfig cconfig;
+    cconfig.pages_per_server = 40;
+    cconfig.images_per_server = 60;
+    cconfig.archives_per_server = 4;
+    Rng rng(seed);
+    corpus = GenerateCorpus(cconfig, &rng);
+    graph_rng = rng;  // Graph construction state, reused by the factory.
+    LinkGraph graph(&corpus, LinkGraphConfig{}, &rng);
+    trace_rng = rng;  // Trace stream state (post graph construction).
+    batch = GenerateTrace(config, &graph, &rng);
+  }
+
+  std::function<LinkGraph()> GraphFactory() const {
+    return [this]() {
+      Rng rng = graph_rng;
+      return LinkGraph(&corpus, LinkGraphConfig{}, &rng);
+    };
+  }
+
+  GeneratorCursor MakeCursor() const {
+    return GeneratorCursor(config, GraphFactory(), trace_rng);
+  }
+
+  TraceGeneratorConfig config;
+  Corpus corpus;
+  Rng graph_rng{0};
+  Rng trace_rng{0};
+  GeneratedTrace batch;
+};
+
+TraceGeneratorConfig SmallTraceConfig(uint32_t days) {
+  TraceGeneratorConfig config;
+  config.num_clients = 80;
+  config.days = days;
+  config.sessions_per_client_per_day = 0.8;
+  return config;
+}
+
+void ExpectCursorMatchesBatch(const GenFixture& f) {
+  GeneratorCursor cursor = f.MakeCursor();
+  const Trace streamed = Materialize(&cursor);
+  ExpectSameTrace(streamed, f.batch.trace);
+  EXPECT_EQ(cursor.num_sessions(), f.batch.num_sessions);
+  EXPECT_EQ(cursor.client_is_remote(), f.batch.client_is_remote);
+  ASSERT_EQ(cursor.updates().size(), f.batch.updates.size());
+  for (size_t i = 0; i < f.batch.updates.size(); ++i) {
+    EXPECT_EQ(cursor.updates()[i].day, f.batch.updates[i].day);
+    EXPECT_EQ(cursor.updates()[i].doc, f.batch.updates[i].doc);
+  }
+}
+
+TEST(GeneratorCursorTest, MatchesBatchBitForBit) {
+  ExpectCursorMatchesBatch(GenFixture(42, SmallTraceConfig(7)));
+}
+
+TEST(GeneratorCursorTest, MatchesBatchWithoutBrowserCache) {
+  TraceGeneratorConfig config = SmallTraceConfig(7);
+  config.browser_cache_bytes = 0;
+  ExpectCursorMatchesBatch(GenFixture(7, config));
+}
+
+TEST(GeneratorCursorTest, MatchesBatchSingleDay) {
+  ExpectCursorMatchesBatch(GenFixture(3, SmallTraceConfig(1)));
+}
+
+TEST(GeneratorCursorTest, StreamIsTimeOrderedAcrossChunks) {
+  const GenFixture f(42, SmallTraceConfig(7));
+  GeneratorCursor cursor = f.MakeCursor();
+  SimTime last = 0.0;
+  size_t total = 0;
+  for (auto chunk = cursor.NextChunk(); !chunk.empty();
+       chunk = cursor.NextChunk()) {
+    for (const Request& r : chunk) {
+      EXPECT_LE(last, r.time);
+      last = r.time;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, f.batch.trace.size());
+}
+
+TEST(GeneratorCursorTest, RewindReproducesStream) {
+  const GenFixture f(42, SmallTraceConfig(5));
+  GeneratorCursor cursor = f.MakeCursor();
+  const Trace first = Materialize(&cursor);
+  cursor.Rewind();
+  const Trace second = Materialize(&cursor);
+  ExpectSameTrace(first, second);
+  EXPECT_EQ(cursor.num_sessions(), f.batch.num_sessions);
+}
+
+// ---------------------------------------------------------------------------
+// ClfCursor vs ReadClfFile
+
+class ClfCursorTest : public ::testing::Test {
+ protected:
+  ClfCursorTest() {
+    CorpusConfig cconfig;
+    cconfig.pages_per_server = 30;
+    cconfig.images_per_server = 40;
+    cconfig.archives_per_server = 3;
+    Rng rng(11);
+    corpus_ = GenerateCorpus(cconfig, &rng);
+    LinkGraph graph(&corpus_, LinkGraphConfig{}, &rng);
+    TraceGeneratorConfig tconfig;
+    tconfig.num_clients = 40;
+    tconfig.days = 3;
+    tconfig.sessions_per_client_per_day = 1.0;
+    trace_ = GenerateTrace(tconfig, &graph, &rng).trace;
+  }
+
+  ~ClfCursorTest() override {
+    for (const std::string& path : temp_files_) std::remove(path.c_str());
+  }
+
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    temp_files_.push_back(path);
+    return path;
+  }
+
+  std::string WriteTraceFile(const std::string& name) {
+    const std::string path = TempPath(name);
+    EXPECT_TRUE(WriteClfFile(path, trace_, corpus_).ok());
+    return path;
+  }
+
+  // Streams the file through a cursor and checks requests, metadata, and
+  // line accounting against ReadClfFile with the same options.
+  void ExpectCursorMatchesFile(const std::string& path,
+                               const ClfReadOptions& options,
+                               size_t reorder_window = 65536) {
+    ClfReadStats batch_stats;
+    const auto batch = ReadClfFile(path, corpus_, options, &batch_stats);
+    ASSERT_TRUE(batch.ok());
+    ClfCursor cursor(path, &corpus_, options, reorder_window);
+    const Trace streamed = Materialize(&cursor);
+    ASSERT_TRUE(cursor.status().ok()) << cursor.status().message();
+    ExpectSameRequests(streamed.requests, batch.value().requests);
+    EXPECT_EQ(cursor.num_clients(), batch.value().num_clients);
+    EXPECT_EQ(cursor.num_servers(), batch.value().num_servers);
+    EXPECT_EQ(cursor.stats().lines, batch_stats.lines);
+    EXPECT_EQ(cursor.stats().skipped_lines, batch_stats.skipped_lines);
+  }
+
+  Corpus corpus_;
+  Trace trace_;
+  std::vector<std::string> temp_files_;
+};
+
+TEST_F(ClfCursorTest, MatchesBatchReaderBitForBit) {
+  const std::string path = WriteTraceFile("sds_cursor_roundtrip.log");
+  ExpectCursorMatchesFile(path, ClfReadOptions{});
+}
+
+TEST_F(ClfCursorTest, SmallReorderWindowStillMatchesSortedFile) {
+  const std::string path = WriteTraceFile("sds_cursor_window.log");
+  ExpectCursorMatchesFile(path, ClfReadOptions{}, /*reorder_window=*/4);
+}
+
+TEST_F(ClfCursorTest, LenientSkipAccountingMatches) {
+  const std::string path = WriteTraceFile("sds_cursor_lenient.log");
+  {
+    std::ofstream append(path, std::ios::app);
+    append << "garbage line one\n\n"
+           << "h1.cs.bu.edu - - [01/Jan/1995] \"GET /a HTTP/1.0\" 200 5\n"
+           << "bad-host - - [01/Jan/1995:00:00:00 +0000] \"GET /a HTTP/1.0\""
+           << " 200 5\n";
+  }
+  ClfReadOptions options;
+  options.lenient = true;
+  ExpectCursorMatchesFile(path, options);
+}
+
+TEST_F(ClfCursorTest, StrictErrorMatchesBatchReaderExactly) {
+  const std::string path = WriteTraceFile("sds_cursor_strict.log");
+  {
+    std::ofstream append(path, std::ios::app);
+    append << "truncated garbage\n";
+  }
+  const auto batch = ReadClfFile(path, corpus_);
+  ASSERT_FALSE(batch.ok());
+  ClfCursor cursor(path, &corpus_, ClfReadOptions{});
+  while (!cursor.NextChunk().empty()) {
+  }
+  ASSERT_FALSE(cursor.status().ok());
+  EXPECT_EQ(cursor.status().code(), batch.status().code());
+  EXPECT_EQ(cursor.status().message(), batch.status().message());
+}
+
+TEST_F(ClfCursorTest, TruncatedFinalLineMatchesBatchReader) {
+  // A file whose final line has no trailing newline: std::getline still
+  // yields it, and so must the mmap scanner.
+  const std::string path = TempPath("sds_cursor_truncated.log");
+  {
+    std::ofstream out(path);
+    const auto lines = TraceToClf(trace_, corpus_);
+    ASSERT_GE(lines.size(), 2u);
+    out << lines[0] << '\n' << lines[1];  // no trailing '\n'
+  }
+  ExpectCursorMatchesFile(path, ClfReadOptions{});
+}
+
+TEST_F(ClfCursorTest, TruncatedGarbageFinalLineLenient) {
+  const std::string path = TempPath("sds_cursor_truncated_garbage.log");
+  {
+    std::ofstream out(path);
+    const auto lines = TraceToClf(trace_, corpus_);
+    ASSERT_GE(lines.size(), 2u);
+    // Final line cut mid-timestamp, as a crashed logger would leave it.
+    out << lines[0] << '\n' << lines[1].substr(0, lines[1].size() / 2);
+  }
+  ClfReadOptions options;
+  options.lenient = true;
+  ExpectCursorMatchesFile(path, options);
+}
+
+TEST_F(ClfCursorTest, EmptyFileMatchesBatchReader) {
+  const std::string path = TempPath("sds_cursor_empty.log");
+  { std::ofstream out(path); }
+  ExpectCursorMatchesFile(path, ClfReadOptions{});
+  ClfCursor cursor(path, &corpus_, ClfReadOptions{});
+  EXPECT_TRUE(cursor.NextChunk().empty());
+  EXPECT_EQ(cursor.stats().lines, 0u);
+}
+
+TEST_F(ClfCursorTest, BlankLinesAreNotCounted) {
+  const std::string path = TempPath("sds_cursor_blanks.log");
+  {
+    std::ofstream out(path);
+    const auto lines = TraceToClf(trace_, corpus_);
+    ASSERT_GE(lines.size(), 2u);
+    out << "\n  \n" << lines[0] << "\n\n" << lines[1] << "\n\n";
+  }
+  ExpectCursorMatchesFile(path, ClfReadOptions{});
+}
+
+TEST_F(ClfCursorTest, MissingFileReportsSameError) {
+  const auto batch = ReadClfFile("/no/such/file.log", corpus_);
+  ASSERT_FALSE(batch.ok());
+  ClfCursor cursor("/no/such/file.log", &corpus_, ClfReadOptions{});
+  EXPECT_TRUE(cursor.NextChunk().empty());
+  ASSERT_FALSE(cursor.status().ok());
+  EXPECT_EQ(cursor.status().code(), batch.status().code());
+  EXPECT_EQ(cursor.status().message(), batch.status().message());
+}
+
+TEST_F(ClfCursorTest, RewindReproducesStream) {
+  const std::string path = WriteTraceFile("sds_cursor_rewind.log");
+  ClfCursor cursor(path, &corpus_, ClfReadOptions{});
+  const Trace first = Materialize(&cursor);
+  cursor.Rewind();
+  const Trace second = Materialize(&cursor);
+  ExpectSameRequests(first.requests, second.requests);
+  EXPECT_EQ(first.num_clients, second.num_clients);
+}
+
+// ---------------------------------------------------------------------------
+// FilteringCursor vs FilterTrace
+
+TEST(FilteringCursorTest, MatchesFilterTrace) {
+  const GenFixture f(42, SmallTraceConfig(5));
+  const Trace clean = FilterTrace(f.batch.trace);
+  FilteringCursor cursor(std::make_unique<GeneratorCursor>(
+      f.config, f.GraphFactory(), f.trace_rng));
+  const Trace streamed = Materialize(&cursor);
+  ExpectSameTrace(streamed, clean);
+  EXPECT_TRUE(cursor.status().ok());
+}
+
+// ---------------------------------------------------------------------------
+// VectorCursor / Materialize
+
+TEST(VectorCursorTest, BorrowingRoundTrip) {
+  const GenFixture f(9, SmallTraceConfig(2));
+  VectorCursor cursor(&f.batch.trace);
+  const Trace round = Materialize(&cursor);
+  ExpectSameTrace(round, f.batch.trace);
+  // Exhausted until rewound.
+  EXPECT_TRUE(cursor.NextChunk().empty());
+  cursor.Rewind();
+  EXPECT_EQ(cursor.NextChunk().size(), f.batch.trace.size());
+}
+
+TEST(VectorCursorTest, OwningRoundTrip) {
+  const GenFixture f(9, SmallTraceConfig(2));
+  Trace copy = f.batch.trace;
+  VectorCursor cursor(std::move(copy));
+  const Trace round = Materialize(&cursor);
+  ExpectSameTrace(round, f.batch.trace);
+}
+
+}  // namespace
+}  // namespace sds::trace

@@ -74,5 +74,23 @@ TEST(CountSegmentsTest, AcrossClients) {
   EXPECT_EQ(CountSegments(trace, kInfiniteTime), 2u);
 }
 
+TEST(CountSegmentsTest, StreamingOverloadMatchesBatch) {
+  const Trace trace =
+      MakeTrace({{0, 0.0}, {0, 1.0}, {0, 50.0}, {1, 0.0}, {1, 100.0},
+                 {2, 3.0}, {0, 120.0}, {2, 4.0}, {2, 200.0}});
+  for (const SimTime timeout : {0.0, 5.0, 10.0, kInfiniteTime}) {
+    VectorCursor cursor(&trace);
+    EXPECT_EQ(CountSegments(&cursor, timeout), CountSegments(trace, timeout))
+        << "timeout " << timeout;
+  }
+}
+
+TEST(CountSegmentsTest, StreamingEmpty) {
+  Trace trace;
+  trace.num_clients = 4;
+  VectorCursor cursor(&trace);
+  EXPECT_EQ(CountSegments(&cursor, 5.0), 0u);
+}
+
 }  // namespace
 }  // namespace sds::trace
