@@ -37,10 +37,18 @@ int main(int argc, char** argv) {
          {dissem::AllocationPolicy::kOptimalExponential,
           dissem::AllocationPolicy::kProportionalToRate,
           dissem::AllocationPolicy::kEqualSplit,
-          dissem::AllocationPolicy::kGreedyEmpirical}) {
+          dissem::AllocationPolicy::kGreedyEmpirical,
+          dissem::AllocationPolicy::kProximityWeighted}) {
       dissem::ClusterSimConfig config;
       config.proxy_storage_fraction = fraction;
       config.policy = policy;
+      if (policy == dissem::AllocationPolicy::kProximityWeighted) {
+        // Stand-in topology: server s sits s hops from the proxy, so the
+        // arm shows what the distance discount costs in hit ratio.
+        for (uint32_t s = 0; s < 8; ++s) {
+          config.server_distances.push_back(s);
+        }
+      }
       const auto result =
           SimulateClusterAllocation(workload.corpus(), workload.clean(),
                                     config);

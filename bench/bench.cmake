@@ -26,6 +26,7 @@ sds_add_bench(fig5_speculation_baseline)
 sds_add_bench(fig6_gains_vs_traffic)
 sds_add_bench(fig7_availability)
 sds_add_bench(fig8_resilience)
+sds_add_bench(fig9_balance)
 sds_add_bench(tab1_document_classes)
 sds_add_bench(tab2_symmetric_cluster)
 sds_add_bench(workload_fidelity)

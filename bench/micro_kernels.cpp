@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <queue>
 #include <string>
@@ -290,6 +291,42 @@ void BM_RoutePlanHashLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutePlanHashLookup);
+
+/// Placement evaluation with the epoch-stamped membership bitmap: proxy
+/// membership is marked once per call, each route hop is an O(1) stamp
+/// compare (the current EvaluatePlacement, also the GreedyCore inner
+/// loop's shape).
+void BM_EvaluatePlacementBitmap(benchmark::State& state) {
+  const auto& tree = SharedPrepared().tree;
+  const std::vector<net::NodeId> proxies = SharedProxyPlacement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::EvaluatePlacement(tree, proxies, 1.0));
+  }
+}
+BENCHMARK(BM_EvaluatePlacementBitmap);
+
+/// The pre-rewrite evaluation: an O(k) std::find over the proxy vector at
+/// every route hop of every leaf. Produces the identical sum (same FP
+/// order) — placement_test pins that; this pair pins the speedup.
+void BM_EvaluatePlacementLegacyFind(benchmark::State& state) {
+  const auto& tree = SharedPrepared().tree;
+  const std::vector<net::NodeId> proxies = SharedProxyPlacement();
+  for (auto _ : state) {
+    double saved = 0.0;
+    for (const auto& leaf : tree.leaves) {
+      uint32_t best = 0;
+      for (uint32_t d = 1; d < leaf.path_from_server.size(); ++d) {
+        if (std::find(proxies.begin(), proxies.end(),
+                      leaf.path_from_server[d]) != proxies.end()) {
+          best = std::max(best, d);
+        }
+      }
+      saved += static_cast<double>(leaf.bytes) * 1.0 * best;
+    }
+    benchmark::DoNotOptimize(saved);
+  }
+}
+BENCHMARK(BM_EvaluatePlacementLegacyFind);
 
 /// Fault-interval data shared by the Covers pair: one node with many
 /// overlapping outages over a year, queried across the whole horizon.

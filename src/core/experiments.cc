@@ -712,6 +712,164 @@ Table Fig8Result::ToTable() const {
 }
 
 // ---------------------------------------------------------------------------
+// Figure 9 — randomized load balancing vs the static optimum
+// ---------------------------------------------------------------------------
+
+const char* Fig9PolicyToString(Fig9Policy policy) {
+  switch (policy) {
+    case Fig9Policy::kStatic:
+      return "static";
+    case Fig9Policy::kDChoice:
+      return "d-choice";
+    case Fig9Policy::kProximity:
+      return "proximity";
+  }
+  return "?";
+}
+
+Fig9Result RunFig9(const Workload& workload,
+                   const std::vector<double>& storage_fractions,
+                   const std::vector<uint32_t>& proxies,
+                   const std::vector<uint32_t>& d_values,
+                   const SweepOptions& options) {
+  Fig9Result result;
+  std::vector<double> storages = storage_fractions;
+  if (storages.empty()) storages = {0.04, 0.10};
+  std::vector<uint32_t> proxy_counts = proxies;
+  if (proxy_counts.empty()) proxy_counts = {2, 4, 8};
+  std::vector<uint32_t> ds = d_values;
+  if (ds.empty()) ds = {2, 4};
+
+  for (const double storage : storages) {
+    for (const uint32_t k : proxy_counts) {
+      result.rows.push_back({storage, k});
+    }
+  }
+  for (const bool faulted : {false, true}) {
+    result.arms.push_back({Fig9Policy::kStatic, 1, faulted});
+    for (const uint32_t d : ds) {
+      result.arms.push_back({Fig9Policy::kDChoice, d, faulted});
+    }
+    result.arms.push_back({Fig9Policy::kProximity, 1, faulted});
+  }
+  const size_t cols = result.arms.size();
+
+  net::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.timeout_s = 5.0;
+  retry.base_backoff_s = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_s = 60.0;
+  // No jitter: the arms of one row must differ only through their
+  // selection/allocation policies, not through per-arm backoff luck.
+  retry.jitter = 0.0;
+  const Status retry_status = retry.Validate();
+  SDS_CHECK(retry_status.ok()) << retry_status.ToString();
+
+  const bool streaming = workload.streaming();
+  dissem::PreparedDissemination prepared;
+  if (streaming) {
+    const auto cursor = workload.NewCleanCursor();
+    prepared = dissem::PrepareDisseminationStream(
+        workload.corpus(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction, workload.clean_span(),
+        cursor.get());
+  } else {
+    prepared = dissem::PrepareDissemination(
+        workload.corpus(), workload.clean(), workload.topology(), 0,
+        dissem::DisseminationConfig{}.train_fraction);
+  }
+
+  // One shared fault overlay for every faulted cell: the environment does
+  // not depend on the row, so a single schedule keeps all faulted arms
+  // directly comparable. Zone-correlated random outages from a stream that
+  // is a pure function of the seed, plus deterministic server-brownout
+  // windows (every third evaluation day, 6 hours) — deterministic on both
+  // the batch and streaming paths, unlike trace-derived brownouts.
+  const double horizon_days = workload.clean_span() / kDay + 1.0;
+  net::FaultInjectionConfig fault_config;
+  fault_config.horizon_days = horizon_days;
+  fault_config.node_failure_rate_per_day = 0.05;
+  fault_config.link_failure_rate_per_day = 0.025;
+  fault_config.server_failure_rate_per_day = 0.05;
+  fault_config.mean_outage_days = 1.0;
+  fault_config.min_outage_days = 2.0 / 24.0;
+  fault_config.zone_failure_probability = 0.3;
+  Rng schedule_rng = MakePointRng(Rng::Mix(options.seed ^ 0xf199baau), 0);
+  net::FaultSchedule schedule = net::GenerateFaultSchedule(
+      workload.topology(), fault_config, &schedule_rng);
+  const long first_eval_day = static_cast<long>(prepared.split / kDay) + 1;
+  for (long day = first_eval_day; day < static_cast<long>(horizon_days);
+       day += 3) {
+    const double start = static_cast<double>(day) * kDay + 12.0 * 3600.0;
+    schedule.Add({net::FaultKind::kServerBrownout, /*id=*/0, start,
+                  start + 6.0 * 3600.0});
+  }
+
+  result.cells = SweepMap(
+      result.rows.size() * cols, options,
+      [&](size_t index, Rng& rng) {
+        const Fig9Result::Row& row = result.rows[index / cols];
+        const Fig9Result::Arm& arm = result.arms[index % cols];
+
+        dissem::DisseminationConfig config;
+        config.dissemination_fraction = row.storage_fraction;
+        config.num_proxies = row.num_proxies;
+        switch (arm.policy) {
+          case Fig9Policy::kStatic:
+            break;
+          case Fig9Policy::kDChoice:
+            config.selection_d = arm.d;
+            break;
+          case Fig9Policy::kProximity:
+            config.placement = dissem::PlacementStrategy::kProximity;
+            config.proximity_allocation = true;
+            break;
+        }
+        if (arm.faulted) {
+          config.faults = &schedule;
+          config.retry = retry;
+        }
+
+        Fig9Result::Cell cell;
+        if (streaming) {
+          const auto cursor = workload.NewCleanCursor();
+          cell.sim = SimulateDisseminationStream(prepared, config, &rng,
+                                                 &workload.updates(),
+                                                 cursor.get());
+        } else {
+          cell.sim = SimulateDissemination(prepared, config, &rng,
+                                           &workload.updates());
+        }
+        cell.availability = 1.0 - cell.sim.unavailable_fraction;
+        return cell;
+      },
+      &result.sweep);
+  return result;
+}
+
+Table Fig9Result::ToTable() const {
+  Table table({"storage", "proxies", "policy", "d", "faults", "saved",
+               "proxy hits", "max/mean", "p99/mean", "availability"});
+  for (size_t row = 0; row < rows.size(); ++row) {
+    for (size_t col = 0; col < arms.size(); ++col) {
+      const Cell& c = cell(row, col);
+      const Arm& arm = arms[col];
+      table.AddRow({FormatPercent(rows[row].storage_fraction, 0),
+                    std::to_string(rows[row].num_proxies),
+                    Fig9PolicyToString(arm.policy), std::to_string(arm.d),
+                    arm.faulted ? "yes" : "no",
+                    FormatPercent(c.sim.saved_fraction, 1),
+                    FormatPercent(c.sim.proxy_hit_fraction, 1),
+                    FormatDouble(c.sim.load_imbalance_max_mean, 3),
+                    FormatDouble(c.sim.load_imbalance_p99_mean, 3),
+                    FormatPercent(c.availability, 2)});
+    }
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
 // E1 — update cycle / history length
 // ---------------------------------------------------------------------------
 

@@ -73,8 +73,13 @@ double HitFraction(const std::vector<ServerDemand>& servers,
   double hit_rate = 0.0;
   for (size_t j = 0; j < servers.size(); ++j) {
     total_rate += servers[j].rate;
-    hit_rate += servers[j].rate *
-                (1.0 - std::exp(-servers[j].lambda * allocation[j]));
+    // Clamp at zero: AllocateEqualRate (eq. 7) legitimately produces
+    // negative allocations under tight storage, and exp(-λ·B) with B < 0
+    // would turn them into negative hit contributions that silently
+    // deflate the aggregate. A negative allocation stores nothing.
+    const double stored = std::max(0.0, allocation[j]);
+    hit_rate +=
+        servers[j].rate * (1.0 - std::exp(-servers[j].lambda * stored));
   }
   return total_rate <= 0.0 ? 0.0 : hit_rate / total_rate;
 }
@@ -148,6 +153,7 @@ GreedyAllocation AllocateGreedyEmpirical(
     trace::DocumentId doc;
     double density;  // remote requests per byte
     uint64_t requests;
+    bool zero_size;  // requested but costs nothing to store
   };
   std::vector<Candidate> candidates;
   uint64_t total_requests = 0;
@@ -159,15 +165,22 @@ GreedyAllocation AllocateGreedyEmpirical(
       if (exclude_mutable && is_mutable != nullptr && (*is_mutable)[id]) {
         continue;
       }
+      // A zero-byte document must never reach the division: reqs / 0 is
+      // inf (or NaN), and NaN in the comparator below breaks strict weak
+      // ordering. Rank it explicitly ahead of everything — positive
+      // demand at zero storage cost is the best possible density.
+      const uint64_t size = corpus.doc(id).size_bytes;
+      const bool zero_size = size == 0;
       candidates.push_back(
           {id,
-           static_cast<double>(reqs) /
-               static_cast<double>(corpus.doc(id).size_bytes),
-           reqs});
+           zero_size ? 0.0
+                     : static_cast<double>(reqs) / static_cast<double>(size),
+           reqs, zero_size});
     }
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
+              if (a.zero_size != b.zero_size) return a.zero_size;
               if (a.density != b.density) return a.density > b.density;
               return a.doc < b.doc;
             });
@@ -188,6 +201,40 @@ GreedyAllocation AllocateGreedyEmpirical(
                          : static_cast<double>(covered_requests) /
                                static_cast<double>(total_requests);
   return out;
+}
+
+std::vector<double> AllocateProximity(const std::vector<ServerDemand>& servers,
+                                      const std::vector<uint32_t>& distances,
+                                      double total_storage,
+                                      const ProximityAllocationConfig& config) {
+  SDS_CHECK(servers.size() == distances.size());
+  SDS_CHECK(config.distance_weight >= 0.0);
+  const size_t n = servers.size();
+
+  // Discount each server's demand by its distance, then solve the same
+  // water-filling problem: nearby demand competes at full strength, remote
+  // demand at 1 / (1 + w·dist) of it.
+  std::vector<ServerDemand> adjusted = servers;
+  for (size_t j = 0; j < n; ++j) {
+    adjusted[j].rate /= 1.0 + config.distance_weight *
+                                  static_cast<double>(distances[j]);
+  }
+
+  // Bounded choice neighborhood: only the cap nearest servers (ties by
+  // index) remain candidates; a zero rate excludes the rest from the
+  // active set of the water-filling solver.
+  if (config.neighborhood_cap > 0 && config.neighborhood_cap < n) {
+    std::vector<size_t> order(n);
+    for (size_t j = 0; j < n; ++j) order[j] = j;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (distances[a] != distances[b]) return distances[a] < distances[b];
+      return a < b;
+    });
+    for (size_t rank = config.neighborhood_cap; rank < n; ++rank) {
+      adjusted[order[rank]].rate = 0.0;
+    }
+  }
+  return AllocateExponential(adjusted, total_storage);
 }
 
 }  // namespace sds::dissem

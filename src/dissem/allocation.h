@@ -76,6 +76,32 @@ GreedyAllocation AllocateGreedyEmpirical(
     double total_storage, bool exclude_mutable = false,
     const std::vector<bool>* is_mutable = nullptr);
 
+/// \brief Knobs of the proximity-weighted allocator below.
+struct ProximityAllocationConfig {
+  /// Strength of the distance discount: a server at `dist` hops competes
+  /// with its demand scaled by 1 / (1 + distance_weight x dist). 0 recovers
+  /// the pure Lagrange optimum.
+  double distance_weight = 0.5;
+  /// If > 0, only the `neighborhood_cap` nearest servers (ties broken by
+  /// index) stay candidates; the rest get nothing. This is the bounded
+  /// choice neighborhood of proximity-aware balanced allocations
+  /// (arXiv:1610.05961). 0 = no cap.
+  uint32_t neighborhood_cap = 0;
+};
+
+/// \brief Proximity-weighted variant of AllocateExponential: each server's
+/// demand rate is discounted by its route distance before the water-filling
+/// optimum is solved, trading a slice of the Lagrange hit ratio for storage
+/// concentrated near the requesters. `distances[i]` is server i's hop
+/// distance; with distance_weight = 0 and no cap the result is exactly
+/// AllocateExponential. Returns per-server byte allocations summing to
+/// `total_storage` (up to rounding) whenever any candidate has demand.
+std::vector<double> AllocateProximity(const std::vector<ServerDemand>& servers,
+                                      const std::vector<uint32_t>& distances,
+                                      double total_storage,
+                                      const ProximityAllocationConfig& config =
+                                          ProximityAllocationConfig{});
+
 }  // namespace sds::dissem
 
 #endif  // SDS_DISSEM_ALLOCATION_H_

@@ -21,6 +21,8 @@ const char* AllocationPolicyToString(AllocationPolicy policy) {
       return "proportional-to-rate";
     case AllocationPolicy::kGreedyEmpirical:
       return "greedy-empirical";
+    case AllocationPolicy::kProximityWeighted:
+      return "proximity-weighted";
   }
   return "?";
 }
@@ -85,6 +87,13 @@ ClusterSimResult SimulateClusterAllocation(const trace::Corpus& corpus,
                           ? budget / n
                           : budget * demands[s].rate / total_rate;
         }
+        break;
+      }
+      case AllocationPolicy::kProximityWeighted: {
+        std::vector<uint32_t> distances = config.server_distances;
+        distances.resize(n, 0);
+        shares = AllocateProximity(demands, distances, budget,
+                                   config.proximity);
         break;
       }
       case AllocationPolicy::kGreedyEmpirical:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dissem/allocation.h"
 #include "trace/corpus.h"
 #include "trace/request.h"
 
@@ -23,6 +24,11 @@ enum class AllocationPolicy : uint8_t {
   /// request density and fill the proxy (fractional-knapsack optimum on
   /// the training data).
   kGreedyEmpirical = 3,
+  /// Proximity-weighted optimum: AllocateProximity over
+  /// `ClusterSimConfig::server_distances` — each server's demand is
+  /// discounted by its route distance before the water-filling solve.
+  /// With empty distances (all zero) this is kOptimalExponential exactly.
+  kProximityWeighted = 4,
 };
 
 const char* AllocationPolicyToString(AllocationPolicy policy);
@@ -34,6 +40,11 @@ struct ClusterSimConfig {
   /// fraction is measured on the remainder.
   double train_fraction = 0.5;
   AllocationPolicy policy = AllocationPolicy::kOptimalExponential;
+  /// Hop distance of each server from the proxy, for kProximityWeighted;
+  /// empty = all zero (degenerates to the undiscounted optimum).
+  std::vector<uint32_t> server_distances;
+  /// Discount/cap knobs for kProximityWeighted.
+  ProximityAllocationConfig proximity;
 };
 
 struct ClusterSimResult {

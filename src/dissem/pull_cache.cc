@@ -106,6 +106,9 @@ PullCacheResult SimulatePullThroughCache(
     case PlacementStrategy::kRandom:
       placement = net::RandomPlacement(tree, config.num_proxies, 1.0, rng);
       break;
+    case PlacementStrategy::kProximity:
+      placement = net::ProximityPlacement(tree, config.num_proxies, 1.0);
+      break;
   }
   result.proxy_nodes = placement.proxies;
   const size_t num_proxies = placement.proxies.size();

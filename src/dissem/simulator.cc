@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dissem/allocation.h"
+#include "dissem/expfit.h"
 #include "dissem/popularity.h"
 #include "dissem/proxy.h"
 #include "net/clientele_tree.h"
@@ -38,6 +39,25 @@ const char* ProxyHitLevelName(uint32_t depth) {
   }
 }
 
+/// Same scheme for the per-level load-imbalance gauges (max/mean proxy
+/// load among the proxies at one topology depth).
+const char* ProxyLoadLevelName(uint32_t depth) {
+  switch (depth) {
+    case 0:
+      return "dissem.load_imbalance.level0";
+    case 1:
+      return "dissem.load_imbalance.level1";
+    case 2:
+      return "dissem.load_imbalance.level2";
+    case 3:
+      return "dissem.load_imbalance.level3";
+    case 4:
+      return "dissem.load_imbalance.level4";
+    default:
+      return "dissem.load_imbalance.level5plus";
+  }
+}
+
 std::vector<bool> MarkMutable(const trace::Corpus& corpus,
                               const std::vector<trace::UpdateEvent>* updates,
                               double observation_days, double threshold) {
@@ -67,6 +87,22 @@ void FillProxy(const trace::Corpus& corpus,
 }
 
 const net::FaultSchedule kNoFaults;
+
+/// Fills `idx` with min(d, pool_size) distinct indices in [0, pool_size),
+/// sampled without replacement by a partial Fisher-Yates shuffle. Makes
+/// ZERO RNG draws when pool_size <= d (the sample is the whole pool), so
+/// requests whose holder set fits in the sample consume no RNG state.
+void SampleIndices(size_t pool_size, uint32_t d, Rng* rng,
+                   std::vector<uint32_t>* idx) {
+  idx->resize(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) (*idx)[i] = static_cast<uint32_t>(i);
+  if (pool_size <= d) return;
+  for (uint32_t i = 0; i < d; ++i) {
+    const size_t j = i + rng->NextBounded(pool_size - i);
+    std::swap((*idx)[i], (*idx)[j]);
+  }
+  idx->resize(d);
+}
 
 /// True when a request belongs to the prepared evaluation window: the
 /// filter behind eval_index, applied per record on the streaming path.
@@ -273,6 +309,10 @@ DisseminationReplay::DisseminationReplay(
       placement_ =
           net::RandomPlacement(prepared.tree, config.num_proxies, 1.0, rng);
       break;
+    case PlacementStrategy::kProximity:
+      placement_ = net::ProximityPlacement(prepared.tree, config.num_proxies,
+                                           1.0, config.proximity_placement);
+      break;
   }
   result_.proxy_nodes = placement_.proxies;
   const size_t num_proxies = placement_.proxies.size();
@@ -283,20 +323,50 @@ DisseminationReplay::DisseminationReplay(
   const double budget =
       config.dissemination_fraction *
       static_cast<double>(corpus.ServerBytes(prepared.server));
-  stores_.reserve(num_proxies);
-  for (size_t p = 0; p < num_proxies; ++p) {
-    stores_.emplace_back(static_cast<uint64_t>(budget) + 1);
-  }
 
   // --- Route plans: one flat array indexed like prepared.nodes; the
   // per-request lookup is plans_[record.node]. ---
   plans_ = BuildRoutePlans(prepared, placement_.proxies);
 
+  // --- Per-proxy byte budgets: equal shares by default; the proximity
+  // allocator redistributes the same total by each proxy's intercepted
+  // training demand discounted by its route distance from the server. ---
+  std::vector<double> budgets(num_proxies, budget);
+  if (config.proximity_allocation && num_proxies > 0) {
+    std::vector<double> intercepted(num_proxies, 0.0);
+    for (const auto& leaf : prepared.tree.leaves) {
+      const auto it = prepared.node_index.find(leaf.node);
+      if (it == prepared.node_index.end()) continue;
+      const int p = plans_[it->second].proxy_index;
+      if (p >= 0) intercepted[p] += static_cast<double>(leaf.bytes);
+    }
+    const ExponentialFit fit = FitExponentialPopularity(prepared.pop, corpus);
+    // Degenerate fits (flat popularity, tiny corpora) fall back to a λ
+    // that spends the budget at O(1) marginal value per byte.
+    const double lambda =
+        fit.lambda > 0.0 ? fit.lambda : 1.0 / std::max(1.0, budget);
+    std::vector<ServerDemand> demands(num_proxies);
+    std::vector<uint32_t> distances(num_proxies);
+    for (size_t p = 0; p < num_proxies; ++p) {
+      demands[p] = {intercepted[p], lambda};
+      distances[p] = static_cast<uint32_t>(
+          prepared.routes.route(placement_.proxies[p]).size() - 1);
+    }
+    budgets =
+        AllocateProximity(demands, distances,
+                          budget * static_cast<double>(num_proxies),
+                          config.proximity_allocation_config);
+  }
+  stores_.reserve(num_proxies);
+  for (size_t p = 0; p < num_proxies; ++p) {
+    stores_.emplace_back(static_cast<uint64_t>(budgets[p]) + 1);
+  }
+
   // --- Dissemination contents. ---
   if (!config.tailored_per_proxy || num_proxies == 0) {
-    for (auto& store : stores_) {
-      FillProxy(corpus, prepared.pop.by_popularity, budget,
-                config.exclude_mutable, is_mutable_, &store);
+    for (size_t p = 0; p < num_proxies; ++p) {
+      FillProxy(corpus, prepared.pop.by_popularity, budgets[p],
+                config.exclude_mutable, is_mutable_, &stores_[p]);
     }
   } else {
     // Geographic tailoring (footnote 5): rank documents per proxy by the
@@ -324,7 +394,7 @@ DisseminationReplay::DisseminationReplay(
                   if (da != db) return da > db;
                   return a < b;
                 });
-      FillProxy(corpus, order, budget, config.exclude_mutable, is_mutable_,
+      FillProxy(corpus, order, budgets[p], config.exclude_mutable, is_mutable_,
                 &stores_[p]);
     }
   }
@@ -494,12 +564,61 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
       }
       chain.push_back({p, hops, off_route});
     };
-    for (const auto& [p, hops] : plan.on_route) {
-      consider_proxy(p, hops, false);
-    }
-    chain.push_back({-1, plan.hops_to_server, false});
-    for (const auto& [p, hops] : plan.off_route) {
-      consider_proxy(p, hops, true);
+    if (config_.selection_d >= 2) {
+      // d-choice failover chain: sample up to d candidate holders no
+      // farther than the server and lead with them least-loaded-first;
+      // then the unsampled near holders (on-route first), the home
+      // server, and the far replicas of last resort — so primary
+      // selection spreads load while failover semantics stay intact.
+      std::vector<Candidate> pool;
+      std::vector<Candidate> far;
+      const auto consider_into = [&](std::vector<Candidate>* list, int p,
+                                     uint32_t hops, bool off_route) {
+        if (!stores_[p].Contains(r.doc)) return;
+        if (config_.proxy_daily_request_capacity > 0 &&
+            today_count_[p] >= config_.proxy_daily_request_capacity) {
+          capacity_blocked = true;
+          return;
+        }
+        list->push_back({p, hops, off_route});
+      };
+      for (const auto& [p, hops] : plan.on_route) {
+        consider_into(&pool, p, hops, false);
+      }
+      for (const auto& [p, hops] : plan.off_route) {
+        consider_into(hops <= plan.hops_to_server ? &pool : &far, p, hops,
+                      true);
+      }
+      SampleIndices(pool.size(), config_.selection_d, rng_, &dchoice_idx_);
+      std::vector<char> taken(pool.size(), 0);
+      for (const uint32_t i : dchoice_idx_) {
+        chain.push_back(pool[i]);
+        taken[i] = 1;
+      }
+      std::sort(chain.begin(), chain.end(),
+                [&](const Candidate& a, const Candidate& b) {
+                  const uint64_t la = result_.proxy_requests[a.proxy];
+                  const uint64_t lb = result_.proxy_requests[b.proxy];
+                  if (la != lb) return la < lb;
+                  if (a.hops != b.hops) return a.hops < b.hops;
+                  return a.proxy < b.proxy;
+                });
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!taken[i] && !pool[i].off_route) chain.push_back(pool[i]);
+      }
+      chain.push_back({-1, plan.hops_to_server, false});
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!taken[i] && pool[i].off_route) chain.push_back(pool[i]);
+      }
+      for (const auto& c : far) chain.push_back(c);
+    } else {
+      for (const auto& [p, hops] : plan.on_route) {
+        consider_proxy(p, hops, false);
+      }
+      chain.push_back({-1, plan.hops_to_server, false});
+      for (const auto& [p, hops] : plan.off_route) {
+        consider_proxy(p, hops, true);
+      }
     }
     const auto entity_of = [&](const Candidate& c) -> size_t {
       return c.proxy < 0 ? server_entity_ : static_cast<size_t>(c.proxy);
@@ -692,13 +811,63 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
 
   result_.baseline_bytes_hops += bytes * plan.hops_to_server;
 
-  bool served_by_proxy = false;
+  // Which proxy serves, and at how many hops. Legacy (selection_d = 1):
+  // the nearest on-route proxy iff it holds the document — no RNG draw.
+  // d-choice (selection_d >= 2): sample up to d holders no farther than
+  // the home server and serve from the least-loaded sampled holder.
+  int serving_proxy = -1;
+  uint32_t serving_hops = plan.hops_to_server;
   bool overflowed = false;
-  if (plan.proxy_index >= 0 && stores_[plan.proxy_index].Contains(r.doc)) {
+  if (config_.selection_d >= 2) {
+    dchoice_pool_.clear();
+    bool capacity_blocked = false;
+    const auto consider = [&](int p, uint32_t hops) {
+      if (!stores_[p].Contains(r.doc)) return;
+      if (config_.proxy_daily_request_capacity > 0 &&
+          today_count_[p] >= config_.proxy_daily_request_capacity) {
+        capacity_blocked = true;
+        return;
+      }
+      dchoice_pool_.emplace_back(p, hops);
+    };
+    for (const auto& [p, hops] : plan.on_route) consider(p, hops);
+    for (const auto& [p, hops] : plan.off_route) {
+      if (hops <= plan.hops_to_server) consider(p, hops);
+    }
+    if (!dchoice_pool_.empty()) {
+      SampleIndices(dchoice_pool_.size(), config_.selection_d, rng_,
+                    &dchoice_idx_);
+      // Least-loaded sampled holder wins; ties break to fewer hops, then
+      // the lower proxy index.
+      int best = -1;
+      uint32_t best_hops = 0;
+      uint64_t best_load = 0;
+      for (const uint32_t i : dchoice_idx_) {
+        const auto& [p, hops] = dchoice_pool_[i];
+        const uint64_t load = result_.proxy_requests[p];
+        if (best < 0 || load < best_load ||
+            (load == best_load &&
+             (hops < best_hops || (hops == best_hops && p < best)))) {
+          best = p;
+          best_hops = hops;
+          best_load = load;
+        }
+      }
+      serving_proxy = best;
+      serving_hops = best_hops;
+      ++today_count_[serving_proxy];
+    } else if (capacity_blocked) {
+      overflowed = true;
+      ++result_.shielding_overflow_requests;
+      obs::TsCount("dissem.shielding_overflow_requests", r.time);
+    }
+  } else if (plan.proxy_index >= 0 &&
+             stores_[plan.proxy_index].Contains(r.doc)) {
     if (config_.proxy_daily_request_capacity == 0 ||
         today_count_[plan.proxy_index] <
             config_.proxy_daily_request_capacity) {
-      served_by_proxy = true;
+      serving_proxy = plan.proxy_index;
+      serving_hops = plan.hops_to_proxy;
       ++today_count_[plan.proxy_index];
     } else {
       overflowed = true;
@@ -706,21 +875,20 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
       obs::TsCount("dissem.shielding_overflow_requests", r.time);
     }
   }
+  const bool served_by_proxy = serving_proxy >= 0;
   result_.served_bytes += bytes;
   if (config_.collect_service_times) {
-    service_times_.push_back(ServiceTimeS(
-        0.0, bytes,
-        served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server));
+    service_times_.push_back(ServiceTimeS(0.0, bytes, serving_hops));
   }
   if (served_by_proxy) {
-    result_.with_proxies_bytes_hops += bytes * plan.hops_to_proxy;
+    result_.with_proxies_bytes_hops += bytes * serving_hops;
     obs::TsCount("dissem.with_proxies_bytes_hops", r.time,
-                 bytes * plan.hops_to_proxy);
-    ++result_.proxy_requests[plan.proxy_index];
+                 bytes * serving_hops);
+    ++result_.proxy_requests[serving_proxy];
     ++proxy_served_;
     if (obs::Enabled()) {
       const char* level = ProxyHitLevelName(
-          topology.depth(placement_.proxies[plan.proxy_index]));
+          topology.depth(placement_.proxies[serving_proxy]));
       obs::Count(level);
       obs::TsCount(level, r.time);
       obs::TsCount("dissem.proxy_hits", r.time);
@@ -747,8 +915,8 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
     j.time_s = r.time;
     j.client = r.client;
     j.doc = r.doc;
-    j.served_by = served_by_proxy ? plan.proxy_index : obs::kServedByServer;
-    j.hops = served_by_proxy ? plan.hops_to_proxy : plan.hops_to_server;
+    j.served_by = served_by_proxy ? serving_proxy : obs::kServedByServer;
+    j.hops = serving_hops;
     j.response_bytes = bytes;
     journey_.Record(j);
   }
@@ -784,6 +952,51 @@ DisseminationResult DisseminationReplay::Finish() {
       result.baseline_bytes_hops <= 0.0
           ? 0.0
           : 1.0 - result.with_proxies_bytes_hops / result.baseline_bytes_hops;
+  // Load imbalance across proxies (the d-choice headline metrics): how
+  // far the hottest proxy sits above the mean per-proxy load.
+  if (!result.proxy_requests.empty()) {
+    const size_t n = result.proxy_requests.size();
+    uint64_t max_load = 0;
+    double sum = 0.0;
+    for (const uint64_t v : result.proxy_requests) {
+      max_load = std::max(max_load, v);
+      sum += static_cast<double>(v);
+    }
+    const double mean = sum / static_cast<double>(n);
+    if (mean > 0.0) {
+      result.load_imbalance_max_mean = static_cast<double>(max_load) / mean;
+      std::vector<uint64_t> sorted = result.proxy_requests;
+      std::sort(sorted.begin(), sorted.end());
+      // Nearest-rank p99: the ceil(0.99 n)-th smallest.
+      const size_t rank = (99 * n + 99) / 100;
+      result.load_imbalance_p99_mean =
+          static_cast<double>(sorted[rank - 1]) / mean;
+      // Per-topology-level imbalance among the proxies at each depth.
+      uint32_t max_depth = 0;
+      std::vector<uint32_t> depths(n, 0);
+      for (size_t p = 0; p < n; ++p) {
+        depths[p] = prepared_.topology->depth(result.proxy_nodes[p]);
+        max_depth = std::max(max_depth, depths[p]);
+      }
+      result.per_level_imbalance.assign(max_depth + 1, 0.0);
+      for (uint32_t level = 0; level <= max_depth; ++level) {
+        uint64_t level_max = 0;
+        double level_sum = 0.0;
+        size_t level_count = 0;
+        for (size_t p = 0; p < n; ++p) {
+          if (depths[p] != level) continue;
+          level_max = std::max(level_max, result.proxy_requests[p]);
+          level_sum += static_cast<double>(result.proxy_requests[p]);
+          ++level_count;
+        }
+        if (level_count > 0 && level_sum > 0.0) {
+          result.per_level_imbalance[level] =
+              static_cast<double>(level_max) /
+              (level_sum / static_cast<double>(level_count));
+        }
+      }
+    }
+  }
   if (config_.protection.track_load) {
     result.emergent_brownouts = tracker_.emergent_brownouts();
   }
@@ -835,6 +1048,17 @@ DisseminationResult DisseminationReplay::Finish() {
     // would hide empty proxies, so the sample *value* is the hit count.
     for (const uint64_t n : result.proxy_requests) {
       obs::Observe("dissem.proxy_requests", static_cast<double>(n));
+    }
+    obs::Observe("dissem.load_imbalance_max_mean",
+                 result.load_imbalance_max_mean);
+    obs::Observe("dissem.load_imbalance_p99_mean",
+                 result.load_imbalance_p99_mean);
+    for (size_t level = 0; level < result.per_level_imbalance.size();
+         ++level) {
+      if (result.per_level_imbalance[level] > 0.0) {
+        obs::Observe(ProxyLoadLevelName(static_cast<uint32_t>(level)),
+                     result.per_level_imbalance[level]);
+      }
     }
     run_span_.AddBytes(result.with_proxies_bytes_hops);
   }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "dissem/allocation.h"
 #include "dissem/popularity.h"
 #include "dissem/proxy.h"
 #include "net/clientele_tree.h"
@@ -27,6 +28,10 @@ enum class PlacementStrategy : uint8_t {
   kGreedy = 0,    ///< Marginal-gain greedy on the clientele tree (ours).
   kRegional = 1,  ///< Highest-traffic regional (depth-1) nodes.
   kRandom = 2,    ///< Random interior nodes (control).
+  /// Proximity-aware greedy (arXiv:1610.05961): candidate neighborhoods
+  /// capped per leaf, gains discounted by client distance. Tuned by
+  /// DisseminationConfig::proximity_placement.
+  kProximity = 3,
 };
 
 /// \brief Configuration of a trace-driven dissemination experiment
@@ -80,6 +85,24 @@ struct DisseminationConfig {
   /// the mean/p50/p99 summary fields of the result. Off by default: the
   /// collection allocates per run.
   bool collect_service_times = false;
+  /// Power-of-d-choices replica selection (arXiv:1706.10209): at request
+  /// time, sample up to `selection_d` candidate replica holders of the
+  /// document (any holder no farther than the home server) from the
+  /// per-point RNG and serve from the least-loaded by the per-proxy
+  /// request counters. 1 = legacy nearest-on-route selection; the d = 1
+  /// path makes ZERO extra RNG draws, so it stays bit-identical to the
+  /// pre-d-choice replay. Under fault injection, the sampled holders lead
+  /// the failover chain least-loaded-first.
+  uint32_t selection_d = 1;
+  /// Knobs of PlacementStrategy::kProximity.
+  net::ProximityPlacementConfig proximity_placement;
+  /// If true, per-proxy storage budgets come from AllocateProximity over
+  /// the proxies' training demand and route distance from the server
+  /// (arXiv:1610.05961) instead of an equal `dissemination_fraction x
+  /// server bytes` each; the total budget across proxies is unchanged.
+  bool proximity_allocation = false;
+  /// Knobs of the proximity budget split (used when proximity_allocation).
+  ProximityAllocationConfig proximity_allocation_config;
 };
 
 /// \brief Outcome of one dissemination simulation.
@@ -148,6 +171,17 @@ struct DisseminationResult {
   double mean_service_s = 0.0;
   double p50_service_s = 0.0;
   double p99_service_s = 0.0;
+
+  // --- Load imbalance across proxies over the evaluation window (the
+  // d-choice headline metrics; 1.0 = perfectly balanced, 0 when no proxy
+  // served anything). ---
+  /// max(proxy_requests) / mean(proxy_requests).
+  double load_imbalance_max_mean = 0.0;
+  /// Nearest-rank p99 of proxy_requests / mean(proxy_requests).
+  double load_imbalance_p99_mean = 0.0;
+  /// Per-topology-level max/mean over the proxies at that depth, indexed
+  /// by depth (0 for levels with no proxies or no served requests).
+  std::vector<double> per_level_imbalance;
 };
 
 /// \brief Routing of one client attachment node relative to a proxy set:
@@ -349,6 +383,10 @@ class DisseminationReplay {
   std::vector<net::CircuitBreaker> breakers_;
   net::RetryBudget retry_budget_;
   std::vector<double> service_times_;
+  /// d-choice scratch (candidate holders and sampled indices), reused
+  /// across requests so the fault-free fast path stays allocation-free.
+  std::vector<std::pair<int, uint32_t>> dchoice_pool_;
+  std::vector<uint32_t> dchoice_idx_;
 };
 
 /// \brief One-pass streaming simulation: rewinds the cursor and replays

@@ -9,6 +9,31 @@
 namespace sds::net {
 namespace {
 
+/// Epoch-stamped membership set over NodeIds: Reset() is O(1) amortised (a
+/// stamp bump, no refill), so hot callers — the per-leaf scan of
+/// EvaluatePlacement under ExhaustivePlacement's subset enumeration, the
+/// per-round chosen-set probes of the greedy core — pay O(1) per Contains()
+/// instead of an O(k) std::find.
+class NodeStampSet {
+ public:
+  /// Starts a new membership epoch able to hold ids up to `max_id`.
+  void Reset(NodeId max_id) {
+    if (stamps_.size() <= max_id) stamps_.resize(max_id + 1, 0);
+    if (++epoch_ == 0) {  // stamp wrapped: stale epochs must not alias
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+  void Add(NodeId id) { stamps_[id] = epoch_; }
+  bool Contains(NodeId id) const {
+    return id < stamps_.size() && stamps_[id] == epoch_;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
 /// For each interior node, the leaves whose route contains it and the
 /// node's distance from the server on that route.
 struct Incidence {
@@ -48,12 +73,19 @@ PlacementResult Finish(const ClienteleTree& tree, std::vector<NodeId> proxies,
 double EvaluatePlacement(const ClienteleTree& tree,
                          const std::vector<NodeId>& proxies,
                          double hit_ratio) {
+  // Membership is marked once per call (O(k)) instead of scanned per route
+  // node (O(k) each, O(k² x leaves) over a greedy or exhaustive run). The
+  // scratch set is thread_local: sweeps evaluate placements concurrently.
+  thread_local NodeStampSet members;
+  NodeId max_id = 0;
+  for (const NodeId p : proxies) max_id = std::max(max_id, p);
+  members.Reset(max_id);
+  for (const NodeId p : proxies) members.Add(p);
   double saved = 0.0;
   for (const auto& leaf : tree.leaves) {
     uint32_t best = 0;
     for (uint32_t d = 1; d < leaf.path_from_server.size(); ++d) {
-      const NodeId node = leaf.path_from_server[d];
-      if (std::find(proxies.begin(), proxies.end(), node) != proxies.end()) {
+      if (members.Contains(leaf.path_from_server[d])) {
         best = std::max(best, d);
       }
     }
@@ -69,6 +101,12 @@ PlacementResult GreedyCore(const ClienteleTree& tree, uint32_t k,
                            double hit_ratio,
                            const std::function<bool(NodeId)>* allowed) {
   const Incidence inc = BuildIncidence(tree);
+  NodeId max_id = 0;
+  for (const auto& [node, entries] : inc.by_node) {
+    max_id = std::max(max_id, node);
+  }
+  thread_local NodeStampSet chosen_set;
+  chosen_set.Reset(max_id);
   std::vector<uint32_t> best_dist(tree.leaves.size(), 0);
   std::vector<NodeId> chosen;
   for (uint32_t round = 0; round < k; ++round) {
@@ -76,9 +114,7 @@ PlacementResult GreedyCore(const ClienteleTree& tree, uint32_t k,
     double best_gain = 0.0;
     for (const auto& [node, entries] : inc.by_node) {
       if (allowed != nullptr && !(*allowed)(node)) continue;
-      if (std::find(chosen.begin(), chosen.end(), node) != chosen.end()) {
-        continue;
-      }
+      if (chosen_set.Contains(node)) continue;
       double gain = 0.0;
       for (const auto& e : entries) {
         if (e.dist > best_dist[e.leaf]) {
@@ -95,6 +131,7 @@ PlacementResult GreedyCore(const ClienteleTree& tree, uint32_t k,
     }
     if (best_node == kInvalidNode || best_gain <= 0.0) break;
     chosen.push_back(best_node);
+    chosen_set.Add(best_node);
     for (const auto& e : inc.by_node.at(best_node)) {
       best_dist[e.leaf] = std::max(best_dist[e.leaf], e.dist);
     }
@@ -179,6 +216,74 @@ PlacementResult RandomPlacement(const ClienteleTree& tree, uint32_t k,
     pool[j] = pool.back();
     pool.pop_back();
   }
+  return Finish(tree, std::move(chosen), hit_ratio);
+}
+
+PlacementResult ProximityPlacement(const ClienteleTree& tree, uint32_t k,
+                                   double hit_ratio,
+                                   const ProximityPlacementConfig& config) {
+  SDS_CHECK(config.distance_weight >= 0.0);
+  // Weighted incidence: a leaf only credits its nearest `neighborhood_cap`
+  // route nodes, each at 1 / (1 + w x hops-from-client) of the leaf's
+  // weight. path_from_server runs server -> client, so the nodes nearest
+  // the client are the largest-d suffix of the path.
+  struct WeightedEntry {
+    uint32_t leaf = 0;
+    uint32_t dist = 0;    ///< hops from the server (the saving per byte).
+    double weight = 1.0;  ///< client-distance discount.
+  };
+  std::unordered_map<NodeId, std::vector<WeightedEntry>> by_node;
+  NodeId max_id = 0;
+  for (uint32_t li = 0; li < tree.leaves.size(); ++li) {
+    const auto& path = tree.leaves[li].path_from_server;
+    const uint32_t len = static_cast<uint32_t>(path.size());
+    if (len < 2) continue;
+    const uint32_t first_d =
+        config.neighborhood_cap > 0 && len > 1 + config.neighborhood_cap
+            ? len - config.neighborhood_cap
+            : 1;
+    for (uint32_t d = first_d; d < len; ++d) {
+      const uint32_t hops_from_client = (len - 1) - d;
+      by_node[path[d]].push_back(
+          {li, d,
+           1.0 / (1.0 + config.distance_weight *
+                            static_cast<double>(hops_from_client))});
+      max_id = std::max(max_id, path[d]);
+    }
+  }
+
+  thread_local NodeStampSet chosen_set;
+  chosen_set.Reset(max_id);
+  std::vector<uint32_t> best_dist(tree.leaves.size(), 0);
+  std::vector<NodeId> chosen;
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best_node = kInvalidNode;
+    double best_gain = 0.0;
+    for (const auto& [node, entries] : by_node) {
+      if (chosen_set.Contains(node)) continue;
+      double gain = 0.0;
+      for (const auto& e : entries) {
+        if (e.dist > best_dist[e.leaf]) {
+          gain += e.weight * static_cast<double>(tree.leaves[e.leaf].bytes) *
+                  (e.dist - best_dist[e.leaf]);
+        }
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && best_node != kInvalidNode &&
+           node < best_node)) {
+        best_gain = gain;
+        best_node = node;
+      }
+    }
+    if (best_node == kInvalidNode || best_gain <= 0.0) break;
+    chosen.push_back(best_node);
+    chosen_set.Add(best_node);
+    for (const auto& e : by_node.at(best_node)) {
+      best_dist[e.leaf] = std::max(best_dist[e.leaf], e.dist);
+    }
+  }
+  // Evaluated with the *standard* objective (every on-route proxy counts,
+  // undiscounted), so the number is comparable with the other strategies.
   return Finish(tree, std::move(chosen), hit_ratio);
 }
 

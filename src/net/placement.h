@@ -61,6 +61,31 @@ PlacementResult RegionalPlacement(const Topology& topology,
 PlacementResult RandomPlacement(const ClienteleTree& tree, uint32_t k,
                                 double hit_ratio, Rng* rng);
 
+/// \brief Knobs of the proximity-aware placement below.
+struct ProximityPlacementConfig {
+  /// Strength of the client-distance discount: a candidate `h` hops from a
+  /// leaf's client credits that leaf's traffic at 1 / (1 + distance_weight
+  /// x h) of its weight. 0 recovers plain greedy.
+  double distance_weight = 0.5;
+  /// If > 0, each leaf only credits the `neighborhood_cap` route nodes
+  /// nearest its client (the bounded choice neighborhood of
+  /// arXiv:1610.05961). 0 = the whole route, as in plain greedy.
+  uint32_t neighborhood_cap = 2;
+};
+
+/// \brief Proximity-aware greedy placement (arXiv:1610.05961): like
+/// GreedyPlacement, but each leaf's candidate set is capped to its nearest
+/// route nodes and marginal gains are discounted by distance from the
+/// client, so the chosen sites concentrate near the requesters instead of
+/// at the global bytes x hops optimum. With distance_weight = 0 and
+/// neighborhood_cap = 0 this is exactly GreedyPlacement. The returned
+/// savings are evaluated with the standard objective, so results are
+/// directly comparable across strategies. Deterministic.
+PlacementResult ProximityPlacement(const ClienteleTree& tree, uint32_t k,
+                                   double hit_ratio,
+                                   const ProximityPlacementConfig& config =
+                                       ProximityPlacementConfig{});
+
 }  // namespace sds::net
 
 #endif  // SDS_NET_PLACEMENT_H_

@@ -66,6 +66,9 @@ void ExpectDissemEq(const dissem::DisseminationResult& a,
   EXPECT_EQ(a.failover_requests, b.failover_requests);
   EXPECT_EQ(a.degraded_bytes_hops, b.degraded_bytes_hops);
   EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+  EXPECT_EQ(a.load_imbalance_max_mean, b.load_imbalance_max_mean);
+  EXPECT_EQ(a.load_imbalance_p99_mean, b.load_imbalance_p99_mean);
+  EXPECT_EQ(a.per_level_imbalance, b.per_level_imbalance);
 }
 
 void ExpectMetricsEq(const spec::SpeculationMetrics& a,
@@ -165,6 +168,26 @@ TEST(StreamingGoldenTest, Fig8Matches) {
       EXPECT_EQ(batch.cells[i].cascade_depth, stream.cells[i].cascade_depth);
       EXPECT_EQ(batch.cells[i].goodput_bytes_per_s,
                 stream.cells[i].goodput_bytes_per_s);
+    }
+  }
+}
+
+TEST(StreamingGoldenTest, Fig9Matches) {
+  // The balance sweep mixes the d-choice per-point RNG, the proximity
+  // placement/allocation path, and a shared fault schedule; all must
+  // replay identically from a cursor-fed stream at any worker count.
+  const std::vector<double> storages = {0.10};
+  const std::vector<uint32_t> proxies = {2, 4};
+  const std::vector<uint32_t> ds = {2};
+  const Fig9Result batch =
+      RunFig9(BatchWorkload(), storages, proxies, ds, Workers(1));
+  for (const uint32_t workers : kWorkerGrid) {
+    const Fig9Result stream =
+        RunFig9(StreamingWorkload(), storages, proxies, ds, Workers(workers));
+    ASSERT_EQ(batch.cells.size(), stream.cells.size());
+    for (size_t i = 0; i < batch.cells.size(); ++i) {
+      ExpectDissemEq(batch.cells[i].sim, stream.cells[i].sim);
+      EXPECT_EQ(batch.cells[i].availability, stream.cells[i].availability);
     }
   }
 }

@@ -384,6 +384,71 @@ TEST_F(SweepExperimentsTest, Fig8ResilienceIsIdenticalForAnyWorkerCount) {
   }
 }
 
+TEST_F(SweepExperimentsTest, Fig9BalanceIsIdenticalForAnyWorkerCount) {
+  // The balance sweep adds per-point d-choice sampling on top of the
+  // shared fault schedule; both must stay on deterministic streams.
+  const std::vector<double> storages = {0.10};
+  const std::vector<uint32_t> proxies = {2, 4};
+  const std::vector<uint32_t> ds = {2};
+  const Fig9Result serial =
+      RunFig9(*workload_, storages, proxies, ds, {.workers = 1});
+  const std::string serial_table = serial.ToTable().ToAlignedString();
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const uint32_t workers : {2u, hw}) {
+    const Fig9Result parallel =
+        RunFig9(*workload_, storages, proxies, ds, {.workers = workers});
+    EXPECT_EQ(serial_table, parallel.ToTable().ToAlignedString())
+        << "workers=" << workers;
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+      EXPECT_EQ(serial.cells[i].sim.proxy_requests,
+                parallel.cells[i].sim.proxy_requests) << i;
+      EXPECT_EQ(serial.cells[i].sim.with_proxies_bytes_hops,
+                parallel.cells[i].sim.with_proxies_bytes_hops) << i;
+      EXPECT_EQ(serial.cells[i].sim.load_imbalance_max_mean,
+                parallel.cells[i].sim.load_imbalance_max_mean) << i;
+      EXPECT_EQ(serial.cells[i].sim.unavailable_requests,
+                parallel.cells[i].sim.unavailable_requests) << i;
+      EXPECT_EQ(serial.cells[i].availability,
+                parallel.cells[i].availability) << i;
+    }
+  }
+
+  const auto arm_index = [&](Fig9Policy policy, uint32_t d, bool faulted) {
+    for (size_t i = 0; i < serial.arms.size(); ++i) {
+      if (serial.arms[i].policy == policy && serial.arms[i].d == d &&
+          serial.arms[i].faulted == faulted) {
+        return i;
+      }
+    }
+    return size_t{0};
+  };
+  for (size_t row = 0; row < serial.rows.size(); ++row) {
+    const auto& c_static =
+        serial.cell(row, arm_index(Fig9Policy::kStatic, 1, false));
+    const auto& c_d2 =
+        serial.cell(row, arm_index(Fig9Policy::kDChoice, 2, false));
+    const auto& c_prox =
+        serial.cell(row, arm_index(Fig9Policy::kProximity, 1, false));
+    // Two choices beat one: at equal storage the randomized arm's max/mean
+    // proxy load is no worse than the static optimum's (strictly better
+    // whenever the static split is skewed at all).
+    EXPECT_LE(c_d2.sim.load_imbalance_max_mean,
+              c_static.sim.load_imbalance_max_mean) << "row " << row;
+    // Fault-free arms are fully available and all save bandwidth.
+    for (const auto* c : {&c_static, &c_d2, &c_prox}) {
+      EXPECT_EQ(c->sim.unavailable_requests, 0u) << "row " << row;
+      EXPECT_EQ(c->availability, 1.0) << "row " << row;
+      EXPECT_GT(c->sim.saved_fraction, 0.0) << "row " << row;
+    }
+    // Faulted arms replay a shared non-empty schedule.
+    const auto& f_static =
+        serial.cell(row, arm_index(Fig9Policy::kStatic, 1, true));
+    EXPECT_LT(f_static.availability, 1.0) << "row " << row;
+    EXPECT_GT(f_static.availability, 0.5) << "row " << row;
+  }
+}
+
 TEST_F(SweepExperimentsTest, FineTuningSweepsAreIdenticalForAnyWorkerCount) {
   const std::string maxsize_serial =
       RunExpMaxSize(*workload_, 0.2, {.workers = 1}).ToTable()

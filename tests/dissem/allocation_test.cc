@@ -1,7 +1,9 @@
 #include "dissem/allocation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -172,6 +174,200 @@ TEST(SymmetricTest, StorageInverseOfHitFraction) {
     const double storage = SymmetricStorageForHitFraction(7, 3e-7, alpha);
     EXPECT_NEAR(SymmetricHitFraction(7, 3e-7, storage), alpha, 1e-12);
   }
+}
+
+// --- Regression: HitFraction must clamp negative allocations at zero.
+// AllocateEqualRate (eq. 7 verbatim) legitimately goes negative under
+// tight storage; exp(-λ·B) with B < 0 used to turn that into a *negative*
+// hit contribution that silently deflated the aggregate. ---
+TEST(HitFractionTest, ClampsNegativeAllocationsUnderTightStorage) {
+  const std::vector<double> lambdas = {1e-3, 1e-6};
+  const double storage = 10.0;
+  const auto allocation = AllocateEqualRate(lambdas, storage);
+  ASSERT_LT(*std::min_element(allocation.begin(), allocation.end()), 0.0)
+      << "fixture must exercise the negative branch of eq. 7";
+
+  std::vector<ServerDemand> servers;
+  for (const double lambda : lambdas) servers.push_back({1.0, lambda});
+  const double hit = HitFraction(servers, allocation);
+  EXPECT_GE(hit, 0.0);
+  EXPECT_LE(hit, 1.0);
+
+  // Bit-for-bit the hand-computed clamped value: negatives store nothing.
+  double expected_hit_rate = 0.0;
+  double total_rate = 0.0;
+  for (size_t j = 0; j < servers.size(); ++j) {
+    total_rate += servers[j].rate;
+    const double stored = std::max(0.0, allocation[j]);
+    expected_hit_rate +=
+        servers[j].rate * (1.0 - std::exp(-servers[j].lambda * stored));
+  }
+  EXPECT_EQ(hit, expected_hit_rate / total_rate);
+}
+
+// --- Regression: a zero-byte document (requested, but free to store) used
+// to produce an inf/NaN density; NaN in the sort comparator breaks strict
+// weak ordering (UB). Zero-size documents are now ranked explicitly ahead
+// of everything. ---
+TEST(AllocateGreedyEmpiricalTest, ZeroByteDocumentDoesNotPoisonOrdering) {
+  std::vector<trace::DocumentInfo> docs(3);
+  for (trace::DocumentId id = 0; id < 3; ++id) {
+    docs[id].id = id;
+    docs[id].server = 0;
+    docs[id].path = "/doc" + std::to_string(id);
+  }
+  docs[0].size_bytes = 0;  // the poisonous candidate
+  docs[1].size_bytes = 100;
+  docs[2].size_bytes = 50;
+  const trace::Corpus corpus(std::move(docs));
+
+  ServerPopularity pop;
+  pop.server = 0;
+  pop.stats.resize(3);
+  pop.stats[0].remote_requests = 5;
+  pop.stats[1].remote_requests = 10;
+  pop.stats[2].remote_requests = 50;
+  pop.total_remote_requests = 65;
+
+  const GreedyAllocation out =
+      AllocateGreedyEmpirical({pop}, corpus, /*total_storage=*/80.0);
+  // The zero-size doc is picked first (free demand), then the densest doc
+  // that fits (doc 2 at 1.0 req/byte); doc 1 (0.1 req/byte) busts the
+  // budget and is skipped.
+  ASSERT_EQ(out.docs.size(), 2u);
+  EXPECT_EQ(out.docs[0], 0u);
+  EXPECT_EQ(out.docs[1], 2u);
+  EXPECT_DOUBLE_EQ(out.used_bytes, 50.0);
+  EXPECT_DOUBLE_EQ(out.hit_fraction, 55.0 / 65.0);
+}
+
+TEST(AllocateGreedyEmpiricalTest, AllZeroByteCorpusTerminates) {
+  std::vector<trace::DocumentInfo> docs(4);
+  for (trace::DocumentId id = 0; id < 4; ++id) {
+    docs[id].id = id;
+    docs[id].server = 0;
+    docs[id].size_bytes = 0;
+    docs[id].path = "/z" + std::to_string(id);
+  }
+  const trace::Corpus corpus(std::move(docs));
+  ServerPopularity pop;
+  pop.server = 0;
+  pop.stats.resize(4);
+  for (auto& s : pop.stats) s.remote_requests = 1;
+  pop.total_remote_requests = 4;
+  const GreedyAllocation out = AllocateGreedyEmpirical({pop}, corpus, 10.0);
+  EXPECT_EQ(out.docs.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.used_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(out.hit_fraction, 1.0);
+}
+
+// --- Allocation edge cases ---
+
+TEST(AllocationEdgeCaseTest, AllZeroRateServersGetNothing) {
+  const std::vector<ServerDemand> servers = {{0.0, 1e-6}, {0.0, 1e-5}};
+  const auto allocation = AllocateExponential(servers, 1000.0);
+  for (const double b : allocation) EXPECT_EQ(b, 0.0);
+  EXPECT_EQ(HitFraction(servers, allocation), 0.0);
+}
+
+TEST(AllocationEdgeCaseTest, SingleServerTakesWholeBudget) {
+  const std::vector<ServerDemand> servers = {{5.0, 1e-6}};
+  const auto allocation = AllocateExponential(servers, 1234.5);
+  ASSERT_EQ(allocation.size(), 1u);
+  EXPECT_NEAR(allocation[0], 1234.5, 1e-9);
+}
+
+TEST(AllocationEdgeCaseTest, ZeroTotalStorageAllocatesNothing) {
+  const std::vector<ServerDemand> servers = {{1.0, 1e-6}, {2.0, 1e-5}};
+  for (const double b : AllocateExponential(servers, 0.0)) {
+    EXPECT_EQ(b, 0.0);
+  }
+  for (const double b : AllocateProximity(servers, {0, 1}, 0.0)) {
+    EXPECT_EQ(b, 0.0);
+  }
+}
+
+TEST(AllocationEdgeCaseTest, EqualRateTightStorageSumsToBudget) {
+  // Even in the negative branch, eq. 7's closed form preserves Σ B_j = B_0.
+  const std::vector<double> lambdas = {1e-3, 1e-5, 1e-6};
+  const double storage = 25.0;
+  const auto allocation = AllocateEqualRate(lambdas, storage);
+  ASSERT_LT(*std::min_element(allocation.begin(), allocation.end()), 0.0);
+  const double sum =
+      std::accumulate(allocation.begin(), allocation.end(), 0.0);
+  EXPECT_NEAR(sum, storage, 1e-6 * storage);
+}
+
+TEST(AllocationEdgeCaseTest, WaterFillingConvergesAndConservesBudget) {
+  // Wildly skewed demands force several clamp rounds; the active-set loop
+  // must terminate with a non-negative allocation summing to the budget.
+  std::vector<ServerDemand> servers;
+  Rng rng(42);
+  for (int j = 0; j < 40; ++j) {
+    const double lambda = std::pow(10.0, -8.0 + 6.0 * rng.NextDouble());
+    const double rate = std::pow(10.0, 6.0 * rng.NextDouble());
+    servers.push_back({rate, lambda});
+  }
+  for (const double storage : {1e2, 1e5, 1e8}) {
+    const auto allocation = AllocateExponential(servers, storage);
+    double sum = 0.0;
+    for (const double b : allocation) {
+      EXPECT_GE(b, 0.0);
+      sum += b;
+    }
+    EXPECT_NEAR(sum, storage, 1e-6 * storage) << "B0=" << storage;
+  }
+}
+
+// --- AllocateProximity ---
+
+TEST(AllocateProximityTest, ZeroWeightUncappedMatchesExponential) {
+  const std::vector<ServerDemand> servers = {
+      {3.0, 1e-6}, {1.0, 2e-6}, {7.0, 5e-7}};
+  const std::vector<uint32_t> distances = {4, 1, 9};
+  ProximityAllocationConfig config;
+  config.distance_weight = 0.0;
+  config.neighborhood_cap = 0;
+  const auto prox = AllocateProximity(servers, distances, 1e7, config);
+  const auto exact = AllocateExponential(servers, 1e7);
+  ASSERT_EQ(prox.size(), exact.size());
+  for (size_t j = 0; j < prox.size(); ++j) {
+    EXPECT_EQ(prox[j], exact[j]) << "server " << j;
+  }
+}
+
+TEST(AllocateProximityTest, BudgetConserved) {
+  const std::vector<ServerDemand> servers = {
+      {3.0, 1e-6}, {1.0, 2e-6}, {7.0, 5e-7}};
+  ProximityAllocationConfig config;
+  config.distance_weight = 2.0;
+  const double storage = 5e6;
+  const auto allocation =
+      AllocateProximity(servers, {0, 3, 6}, storage, config);
+  const double sum =
+      std::accumulate(allocation.begin(), allocation.end(), 0.0);
+  EXPECT_NEAR(sum, storage, 1e-6 * storage);
+}
+
+TEST(AllocateProximityTest, CapOneFundsOnlyTheNearestServer) {
+  const std::vector<ServerDemand> servers = {
+      {3.0, 1e-6}, {1.0, 1e-6}, {7.0, 1e-6}};
+  ProximityAllocationConfig config;
+  config.neighborhood_cap = 1;
+  const auto allocation =
+      AllocateProximity(servers, {3, 1, 2}, 1e6, config);
+  EXPECT_EQ(allocation[0], 0.0);
+  EXPECT_NEAR(allocation[1], 1e6, 1.0);
+  EXPECT_EQ(allocation[2], 0.0);
+}
+
+TEST(AllocateProximityTest, FartherEqualDemandServerLosesShare) {
+  const std::vector<ServerDemand> servers = {{5.0, 1e-6}, {5.0, 1e-6}};
+  ProximityAllocationConfig config;
+  config.distance_weight = 1.0;
+  const auto allocation = AllocateProximity(servers, {0, 5}, 1e7, config);
+  EXPECT_GT(allocation[0], allocation[1]);
+  EXPECT_GT(allocation[1], 0.0);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "net/placement.h"
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <gtest/gtest.h>
 
@@ -162,6 +164,178 @@ TEST(PlacementTest, RandomPlacementDistinctNodes) {
   const auto result = RandomPlacement(f.tree, 5, 1.0, &rng);
   std::set<NodeId> unique(result.proxies.begin(), result.proxies.end());
   EXPECT_EQ(unique.size(), result.proxies.size());
+}
+
+// --- Bit-identity pins for the membership-bitmap refactor: the
+// epoch-stamped set replaced per-hop / per-candidate std::find scans in
+// EvaluatePlacement and the greedy core. The reference implementations
+// below are the pre-refactor scans; results must match bit for bit. ---
+
+/// Pre-refactor EvaluatePlacement: O(k) std::find per route hop. Same FP
+/// accumulation order as the library version.
+double EvaluatePlacementLegacyFind(const ClienteleTree& tree,
+                                   const std::vector<NodeId>& proxies,
+                                   double hit_ratio) {
+  double saved = 0.0;
+  for (const auto& leaf : tree.leaves) {
+    uint32_t best = 0;
+    for (uint32_t d = 1; d < leaf.path_from_server.size(); ++d) {
+      if (std::find(proxies.begin(), proxies.end(),
+                    leaf.path_from_server[d]) != proxies.end()) {
+        best = std::max(best, d);
+      }
+    }
+    saved += static_cast<double>(leaf.bytes) * hit_ratio * best;
+  }
+  return saved;
+}
+
+/// Pre-refactor greedy: std::find membership on the chosen vector. The
+/// winning node each round is a pure function of the per-node gains (FP
+/// sums over entries in (leaf, dist) scan order, as in the library) plus
+/// the min-node-id tie-break, so map iteration order does not matter.
+std::vector<NodeId> GreedyLegacyFind(const ClienteleTree& tree, uint32_t k) {
+  struct Entry {
+    uint32_t leaf = 0;
+    uint32_t dist = 0;
+  };
+  std::map<NodeId, std::vector<Entry>> by_node;
+  for (uint32_t li = 0; li < tree.leaves.size(); ++li) {
+    const auto& path = tree.leaves[li].path_from_server;
+    for (uint32_t d = 1; d < path.size(); ++d) {
+      by_node[path[d]].push_back({li, d});
+    }
+  }
+  std::vector<uint32_t> best_dist(tree.leaves.size(), 0);
+  std::vector<NodeId> chosen;
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best_node = kInvalidNode;
+    double best_gain = 0.0;
+    for (const auto& [node, entries] : by_node) {
+      if (std::find(chosen.begin(), chosen.end(), node) != chosen.end()) {
+        continue;
+      }
+      double gain = 0.0;
+      for (const auto& e : entries) {
+        if (e.dist > best_dist[e.leaf]) {
+          gain += static_cast<double>(tree.leaves[e.leaf].bytes) *
+                  (e.dist - best_dist[e.leaf]);
+        }
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && best_node != kInvalidNode &&
+           node < best_node)) {
+        best_gain = gain;
+        best_node = node;
+      }
+    }
+    if (best_node == kInvalidNode || best_gain <= 0.0) break;
+    chosen.push_back(best_node);
+    for (const auto& e : by_node.at(best_node)) {
+      best_dist[e.leaf] = std::max(best_dist[e.leaf], e.dist);
+    }
+  }
+  return chosen;
+}
+
+TEST(PlacementBitIdentityTest, EvaluateMatchesLegacyFindScan) {
+  const Fixture f;
+  for (const uint32_t k : {1u, 2u, 4u, 8u}) {
+    const auto greedy = GreedyPlacement(f.tree, k, 1.0);
+    EXPECT_EQ(EvaluatePlacement(f.tree, greedy.proxies, 1.0),
+              EvaluatePlacementLegacyFind(f.tree, greedy.proxies, 1.0))
+        << "k=" << k;
+  }
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto random = RandomPlacement(f.tree, 5, 0.7, &rng);
+    EXPECT_EQ(EvaluatePlacement(f.tree, random.proxies, 0.7),
+              EvaluatePlacementLegacyFind(f.tree, random.proxies, 0.7))
+        << "trial " << trial;
+  }
+}
+
+TEST(PlacementBitIdentityTest, GreedyChoosesSameProxiesAsLegacyFind) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Fixture f(seed);
+    for (const uint32_t k : {1u, 2u, 4u, 8u}) {
+      const auto now = GreedyPlacement(f.tree, k, 1.0);
+      const std::vector<NodeId> legacy = GreedyLegacyFind(f.tree, k);
+      EXPECT_EQ(now.proxies, legacy) << "seed " << seed << " k " << k;
+      EXPECT_EQ(now.saved_bytes_hops,
+                EvaluatePlacementLegacyFind(f.tree, legacy, 1.0))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+// --- ProximityPlacement ---
+
+TEST(ProximityPlacementTest, ZeroWeightUncappedEqualsGreedy) {
+  const Fixture f;
+  ProximityPlacementConfig config;
+  config.distance_weight = 0.0;
+  config.neighborhood_cap = 0;
+  for (const uint32_t k : {1u, 2u, 4u}) {
+    const auto greedy = GreedyPlacement(f.tree, k, 1.0);
+    const auto prox = ProximityPlacement(f.tree, k, 1.0, config);
+    EXPECT_EQ(greedy.proxies, prox.proxies) << "k=" << k;
+    EXPECT_EQ(greedy.saved_bytes_hops, prox.saved_bytes_hops) << "k=" << k;
+  }
+}
+
+TEST(ProximityPlacementTest, DeterministicAcrossCalls) {
+  const Fixture f;
+  ProximityPlacementConfig config;
+  config.distance_weight = 1.5;
+  config.neighborhood_cap = 2;
+  const auto a = ProximityPlacement(f.tree, 4, 1.0, config);
+  const auto b = ProximityPlacement(f.tree, 4, 1.0, config);
+  EXPECT_EQ(a.proxies, b.proxies);
+  EXPECT_EQ(a.saved_bytes_hops, b.saved_bytes_hops);
+}
+
+TEST(ProximityPlacementTest, CapDeeperThanAnyPathEqualsUncapped) {
+  const Fixture f;
+  uint32_t max_hops = 0;
+  for (const auto& leaf : f.tree.leaves) {
+    max_hops = std::max(
+        max_hops, static_cast<uint32_t>(leaf.path_from_server.size() - 1));
+  }
+  ProximityPlacementConfig uncapped;
+  uncapped.distance_weight = 0.8;
+  uncapped.neighborhood_cap = 0;
+  ProximityPlacementConfig wide = uncapped;
+  wide.neighborhood_cap = max_hops + 3;
+  const auto a = ProximityPlacement(f.tree, 4, 1.0, uncapped);
+  const auto b = ProximityPlacement(f.tree, 4, 1.0, wide);
+  EXPECT_EQ(a.proxies, b.proxies);
+}
+
+TEST(ProximityPlacementTest, SavedUsesStandardObjective) {
+  // Finish() scores the chosen set with the undiscounted objective, so the
+  // reported saving is comparable with the other strategies.
+  const Fixture f;
+  ProximityPlacementConfig config;
+  config.distance_weight = 2.0;
+  config.neighborhood_cap = 1;
+  const auto prox = ProximityPlacement(f.tree, 4, 1.0, config);
+  EXPECT_EQ(prox.saved_bytes_hops,
+            EvaluatePlacement(f.tree, prox.proxies, 1.0));
+  EXPECT_LE(prox.proxies.size(), 4u);
+}
+
+TEST(ProximityPlacementTest, StrongWeightDoesNotBeatGreedyObjective) {
+  // Distance discounting optimises a different objective; on the standard
+  // one it can only tie or lose to the undiscounted greedy (both are
+  // heuristics, so allow a sliver of slack).
+  const Fixture f;
+  const auto greedy = GreedyPlacement(f.tree, 4, 1.0);
+  ProximityPlacementConfig config;
+  config.distance_weight = 8.0;
+  config.neighborhood_cap = 1;
+  const auto prox = ProximityPlacement(f.tree, 4, 1.0, config);
+  EXPECT_LE(prox.saved_bytes_hops, greedy.saved_bytes_hops * 1.02);
 }
 
 }  // namespace
