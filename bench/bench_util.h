@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/flightrec.h"
 #include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -36,16 +38,24 @@ inline void PrintHeader(const char* experiment, const char* paper_artifact) {
 ///   --timeseries-out  simulated-clock windowed counters, CSV
 ///   --journeys-out    sampled per-request journeys, JSON
 ///   --prom-out        metrics in Prometheus text exposition
-/// Unknown flags are ignored.
+/// `--audit` implies `--obs` and arms the flow-conservation ledger
+/// (obs/audit.h): every registered invariant is re-checked at sweep joins
+/// and end of run, a violation dumps the flight recorder and fails the
+/// bench. `--flightrec-out PATH` overrides the dump path (implies
+/// `--audit`). `--stream` generates the workload trace on the fly instead
+/// of materialising it. Unknown flags are ignored.
 struct BenchArgs {
   bool smoke = false;
   bool json = false;
   bool obs = false;
+  bool audit = false;
+  bool stream = false;
   std::string trace_out;
   std::string chrome_trace_out;
   std::string timeseries_out;
   std::string journeys_out;
   std::string prom_out;
+  std::string flightrec_out;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -61,13 +71,25 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
     if (std::strcmp(argv[i], "--json") == 0) args.json = true;
     if (std::strcmp(argv[i], "--obs") == 0) args.obs = true;
+    if (std::strcmp(argv[i], "--audit") == 0) args.audit = true;
+    if (std::strcmp(argv[i], "--stream") == 0) args.stream = true;
     path_flag(&i, "--trace-out", &args.trace_out) ||
         path_flag(&i, "--chrome-trace-out", &args.chrome_trace_out) ||
         path_flag(&i, "--timeseries-out", &args.timeseries_out) ||
         path_flag(&i, "--journeys-out", &args.journeys_out) ||
-        path_flag(&i, "--prom-out", &args.prom_out);
+        path_flag(&i, "--prom-out", &args.prom_out) ||
+        path_flag(&i, "--flightrec-out", &args.flightrec_out);
   }
+  if (!args.flightrec_out.empty()) args.audit = true;
+  if (args.audit) args.obs = true;
   if (args.obs) obs::SetEnabled(true);
+  if (args.audit) {
+    obs::SetAuditEnabled(true);
+    obs::InstallFlightSignalHandler();
+    if (!args.flightrec_out.empty()) {
+      obs::SetFlightDumpPath(args.flightrec_out);
+    }
+  }
   return args;
 }
 
@@ -201,6 +223,17 @@ class BenchReport {
 /// stderr.
 inline bool FinishObsReport(BenchReport* report, const BenchArgs& args) {
   if (!args.obs || !obs::Enabled()) return true;
+  size_t audit_violations = 0;
+  if (args.audit) {
+    // Final ledger checkpoint over the whole run; sweep joins have already
+    // checked intermediate states. The count lands in the report so CI can
+    // assert on it, and FinishBench fails the bench when it is non-zero.
+    audit_violations = obs::AuditCheckpoint("end-of-run");
+    report->Metric("audit_violations",
+                   static_cast<double>(audit_violations));
+    report->Metric("audit_invariants",
+                   static_cast<double>(obs::RegisteredAuditInvariants().size()));
+  }
   report->ObsSnapshot(obs::SnapshotMetrics());
   bool ok = true;
   const auto write_output = [&ok](const std::string& path, bool written) {
@@ -229,6 +262,14 @@ inline bool FinishObsReport(BenchReport* report, const BenchArgs& args) {
   if (!args.prom_out.empty()) {
     write_output(args.prom_out, obs::WritePrometheus(args.prom_out));
   }
+  if (audit_violations > 0) {
+    std::fprintf(stderr,
+                 "error: audit found %zu flow-conservation violation%s "
+                 "(flight recorder: %s)\n",
+                 audit_violations, audit_violations == 1 ? "" : "s",
+                 obs::FlightDumpPath());
+    ok = false;
+  }
   return ok;
 }
 
@@ -247,13 +288,26 @@ inline core::Workload MakePaperWorkload() {
   return core::MakeWorkload(core::PaperScaleConfig());
 }
 
-/// Paper-scale workload, or the small CI workload under `--smoke`.
+/// Paper-scale workload, or the small CI workload under `--smoke`;
+/// `--stream` switches trace materialisation to on-the-fly generation
+/// (same requests, near-flat RSS).
 inline core::Workload MakeBenchWorkload(const BenchArgs& args) {
-  return args.smoke ? core::MakeWorkload(core::SmallConfig())
-                    : MakePaperWorkload();
+  core::WorkloadConfig config =
+      args.smoke ? core::SmallConfig() : core::PaperScaleConfig();
+  config.streaming = args.stream;
+  return core::MakeWorkload(config);
 }
 
 inline void PrintWorkloadSummary(const core::Workload& workload) {
+  if (workload.streaming()) {
+    // The clean trace is never materialised in streaming mode; the
+    // unified metadata accessors carry everything but the request count.
+    std::printf("workload: %zu docs, streaming trace, %u clients, "
+                "%u days\n\n",
+                workload.corpus().size(), workload.num_clients(),
+                static_cast<unsigned>(workload.clean_span() / kDay) + 1);
+    return;
+  }
   std::printf("workload: %zu docs, %zu clean accesses, %u clients, %u days\n\n",
               workload.corpus().size(), workload.clean().size(),
               workload.clean().num_clients,

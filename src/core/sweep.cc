@@ -8,6 +8,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/audit.h"
 #include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -124,6 +125,10 @@ SweepStats RunSweep(size_t num_points, const SweepOptions& options,
     obs::Count("sweep.runs");
     obs::Count("sweep.points", static_cast<double>(num_points));
   }
+  // All workers joined: the snapshot is coherent, so re-check every
+  // registered conservation edge (globally and per sweep point). No-op
+  // unless auditing is enabled.
+  obs::AuditCheckpoint("sweep.join");
 
   // Deterministic propagation: the lowest-indexed failure wins regardless
   // of which worker hit it first.

@@ -8,6 +8,8 @@
 #include "dissem/proxy.h"
 #include "net/clientele_tree.h"
 #include "net/placement.h"
+#include "obs/audit.h"
+#include "obs/flightrec.h"
 #include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -17,6 +19,45 @@
 
 namespace sds::dissem {
 namespace {
+
+/// Registers the dissemination flow edges once per process. Each side is
+/// independently accumulated (see obs/audit.h): the replay entry counts
+/// every evaluated request/byte as it arrives, the outcome branches count
+/// where it landed, and Finish's derived eval_requests cross-checks them.
+void RegisterDissemAuditInvariants() {
+  static const bool once = [] {
+    using obs::AuditKind;
+    // Every replayed request lands in exactly one bucket of the failover
+    // chain: a proxy hit, the home server, a shielding overflow absorbed
+    // by the server, or unavailable.
+    obs::RegisterAuditInvariant(
+        "dissem.request_conservation", AuditKind::kEqual,
+        {{"dissem.replayed_requests"}},
+        {{"dissem.proxy_hits"},
+         {"dissem.server_requests"},
+         {"dissem.shielding_overflow_requests"},
+         {"dissem.unavailable_requests"}});
+    // Every replayed byte is served or lost with its request.
+    obs::RegisterAuditInvariant(
+        "dissem.byte_conservation", AuditKind::kEqual,
+        {{"dissem.replayed_bytes"}},
+        {{"dissem.served_bytes"}, {"dissem.unavailable_bytes"}});
+    // Degraded traffic (failover past the primary) is a subset of all
+    // with-proxies traffic.
+    obs::RegisterAuditInvariant(
+        "dissem.degraded_within_total", AuditKind::kLessOrEqual,
+        {{"dissem.degraded_bytes_hops"}},
+        {{"dissem.with_proxies_bytes_hops"}});
+    // Finish derives eval_requests from the outcome buckets; the replay
+    // entry counts arrivals. Agreement means no request was double- or
+    // zero-counted between entry and outcome.
+    obs::RegisterAuditInvariant(
+        "dissem.eval_accounting", AuditKind::kEqual,
+        {{"dissem.eval_requests"}}, {{"dissem.replayed_requests"}});
+    return true;
+  }();
+  (void)once;
+}
 
 /// Stable string literal for the per-level proxy hit counter (level =
 /// depth of the serving proxy in the topology tree). The counter names
@@ -283,6 +324,7 @@ DisseminationReplay::DisseminationReplay(
       rng_(rng),
       tracker_(0, config.protection.load),
       retry_budget_(config.protection.budget) {
+  RegisterDissemAuditInvariants();
   SDS_CHECK(config.train_fraction == prepared.train_fraction)
       << "config/prepared training split mismatch";
   const trace::Corpus& corpus = *prepared.corpus;
@@ -523,6 +565,10 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
   const RoutePlan& plan = plans_[r.node];
   const size_t breaker_base = r.node * num_entities;
   const double bytes = static_cast<double>(r.bytes);
+  // Independent entry-side accumulation for the audit ledger: every
+  // request/byte counted here must land in exactly one outcome bucket.
+  ++replayed_requests_;
+  replayed_bytes_ += bytes;
   obs::TsCount("dissem.eval_requests", r.time);
   const bool sampled = journey_.Sample(k);
 
@@ -734,7 +780,11 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
     if (served_at < 0) {
       if (fast_failed) ++result_.fast_failed_requests;
       ++result_.unavailable_requests;
+      unavailable_bytes_ += bytes;
       obs::TsCount("dissem.unavailable_requests", r.time);
+      obs::FlightRecord(k, "dissem.request",
+                        fast_failed ? "fast_failed" : "unavailable", r.doc,
+                        bytes);
       if (sampled) {
         obs::JourneyRecord j;
         j.request = k;
@@ -772,6 +822,8 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
       ++today_count_[winner.proxy];
       ++result_.proxy_requests[winner.proxy];
       ++proxy_served_;
+      obs::FlightRecord(k, "dissem.request", "proxy_hit", winner.proxy,
+                        bytes);
       if (obs::Enabled()) {
         const char* level = ProxyHitLevelName(
             topology.depth(placement_.proxies[winner.proxy]));
@@ -788,9 +840,11 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
       // was spent, so the home server absorbed the request.
       ++result_.shielding_overflow_requests;
       obs::TsCount("dissem.shielding_overflow_requests", r.time);
+      obs::FlightRecord(k, "dissem.request", "overflow", r.doc, bytes);
     } else {
       ++result_.server_requests;
       obs::TsCount("dissem.server_requests", r.time);
+      obs::FlightRecord(k, "dissem.request", "server", r.doc, bytes);
     }
     if (sampled) {
       obs::JourneyRecord j;
@@ -886,6 +940,8 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
                  bytes * serving_hops);
     ++result_.proxy_requests[serving_proxy];
     ++proxy_served_;
+    obs::FlightRecord(k, "dissem.request", "proxy_hit", serving_proxy,
+                      bytes);
     if (obs::Enabled()) {
       const char* level = ProxyHitLevelName(
           topology.depth(placement_.proxies[serving_proxy]));
@@ -908,6 +964,8 @@ void DisseminationReplay::OnRequest(size_t k, const EvalRecord& r) {
       ++result_.server_requests;
       obs::TsCount("dissem.server_requests", r.time);
     }
+    obs::FlightRecord(k, "dissem.request", overflowed ? "overflow" : "server",
+                      r.doc, bytes);
   }
   if (sampled) {
     obs::JourneyRecord j;
@@ -1020,6 +1078,12 @@ DisseminationResult DisseminationReplay::Finish() {
   if (obs::Enabled()) {
     obs::Count("dissem.runs");
     obs::Count("dissem.eval_requests", static_cast<double>(eval_requests));
+    // Conservation legs (audited edges; see RegisterDissemAuditInvariants).
+    obs::Count("dissem.replayed_requests",
+               static_cast<double>(replayed_requests_));
+    obs::Count("dissem.replayed_bytes", replayed_bytes_);
+    obs::Count("dissem.served_bytes", result.served_bytes);
+    obs::Count("dissem.unavailable_bytes", unavailable_bytes_);
     obs::Count("dissem.server_requests",
                static_cast<double>(result.server_requests));
     obs::Count("dissem.shielding_overflow_requests",

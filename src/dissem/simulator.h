@@ -376,6 +376,12 @@ class DisseminationReplay {
   long dissemination_day_ = 0;
   long applied_day_ = 0;
   uint64_t proxy_served_ = 0;
+  /// Entry-side accumulators for the audit ledger (see the invariant
+  /// registrations in simulator.cc): counted when a request enters
+  /// OnRequest, independently of the outcome counters in result_.
+  uint64_t replayed_requests_ = 0;
+  double replayed_bytes_ = 0.0;
+  double unavailable_bytes_ = 0.0;
   const net::FaultSchedule* faults_ = nullptr;
   bool dynamic_ = false;
   size_t server_entity_ = 0;

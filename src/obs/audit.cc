@@ -1,0 +1,236 @@
+#include "obs/audit.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/flightrec.h"
+
+namespace sds::obs {
+
+// ---------------------------------------------------------------------------
+// Shared by both build flavors: rendering and the pure checker.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string RenderSide(const std::vector<AuditTerm>& terms) {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const AuditTerm& t = terms[i];
+    if (i > 0) out += t.coefficient < 0.0 ? " - " : " + ";
+    const double c = i > 0 ? std::fabs(t.coefficient) : t.coefficient;
+    if (c != 1.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g*", c);
+      out += buf;
+    }
+    out += t.counter;
+  }
+  return out.empty() ? "0" : out;
+}
+
+/// Evaluates one side over a counter map. `present` reports whether any of
+/// the side's counters exist in the map at all.
+double EvalSide(const std::vector<AuditTerm>& terms,
+                const std::map<std::string, double>& counters,
+                bool* present) {
+  double sum = 0.0;
+  for (const AuditTerm& t : terms) {
+    const auto it = counters.find(t.counter);
+    if (it == counters.end()) continue;
+    *present = true;
+    sum += t.coefficient * it->second;
+  }
+  return sum;
+}
+
+void CheckScope(const std::vector<AuditInvariant>& invariants,
+                const std::map<std::string, double>& counters, int64_t point,
+                const char* where, std::vector<AuditViolation>* out) {
+  for (const AuditInvariant& inv : invariants) {
+    bool present = false;
+    const double lhs = EvalSide(inv.lhs, counters, &present);
+    const double rhs = EvalSide(inv.rhs, counters, &present);
+    // Skip an edge whose subsystem left no counters in this scope at all
+    // (e.g. spec edges at a dissemination-only sweep point).
+    if (!present) continue;
+    // Floating-point guard under the caller's extra slack: byte and
+    // request counters are integer-valued doubles and compare exactly, but
+    // a registered edge over derived seconds may need headroom.
+    const double tol = inv.tolerance + 1e-9 +
+                       1e-12 * std::max(std::fabs(lhs), std::fabs(rhs));
+    const bool violated = inv.kind == AuditKind::kEqual
+                              ? std::fabs(lhs - rhs) > tol
+                              : lhs > rhs + tol;
+    if (!violated) continue;
+    AuditViolation v;
+    v.invariant = inv.name;
+    v.lhs_expr = RenderSide(inv.lhs);
+    v.rhs_expr = RenderSide(inv.rhs);
+    v.lhs = lhs;
+    v.rhs = rhs;
+    v.delta = lhs - rhs;
+    v.point = point;
+    v.where = where;
+    out->push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+std::string AuditViolation::ToString() const {
+  char buf[160];
+  std::string out = "audit violation [" + invariant + "] at " + where;
+  if (point != kNoPoint) out += " point " + std::to_string(point);
+  out += ": " + lhs_expr;
+  out += " = ";
+  std::snprintf(buf, sizeof(buf), "%.17g", lhs);
+  out += buf;
+  out += " vs ";
+  out += rhs_expr;
+  out += " = ";
+  std::snprintf(buf, sizeof(buf), "%.17g", rhs);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), " (delta %.17g)", delta);
+  out += buf;
+  return out;
+}
+
+std::vector<AuditViolation> CheckInvariants(
+    const std::vector<AuditInvariant>& invariants,
+    const MetricsSnapshot& snapshot, const char* where) {
+  std::vector<AuditViolation> out;
+  CheckScope(invariants, snapshot.counters, kNoPoint, where, &out);
+  for (const auto& [point, counters] : snapshot.point_counters) {
+    CheckScope(invariants, counters, point, where, &out);
+  }
+  return out;
+}
+
+#ifndef SDS_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Registry and checkpoint machinery (compiled out under SDS_OBS_DISABLED).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool AuditEnabledFromEnv() {
+  const char* env = std::getenv("SDS_AUDIT");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+bool AuditStrictFromEnv() {
+  const char* env = std::getenv("SDS_AUDIT");
+  return env != nullptr && std::strcmp(env, "strict") == 0;
+}
+
+std::atomic<bool> g_audit_enabled{AuditEnabledFromEnv()};
+std::atomic<bool> g_audit_strict{AuditStrictFromEnv()};
+
+/// Violations kept per process; further ones still print and count but are
+/// not stored (a broken invariant fires at every subsequent checkpoint).
+constexpr size_t kReportCapacity = 256;
+
+struct AuditRegistry {
+  std::mutex mutex;
+  std::vector<AuditInvariant> invariants;
+  std::vector<AuditViolation> report;
+};
+
+/// Leaked on purpose, like the metrics registry.
+AuditRegistry& GlobalAuditRegistry() {
+  static AuditRegistry* registry = new AuditRegistry;
+  return *registry;
+}
+
+}  // namespace
+
+bool AuditEnabled() {
+  return g_audit_enabled.load(std::memory_order_relaxed);
+}
+
+void SetAuditEnabled(bool enabled) {
+  g_audit_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool AuditStrict() { return g_audit_strict.load(std::memory_order_relaxed); }
+
+void SetAuditStrict(bool strict) {
+  g_audit_strict.store(strict, std::memory_order_relaxed);
+}
+
+void RegisterAuditInvariant(const char* name, AuditKind kind,
+                            std::vector<AuditTerm> lhs,
+                            std::vector<AuditTerm> rhs, double tolerance) {
+  AuditRegistry& registry = GlobalAuditRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const AuditInvariant& inv : registry.invariants) {
+    if (std::strcmp(inv.name, name) == 0) return;  // idempotent by name
+  }
+  registry.invariants.push_back(
+      {name, kind, std::move(lhs), std::move(rhs), tolerance});
+}
+
+std::vector<AuditInvariant> RegisteredAuditInvariants() {
+  AuditRegistry& registry = GlobalAuditRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.invariants;
+}
+
+std::vector<AuditViolation> CheckAudit(const char* where) {
+  return CheckInvariants(RegisteredAuditInvariants(), SnapshotMetrics(),
+                         where);
+}
+
+size_t AuditCheckpoint(const char* where) {
+  if (!Enabled() || !AuditEnabled()) return 0;
+  const std::vector<AuditViolation> violations = CheckAudit(where);
+  if (violations.empty()) return 0;
+  for (const AuditViolation& v : violations) {
+    std::fprintf(stderr, "%s\n", v.ToString().c_str());
+  }
+  {
+    AuditRegistry& registry = GlobalAuditRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const AuditViolation& v : violations) {
+      if (registry.report.size() >= kReportCapacity) break;
+      registry.report.push_back(v);
+    }
+  }
+  // Post-mortem context: the recent per-thread decision events, so a
+  // divergence 90M requests into a streaming run is debuggable.
+  if (WriteFlight(FlightDumpPath())) {
+    std::fprintf(stderr, "audit: flight recorder dumped to %s\n",
+                 FlightDumpPath());
+  }
+  if (AuditStrict()) {
+    std::fprintf(stderr,
+                 "audit: SDS_AUDIT=strict, aborting after %zu violation(s) "
+                 "at %s\n",
+                 violations.size(), where);
+    std::fflush(nullptr);
+    std::abort();
+  }
+  return violations.size();
+}
+
+std::vector<AuditViolation> AuditReport() {
+  AuditRegistry& registry = GlobalAuditRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.report;
+}
+
+void ResetAudit() {
+  AuditRegistry& registry = GlobalAuditRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.report.clear();
+}
+
+#endif  // !SDS_OBS_DISABLED
+
+}  // namespace sds::obs

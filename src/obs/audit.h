@@ -1,0 +1,146 @@
+#ifndef SDS_OBS_AUDIT_H_
+#define SDS_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sds::obs {
+
+/// \brief Flow-conservation audit ledger.
+///
+/// The paper's headline claims are accounting identities: every replayed
+/// request is served by exactly one of {cache hit, home server, replica,
+/// overflow, unavailable}, and every disseminated byte is a hit, waste or
+/// degraded traffic. Simulators register those identities here as named
+/// flow-graph edges over the literal-pointer counters they already emit
+/// (obs::Count), and the ledger re-checks them against metric snapshots at
+/// sweep-point joins and end-of-run. Both sides of every registered edge
+/// must be *independently accumulated* (counted at different branches of
+/// the replay), so a check failure means real flow leaked, not that a
+/// derived formula disagreed with itself.
+///
+/// The ledger only ever reads counters, so audit-on runs stay bit-identical
+/// to audit-off runs. It obeys the same SDS_OBS_DISABLED compile switch as
+/// the rest of the layer; at runtime it is off unless SetAuditEnabled(true)
+/// (benches: --audit) or the SDS_AUDIT environment variable enables it
+/// ("strict" additionally dumps the flight recorder and aborts on the
+/// first violated checkpoint).
+
+/// One side of a flow edge is a linear combination of counters; a term is
+/// `coefficient * counter`. Counter names must be string literals (the
+/// same contract as obs::Count).
+struct AuditTerm {
+  const char* counter;
+  double coefficient = 1.0;
+};
+
+enum class AuditKind {
+  kEqual,        ///< sum(lhs) == sum(rhs)
+  kLessOrEqual,  ///< sum(lhs) <= sum(rhs)
+};
+
+/// \brief One registered conservation edge.
+struct AuditInvariant {
+  const char* name;
+  AuditKind kind = AuditKind::kEqual;
+  std::vector<AuditTerm> lhs;
+  std::vector<AuditTerm> rhs;
+  /// Extra absolute slack on top of the built-in floating-point guard.
+  double tolerance = 0.0;
+};
+
+/// \brief One violated edge in one scope (a sweep point or the run total).
+struct AuditViolation {
+  std::string invariant;  ///< Edge name.
+  std::string lhs_expr;   ///< Rendered left side, e.g. "a + b".
+  std::string rhs_expr;   ///< Rendered right side.
+  double lhs = 0.0;       ///< Evaluated left side.
+  double rhs = 0.0;       ///< Evaluated right side.
+  double delta = 0.0;     ///< lhs - rhs.
+  int64_t point = kNoPoint;  ///< Sweep point, or kNoPoint for run totals.
+  std::string where;      ///< Checkpoint label ("sweep.join", "end-of-run").
+
+  /// One-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Checks `invariants` against `snapshot`: the rolled-up totals and then
+/// every per-point counter map. An invariant whose counters are all absent
+/// from a scope is skipped there (that subsystem did not run); individual
+/// missing counters read as zero. Pure function, available in every build
+/// flavor (tools and tests use it directly).
+std::vector<AuditViolation> CheckInvariants(
+    const std::vector<AuditInvariant>& invariants,
+    const MetricsSnapshot& snapshot, const char* where);
+
+#ifdef SDS_OBS_DISABLED
+
+inline bool AuditEnabled() { return false; }
+inline void SetAuditEnabled(bool) {}
+inline bool AuditStrict() { return false; }
+inline void SetAuditStrict(bool) {}
+inline void RegisterAuditInvariant(const char*, AuditKind,
+                                   std::vector<AuditTerm>,
+                                   std::vector<AuditTerm>,
+                                   double = 0.0) {}
+inline std::vector<AuditInvariant> RegisteredAuditInvariants() { return {}; }
+inline std::vector<AuditViolation> CheckAudit(const char* = "manual") {
+  return {};
+}
+inline size_t AuditCheckpoint(const char*) { return 0; }
+inline std::vector<AuditViolation> AuditReport() { return {}; }
+inline void ResetAudit() {}
+
+#else  // SDS_OBS_DISABLED
+
+/// Runtime switch, independent of the metrics switch (checking also needs
+/// Enabled(), since there is nothing to audit without counters).
+/// Initialised from the SDS_AUDIT environment variable ("", "0" = off,
+/// "strict" = on + abort-on-violation, anything else = on).
+bool AuditEnabled();
+void SetAuditEnabled(bool enabled);
+
+/// Strict mode: AuditCheckpoint dumps the flight recorder and aborts the
+/// process on the first violated checkpoint.
+bool AuditStrict();
+void SetAuditStrict(bool strict);
+
+/// Registers a conservation edge; idempotent by name (re-registration from
+/// every simulator constructor is expected and cheap).
+void RegisterAuditInvariant(const char* name, AuditKind kind,
+                            std::vector<AuditTerm> lhs,
+                            std::vector<AuditTerm> rhs,
+                            double tolerance = 0.0);
+
+/// Snapshot of the registry (stable registration order), for tests, docs
+/// and tools.
+std::vector<AuditInvariant> RegisteredAuditInvariants();
+
+/// Checks every registered invariant against a fresh metrics snapshot.
+/// Does not record, print or abort — pure inspection for tests. Only call
+/// at join points (SnapshotMetrics contract).
+std::vector<AuditViolation> CheckAudit(const char* where = "manual");
+
+/// The production checkpoint: no-op unless Enabled() && AuditEnabled().
+/// Checks all registered invariants, reports each violation on stderr,
+/// appends them to the process-wide audit report, dumps the flight
+/// recorder to its configured path on the first violation, and aborts in
+/// strict mode. Returns the number of violations found at this checkpoint.
+/// Called by core::RunSweep after worker join and by the bench epilogue.
+size_t AuditCheckpoint(const char* where);
+
+/// All violations accumulated by AuditCheckpoint since the last ResetAudit
+/// (capped; the checkpoint return value is not).
+std::vector<AuditViolation> AuditReport();
+
+/// Clears the accumulated violation report (registrations are kept).
+void ResetAudit();
+
+#endif  // SDS_OBS_DISABLED
+
+}  // namespace sds::obs
+
+#endif  // SDS_OBS_AUDIT_H_

@@ -1,0 +1,234 @@
+#include "obs/flightrec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "obs/audit.h"
+#include "util/string_util.h"
+
+namespace sds::obs {
+
+namespace {
+
+void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string FlightToJson(const FlightSnapshot& snapshot) {
+  std::string out = "{\n  \"events\": [";
+  bool first = true;
+  for (const FlightEvent& e : snapshot.events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"seq\": " + std::to_string(e.seq);
+    out += ", \"request\": " + std::to_string(e.request);
+    out += ", \"stage\": \"";
+    AppendJsonEscaped(&out, e.stage);
+    out += "\", \"decision\": \"";
+    AppendJsonEscaped(&out, e.decision);
+    out += "\", \"entity\": " + std::to_string(e.entity);
+    out += ", \"value\": ";
+    AppendNumber(&out, e.value);
+    out += ", \"point\": " + std::to_string(e.point);
+    out += ", \"tid\": " + std::to_string(e.tid) + "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"dropped\": " + std::to_string(snapshot.dropped) + "\n}\n";
+  return out;
+}
+
+#ifndef SDS_OBS_DISABLED
+
+namespace {
+
+/// Process-wide recording order; a relaxed fetch_add is cheap and gives
+/// the dump a meaningful cross-thread timeline.
+std::atomic<uint64_t> g_seq{0};
+
+struct FlightRing {
+  std::vector<FlightEvent> events;  ///< Insertion order; wraps at capacity.
+  size_t next = 0;                  ///< Overwrite cursor once full.
+  uint64_t dropped = 0;
+  int32_t tid = 0;
+
+  void Push(const FlightEvent& e) {
+    if (events.size() < kFlightRingCapacity) {
+      events.push_back(e);
+    } else {
+      events[next] = e;
+      next = (next + 1) % kFlightRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+struct FlightRegistry {
+  std::mutex mutex;
+  std::vector<FlightRing*> live;
+  std::vector<FlightEvent> retired;
+  uint64_t retired_dropped = 0;
+  int32_t next_tid = 0;
+};
+
+/// Leaked on purpose, like the metrics registry: thread_local ring
+/// destructors must always find it alive.
+FlightRegistry& GlobalFlightRegistry() {
+  static FlightRegistry* registry = new FlightRegistry;
+  return *registry;
+}
+
+/// Retired events are capped like the tracer's: the recorder keeps recent
+/// context, not a full log.
+constexpr size_t kRetiredCapacity = 1 << 16;
+
+struct FlightRingHandle {
+  FlightRing ring;
+  FlightRingHandle() {
+    FlightRegistry& registry = GlobalFlightRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    ring.tid = registry.next_tid++;
+    registry.live.push_back(&ring);
+  }
+  ~FlightRingHandle() {
+    FlightRegistry& registry = GlobalFlightRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const FlightEvent& e : ring.events) {
+      if (registry.retired.size() < kRetiredCapacity) {
+        registry.retired.push_back(e);
+      } else {
+        ++registry.retired_dropped;
+      }
+    }
+    registry.retired_dropped += ring.dropped;
+    for (auto it = registry.live.begin(); it != registry.live.end(); ++it) {
+      if (*it == &ring) {
+        registry.live.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+FlightRing& LocalFlightRing() {
+  thread_local FlightRingHandle handle;
+  return handle.ring;
+}
+
+/// The dump path lives in a fixed buffer so the signal handler can read it
+/// without allocation or locking.
+char g_dump_path[512] = "flightrec_dump.json";
+
+struct DumpPathInit {
+  DumpPathInit() {
+    if (const char* env = std::getenv("SDS_FLIGHTREC_OUT")) {
+      if (env[0] != '\0') {
+        std::strncpy(g_dump_path, env, sizeof(g_dump_path) - 1);
+        g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+      }
+    }
+  }
+};
+DumpPathInit g_dump_path_init;
+
+FlightSnapshot SnapshotLocked(FlightRegistry& registry) {
+  FlightSnapshot snapshot;
+  snapshot.events = registry.retired;
+  snapshot.dropped = registry.retired_dropped;
+  for (const FlightRing* ring : registry.live) {
+    snapshot.events.insert(snapshot.events.end(), ring->events.begin(),
+                           ring->events.end());
+    snapshot.dropped += ring->dropped;
+  }
+  std::sort(snapshot.events.begin(), snapshot.events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return snapshot;
+}
+
+void FatalSignalHandler(int sig) {
+  // Best effort from a signal context: if the crashing thread holds the
+  // registry lock a blocking acquire would deadlock, so bail out instead.
+  FlightRegistry& registry = GlobalFlightRegistry();
+  if (registry.mutex.try_lock()) {
+    const FlightSnapshot snapshot = SnapshotLocked(registry);
+    registry.mutex.unlock();
+    std::ofstream out(g_dump_path);
+    if (out) {
+      out << FlightToJson(snapshot);
+      out.flush();
+      std::fprintf(stderr, "flightrec: fatal signal %d, dumped %zu events "
+                           "to %s\n",
+                   sig, snapshot.events.size(), g_dump_path);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecord(uint64_t request, const char* stage, const char* decision,
+                  int64_t entity, double value) {
+  if (!Enabled() || !AuditEnabled()) return;
+  FlightRing& ring = LocalFlightRing();
+  ring.Push(FlightEvent{g_seq.fetch_add(1, std::memory_order_relaxed),
+                        request, stage, decision, entity, value,
+                        CurrentPoint(), ring.tid});
+}
+
+FlightSnapshot SnapshotFlight() {
+  FlightRegistry& registry = GlobalFlightRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return SnapshotLocked(registry);
+}
+
+void ResetFlight() {
+  FlightRegistry& registry = GlobalFlightRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.retired.clear();
+  registry.retired_dropped = 0;
+  for (FlightRing* ring : registry.live) {
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+bool WriteFlight(const std::string& path) {
+  if (path.empty()) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << FlightToJson(SnapshotFlight());
+  return static_cast<bool>(out);
+}
+
+void SetFlightDumpPath(const std::string& path) {
+  std::strncpy(g_dump_path, path.c_str(), sizeof(g_dump_path) - 1);
+  g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+}
+
+const char* FlightDumpPath() { return g_dump_path; }
+
+bool InstallFlightSignalHandler() {
+  static const bool installed = [] {
+    for (const int sig : {SIGSEGV, SIGBUS, SIGABRT, SIGFPE}) {
+      if (std::signal(sig, FatalSignalHandler) == SIG_ERR) return false;
+    }
+    return true;
+  }();
+  return installed;
+}
+
+#endif  // !SDS_OBS_DISABLED
+
+}  // namespace sds::obs

@@ -1,0 +1,101 @@
+#ifndef SDS_OBS_FLIGHTREC_H_
+#define SDS_OBS_FLIGHTREC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sds::obs {
+
+/// \brief Crash flight recorder.
+///
+/// A bounded per-thread ring of recent structured events: request ordinal,
+/// stage, decision, entity and an optional value. Simulators call
+/// FlightRecord at decision points; the ring keeps the newest
+/// kFlightRingCapacity events per thread (oldest overwritten and counted),
+/// and the whole recorder is dumped to JSON when an audit checkpoint finds
+/// a violated invariant, on a fatal signal (best effort), or before the
+/// SDS_AUDIT=strict abort — so a divergence 90M requests into a streaming
+/// run leaves its last moments on disk.
+///
+/// Recording is gated on Enabled() && AuditEnabled(): without --audit the
+/// per-request cost is one relaxed atomic load, and the recorder never
+/// touches simulator state either way (bit-transparent like the rest of
+/// the layer). Same ring/merge lifecycle as the span tracer: per-thread
+/// rings, merged into a retired list at thread exit, snapshot only at join
+/// points. Compiled out with the layer under SDS_OBS_DISABLED.
+
+/// Per-thread ring capacity; the newest events win.
+inline constexpr size_t kFlightRingCapacity = 1024;
+
+/// \brief One recorded decision event.
+struct FlightEvent {
+  uint64_t seq;         ///< Process-wide recording order.
+  uint64_t request;     ///< Request ordinal within the run.
+  const char* stage;    ///< Pipeline stage (string literal).
+  const char* decision; ///< Outcome at that stage (string literal).
+  int64_t entity;       ///< Server/proxy/document id, -1 when unused.
+  double value;         ///< Optional payload (bytes, counts); 0 unused.
+  int64_t point;        ///< Sweep point active at record, or kNoPoint.
+  int32_t tid;          ///< Small per-process thread index.
+};
+
+/// \brief Everything recorded since the last ResetFlight.
+struct FlightSnapshot {
+  std::vector<FlightEvent> events;  ///< Sorted by seq.
+  uint64_t dropped = 0;             ///< Events lost to ring overflow.
+};
+
+/// Renders a snapshot as a standalone JSON object:
+/// `{"events": [{"seq", "request", "stage", "decision", "entity", "value",
+///   "point", "tid"}...], "dropped": N}`.
+std::string FlightToJson(const FlightSnapshot& snapshot);
+
+#ifdef SDS_OBS_DISABLED
+
+inline void FlightRecord(uint64_t, const char*, const char*, int64_t = -1,
+                         double = 0.0) {}
+inline FlightSnapshot SnapshotFlight() { return {}; }
+inline void ResetFlight() {}
+inline bool WriteFlight(const std::string&) { return false; }
+inline void SetFlightDumpPath(const std::string&) {}
+inline const char* FlightDumpPath() { return ""; }
+inline bool InstallFlightSignalHandler() { return false; }
+
+#else  // SDS_OBS_DISABLED
+
+/// Records one decision event on the calling thread's ring. No-op unless
+/// both the metrics layer and the audit ledger are enabled.
+void FlightRecord(uint64_t request, const char* stage, const char* decision,
+                  int64_t entity = -1, double value = 0.0);
+
+/// Merged, seq-sorted view of all rings (live + retired). Only call at
+/// join points (no concurrent recorders).
+FlightSnapshot SnapshotFlight();
+/// Clears all rings and the retired list. Only call at join points.
+void ResetFlight();
+/// Writes FlightToJson(SnapshotFlight()) to `path`; false on I/O error or
+/// when the recorder is disabled/empty-pathed.
+bool WriteFlight(const std::string& path);
+
+/// Where audit violations / fatal signals dump the recorder. Defaults to
+/// "flightrec_dump.json" in the working directory, overridable by the
+/// SDS_FLIGHTREC_OUT environment variable and this setter (benches:
+/// --flightrec-out). Paths longer than the internal buffer are truncated.
+void SetFlightDumpPath(const std::string& path);
+const char* FlightDumpPath();
+
+/// Installs best-effort fatal-signal handlers (SIGSEGV, SIGBUS, SIGABRT,
+/// SIGFPE) that dump the recorder to FlightDumpPath() and re-raise.
+/// Idempotent; returns false if sigaction is unavailable. The dump from a
+/// signal context is best effort by nature (it must skip the rings if the
+/// registry lock is held by the crashing thread).
+bool InstallFlightSignalHandler();
+
+#endif  // SDS_OBS_DISABLED
+
+}  // namespace sds::obs
+
+#endif  // SDS_OBS_FLIGHTREC_H_

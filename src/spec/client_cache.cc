@@ -19,6 +19,7 @@ bool ClientCache::IsUnusedSpeculative(trace::DocumentId doc) const {
 void ClientCache::MarkUsed(trace::DocumentId doc) {
   auto it = entries_.find(doc);
   if (it == entries_.end()) return;
+  if (it->second.speculative_unused) --unused_spec_docs_;
   it->second.speculative_unused = false;
   lru_.erase(it->second.lru_pos);
   lru_.push_front(doc);
@@ -28,9 +29,18 @@ void ClientCache::MarkUsed(trace::DocumentId doc) {
 void ClientCache::Insert(trace::DocumentId doc, uint64_t size_bytes,
                          bool speculative, SimTime now) {
   (void)now;
-  if (config_.session_timeout <= 0.0) return;  // no cache
+  if (config_.session_timeout <= 0.0) {  // no cache
+    // Doc-level waste only: wasted_spec_bytes_ has always excluded the
+    // cacheless case (the push cost shows up in bandwidth_ratio instead)
+    // and the golden grids pin that behaviour.
+    if (speculative) ++wasted_spec_docs_;
+    return;
+  }
   if (config_.capacity_bytes > 0 && size_bytes > config_.capacity_bytes) {
-    if (speculative) wasted_spec_bytes_ += size_bytes;
+    if (speculative) {
+      wasted_spec_bytes_ += size_bytes;
+      ++wasted_spec_docs_;
+    }
     return;
   }
   auto it = entries_.find(doc);
@@ -47,6 +57,7 @@ void ClientCache::Insert(trace::DocumentId doc, uint64_t size_bytes,
   entry.lru_pos = lru_.begin();
   entries_.emplace(doc, entry);
   used_ += size_bytes;
+  if (speculative) ++unused_spec_docs_;
   EvictIfNeeded();
 }
 
@@ -59,7 +70,11 @@ std::vector<trace::DocumentId> ClientCache::Contents() const {
 
 void ClientCache::PurgeAll() {
   for (const auto& [doc, entry] : entries_) {
-    if (entry.speculative_unused) wasted_spec_bytes_ += entry.size;
+    if (entry.speculative_unused) {
+      wasted_spec_bytes_ += entry.size;
+      ++wasted_spec_docs_;
+      --unused_spec_docs_;
+    }
   }
   entries_.clear();
   lru_.clear();
@@ -75,6 +90,8 @@ void ClientCache::EvictIfNeeded() {
     used_ -= it->second.size;
     if (it->second.speculative_unused) {
       wasted_spec_bytes_ += it->second.size;
+      ++wasted_spec_docs_;
+      --unused_spec_docs_;
     }
     entries_.erase(it);
   }

@@ -60,6 +60,16 @@ class ClientCache {
   /// being requested (wasted speculation).
   uint64_t wasted_speculative_bytes() const { return wasted_spec_bytes_; }
 
+  /// Speculative documents that can no longer produce a hit: dropped by a
+  /// cacheless client, rejected as larger than capacity, or purged/evicted
+  /// before first use. Unlike wasted_speculative_bytes(), this counts the
+  /// cacheless-client drops too — the audit ledger needs every pushed
+  /// document to land in exactly one bucket.
+  uint64_t wasted_speculative_docs() const { return wasted_spec_docs_; }
+
+  /// Speculative documents currently resident and not yet requested.
+  uint64_t unused_speculative_docs() const { return unused_spec_docs_; }
+
  private:
   struct Entry {
     uint64_t size = 0;
@@ -75,6 +85,8 @@ class ClientCache {
   std::list<trace::DocumentId> lru_;  // front = most recent
   uint64_t used_ = 0;
   uint64_t wasted_spec_bytes_ = 0;
+  uint64_t wasted_spec_docs_ = 0;
+  uint64_t unused_spec_docs_ = 0;
   SimTime last_access_ = -kInfiniteTime;
   bool has_last_access_ = false;
 };

@@ -30,6 +30,26 @@ struct RunTotals {
   /// included in server_requests).
   uint64_t prefetch_requests = 0;
 
+  // --- Flow-conservation legs (audited; see obs/audit.h). Each is
+  // accumulated independently at its own branch so the audit ledger can
+  // cross-check them against the aggregate counters above. ---
+  /// Requests answered from the client cache (client_requests ==
+  /// cache_hits + demand_server_responses + unavailable_requests).
+  uint64_t cache_hits = 0;
+  /// Demand misses the server actually answered (subset of
+  /// server_requests; excludes client-initiated prefetches).
+  uint64_t demand_server_responses = 0;
+  /// Bytes sent answering demand requests (bytes_sent ==
+  /// demand_bytes_sent + speculative_bytes).
+  double demand_bytes_sent = 0.0;
+  /// Speculative documents that never produced a hit: duplicates of
+  /// resident copies, drops by a cacheless/too-small client, purges and
+  /// evictions of never-used copies (speculative_docs_sent ==
+  /// speculative_hits + wasted + unused_resident at end of run).
+  uint64_t wasted_speculative_docs = 0;
+  /// Speculative documents still resident and unused when the run ended.
+  uint64_t unused_resident_speculative_docs = 0;
+
   // --- Availability under fault injection (all zero when fault-free). ---
   /// Cache misses that never reached the server: every retry found it down.
   uint64_t unavailable_requests = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "util/logging.h"
@@ -11,6 +12,19 @@ namespace sds::spec {
 
 QueueSimulator::QueueSimulator(const QueueConfig& config) : config_(config) {
   SDS_CHECK(config.service_rate_bytes_per_s > 0.0);
+  static const bool audit_registered = [] {
+    // A work-conserving single server cannot be busy for longer than the
+    // observed window (first arrival to last completion). busy_s sums
+    // per-event service times while span_s comes from the completion
+    // clock, so their roundings drift independently over millions of
+    // events: allow a millisecond of slack on a saturated queue.
+    obs::RegisterAuditInvariant("queue.busy_within_span",
+                                obs::AuditKind::kLessOrEqual,
+                                {{"queue.busy_s"}}, {{"queue.span_s"}},
+                                /*tolerance=*/1e-3);
+    return true;
+  }();
+  (void)audit_registered;
 }
 
 void QueueSimulator::Push(const ServerEvent& e) {
@@ -70,6 +84,7 @@ QueueStats QueueSimulator::Finish() {
   if (obs::Enabled()) {
     obs::Count("queue.requests", static_cast<double>(stats.requests));
     obs::Count("queue.busy_s", busy_);
+    obs::Count("queue.span_s", span);
     obs::GaugeMax("queue.max_depth", stats.max_queue_depth);
     obs::GaugeMax("queue.utilization", stats.utilization);
   }

@@ -3,11 +3,61 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/audit.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "util/logging.h"
 
 namespace sds::spec {
+
+namespace {
+
+/// Registers the speculation flow edges once per process. Each side is
+/// accumulated at a different branch of OnRequest/Finish, so these are
+/// real cross-checks, not derived formulas (see obs/audit.h).
+void RegisterSpecAuditInvariants() {
+  static const bool once = [] {
+    using obs::AuditKind;
+    // Every replayed request is exactly one of: answered from the client
+    // cache, answered by the server on the demand path, or lost to an
+    // outage/breaker.
+    obs::RegisterAuditInvariant(
+        "spec.request_conservation", AuditKind::kEqual,
+        {{"spec.client_requests"}},
+        {{"spec.cache_hits"},
+         {"spec.demand_server_responses"},
+         {"spec.unavailable_requests"}});
+    // Every byte the server sent is demand payload or speculative push.
+    obs::RegisterAuditInvariant(
+        "spec.byte_conservation", AuditKind::kEqual,
+        {{"spec.bytes_sent"}},
+        {{"spec.demand_bytes_sent"}, {"spec.speculative_bytes"}});
+    // Every pushed document ends up in exactly one bucket: requested for
+    // real, wasted (duplicate/dropped/purged/evicted unused), or still
+    // resident unused when the run ended.
+    obs::RegisterAuditInvariant(
+        "spec.doc_conservation", AuditKind::kEqual,
+        {{"spec.speculative_docs_sent"}},
+        {{"spec.speculative_hits"},
+         {"spec.wasted_speculative_docs"},
+         {"spec.unused_resident_speculative_docs"}});
+    obs::RegisterAuditInvariant(
+        "spec.hits_bounded", AuditKind::kLessOrEqual,
+        {{"spec.speculative_hits"}}, {{"spec.speculative_docs_sent"}});
+    // Server traffic splits into demand responses and prefetch fetches
+    // (server-hint and client-prefetch modes).
+    obs::RegisterAuditInvariant(
+        "spec.server_requests_split", AuditKind::kEqual,
+        {{"spec.server_requests"}},
+        {{"spec.demand_server_responses"}, {"spec.prefetch_requests"}});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
 namespace internal {
 
 void UserProfile::Observe(trace::DocumentId doc, SimTime now,
@@ -104,6 +154,7 @@ SpeculationReplay::SpeculationReplay(const trace::Corpus* corpus,
                config.protection.load),
       retry_budget_(config.protection.budget) {
   if (server_events_ != nullptr) server_events_->clear();
+  RegisterSpecAuditInvariants();
   SDS_CHECK(config.update_cycle_days >= 1);
   SDS_CHECK(config.history_days >= 1);
 
@@ -215,9 +266,13 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
   const bool sampled = journey_.Sample(i);
 
   if (cache.Contains(doc)) {
+    ++totals_.cache_hits;
     if (cache.IsUnusedSpeculative(doc)) {
       ++totals_.speculative_hits;
       obs::TsCount("spec.speculative_hits", now);
+      obs::FlightRecord(i, "spec.request", "speculative_hit", doc);
+    } else {
+      obs::FlightRecord(i, "spec.request", "cache_hit", doc);
     }
     cache.MarkUsed(doc);
     if (sampled) {
@@ -244,6 +299,7 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
     ++totals_.breaker_fast_fails;
     ++totals_.unavailable_requests;
     obs::TsCount("spec.unavailable_requests", now);
+    obs::FlightRecord(i, "spec.request", "breaker_fast_fail", doc);
     totals_.miss_bytes += static_cast<double>(size);
     if (sampled) {
       obs::JourneyRecord j;
@@ -291,6 +347,8 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
     if (!reached) {
       ++totals_.unavailable_requests;
       obs::TsCount("spec.unavailable_requests", now);
+      obs::FlightRecord(i, "spec.request", "unavailable", doc,
+                        request_backoff);
       totals_.miss_bytes += static_cast<double>(size);
       if (sampled) {
         obs::JourneyRecord j;
@@ -320,7 +378,10 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
   const bool degraded = scheduled_degraded || load_shed;
 
   ++totals_.server_requests;
+  ++totals_.demand_server_responses;
   obs::TsCount("spec.server_requests", now);
+  obs::FlightRecord(i, "spec.request", degraded ? "served_degraded" : "served",
+                    doc, static_cast<double>(size));
   totals_.miss_bytes += static_cast<double>(size);
   double response_bytes = static_cast<double>(size);
   uint32_t pushed_docs = 0;
@@ -366,8 +427,13 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
         // Blind duplicate push: pure waste.
         totals_.wasted_speculative_bytes +=
             static_cast<double>(cand_size);
+        ++totals_.wasted_speculative_docs;
+        obs::FlightRecord(i, "spec.push", "duplicate_waste", cand.doc,
+                          static_cast<double>(cand_size));
       } else {
         cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
+        obs::FlightRecord(i, "spec.push", "pushed", cand.doc,
+                          static_cast<double>(cand_size));
       }
     }
   }
@@ -392,6 +458,8 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
                    static_cast<double>(cand_size));
       ++pushed_docs;
       cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
+      obs::FlightRecord(i, "spec.hint", "prefetched", cand.doc,
+                        static_cast<double>(cand_size));
       if (track_load_) {
         tracker_.RecordService(server, now, static_cast<double>(cand_size));
       }
@@ -406,6 +474,7 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
   }
   if (track_load_) tracker_.RecordService(server, now, response_bytes);
   totals_.bytes_sent += response_bytes;
+  totals_.demand_bytes_sent += static_cast<double>(size);
   const double service_time =
       config.serv_cost +
       config.comm_cost * (config.charge_speculative_latency
@@ -452,6 +521,8 @@ void SpeculationReplay::OnRequest(size_t i, const Record& rec) {
       obs::TsCount("spec.speculative_bytes", now,
                    static_cast<double>(cand_size));
       cache.Insert(cand.doc, cand_size, /*speculative=*/true, now);
+      obs::FlightRecord(i, "spec.prefetch", "prefetched", cand.doc,
+                        static_cast<double>(cand_size));
       if (track_load_) {
         tracker_.RecordService(server, now, static_cast<double>(cand_size));
       }
@@ -469,6 +540,9 @@ RunTotals SpeculationReplay::Finish() {
   for (const auto& cache : caches_) {
     totals_.wasted_speculative_bytes +=
         static_cast<double>(cache.wasted_speculative_bytes());
+    totals_.wasted_speculative_docs += cache.wasted_speculative_docs();
+    totals_.unused_resident_speculative_docs +=
+        cache.unused_speculative_docs();
   }
   if (track_load_) totals_.emergent_brownouts = tracker_.emergent_brownouts();
   for (const net::CircuitBreaker& b : breakers_) {
@@ -487,6 +561,18 @@ RunTotals SpeculationReplay::Finish() {
     obs::Count("spec.speculative_bytes", totals_.speculative_bytes);
     obs::Count("spec.wasted_speculative_bytes",
                totals_.wasted_speculative_bytes);
+    // Conservation legs (audited edges; see RegisterSpecAuditInvariants).
+    obs::Count("spec.cache_hits", static_cast<double>(totals_.cache_hits));
+    obs::Count("spec.demand_server_responses",
+               static_cast<double>(totals_.demand_server_responses));
+    obs::Count("spec.prefetch_requests",
+               static_cast<double>(totals_.prefetch_requests));
+    obs::Count("spec.bytes_sent", totals_.bytes_sent);
+    obs::Count("spec.demand_bytes_sent", totals_.demand_bytes_sent);
+    obs::Count("spec.wasted_speculative_docs",
+               static_cast<double>(totals_.wasted_speculative_docs));
+    obs::Count("spec.unused_resident_speculative_docs",
+               static_cast<double>(totals_.unused_resident_speculative_docs));
     obs::Count("spec.suppressed_speculative_docs",
                static_cast<double>(totals_.suppressed_speculative_docs));
     obs::Count("spec.unavailable_requests",

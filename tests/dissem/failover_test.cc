@@ -5,6 +5,8 @@
 #include "core/workload.h"
 #include "dissem/simulator.h"
 #include "net/faults.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -72,6 +74,26 @@ class FailoverTest : public ::testing::Test {
     return {0.0, workload_->clean().Span() + 30 * kDay};
   }
 
+  /// Runs the config with the audit ledger watching: request/byte
+  /// conservation across the failover chain is asserted by the registered
+  /// invariants (obs/audit.h) instead of an ad-hoc recount here. No-op
+  /// pass-through when the obs layer is compiled out.
+  DisseminationResult RunAudited(const DisseminationConfig& config,
+                                 uint64_t seed = 1) {
+    const bool was_enabled = obs::Enabled();
+    obs::SetEnabled(true);
+    obs::ResetMetrics();
+    DisseminationResult result = Run(config, seed);
+    for (const auto& v : obs::CheckAudit("failover_test")) {
+      ADD_FAILURE() << v.ToString();
+    }
+    obs::SetEnabled(was_enabled);
+    return result;
+  }
+
+  /// Requests landing in any outcome bucket; cross-run equality means two
+  /// runs evaluated the same trace. (Within-run conservation is the audit
+  /// ledger's job — see RunAudited.)
   static uint64_t TotalAccounted(const DisseminationResult& r) {
     uint64_t total = r.server_requests + r.shielding_overflow_requests +
                      r.unavailable_requests;
@@ -109,7 +131,7 @@ TEST_F(FailoverTest, EmptyScheduleIsBitIdenticalToNoSchedule) {
 TEST_F(FailoverTest, DeadProxyNodeShiftsItsLoadElsewhere) {
   DisseminationConfig plain;
   plain.num_proxies = 4;
-  const auto healthy = Run(plain);
+  const auto healthy = RunAudited(plain);
   ASSERT_EQ(healthy.proxy_nodes.size(), 4u);
 
   // Kill the busiest proxy's node for the whole trace.
@@ -128,7 +150,7 @@ TEST_F(FailoverTest, DeadProxyNodeShiftsItsLoadElsewhere) {
   DisseminationConfig faulted = plain;
   faulted.faults = &schedule;
   faulted.retry.max_attempts = 6;
-  const auto result = Run(faulted);
+  const auto result = RunAudited(faulted);
 
   // The dead proxy serves nothing; its former requests fail over to other
   // replicas or the home server rather than vanishing.
@@ -293,7 +315,7 @@ TEST_F(ProtectionTest, RetryStormPinsServerAndProtectionsContainIt) {
   unprotected.retry.max_attempts = 6;
   unprotected.protection.track_load = true;
   unprotected.protection.load = TightLoad(8.0);
-  const auto off = Run(unprotected);
+  const auto off = RunAudited(unprotected);
   ASSERT_GT(off.emergent_brownouts, 0u);
   ASSERT_GT(off.unavailable_requests, 0u);
 
@@ -305,7 +327,7 @@ TEST_F(ProtectionTest, RetryStormPinsServerAndProtectionsContainIt) {
   protected_config.protection.breaker.cooldown_s = 6.0 * 3600.0;
   protected_config.protection.retry_budget = true;
   protected_config.protection.admission_control = true;
-  const auto on = Run(protected_config);
+  const auto on = RunAudited(protected_config);
 
   // The full stack contains the cascade: strictly better availability,
   // strictly fewer retry attempts (storms are cut off), and no more

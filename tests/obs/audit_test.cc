@@ -1,0 +1,298 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "core/workload.h"
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace sds::obs {
+namespace {
+
+#ifndef SDS_OBS_DISABLED
+
+/// Audit tests share the process-wide metrics registry and audit switches
+/// with every other suite in this binary, so each test starts from a clean
+/// enabled slate and restores the disabled default. Test-only invariants
+/// registered here use "audit_test."-prefixed counters: the per-scope skip
+/// rule keeps them inert for every scope that never emits those counters.
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    SetAuditEnabled(true);
+    SetAuditStrict(false);
+    ResetMetrics();
+    ResetAudit();
+    ResetFlight();
+    prev_dump_path_ = FlightDumpPath();
+    SetFlightDumpPath(testing::TempDir() + "audit_test_flight.json");
+  }
+  void TearDown() override {
+    SetFlightDumpPath(prev_dump_path_);
+    ResetFlight();
+    ResetAudit();
+    ResetMetrics();
+    SetAuditStrict(false);
+    SetAuditEnabled(false);
+    SetEnabled(false);
+  }
+
+  std::string prev_dump_path_;
+};
+
+// ---------------------------------------------------------------------------
+// Pure checker semantics (CheckInvariants over hand-built snapshots).
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, CheckerNamesEdgeSidesAndDelta) {
+  const std::vector<AuditInvariant> invariants = {
+      {"test.conservation",
+       AuditKind::kEqual,
+       {{"audit_test.in"}},
+       {{"audit_test.out"}, {"audit_test.lost"}}}};
+  MetricsSnapshot snap;
+  snap.counters["audit_test.in"] = 100.0;
+  snap.counters["audit_test.out"] = 90.0;
+  snap.counters["audit_test.lost"] = 7.0;  // 3 requests leaked
+
+  const auto violations = CheckInvariants(invariants, snap, "unit");
+  ASSERT_EQ(violations.size(), 1u);
+  const AuditViolation& v = violations[0];
+  EXPECT_EQ(v.invariant, "test.conservation");
+  EXPECT_EQ(v.lhs_expr, "audit_test.in");
+  EXPECT_EQ(v.rhs_expr, "audit_test.out + audit_test.lost");
+  EXPECT_DOUBLE_EQ(v.lhs, 100.0);
+  EXPECT_DOUBLE_EQ(v.rhs, 97.0);
+  EXPECT_DOUBLE_EQ(v.delta, 3.0);
+  EXPECT_EQ(v.point, kNoPoint);
+  EXPECT_EQ(v.where, "unit");
+  // The one-line report carries the name, both rendered sides and the delta.
+  const std::string report = v.ToString();
+  EXPECT_NE(report.find("test.conservation"), std::string::npos);
+  EXPECT_NE(report.find("audit_test.out + audit_test.lost"), std::string::npos);
+  EXPECT_NE(report.find("delta 3"), std::string::npos);
+  EXPECT_NE(report.find("unit"), std::string::npos);
+}
+
+TEST_F(AuditTest, CheckerSkipsScopeWithNoCountersButZeroFillsPartial) {
+  const std::vector<AuditInvariant> invariants = {
+      {"test.partial",
+       AuditKind::kEqual,
+       {{"audit_test.present"}},
+       {{"audit_test.absent"}}}};
+  // No counter of the edge exists: the subsystem did not run, skip.
+  MetricsSnapshot empty;
+  empty.counters["unrelated.counter"] = 5.0;
+  EXPECT_TRUE(CheckInvariants(invariants, empty, "unit").empty());
+
+  // One side exists: the missing counter reads zero and the edge fires.
+  MetricsSnapshot partial;
+  partial.counters["audit_test.present"] = 4.0;
+  const auto violations = CheckInvariants(invariants, partial, "unit");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_DOUBLE_EQ(violations[0].rhs, 0.0);
+}
+
+TEST_F(AuditTest, CheckerAttributesPerPointScopes) {
+  const std::vector<AuditInvariant> invariants = {
+      {"test.per_point",
+       AuditKind::kEqual,
+       {{"audit_test.in"}},
+       {{"audit_test.out"}}}};
+  MetricsSnapshot snap;
+  snap.counters["audit_test.in"] = 10.0;  // run totals balance
+  snap.counters["audit_test.out"] = 10.0;
+  snap.point_counters[0] = {{"audit_test.in", 6.0}, {"audit_test.out", 6.0}};
+  snap.point_counters[3] = {{"audit_test.in", 4.0}, {"audit_test.out", 2.0}};
+
+  const auto violations = CheckInvariants(invariants, snap, "sweep.join");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].point, 3);
+  EXPECT_DOUBLE_EQ(violations[0].delta, 2.0);
+}
+
+TEST_F(AuditTest, CheckerHonorsKindCoefficientsAndTolerance) {
+  const std::vector<AuditInvariant> invariants = {
+      {"test.bound",
+       AuditKind::kLessOrEqual,
+       {{"audit_test.used"}},
+       {{"audit_test.budget", 2.0}},
+       0.5}};
+  MetricsSnapshot within;
+  within.counters["audit_test.used"] = 20.4;
+  within.counters["audit_test.budget"] = 10.0;  // bound = 2*10 + 0.5 slack
+  EXPECT_TRUE(CheckInvariants(invariants, within, "unit").empty());
+
+  MetricsSnapshot beyond;
+  beyond.counters["audit_test.used"] = 20.6;
+  beyond.counters["audit_test.budget"] = 10.0;
+  const auto violations = CheckInvariants(invariants, beyond, "unit");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rhs_expr, "2*audit_test.budget");
+}
+
+// ---------------------------------------------------------------------------
+// Registered-ledger path: a deliberately broken accumulator is caught,
+// named, and leaves a parseable flight dump (the fault-injection drill the
+// production checkpoint runs when real flow leaks).
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, BrokenAccumulatorIsCaughtNamedAndDumped) {
+  RegisterAuditInvariant("audit_test.broken_edge", AuditKind::kEqual,
+                         {{"audit_test.fault.in"}},
+                         {{"audit_test.fault.out"}});
+  // Re-registration is idempotent by name, like simulator constructors.
+  RegisterAuditInvariant("audit_test.broken_edge", AuditKind::kEqual,
+                         {{"audit_test.fault.in"}},
+                         {{"audit_test.fault.out"}});
+  size_t registered = 0;
+  for (const AuditInvariant& inv : RegisteredAuditInvariants()) {
+    if (std::string(inv.name) == "audit_test.broken_edge") ++registered;
+  }
+  EXPECT_EQ(registered, 1u);
+
+  // Seed the fault: the "out" accumulator drops two units.
+  Count("audit_test.fault.in", 12.0);
+  Count("audit_test.fault.out", 10.0);
+  FlightRecord(41, "audit_test.stage", "dropped", 7, 2.0);
+
+  const auto violations = CheckAudit("audit_test");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, "audit_test.broken_edge");
+  EXPECT_DOUBLE_EQ(violations[0].delta, 2.0);
+
+  // The production checkpoint reports, records, and dumps the recorder.
+  EXPECT_EQ(AuditCheckpoint("audit_test.checkpoint"), 1u);
+  const auto report = AuditReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].invariant, "audit_test.broken_edge");
+  EXPECT_EQ(report[0].where, "audit_test.checkpoint");
+
+  // The flight dump landed at the configured path and holds our event.
+  std::FILE* f = std::fopen(FlightDumpPath(), "rb");
+  ASSERT_NE(f, nullptr) << "no flight dump at " << FlightDumpPath();
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const Result<JsonValue> parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed.value().Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 1u);
+  EXPECT_EQ(events->items()[0].Find("decision")->AsString(), "dropped");
+
+  ResetAudit();
+  EXPECT_TRUE(AuditReport().empty());
+}
+
+TEST_F(AuditTest, CheckpointIsInertWhenAuditDisabled) {
+  RegisterAuditInvariant("audit_test.broken_edge", AuditKind::kEqual,
+                         {{"audit_test.fault.in"}},
+                         {{"audit_test.fault.out"}});
+  Count("audit_test.fault.in", 5.0);  // seeded mismatch again
+  SetAuditEnabled(false);
+  EXPECT_EQ(AuditCheckpoint("audit_test.disabled"), 0u);
+  EXPECT_TRUE(AuditReport().empty());
+}
+
+// ---------------------------------------------------------------------------
+// The registered production invariants hold on real sweeps, at every worker
+// count, and auditing never perturbs the simulation (bit-identity against
+// the golden grid pinned by obs_test.cc / sweep_test.cc).
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, ProductionInvariantsHoldAtEveryWorkerCount) {
+  const core::Workload workload = core::MakeWorkload(core::SmallConfig());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const unsigned workers : {1u, 2u, hw}) {
+    ResetMetrics();
+    const core::Fig5Result result =
+        core::RunFig5(workload, {1.0, 0.5}, {.workers = workers});
+    ASSERT_EQ(result.points.size(), 2u) << "workers=" << workers;
+    for (const AuditViolation& v : CheckAudit("audit_test.workers")) {
+      ADD_FAILURE() << "workers=" << workers << ": " << v.ToString();
+    }
+  }
+  // The run registered the speculation flow edges.
+  bool saw_request_edge = false;
+  for (const AuditInvariant& inv : RegisteredAuditInvariants()) {
+    if (std::string(inv.name) == "spec.request_conservation") {
+      saw_request_edge = true;
+    }
+  }
+  EXPECT_TRUE(saw_request_edge);
+}
+
+TEST_F(AuditTest, AuditOnSweepIsBitIdenticalToGolden) {
+  // Same golden Fig5 grid as ObsTest.InstrumentedSweepIsBitIdentical...,
+  // now with the audit ledger armed: sweep.join checkpoints fire and the
+  // results must still match to the last bit.
+  const core::Workload workload = core::MakeWorkload(core::SmallConfig());
+  const core::Fig5Result result =
+      core::RunFig5(workload, {1.0, 0.5, 0.2}, {.workers = 2});
+  ASSERT_EQ(result.points.size(), 3u);
+  const struct {
+    double bw, load, time, miss;
+  } expected[] = {
+      {1.0041881918724975, 0.96365539934190847, 0.95258184119938183,
+       0.94146243872170432},
+      {1.0634609410122278, 0.69383787017648824, 0.64808137762783535,
+       0.60213545400809099},
+      {1.2877901684453081, 0.5937780436733473, 0.5725091738996323,
+       0.55115225138066248},
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.points[i].metrics.bandwidth_ratio, expected[i].bw) << i;
+    EXPECT_EQ(result.points[i].metrics.server_load_ratio, expected[i].load)
+        << i;
+    EXPECT_EQ(result.points[i].metrics.service_time_ratio, expected[i].time)
+        << i;
+    EXPECT_EQ(result.points[i].metrics.miss_rate_ratio, expected[i].miss) << i;
+  }
+  // The sweep's own checkpoints found nothing, and neither do we.
+  EXPECT_TRUE(AuditReport().empty());
+  for (const AuditViolation& v : CheckAudit("audit_test.golden")) {
+    ADD_FAILURE() << v.ToString();
+  }
+}
+
+#else  // SDS_OBS_DISABLED
+
+TEST(AuditDisabledTest, CompiledOutLedgerIsInert) {
+  SetAuditEnabled(true);  // no-op stub
+  EXPECT_FALSE(AuditEnabled());
+  SetAuditStrict(true);
+  EXPECT_FALSE(AuditStrict());
+  RegisterAuditInvariant("audit_test.noop", AuditKind::kEqual,
+                         {{"audit_test.in"}}, {{"audit_test.out"}});
+  EXPECT_TRUE(RegisteredAuditInvariants().empty());
+  EXPECT_TRUE(CheckAudit("audit_test").empty());
+  EXPECT_EQ(AuditCheckpoint("audit_test"), 0u);
+  EXPECT_TRUE(AuditReport().empty());
+  ResetAudit();
+
+  // The pure checker stays available in this flavor (obs_diff and tests
+  // link it), so a hand-built snapshot still checks.
+  const std::vector<AuditInvariant> invariants = {
+      {"test.pure", AuditKind::kEqual, {{"a"}}, {{"b"}}}};
+  MetricsSnapshot snap;
+  snap.counters["a"] = 2.0;
+  snap.counters["b"] = 1.0;
+  EXPECT_EQ(CheckInvariants(invariants, snap, "unit").size(), 1u);
+}
+
+#endif  // SDS_OBS_DISABLED
+
+}  // namespace
+}  // namespace sds::obs

@@ -1,0 +1,177 @@
+#include "obs/flightrec.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace sds::obs {
+namespace {
+
+#ifndef SDS_OBS_DISABLED
+
+/// Recording needs both the metrics layer and the audit ledger on; each
+/// test arms both and restores the disabled defaults.
+class FlightrecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    SetAuditEnabled(true);
+    ResetMetrics();
+    ResetFlight();
+    prev_dump_path_ = FlightDumpPath();
+  }
+  void TearDown() override {
+    SetFlightDumpPath(prev_dump_path_);
+    ResetFlight();
+    ResetMetrics();
+    SetAuditEnabled(false);
+    SetEnabled(false);
+  }
+
+  std::string prev_dump_path_;
+};
+
+TEST_F(FlightrecTest, RingKeepsNewestAndCountsDropped) {
+  const uint64_t total = kFlightRingCapacity + 100;
+  for (uint64_t i = 0; i < total; ++i) {
+    FlightRecord(i, "test.stage", "keep", static_cast<int64_t>(i),
+                 static_cast<double>(i));
+  }
+  const FlightSnapshot snap = SnapshotFlight();
+  ASSERT_EQ(snap.events.size(), kFlightRingCapacity);
+  EXPECT_EQ(snap.dropped, 100u);
+  // Oldest 100 were overwritten; the survivors are the newest, seq-sorted.
+  EXPECT_EQ(snap.events.front().request, 100u);
+  EXPECT_EQ(snap.events.back().request, total - 1);
+  for (size_t i = 1; i < snap.events.size(); ++i) {
+    ASSERT_LT(snap.events[i - 1].seq, snap.events[i].seq);
+  }
+}
+
+TEST_F(FlightrecTest, JsonSchemaRoundTrips) {
+  FlightRecord(7, "spec.request", "cache_hit", 42, 1536.0);
+  {
+    ScopedPoint point(3);
+    FlightRecord(8, "spec.push", "duplicate_waste", 9);
+  }
+  const FlightSnapshot snap = SnapshotFlight();
+  ASSERT_EQ(snap.events.size(), 2u);
+
+  const Result<JsonValue> parsed = ParseJson(FlightToJson(snap));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* dropped = parsed.value().Find("dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->AsNumber(), 0.0);
+  const JsonValue* events = parsed.value().Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 2u);
+  const JsonValue& first = events->items()[0];
+  for (const char* field :
+       {"seq", "request", "stage", "decision", "entity", "value", "point",
+        "tid"}) {
+    EXPECT_NE(first.Find(field), nullptr) << "missing field " << field;
+  }
+  EXPECT_DOUBLE_EQ(first.Find("request")->AsNumber(), 7.0);
+  EXPECT_EQ(first.Find("stage")->AsString(), "spec.request");
+  EXPECT_EQ(first.Find("decision")->AsString(), "cache_hit");
+  EXPECT_DOUBLE_EQ(first.Find("entity")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(first.Find("value")->AsNumber(), 1536.0);
+  const JsonValue& second = events->items()[1];
+  EXPECT_DOUBLE_EQ(second.Find("point")->AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(second.Find("value")->AsNumber(), 0.0);
+}
+
+TEST_F(FlightrecTest, RecordingIsGatedOnBothSwitches) {
+  SetAuditEnabled(false);
+  FlightRecord(1, "test.stage", "invisible");
+  EXPECT_TRUE(SnapshotFlight().events.empty());
+
+  SetAuditEnabled(true);
+  SetEnabled(false);
+  FlightRecord(2, "test.stage", "invisible");
+  EXPECT_TRUE(SnapshotFlight().events.empty());
+
+  SetEnabled(true);
+  FlightRecord(3, "test.stage", "visible");
+  EXPECT_EQ(SnapshotFlight().events.size(), 1u);
+}
+
+TEST_F(FlightrecTest, ThreadsMergeAtJoin) {
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 2; ++t) {
+    pool.emplace_back([t] {
+      for (uint64_t i = 0; i < 5; ++i) {
+        FlightRecord(i, "test.thread", "work", t);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  const FlightSnapshot snap = SnapshotFlight();
+  ASSERT_EQ(snap.events.size(), 10u);
+  std::set<int32_t> tids;
+  for (const FlightEvent& e : snap.events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST_F(FlightrecTest, WriteDumpAndReset) {
+  FlightRecord(1, "test.stage", "kept");
+  const std::string path = testing::TempDir() + "flightrec_test_dump.json";
+  ASSERT_TRUE(WriteFlight(path));
+  EXPECT_FALSE(WriteFlight(""));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const Result<JsonValue> parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("events")->items().size(), 1u);
+
+  ResetFlight();
+  const FlightSnapshot cleared = SnapshotFlight();
+  EXPECT_TRUE(cleared.events.empty());
+  EXPECT_EQ(cleared.dropped, 0u);
+}
+
+TEST_F(FlightrecTest, DumpPathRoundTripsAndHandlerInstalls) {
+  SetFlightDumpPath("/tmp/flightrec_test_path.json");
+  EXPECT_STREQ(FlightDumpPath(), "/tmp/flightrec_test_path.json");
+  // Idempotent best-effort signal hooks (the bench --audit path).
+  EXPECT_TRUE(InstallFlightSignalHandler());
+  EXPECT_TRUE(InstallFlightSignalHandler());
+}
+
+#else  // SDS_OBS_DISABLED
+
+TEST(FlightrecDisabledTest, CompiledOutRecorderIsInert) {
+  FlightRecord(1, "test.stage", "noop", 2, 3.0);
+  EXPECT_TRUE(SnapshotFlight().events.empty());
+  EXPECT_EQ(SnapshotFlight().dropped, 0u);
+  ResetFlight();
+  EXPECT_FALSE(WriteFlight("/tmp/never_written.json"));
+  SetFlightDumpPath("/tmp/never_used.json");
+  EXPECT_STREQ(FlightDumpPath(), "");
+  EXPECT_FALSE(InstallFlightSignalHandler());
+
+  // The pure renderer stays available in this flavor.
+  const Result<JsonValue> parsed = ParseJson(FlightToJson(FlightSnapshot{}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Find("events")->items().empty());
+}
+
+#endif  // SDS_OBS_DISABLED
+
+}  // namespace
+}  // namespace sds::obs

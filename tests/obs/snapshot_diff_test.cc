@@ -1,0 +1,200 @@
+#include "obs/snapshot_diff.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace sds::obs {
+namespace {
+
+/// The differ is pure and available in every build flavor, so unlike the
+/// recorder suites these tests run under SDS_OBS=OFF too.
+
+JsonValue Parse(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(GlobMatchTest, StarAndQuestionStayWithinSegments) {
+  EXPECT_TRUE(GlobMatch("*_s", "total_s"));
+  EXPECT_FALSE(GlobMatch("*_s", "metrics/run_s"));  // '*' stops at '/'
+  EXPECT_TRUE(GlobMatch("metrics/*_s", "metrics/run_s"));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "a/c"));
+  EXPECT_FALSE(GlobMatch("metrics/counters/*", "metrics/points/0/spec.x"));
+  EXPECT_TRUE(GlobMatch("metrics/counters/*", "metrics/counters/spec.x"));
+  EXPECT_TRUE(GlobMatch("literal", "literal"));
+  EXPECT_FALSE(GlobMatch("literal", "literally"));
+}
+
+TEST(GlobMatchTest, DoubleStarCrossesSegments) {
+  EXPECT_TRUE(GlobMatch("**", "anything/at/all"));
+  EXPECT_TRUE(GlobMatch("metrics/**", "metrics/points/0/spec.x"));
+  EXPECT_TRUE(GlobMatch("**/spec.delta_cache.*",
+                        "metrics/counters/spec.delta_cache.hits"));
+  EXPECT_TRUE(GlobMatch("**/spec.delta_cache.*",
+                        "metrics/points/7/spec.delta_cache.misses"));
+  EXPECT_FALSE(GlobMatch("**/spec.delta_cache.*",
+                         "metrics/counters/spec.client_requests"));
+}
+
+TEST(FlattenJsonTest, NumbersBoolsAndNestingFlatten) {
+  const JsonValue doc = Parse(
+      R"({"a": 1.5, "nested": {"b": 2, "deep": {"c": 3}},
+          "arr": [10, 20], "flag": true, "name": "skipped",
+          "nothing": null})");
+  const std::map<std::string, double> flat = FlattenJsonNumbers(doc);
+  EXPECT_DOUBLE_EQ(flat.at("a"), 1.5);
+  EXPECT_DOUBLE_EQ(flat.at("nested/b"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("nested/deep/c"), 3.0);
+  EXPECT_DOUBLE_EQ(flat.at("arr/0"), 10.0);
+  EXPECT_DOUBLE_EQ(flat.at("arr/1"), 20.0);
+  EXPECT_DOUBLE_EQ(flat.at("flag"), 1.0);
+  EXPECT_EQ(flat.count("name"), 0u);
+  EXPECT_EQ(flat.count("nothing"), 0u);
+  EXPECT_EQ(flat.size(), 6u);
+}
+
+TEST(DiffSnapshotsTest, IdenticalDocumentsMatch) {
+  const JsonValue a = Parse(R"({"x": 1, "nested": {"y": 2}})");
+  const DiffReport report = DiffSnapshots(a, a, {});
+  EXPECT_TRUE(report.Match());
+  EXPECT_EQ(report.compared, 2u);
+  EXPECT_EQ(report.ignored, 0u);
+}
+
+TEST(DiffSnapshotsTest, DefaultRuleIsExact) {
+  const JsonValue a = Parse(R"({"x": 1.0})");
+  const JsonValue b = Parse(R"({"x": 1.0000001})");
+  const DiffReport report = DiffSnapshots(a, b, {});
+  ASSERT_EQ(report.divergent.size(), 1u);
+  EXPECT_EQ(report.divergent[0].key, "x");
+  EXPECT_TRUE(report.divergent[0].in_a);
+  EXPECT_TRUE(report.divergent[0].in_b);
+}
+
+TEST(DiffSnapshotsTest, MissingKeysDivergeOnEitherSide) {
+  const JsonValue a = Parse(R"({"both": 1, "only_a": 2})");
+  const JsonValue b = Parse(R"({"both": 1, "only_b": 3})");
+  const DiffReport report = DiffSnapshots(a, b, {});
+  ASSERT_EQ(report.divergent.size(), 2u);
+  // Sorted merge-walk: only_a before only_b.
+  EXPECT_EQ(report.divergent[0].key, "only_a");
+  EXPECT_FALSE(report.divergent[0].in_b);
+  EXPECT_EQ(report.divergent[1].key, "only_b");
+  EXPECT_FALSE(report.divergent[1].in_a);
+  EXPECT_EQ(report.compared, 1u);
+}
+
+TEST(DiffSnapshotsTest, IgnoreSuppressesValueAndMissingKeyChecks) {
+  const JsonValue a = Parse(R"({"keep": 1, "drop": 2, "gone": 3})");
+  const JsonValue b = Parse(R"({"keep": 1, "drop": 9})");
+  DiffOptions options;
+  options.rules.push_back({"drop", DiffRule::Kind::kIgnore, 0.0});
+  options.rules.push_back({"gone", DiffRule::Kind::kIgnore, 0.0});
+  const DiffReport report = DiffSnapshots(a, b, options);
+  EXPECT_TRUE(report.Match());
+  EXPECT_EQ(report.compared, 1u);
+  EXPECT_EQ(report.ignored, 2u);
+}
+
+TEST(DiffSnapshotsTest, OnlyFilterRestrictsTheKeySpace) {
+  const JsonValue a = Parse(R"({"metrics": {"x": 1}, "wall_s": 2.0})");
+  const JsonValue b = Parse(R"({"metrics": {"x": 1}, "wall_s": 9.0})");
+  DiffOptions options;
+  options.only.push_back("metrics/**");
+  const DiffReport report = DiffSnapshots(a, b, options);
+  EXPECT_TRUE(report.Match());
+  EXPECT_EQ(report.compared, 1u);
+  EXPECT_EQ(report.ignored, 1u);
+}
+
+TEST(DiffSnapshotsTest, RelativeToleranceAndZeroBaselines) {
+  DiffOptions options;
+  options.rules.push_back({"*", DiffRule::Kind::kRelative, 0.05});
+  // Within 5%: passes.
+  EXPECT_TRUE(DiffSnapshots(Parse(R"({"x": 100})"), Parse(R"({"x": 104})"),
+                            options)
+                  .Match());
+  // Beyond 5%: diverges.
+  EXPECT_FALSE(DiffSnapshots(Parse(R"({"x": 100})"), Parse(R"({"x": 106})"),
+                             options)
+                   .Match());
+  // Zero baselines stay strict: 0 vs 0 passes, 0 vs anything fails.
+  EXPECT_TRUE(DiffSnapshots(Parse(R"({"x": 0})"), Parse(R"({"x": 0})"),
+                            options)
+                  .Match());
+  EXPECT_FALSE(DiffSnapshots(Parse(R"({"x": 0})"), Parse(R"({"x": 0.001})"),
+                             options)
+                   .Match());
+}
+
+TEST(DiffSnapshotsTest, AbsoluteTolerance) {
+  DiffOptions options;
+  options.rules.push_back({"x", DiffRule::Kind::kAbsolute, 0.5});
+  EXPECT_TRUE(DiffSnapshots(Parse(R"({"x": 1.0})"), Parse(R"({"x": 1.5})"),
+                            options)
+                  .Match());
+  EXPECT_FALSE(DiffSnapshots(Parse(R"({"x": 1.0})"), Parse(R"({"x": 1.6})"),
+                             options)
+                   .Match());
+}
+
+TEST(DiffSnapshotsTest, FirstMatchingRuleWins) {
+  const JsonValue a = Parse(R"({"metrics": {"x": 1}})");
+  const JsonValue b = Parse(R"({"metrics": {"x": 5}})");
+  // Ignore listed first shadows the stricter exact rule for the same key.
+  DiffOptions lenient;
+  lenient.rules.push_back({"metrics/**", DiffRule::Kind::kIgnore, 0.0});
+  lenient.rules.push_back({"metrics/x", DiffRule::Kind::kExact, 0.0});
+  EXPECT_TRUE(DiffSnapshots(a, b, lenient).Match());
+  // Reversed order: exact wins and the difference surfaces.
+  DiffOptions strict;
+  strict.rules.push_back({"metrics/x", DiffRule::Kind::kExact, 0.0});
+  strict.rules.push_back({"metrics/**", DiffRule::Kind::kIgnore, 0.0});
+  EXPECT_FALSE(DiffSnapshots(a, b, strict).Match());
+}
+
+TEST(DiffSnapshotsTest, BenchPresetIgnoresTimingsButPinsCounters) {
+  const JsonValue a = Parse(
+      R"({"bench": "fig5", "total_s": 1.25, "workload_s": 0.5,
+          "throughput_rps": 1000.0, "peak_rss_bytes": 123456,
+          "metrics": {"counters": {"spec.client_requests": 500}}})");
+  const JsonValue b = Parse(
+      R"({"bench": "fig5", "total_s": 9.0, "workload_s": 4.0,
+          "throughput_rps": 10.0, "peak_rss_bytes": 654321,
+          "metrics": {"counters": {"spec.client_requests": 500}}})");
+  DiffOptions options;
+  options.rules = BenchPresetRules();
+  const DiffReport same = DiffSnapshots(a, b, options);
+  EXPECT_TRUE(same.Match())
+      << (same.divergent.empty() ? "" : same.divergent[0].ToString());
+  EXPECT_GE(same.ignored, 4u);
+
+  const JsonValue c = Parse(
+      R"({"bench": "fig5", "total_s": 1.25, "workload_s": 0.5,
+          "throughput_rps": 1000.0, "peak_rss_bytes": 123456,
+          "metrics": {"counters": {"spec.client_requests": 501}}})");
+  const DiffReport diverged = DiffSnapshots(a, c, options);
+  ASSERT_EQ(diverged.divergent.size(), 1u);
+  EXPECT_EQ(diverged.divergent[0].key,
+            "metrics/counters/spec.client_requests");
+}
+
+TEST(DiffSnapshotsTest, EntryToStringNamesKeyAndReason) {
+  const JsonValue a = Parse(R"({"x": 1})");
+  const JsonValue b = Parse(R"({"x": 2})");
+  const DiffReport report = DiffSnapshots(a, b, {});
+  ASSERT_EQ(report.divergent.size(), 1u);
+  const std::string line = report.divergent[0].ToString();
+  EXPECT_NE(line.find("x"), std::string::npos);
+  EXPECT_NE(line.find("1"), std::string::npos);
+  EXPECT_NE(line.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sds::obs

@@ -139,6 +139,12 @@ void ExpectTotalsEq(const RunTotals& a, const RunTotals& b) {
   EXPECT_EQ(a.speculative_hits, b.speculative_hits);
   EXPECT_EQ(a.wasted_speculative_bytes, b.wasted_speculative_bytes);
   EXPECT_EQ(a.prefetch_requests, b.prefetch_requests);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.demand_server_responses, b.demand_server_responses);
+  EXPECT_EQ(a.demand_bytes_sent, b.demand_bytes_sent);
+  EXPECT_EQ(a.wasted_speculative_docs, b.wasted_speculative_docs);
+  EXPECT_EQ(a.unused_resident_speculative_docs,
+            b.unused_resident_speculative_docs);
   EXPECT_EQ(a.unavailable_requests, b.unavailable_requests);
   EXPECT_EQ(a.retry_attempts, b.retry_attempts);
   EXPECT_EQ(a.retry_wait_seconds, b.retry_wait_seconds);
